@@ -1,0 +1,309 @@
+//! Loading tables from CSV text.
+//!
+//! A deliberately small CSV dialect, sufficient for catalog data: comma
+//! separator, optional double-quoting (with `""` escapes), no embedded
+//! newlines inside quoted fields, first row may be a header. Column kinds
+//! are declared by the caller; values are parsed accordingly (`Int`,
+//! `Float`, `Text`).
+
+use crate::db::{AttrKind, AttrValue, Table, TableBuilder};
+use crate::error::AccessError;
+
+/// Splits one CSV record into fields (commas, optional double quotes).
+pub fn split_record(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if cur.is_empty() => in_quotes = true,
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Options for [`table_from_csv`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CsvOptions {
+    /// Whether the first non-empty row is a header naming the columns.
+    /// Without a header, columns are named `c0, c1, …`.
+    pub has_header: bool,
+}
+
+/// Parses CSV text into a [`Table`] with the declared column kinds.
+///
+/// With a header, `kinds` are matched to header columns positionally and
+/// the header supplies the names; without one, columns are named
+/// `c0, c1, …`.
+///
+/// # Errors
+/// [`AccessError::RowArityMismatch`] on ragged rows;
+/// [`AccessError::TypeMismatch`] when a value fails to parse as its
+/// declared kind.
+pub fn table_from_csv(
+    content: &str,
+    kinds: &[AttrKind],
+    opts: CsvOptions,
+) -> Result<Table, AccessError> {
+    let mut lines = content
+        .lines()
+        .map(str::trim_end)
+        .filter(|l| !l.trim().is_empty());
+    let mut builder = TableBuilder::new();
+    let names: Vec<String> = if opts.has_header {
+        let header = lines.next().ok_or(AccessError::RowArityMismatch {
+            got: 0,
+            expected: kinds.len(),
+        })?;
+        let names = split_record(header);
+        if names.len() != kinds.len() {
+            return Err(AccessError::RowArityMismatch {
+                got: names.len(),
+                expected: kinds.len(),
+            });
+        }
+        names
+    } else {
+        (0..kinds.len()).map(|i| format!("c{i}")).collect()
+    };
+    for (name, &kind) in names.iter().zip(kinds) {
+        builder.column(name.clone(), kind);
+    }
+    for line in lines {
+        let fields = split_record(line);
+        if fields.len() != kinds.len() {
+            return Err(AccessError::RowArityMismatch {
+                got: fields.len(),
+                expected: kinds.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for ((field, &kind), name) in fields.iter().zip(kinds).zip(&names) {
+            let v = parse_value(field.trim(), kind).ok_or_else(|| AccessError::TypeMismatch {
+                attribute: name.clone(),
+                expected: kind_name(kind),
+            })?;
+            row.push(v);
+        }
+        builder.row(row);
+    }
+    builder.finish()
+}
+
+fn parse_value(field: &str, kind: AttrKind) -> Option<AttrValue> {
+    match kind {
+        AttrKind::Int => field.parse::<i64>().ok().map(AttrValue::Int),
+        AttrKind::Float => field
+            .parse::<f64>()
+            .ok()
+            .filter(|f| f.is_finite())
+            .map(AttrValue::Float),
+        AttrKind::Text => Some(AttrValue::text(field)),
+    }
+}
+
+fn kind_name(kind: AttrKind) -> &'static str {
+    match kind {
+        AttrKind::Int => "an integer",
+        AttrKind::Float => "a finite float",
+        AttrKind::Text => "text",
+    }
+}
+
+/// Serializes a table back to CSV (header row included; text fields are
+/// quoted when they contain commas or quotes). Round-trips through
+/// [`table_from_csv`] with the same kinds.
+pub fn table_to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = table.schema().iter().map(|(n, _)| n).collect();
+    out.push_str(&names.join(","));
+    out.push('\n');
+    for row in 0..table.len() {
+        let mut cells = Vec::with_capacity(names.len());
+        for name in &names {
+            let cell = match table.value(row, name) {
+                Some(AttrValue::Int(x)) => x.to_string(),
+                Some(AttrValue::Float(x)) => {
+                    // Round-trippable float formatting.
+                    format!("{x:?}")
+                }
+                Some(AttrValue::Text(s)) => {
+                    if s.contains(',') || s.contains('"') {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    } else {
+                        s.clone()
+                    }
+                }
+                None => unreachable!("schema names come from the table"),
+            };
+            cells.push(cell);
+        }
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a compact schema string like `price:int,distance:float,name:text`
+/// into `(names, kinds)`.
+///
+/// # Errors
+/// [`AccessError::TypeMismatch`] on an unknown kind keyword.
+pub fn parse_schema(spec: &str) -> Result<(Vec<String>, Vec<AttrKind>), AccessError> {
+    let mut names = Vec::new();
+    let mut kinds = Vec::new();
+    for part in spec.split(',') {
+        let (name, kind) = part
+            .split_once(':')
+            .ok_or_else(|| AccessError::TypeMismatch {
+                attribute: part.to_owned(),
+                expected: "name:kind",
+            })?;
+        let kind = match kind.trim() {
+            "int" => AttrKind::Int,
+            "float" => AttrKind::Float,
+            "text" => AttrKind::Text,
+            _ => {
+                return Err(AccessError::TypeMismatch {
+                    attribute: name.trim().to_owned(),
+                    expected: "one of int|float|text",
+                })
+            }
+        };
+        names.push(name.trim().to_owned());
+        kinds.push(kind);
+    }
+    Ok((names, kinds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+cuisine,distance,stars
+thai,2.0,4
+sushi,9.5,5
+\"pizza, deep dish\",3.5,4
+";
+
+    #[test]
+    fn split_record_handles_quotes() {
+        assert_eq!(split_record("a,b,c"), vec!["a", "b", "c"]);
+        assert_eq!(
+            split_record("\"x, y\",z"),
+            vec!["x, y".to_owned(), "z".to_owned()]
+        );
+        assert_eq!(split_record("\"he said \"\"hi\"\"\",2"), vec![
+            "he said \"hi\"".to_owned(),
+            "2".to_owned()
+        ]);
+        assert_eq!(split_record(""), vec![""]);
+        assert_eq!(split_record("a,"), vec!["a", ""]);
+    }
+
+    #[test]
+    fn loads_with_header() {
+        let t = table_from_csv(
+            CSV,
+            &[AttrKind::Text, AttrKind::Float, AttrKind::Int],
+            CsvOptions { has_header: true },
+        )
+        .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.value(0, "cuisine"), Some(&AttrValue::text("thai")));
+        assert_eq!(t.value(2, "cuisine"), Some(&AttrValue::text("pizza, deep dish")));
+        assert_eq!(t.value(1, "stars"), Some(&AttrValue::Int(5)));
+    }
+
+    #[test]
+    fn loads_without_header() {
+        let t = table_from_csv(
+            "1,2.5\n3,4.5\n",
+            &[AttrKind::Int, AttrKind::Float],
+            CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.value(1, "c0"), Some(&AttrValue::Int(3)));
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let e = table_from_csv(
+            "a\nnot-a-number\n",
+            &[AttrKind::Int],
+            CsvOptions { has_header: true },
+        )
+        .unwrap_err();
+        assert!(matches!(e, AccessError::TypeMismatch { .. }));
+        let e = table_from_csv(
+            "x,y\n1\n",
+            &[AttrKind::Int, AttrKind::Int],
+            CsvOptions { has_header: true },
+        )
+        .unwrap_err();
+        assert!(matches!(e, AccessError::RowArityMismatch { got: 1, .. }));
+        // NaN rejected.
+        let e = table_from_csv("NaN\n", &[AttrKind::Float], CsvOptions::default()).unwrap_err();
+        assert!(matches!(e, AccessError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn csv_write_read_round_trip() {
+        let kinds = [AttrKind::Text, AttrKind::Float, AttrKind::Int];
+        let t = table_from_csv(CSV, &kinds, CsvOptions { has_header: true }).unwrap();
+        let text = table_to_csv(&t);
+        let t2 = table_from_csv(&text, &kinds, CsvOptions { has_header: true }).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for row in 0..t.len() {
+            for (name, _) in t.schema().iter() {
+                assert_eq!(t.value(row, name), t2.value(row, name), "{name} row {row}");
+            }
+        }
+        // Quoted field survived.
+        assert!(text.contains("\"pizza, deep dish\""));
+    }
+
+    #[test]
+    fn schema_spec_parsing() {
+        let (names, kinds) = parse_schema("price:int, distance:float,name:text").unwrap();
+        assert_eq!(names, vec!["price", "distance", "name"]);
+        assert_eq!(kinds, vec![AttrKind::Int, AttrKind::Float, AttrKind::Text]);
+        assert!(parse_schema("oops").is_err());
+        assert!(parse_schema("x:complex").is_err());
+    }
+
+    #[test]
+    fn end_to_end_query_over_csv() {
+        use crate::db::{Direction, OrderSpec};
+        use crate::query::PreferenceQuery;
+        let t = table_from_csv(
+            CSV,
+            &[AttrKind::Text, AttrKind::Float, AttrKind::Int],
+            CsvOptions { has_header: true },
+        )
+        .unwrap();
+        let q = PreferenceQuery::new(vec![
+            OrderSpec::numeric("stars", Direction::Desc),
+            OrderSpec::numeric("distance", Direction::Asc),
+        ])
+        .with_k(1);
+        let r = q.run(&t).unwrap();
+        assert_eq!(r.top.len(), 1);
+    }
+}

@@ -1,0 +1,556 @@
+//! The fielded-search substrate: an in-memory table whose few-valued
+//! attributes induce partial rankings.
+//!
+//! This reproduces the paper's motivating scenario (Section 1): catalog
+//! and parametric searches rank an underlying database by several
+//! attributes; attributes with few distinct values (cuisine, number of
+//! connections, star rating) — or numeric attributes the user coarsens
+//! ("any distance up to ten miles is the same to me") — produce rankings
+//! with many ties, i.e. bucket orders.
+
+use crate::error::AccessError;
+use bucketrank_core::BucketOrder;
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrKind {
+    /// 64-bit integer (e.g. star rating, number of connections).
+    Int,
+    /// Finite float (e.g. distance, price).
+    Float,
+    /// Categorical text (e.g. cuisine, airline).
+    Text,
+}
+
+impl AttrKind {
+    fn name(self) -> &'static str {
+        match self {
+            AttrKind::Int => "an integer attribute",
+            AttrKind::Float => "a float attribute",
+            AttrKind::Text => "a text attribute",
+        }
+    }
+}
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer value.
+    Int(i64),
+    /// Float value (must be finite to participate in rankings).
+    Float(f64),
+    /// Categorical text value.
+    Text(String),
+}
+
+impl AttrValue {
+    /// Convenience constructor for text values.
+    pub fn text<S: Into<String>>(s: S) -> Self {
+        AttrValue::Text(s.into())
+    }
+
+    fn kind(&self) -> AttrKind {
+        match self {
+            AttrValue::Int(_) => AttrKind::Int,
+            AttrValue::Float(_) => AttrKind::Float,
+            AttrValue::Text(_) => AttrKind::Text,
+        }
+    }
+}
+
+/// Sort direction for numeric order specs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Direction {
+    /// Smaller is better (price, distance, connections).
+    #[default]
+    Asc,
+    /// Larger is better (star rating, resolution).
+    Desc,
+}
+
+/// Optional coarsening of a numeric attribute before ranking — the
+/// mechanism by which even fine-grained numeric attributes produce ties.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Binning {
+    /// Fixed-width bins starting at 0 (e.g. `Width(10.0)`: "any distance
+    /// up to ten miles is the same").
+    Width(f64),
+    /// Explicit ascending bin upper bounds; values above the last bound
+    /// form a final bin.
+    Thresholds(Vec<f64>),
+}
+
+impl Binning {
+    /// The bin index of a value (bins are ordered by the attribute's
+    /// natural ascending order; [`Direction`] is applied afterwards).
+    pub fn bin(&self, v: f64) -> i64 {
+        match self {
+            Binning::Width(w) => (v / w).floor() as i64,
+            Binning::Thresholds(ts) => ts.partition_point(|&t| v > t) as i64,
+        }
+    }
+}
+
+/// How to turn one attribute into a partial ranking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderSpec {
+    /// Attribute name.
+    pub attribute: String,
+    /// The ranking rule for the attribute's kind.
+    pub rule: OrderRule,
+}
+
+/// The ranking rule of an [`OrderSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderRule {
+    /// Rank numerically (Int or Float), optionally binned.
+    Numeric {
+        /// Sort direction.
+        direction: Direction,
+        /// Optional coarsening.
+        binning: Option<Binning>,
+    },
+    /// Rank a text attribute by an explicit preference list: listed
+    /// categories in order, everything unlisted tied in a final bucket.
+    TextPreference {
+        /// Categories from most to least preferred.
+        preferred: Vec<String>,
+    },
+}
+
+impl OrderSpec {
+    /// Numeric spec with the given direction and no binning.
+    pub fn numeric<S: Into<String>>(attribute: S, direction: Direction) -> Self {
+        OrderSpec {
+            attribute: attribute.into(),
+            rule: OrderRule::Numeric {
+                direction,
+                binning: None,
+            },
+        }
+    }
+
+    /// Adds binning to a numeric spec.
+    ///
+    /// # Panics
+    /// Panics if the spec is a text preference.
+    pub fn with_binning(mut self, b: Binning) -> Self {
+        match &mut self.rule {
+            OrderRule::Numeric { binning, .. } => *binning = Some(b),
+            OrderRule::TextPreference { .. } => {
+                panic!("binning applies to numeric specs only")
+            }
+        }
+        self
+    }
+
+    /// Text-preference spec: `preferred` categories in order, everything
+    /// else tied at the bottom.
+    pub fn text_preference<S, I, T>(attribute: S, preferred: I) -> Self
+    where
+        S: Into<String>,
+        I: IntoIterator<Item = T>,
+        T: Into<String>,
+    {
+        OrderSpec {
+            attribute: attribute.into(),
+            rule: OrderRule::TextPreference {
+                preferred: preferred.into_iter().map(Into::into).collect(),
+            },
+        }
+    }
+}
+
+/// A table schema: named, typed columns.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    columns: Vec<(String, AttrKind)>,
+    index: HashMap<String, usize>,
+}
+
+impl Schema {
+    /// Column count.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Index and kind of a named column.
+    pub fn column(&self, name: &str) -> Option<(usize, AttrKind)> {
+        self.index.get(name).map(|&i| (i, self.columns[i].1))
+    }
+
+    /// Iterates `(name, kind)` in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, AttrKind)> {
+        self.columns.iter().map(|(n, k)| (n.as_str(), *k))
+    }
+}
+
+/// An in-memory table of records.
+pub struct Table {
+    schema: Schema,
+    rows: Vec<Vec<AttrValue>>,
+}
+
+impl Table {
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The value at `(row, column name)`.
+    pub fn value(&self, row: usize, attribute: &str) -> Option<&AttrValue> {
+        let (col, _) = self.schema.column(attribute)?;
+        self.rows.get(row).map(|r| &r[col])
+    }
+
+    /// A new table holding the given rows (in the given order) under the
+    /// same schema. Used by filtered views.
+    ///
+    /// # Panics
+    /// Panics if a row index is out of range.
+    pub fn project_rows(&self, rows: &[usize]) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: rows.iter().map(|&r| self.rows[r].clone()).collect(),
+        }
+    }
+
+    /// Builds the partial ranking induced by an [`OrderSpec`] — the
+    /// "index scan" of the motivating scenario. Rows are the domain
+    /// (element id = row id).
+    ///
+    /// # Errors
+    /// [`AccessError::UnknownAttribute`] / [`AccessError::TypeMismatch`] /
+    /// [`AccessError::NonFiniteValue`].
+    pub fn ranking(&self, spec: &OrderSpec) -> Result<BucketOrder, AccessError> {
+        let (col, kind) = self
+            .schema
+            .column(&spec.attribute)
+            .ok_or_else(|| AccessError::UnknownAttribute {
+                name: spec.attribute.clone(),
+            })?;
+        match &spec.rule {
+            OrderRule::Numeric { direction, binning } => {
+                let mut keys: Vec<i64> = Vec::with_capacity(self.rows.len());
+                for row in &self.rows {
+                    let key = match (&row[col], binning) {
+                        (AttrValue::Int(v), None) => *v,
+                        (AttrValue::Int(v), Some(b)) => b.bin(*v as f64),
+                        (AttrValue::Float(v), Some(b)) => {
+                            if !v.is_finite() {
+                                return Err(AccessError::NonFiniteValue {
+                                    attribute: spec.attribute.clone(),
+                                });
+                            }
+                            b.bin(*v)
+                        }
+                        (AttrValue::Float(v), None) => {
+                            if !v.is_finite() {
+                                return Err(AccessError::NonFiniteValue {
+                                    attribute: spec.attribute.clone(),
+                                });
+                            }
+                            // Unbinned floats: rank by total order on bits
+                            // of the finite float (sign-corrected).
+                            sortable_bits(*v)
+                        }
+                        (AttrValue::Text(_), _) => {
+                            return Err(AccessError::TypeMismatch {
+                                attribute: spec.attribute.clone(),
+                                expected: "a numeric attribute",
+                            })
+                        }
+                    };
+                    keys.push(key);
+                }
+                Ok(match direction {
+                    Direction::Asc => BucketOrder::from_keys(&keys),
+                    Direction::Desc => BucketOrder::from_keys_desc(&keys),
+                })
+            }
+            OrderRule::TextPreference { preferred } => {
+                if kind != AttrKind::Text {
+                    return Err(AccessError::TypeMismatch {
+                        attribute: spec.attribute.clone(),
+                        expected: "a text attribute",
+                    });
+                }
+                let rank_of: HashMap<&str, i64> = preferred
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i as i64))
+                    .collect();
+                let bottom = preferred.len() as i64;
+                let mut keys = Vec::with_capacity(self.rows.len());
+                for row in &self.rows {
+                    let AttrValue::Text(s) = &row[col] else {
+                        return Err(AccessError::TypeMismatch {
+                            attribute: spec.attribute.clone(),
+                            expected: "a text attribute",
+                        });
+                    };
+                    keys.push(*rank_of.get(s.as_str()).unwrap_or(&bottom));
+                }
+                Ok(BucketOrder::from_keys(&keys))
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Table")
+            .field("columns", &self.schema.arity())
+            .field("rows", &self.rows.len())
+            .finish()
+    }
+}
+
+/// Maps a finite float to an `i64` whose order matches the float order
+/// (the standard sign-flip trick: negatives have all bits inverted,
+/// non-negatives have the sign bit set; the result is then shifted back
+/// into signed range).
+fn sortable_bits(v: f64) -> i64 {
+    const TOP: u64 = 1 << 63;
+    let v = if v == 0.0 { 0.0 } else { v }; // -0.0 ties with 0.0
+    let u = v.to_bits();
+    let key = if u & TOP != 0 { !u } else { u | TOP };
+    (key ^ TOP) as i64
+}
+
+/// Incremental table builder.
+#[derive(Debug, Default)]
+pub struct TableBuilder {
+    schema: Schema,
+    rows: Vec<Vec<AttrValue>>,
+    error: Option<AccessError>,
+}
+
+impl TableBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the next column.
+    pub fn column<S: Into<String>>(&mut self, name: S, kind: AttrKind) -> &mut Self {
+        let name = name.into();
+        let idx = self.schema.columns.len();
+        self.schema.index.insert(name.clone(), idx);
+        self.schema.columns.push((name, kind));
+        self
+    }
+
+    /// Appends a record. Errors are deferred to [`TableBuilder::finish`].
+    pub fn row(&mut self, values: Vec<AttrValue>) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if values.len() != self.schema.arity() {
+            self.error = Some(AccessError::RowArityMismatch {
+                got: values.len(),
+                expected: self.schema.arity(),
+            });
+            return self;
+        }
+        for (v, (name, kind)) in values.iter().zip(&self.schema.columns) {
+            if v.kind() != *kind {
+                self.error = Some(AccessError::TypeMismatch {
+                    attribute: name.clone(),
+                    expected: kind.name(),
+                });
+                return self;
+            }
+        }
+        self.rows.push(values);
+        self
+    }
+
+    /// Validates and produces the table.
+    ///
+    /// # Errors
+    /// The first row/typing error encountered while building.
+    pub fn finish(self) -> Result<Table, AccessError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        Ok(Table {
+            schema: self.schema,
+            rows: self.rows,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn restaurant_table() -> Table {
+        let mut t = TableBuilder::new();
+        t.column("cuisine", AttrKind::Text);
+        t.column("distance", AttrKind::Float);
+        t.column("stars", AttrKind::Int);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(2.0), AttrValue::Int(4)]);
+        t.row(vec![AttrValue::text("sushi"), AttrValue::Float(9.0), AttrValue::Int(5)]);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(14.0), AttrValue::Int(3)]);
+        t.row(vec![AttrValue::text("pizza"), AttrValue::Float(3.5), AttrValue::Int(4)]);
+        t.finish().unwrap()
+    }
+
+    #[test]
+    fn int_ranking_with_ties() {
+        let t = restaurant_table();
+        let r = t
+            .ranking(&OrderSpec::numeric("stars", Direction::Desc))
+            .unwrap();
+        // 5 stars first, then the two 4-star places tied, then 3.
+        assert_eq!(r.display(), "[1 | 0 3 | 2]");
+    }
+
+    #[test]
+    fn binned_float_ranking() {
+        let t = restaurant_table();
+        let spec = OrderSpec::numeric("distance", Direction::Asc)
+            .with_binning(Binning::Width(10.0));
+        let r = t.ranking(&spec).unwrap();
+        // Distances 2.0, 9.0, 3.5 share the 0–10 bucket; 14.0 trails.
+        assert_eq!(r.display(), "[0 1 3 | 2]");
+    }
+
+    #[test]
+    fn unbinned_float_ranking_is_fine_grained() {
+        let t = restaurant_table();
+        let r = t
+            .ranking(&OrderSpec::numeric("distance", Direction::Asc))
+            .unwrap();
+        assert!(r.is_full());
+        assert_eq!(r.as_permutation(), Some(vec![0, 3, 1, 2]));
+    }
+
+    #[test]
+    fn text_preference_ranking() {
+        let t = restaurant_table();
+        let r = t
+            .ranking(&OrderSpec::text_preference("cuisine", ["thai", "sushi"]))
+            .unwrap();
+        // thai {0, 2} then sushi {1}, pizza unlisted at the bottom.
+        assert_eq!(r.display(), "[0 2 | 1 | 3]");
+    }
+
+    #[test]
+    fn thresholds_binning() {
+        let b = Binning::Thresholds(vec![1.0, 5.0]);
+        assert_eq!(b.bin(0.5), 0);
+        assert_eq!(b.bin(1.0), 0);
+        assert_eq!(b.bin(3.0), 1);
+        assert_eq!(b.bin(99.0), 2);
+        let w = Binning::Width(10.0);
+        assert_eq!(w.bin(0.0), 0);
+        assert_eq!(w.bin(9.99), 0);
+        assert_eq!(w.bin(10.0), 1);
+    }
+
+    #[test]
+    fn sortable_bits_orders_floats() {
+        let vals = [-5.5, -0.0, 0.0, 0.25, 3.0, 1e9];
+        for w in vals.windows(2) {
+            assert!(
+                sortable_bits(w[0]) <= sortable_bits(w[1]),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+        assert!(sortable_bits(-1.0) < sortable_bits(1.0));
+    }
+
+    #[test]
+    fn schema_lookup_and_values() {
+        let t = restaurant_table();
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.schema().arity(), 3);
+        assert_eq!(t.schema().column("stars").unwrap().1, AttrKind::Int);
+        assert_eq!(t.value(1, "cuisine"), Some(&AttrValue::text("sushi")));
+        assert_eq!(t.value(9, "cuisine"), None);
+        assert_eq!(t.value(0, "zip"), None);
+        let names: Vec<&str> = t.schema().iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["cuisine", "distance", "stars"]);
+    }
+
+    #[test]
+    fn builder_errors() {
+        let mut t = TableBuilder::new();
+        t.column("a", AttrKind::Int);
+        t.row(vec![AttrValue::Int(1), AttrValue::Int(2)]);
+        assert!(matches!(
+            t.finish(),
+            Err(AccessError::RowArityMismatch { got: 2, expected: 1 })
+        ));
+
+        let mut t = TableBuilder::new();
+        t.column("a", AttrKind::Int);
+        t.row(vec![AttrValue::text("oops")]);
+        t.row(vec![AttrValue::Int(1)]); // after an error, rows are ignored
+        assert!(matches!(t.finish(), Err(AccessError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn ranking_errors() {
+        let t = restaurant_table();
+        assert!(matches!(
+            t.ranking(&OrderSpec::numeric("zip", Direction::Asc)),
+            Err(AccessError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            t.ranking(&OrderSpec::numeric("cuisine", Direction::Asc)),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            t.ranking(&OrderSpec::text_preference("stars", ["4"])),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+
+        let mut bad = TableBuilder::new();
+        bad.column("x", AttrKind::Float);
+        bad.row(vec![AttrValue::Float(f64::NAN)]);
+        let bad = bad.finish().unwrap(); // NaN caught at ranking time
+        assert!(matches!(
+            bad.ranking(&OrderSpec::numeric("x", Direction::Asc)),
+            Err(AccessError::NonFiniteValue { .. })
+        ));
+    }
+
+    #[test]
+    fn int_binning() {
+        let mut t = TableBuilder::new();
+        t.column("connections", AttrKind::Int);
+        for c in [0i64, 1, 1, 2, 3] {
+            t.row(vec![AttrValue::Int(c)]);
+        }
+        let t = t.finish().unwrap();
+        let spec = OrderSpec::numeric("connections", Direction::Asc)
+            .with_binning(Binning::Thresholds(vec![0.0, 1.0]));
+        let r = t.ranking(&spec).unwrap();
+        // Nonstop | one stop | more.
+        assert_eq!(r.display(), "[0 | 1 2 | 3 4]");
+    }
+
+    #[test]
+    #[should_panic(expected = "numeric specs only")]
+    fn binning_on_text_panics() {
+        let _ = OrderSpec::text_preference("cuisine", ["thai"]).with_binning(Binning::Width(1.0));
+    }
+}

@@ -1,0 +1,259 @@
+//! Selection predicates over tables: the filter half of the paper's
+//! "rank (and/or filter) the records" (Section 1).
+//!
+//! A [`Selection`] is a conjunction of per-attribute predicates. Filtering
+//! produces a [`View`] — a sub-table with its own dense row ids plus the
+//! mapping back to the base table — so the ranking/aggregation pipeline
+//! runs unchanged on the filtered domain.
+
+use crate::db::{AttrValue, Table};
+use crate::error::AccessError;
+use bucketrank_core::ElementId;
+
+/// A predicate on one attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Integer attribute within the inclusive range.
+    IntRange {
+        /// Attribute name.
+        attribute: String,
+        /// Lower bound (inclusive).
+        min: i64,
+        /// Upper bound (inclusive).
+        max: i64,
+    },
+    /// Float attribute within the inclusive range.
+    FloatRange {
+        /// Attribute name.
+        attribute: String,
+        /// Lower bound (inclusive).
+        min: f64,
+        /// Upper bound (inclusive).
+        max: f64,
+    },
+    /// Text attribute equal to one of the given values.
+    TextIn {
+        /// Attribute name.
+        attribute: String,
+        /// Accepted values.
+        values: Vec<String>,
+    },
+}
+
+impl Predicate {
+    /// The attribute this predicate constrains.
+    pub fn attribute(&self) -> &str {
+        match self {
+            Predicate::IntRange { attribute, .. }
+            | Predicate::FloatRange { attribute, .. }
+            | Predicate::TextIn { attribute, .. } => attribute,
+        }
+    }
+
+    fn matches(&self, v: &AttrValue) -> Result<bool, AccessError> {
+        match (self, v) {
+            (Predicate::IntRange { min, max, .. }, AttrValue::Int(x)) => {
+                Ok(*x >= *min && *x <= *max)
+            }
+            (Predicate::FloatRange { min, max, .. }, AttrValue::Float(x)) => {
+                Ok(*x >= *min && *x <= *max)
+            }
+            (Predicate::TextIn { values, .. }, AttrValue::Text(s)) => {
+                Ok(values.iter().any(|v| v == s))
+            }
+            _ => Err(AccessError::TypeMismatch {
+                attribute: self.attribute().to_owned(),
+                expected: "a value matching the predicate's kind",
+            }),
+        }
+    }
+}
+
+/// A conjunction of predicates.
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    predicates: Vec<Predicate>,
+}
+
+impl Selection {
+    /// The empty (always-true) selection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a predicate to the conjunction.
+    pub fn and(mut self, p: Predicate) -> Self {
+        self.predicates.push(p);
+        self
+    }
+
+    /// The predicates.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
+    }
+
+    /// Evaluates the conjunction on row `row` of `table`.
+    ///
+    /// # Errors
+    /// [`AccessError::UnknownAttribute`] / [`AccessError::TypeMismatch`].
+    pub fn matches(&self, table: &Table, row: usize) -> Result<bool, AccessError> {
+        for p in &self.predicates {
+            let v = table
+                .value(row, p.attribute())
+                .ok_or_else(|| AccessError::UnknownAttribute {
+                    name: p.attribute().to_owned(),
+                })?;
+            if !p.matches(v)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// A filtered view over a base table: the surviving rows with dense ids.
+#[derive(Debug)]
+pub struct View<'a> {
+    base: &'a Table,
+    rows: Vec<usize>,
+}
+
+impl<'a> View<'a> {
+    /// Applies a selection to a table.
+    ///
+    /// # Errors
+    /// [`AccessError::UnknownAttribute`] / [`AccessError::TypeMismatch`].
+    pub fn filter(base: &'a Table, selection: &Selection) -> Result<Self, AccessError> {
+        let mut rows = Vec::new();
+        for row in 0..base.len() {
+            if selection.matches(base, row)? {
+                rows.push(row);
+            }
+        }
+        Ok(View { base, rows })
+    }
+
+    /// Number of surviving rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The base-table row behind view row `id`.
+    pub fn base_row(&self, id: ElementId) -> Option<usize> {
+        self.rows.get(id as usize).copied()
+    }
+
+    /// Materializes the view as a standalone [`Table`] plus the base-row
+    /// mapping (view row id → base row id).
+    pub fn materialize(&self) -> (Table, Vec<usize>) {
+        (self.base.project_rows(&self.rows), self.rows.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{AttrKind, Direction, OrderSpec, TableBuilder};
+    use crate::query::PreferenceQuery;
+
+    fn table() -> Table {
+        let mut t = TableBuilder::new();
+        t.column("cuisine", AttrKind::Text);
+        t.column("distance", AttrKind::Float);
+        t.column("stars", AttrKind::Int);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(2.0), AttrValue::Int(4)]);
+        t.row(vec![AttrValue::text("sushi"), AttrValue::Float(9.0), AttrValue::Int(5)]);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(14.0), AttrValue::Int(3)]);
+        t.row(vec![AttrValue::text("pizza"), AttrValue::Float(3.5), AttrValue::Int(4)]);
+        t.finish().unwrap()
+    }
+
+    #[test]
+    fn filters_conjunctively() {
+        let t = table();
+        let sel = Selection::new()
+            .and(Predicate::TextIn {
+                attribute: "cuisine".into(),
+                values: vec!["thai".into(), "sushi".into()],
+            })
+            .and(Predicate::FloatRange {
+                attribute: "distance".into(),
+                min: 0.0,
+                max: 10.0,
+            });
+        let v = View::filter(&t, &sel).unwrap();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.base_row(0), Some(0));
+        assert_eq!(v.base_row(1), Some(1));
+        assert_eq!(v.base_row(5), None);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn empty_selection_keeps_everything() {
+        let t = table();
+        let v = View::filter(&t, &Selection::new()).unwrap();
+        assert_eq!(v.len(), t.len());
+    }
+
+    #[test]
+    fn int_range() {
+        let t = table();
+        let sel = Selection::new().and(Predicate::IntRange {
+            attribute: "stars".into(),
+            min: 4,
+            max: 5,
+        });
+        let v = View::filter(&t, &sel).unwrap();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn materialized_view_supports_full_pipeline() {
+        let t = table();
+        let sel = Selection::new().and(Predicate::IntRange {
+            attribute: "stars".into(),
+            min: 4,
+            max: 5,
+        });
+        let (sub, mapping) = View::filter(&t, &sel).unwrap().materialize();
+        assert_eq!(sub.len(), 3);
+        let q = PreferenceQuery::new(vec![
+            OrderSpec::numeric("stars", Direction::Desc),
+            OrderSpec::numeric("distance", Direction::Asc),
+        ])
+        .with_k(1);
+        let r = q.run(&sub).unwrap();
+        // Winner in the view maps back to a base row with ≥ 4 stars.
+        let base = mapping[r.top[0] as usize];
+        assert!(matches!(t.value(base, "stars"), Some(&AttrValue::Int(s)) if s >= 4));
+    }
+
+    #[test]
+    fn errors_surface() {
+        let t = table();
+        let sel = Selection::new().and(Predicate::IntRange {
+            attribute: "zip".into(),
+            min: 0,
+            max: 1,
+        });
+        assert!(matches!(
+            View::filter(&t, &sel),
+            Err(AccessError::UnknownAttribute { .. })
+        ));
+        let sel = Selection::new().and(Predicate::IntRange {
+            attribute: "cuisine".into(),
+            min: 0,
+            max: 1,
+        });
+        assert!(matches!(
+            View::filter(&t, &sel),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+    }
+}

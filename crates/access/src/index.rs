@@ -1,0 +1,334 @@
+//! Persistent per-attribute indexes: sort once, query many times.
+//!
+//! [`Table::ranking`] sorts the whole column on every call — fine for
+//! one-shot experiments, wasteful for a serving path where the same
+//! catalog answers many preference queries. [`IndexedTable`] keeps each
+//! column's rows pre-sorted (ascending by the attribute's natural order)
+//! so that building the partial ranking for an [`OrderSpec`] is a single
+//! linear grouping pass over the index: no comparison sort per query,
+//! direction handled by scanning the index forwards or backwards, and
+//! binning applied on the fly (bins are contiguous in a sorted column).
+
+use crate::db::{AttrKind, AttrValue, Direction, OrderRule, OrderSpec, Table};
+use crate::error::AccessError;
+use bucketrank_core::{BucketOrder, ElementId};
+use std::collections::HashMap;
+
+/// One column's index: row ids sorted ascending by the column value, with
+/// a parallel array of group keys (rows with equal values share a key).
+#[derive(Debug, Clone)]
+struct ColumnIndex {
+    /// Row ids in ascending value order.
+    sorted_rows: Vec<ElementId>,
+    /// `value_key[i]` identifies the value of `sorted_rows[i]`; equal
+    /// values get equal keys, ascending with the value. For numeric
+    /// columns this is the (binnable) numeric value as ordered bits; for
+    /// text columns it is a dense code in lexicographic order.
+    numeric: Option<Vec<f64>>,
+    /// For text columns: the value per sorted row.
+    text: Option<Vec<String>>,
+}
+
+/// A [`Table`] with pre-built per-column indexes.
+#[derive(Debug)]
+pub struct IndexedTable {
+    table: Table,
+    indexes: HashMap<String, ColumnIndex>,
+}
+
+impl IndexedTable {
+    /// Builds indexes for every column. `O(cols · n log n)` once.
+    ///
+    /// # Errors
+    /// [`AccessError::NonFiniteValue`] on NaN/inf floats.
+    pub fn build(table: Table) -> Result<Self, AccessError> {
+        let mut indexes = HashMap::new();
+        let names: Vec<(String, AttrKind)> = table
+            .schema()
+            .iter()
+            .map(|(n, k)| (n.to_owned(), k))
+            .collect();
+        for (name, kind) in names {
+            let n = table.len();
+            let mut rows: Vec<ElementId> = (0..n as ElementId).collect();
+            match kind {
+                AttrKind::Int | AttrKind::Float => {
+                    let mut vals = Vec::with_capacity(n);
+                    for row in 0..n {
+                        let v = match table.value(row, &name) {
+                            Some(&AttrValue::Int(x)) => x as f64,
+                            Some(&AttrValue::Float(x)) => {
+                                if !x.is_finite() {
+                                    return Err(AccessError::NonFiniteValue {
+                                        attribute: name.clone(),
+                                    });
+                                }
+                                x
+                            }
+                            _ => unreachable!("schema guarantees the kind"),
+                        };
+                        vals.push(v);
+                    }
+                    rows.sort_by(|&a, &b| {
+                        vals[a as usize]
+                            .partial_cmp(&vals[b as usize])
+                            .expect("finite")
+                            .then(a.cmp(&b))
+                    });
+                    let numeric = rows.iter().map(|&r| vals[r as usize]).collect();
+                    indexes.insert(
+                        name.clone(),
+                        ColumnIndex {
+                            sorted_rows: rows,
+                            numeric: Some(numeric),
+                            text: None,
+                        },
+                    );
+                }
+                AttrKind::Text => {
+                    let vals: Vec<String> = (0..n)
+                        .map(|row| match table.value(row, &name) {
+                            Some(AttrValue::Text(s)) => s.clone(),
+                            _ => unreachable!("schema guarantees the kind"),
+                        })
+                        .collect();
+                    rows.sort_by(|&a, &b| {
+                        vals[a as usize].cmp(&vals[b as usize]).then(a.cmp(&b))
+                    });
+                    let text = rows.iter().map(|&r| vals[r as usize].clone()).collect();
+                    indexes.insert(
+                        name.clone(),
+                        ColumnIndex {
+                            sorted_rows: rows,
+                            numeric: None,
+                            text: Some(text),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(IndexedTable { table, indexes })
+    }
+
+    /// The underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Builds the partial ranking for an order spec from the index: one
+    /// linear pass, no sorting.
+    ///
+    /// # Errors
+    /// [`AccessError::UnknownAttribute`] / [`AccessError::TypeMismatch`].
+    pub fn ranking(&self, spec: &OrderSpec) -> Result<BucketOrder, AccessError> {
+        let idx = self
+            .indexes
+            .get(&spec.attribute)
+            .ok_or_else(|| AccessError::UnknownAttribute {
+                name: spec.attribute.clone(),
+            })?;
+        let n = self.table.len();
+        match &spec.rule {
+            OrderRule::Numeric { direction, binning } => {
+                let vals = idx.numeric.as_ref().ok_or_else(|| AccessError::TypeMismatch {
+                    attribute: spec.attribute.clone(),
+                    expected: "a numeric attribute",
+                })?;
+                // Group ascending, then reverse buckets for Desc.
+                let key_of = |v: f64| -> i64 {
+                    match binning {
+                        Some(b) => b.bin(v),
+                        None => 0, // grouped by exact value below
+                    }
+                };
+                let mut buckets: Vec<Vec<ElementId>> = Vec::new();
+                for (i, &row) in idx.sorted_rows.iter().enumerate() {
+                    let new_group = match i {
+                        0 => true,
+                        _ => match binning {
+                            Some(_) => key_of(vals[i]) != key_of(vals[i - 1]),
+                            None => vals[i] != vals[i - 1],
+                        },
+                    };
+                    if new_group {
+                        buckets.push(Vec::new());
+                    }
+                    buckets.last_mut().expect("group opened").push(row);
+                }
+                if matches!(direction, Direction::Desc) {
+                    buckets.reverse();
+                }
+                Ok(BucketOrder::from_buckets(n, buckets)
+                    .expect("index covers every row exactly once"))
+            }
+            OrderRule::TextPreference { preferred } => {
+                let texts = idx.text.as_ref().ok_or_else(|| AccessError::TypeMismatch {
+                    attribute: spec.attribute.clone(),
+                    expected: "a text attribute",
+                })?;
+                let rank_of: HashMap<&str, usize> = preferred
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| (s.as_str(), i))
+                    .collect();
+                let bottom = preferred.len();
+                // One pass over the index: distribute rows into the
+                // preference slots (within a slot, index order = id order
+                // within equal text values, matching Table::ranking).
+                let mut buckets: Vec<Vec<ElementId>> = vec![Vec::new(); bottom + 1];
+                for (i, &row) in idx.sorted_rows.iter().enumerate() {
+                    let slot = rank_of.get(texts[i].as_str()).copied().unwrap_or(bottom);
+                    buckets[slot].push(row);
+                }
+                let buckets: Vec<Vec<ElementId>> =
+                    buckets.into_iter().filter(|b| !b.is_empty()).collect();
+                Ok(BucketOrder::from_buckets(n, buckets)
+                    .expect("index covers every row exactly once"))
+            }
+        }
+    }
+
+    /// Plans the rankings for a whole preference query from the indexes.
+    ///
+    /// # Errors
+    /// As [`IndexedTable::ranking`]; [`AccessError::NoSources`] for an
+    /// empty spec list.
+    pub fn plan(&self, specs: &[OrderSpec]) -> Result<Vec<BucketOrder>, AccessError> {
+        if specs.is_empty() {
+            return Err(AccessError::NoSources);
+        }
+        specs.iter().map(|s| self.ranking(s)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::{Binning, TableBuilder};
+    use crate::medrank::medrank_top_k;
+
+    fn restaurant_table() -> Table {
+        let mut t = TableBuilder::new();
+        t.column("cuisine", AttrKind::Text);
+        t.column("distance", AttrKind::Float);
+        t.column("stars", AttrKind::Int);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(2.0), AttrValue::Int(4)]);
+        t.row(vec![AttrValue::text("sushi"), AttrValue::Float(9.0), AttrValue::Int(5)]);
+        t.row(vec![AttrValue::text("thai"), AttrValue::Float(14.0), AttrValue::Int(3)]);
+        t.row(vec![AttrValue::text("pizza"), AttrValue::Float(3.5), AttrValue::Int(4)]);
+        t.finish().unwrap()
+    }
+
+    fn specs() -> Vec<OrderSpec> {
+        vec![
+            OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
+            OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+            OrderSpec::numeric("stars", Direction::Desc),
+            OrderSpec::numeric("distance", Direction::Asc),
+            OrderSpec::numeric("stars", Direction::Asc),
+        ]
+    }
+
+    #[test]
+    fn index_rankings_match_table_rankings() {
+        let t = restaurant_table();
+        let it = IndexedTable::build(restaurant_table()).unwrap();
+        for spec in specs() {
+            assert_eq!(
+                it.ranking(&spec).unwrap(),
+                t.ranking(&spec).unwrap(),
+                "spec {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn randomized_agreement_with_table_path() {
+        use bucketrank_workloads_free::random_catalog;
+        for seed in 0..20u64 {
+            let t = random_catalog(seed, 60);
+            let it = IndexedTable::build(random_catalog(seed, 60)).unwrap();
+            for spec in [
+                OrderSpec::numeric("x", Direction::Asc),
+                OrderSpec::numeric("x", Direction::Desc),
+                OrderSpec::numeric("x", Direction::Asc).with_binning(Binning::Width(3.0)),
+                OrderSpec::numeric("y", Direction::Desc).with_binning(Binning::Width(10.0)),
+                OrderSpec::text_preference("tag", ["a", "c"]),
+                OrderSpec::text_preference("tag", ["zzz"]),
+            ] {
+                assert_eq!(
+                    it.ranking(&spec).unwrap(),
+                    t.ranking(&spec).unwrap(),
+                    "seed {seed}, spec {spec:?}"
+                );
+            }
+        }
+    }
+
+    /// Tiny rand-free catalog generator for the differential test.
+    mod bucketrank_workloads_free {
+        use super::*;
+
+        pub fn random_catalog(seed: u64, n: usize) -> Table {
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            let mut next = move |m: u64| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) % m
+            };
+            let mut t = TableBuilder::new();
+            t.column("x", AttrKind::Int);
+            t.column("y", AttrKind::Float);
+            t.column("tag", AttrKind::Text);
+            let tags = ["a", "b", "c", "d"];
+            for _ in 0..n {
+                let x = next(10) as i64;
+                let y = next(100) as f64 / 3.0;
+                let tag = tags[next(4) as usize];
+                t.row(vec![AttrValue::Int(x), AttrValue::Float(y), AttrValue::text(tag)]);
+            }
+            t.finish().unwrap()
+        }
+    }
+
+    #[test]
+    fn plan_feeds_medrank() {
+        let it = IndexedTable::build(restaurant_table()).unwrap();
+        let plan = it
+            .plan(&[
+                OrderSpec::text_preference("cuisine", ["thai"]),
+                OrderSpec::numeric("stars", Direction::Desc),
+            ])
+            .unwrap();
+        let r = medrank_top_k(&plan, 1).unwrap();
+        assert_eq!(r.top.len(), 1);
+        assert!(it.plan(&[]).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let it = IndexedTable::build(restaurant_table()).unwrap();
+        assert!(matches!(
+            it.ranking(&OrderSpec::numeric("zip", Direction::Asc)),
+            Err(AccessError::UnknownAttribute { .. })
+        ));
+        assert!(matches!(
+            it.ranking(&OrderSpec::numeric("cuisine", Direction::Asc)),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            it.ranking(&OrderSpec::text_preference("stars", ["4"])),
+            Err(AccessError::TypeMismatch { .. })
+        ));
+        assert_eq!(it.table().len(), 4);
+
+        let mut bad = TableBuilder::new();
+        bad.column("v", AttrKind::Float);
+        bad.row(vec![AttrValue::Float(f64::INFINITY)]);
+        assert!(matches!(
+            IndexedTable::build(bad.finish().unwrap()),
+            Err(AccessError::NonFiniteValue { .. })
+        ));
+    }
+}

@@ -1,0 +1,52 @@
+//! The database-friendly access model of Section 6: sorted-access cursors
+//! over partial rankings, the instance-optimal MEDRANK algorithm, a
+//! Threshold Algorithm baseline, and an in-memory fielded-search substrate
+//! that reproduces the paper's motivating scenario (sorting a catalog by
+//! few-valued attributes yields partial rankings; aggregation must read as
+//! little of each as possible).
+//!
+//! # Example
+//!
+//! ```
+//! use bucketrank_access::db::{AttrKind, AttrValue, Binning, Direction, OrderSpec, TableBuilder};
+//! use bucketrank_access::query::PreferenceQuery;
+//!
+//! let mut t = TableBuilder::new();
+//! t.column("cuisine", AttrKind::Text);
+//! t.column("distance", AttrKind::Float);
+//! t.column("stars", AttrKind::Int);
+//! t.row(vec![AttrValue::text("thai"), AttrValue::Float(2.0), AttrValue::Int(4)]);
+//! t.row(vec![AttrValue::text("sushi"), AttrValue::Float(9.0), AttrValue::Int(5)]);
+//! t.row(vec![AttrValue::text("thai"), AttrValue::Float(14.0), AttrValue::Int(3)]);
+//! let table = t.finish().unwrap();
+//!
+//! let query = PreferenceQuery::new(vec![
+//!     OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
+//!     OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+//!     OrderSpec::numeric("stars", Direction::Desc),
+//! ])
+//! .with_k(1);
+//!
+//! let result = query.run(&table).unwrap();
+//! assert_eq!(result.top, vec![0]); // the close thai place with 4 stars
+//! assert!(result.stats.total_accesses() <= 9); // never worse than a full scan
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod csv;
+pub mod db;
+mod error;
+pub mod filter;
+pub mod index;
+pub mod medrank;
+pub mod model;
+pub mod nra;
+pub mod query;
+pub mod similarity;
+pub mod ta;
+
+pub use error::AccessError;
+pub use model::{AccessStats, RankingCursor};

@@ -1,0 +1,272 @@
+//! Branch-and-bound exact Kemeny aggregation.
+//!
+//! [`crate::exact::kemeny_optimal_full`] (Held–Karp) is exact but pays
+//! `O(2ⁿ)` memory, capping out around `n = 18`. This module searches the
+//! space of prefixes depth-first with the pairwise lower bound of
+//! [`crate::exact::kprof_lower_bound_x2`] (restricted to full-ranking
+//! outputs) for pruning, warm-started by KwikSort + local Kemenization.
+//! On cohesive profiles (the realistic regime) it solves `n = 25+`
+//! instances in milliseconds; on adversarial profiles it degrades toward
+//! exponential like any exact Kemeny solver (the problem is NP-hard).
+
+use crate::cost::{total_cost_x2, AggMetric};
+use crate::error::check_inputs;
+use crate::kwiksort::kwiksort_best_of;
+use crate::local::local_kemenize;
+use crate::AggregateError;
+use bucketrank_core::{BucketOrder, ElementId};
+
+/// Hard cap on the domain size accepted (beyond this even well-pruned
+/// searches can blow up).
+pub const MAX_BB_N: usize = 40;
+
+/// Statistics from a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BbStats {
+    /// Search nodes expanded.
+    pub nodes: u64,
+    /// Nodes pruned by the lower bound.
+    pub pruned: u64,
+}
+
+/// Exact Kemeny (optimal **full ranking** under the `Kprof` objective)
+/// by branch and bound. Returns `(optimum, cost_x2, stats)`.
+///
+/// # Errors
+/// [`AggregateError::DomainTooLarge`] beyond [`MAX_BB_N`];
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn kemeny_optimal_bb(
+    inputs: &[BucketOrder],
+) -> Result<(BucketOrder, u64, BbStats), AggregateError> {
+    let n = check_inputs(inputs)?;
+    if n > MAX_BB_N {
+        return Err(AggregateError::DomainTooLarge { n, max: MAX_BB_N });
+    }
+    if n == 0 {
+        return Ok((
+            BucketOrder::trivial(0),
+            0,
+            BbStats {
+                nodes: 0,
+                pruned: 0,
+            },
+        ));
+    }
+    // c[a][b] = cost ×2 of ranking a strictly ahead of b.
+    let mut c = vec![0u64; n * n];
+    for s in inputs {
+        for a in 0..n as ElementId {
+            for b in 0..n as ElementId {
+                if a == b {
+                    continue;
+                }
+                let cell = &mut c[a as usize * n + b as usize];
+                if s.prefers(b, a) {
+                    *cell += 2;
+                } else if s.is_tied(a, b) {
+                    *cell += 1;
+                }
+            }
+        }
+    }
+
+    // Warm start: best of KwikSort restarts, locally Kemenized.
+    let warm = local_kemenize(&kwiksort_best_of(inputs, 0xBB, 8)?, inputs)?;
+    let mut best_perm = warm.as_permutation().expect("local_kemenize emits full");
+    let mut best_cost = total_cost_x2(AggMetric::KProf, &warm, inputs)?;
+
+    // Pairwise LB over the full remaining set.
+    let pair_lb = |a: usize, b: usize| c[a * n + b].min(c[b * n + a]);
+    let mut lb_all = 0u64;
+    for a in 0..n {
+        for b in a + 1..n {
+            lb_all += pair_lb(a, b);
+        }
+    }
+
+    let mut stats = BbStats {
+        nodes: 0,
+        pruned: 0,
+    };
+    let mut prefix: Vec<ElementId> = Vec::with_capacity(n);
+    let mut in_prefix = vec![false; n];
+    dfs(
+        &mut prefix,
+        &mut in_prefix,
+        0,
+        lb_all,
+        &c,
+        n,
+        &mut best_perm,
+        &mut best_cost,
+        &mut stats,
+    );
+
+    let order = BucketOrder::from_permutation(&best_perm).expect("permutation preserved");
+    Ok((order, best_cost, stats))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    prefix: &mut Vec<ElementId>,
+    in_prefix: &mut [bool],
+    cost_so_far: u64,
+    lb_remaining: u64,
+    c: &[u64],
+    n: usize,
+    best_perm: &mut Vec<ElementId>,
+    best_cost: &mut u64,
+    stats: &mut BbStats,
+) {
+    stats.nodes += 1;
+    if prefix.len() == n {
+        if cost_so_far < *best_cost {
+            *best_cost = cost_so_far;
+            *best_perm = prefix.clone();
+        }
+        return;
+    }
+    // Candidate next elements, cheapest increment first (good orderings
+    // found early tighten the bound for the rest).
+    let mut candidates: Vec<(u64, ElementId)> = Vec::new();
+    for e in 0..n {
+        if in_prefix[e] {
+            continue;
+        }
+        // Placing e now fixes pairs (e, u) for unplaced u ≠ e.
+        let mut inc = 0u64;
+        let mut lb_drop = 0u64;
+        for u in 0..n {
+            if u == e || in_prefix[u] {
+                continue;
+            }
+            inc += c[e * n + u];
+            lb_drop += c[e * n + u].min(c[u * n + e]);
+        }
+        // Prune: optimistic completion cost.
+        let optimistic = cost_so_far + inc + (lb_remaining - lb_drop);
+        if optimistic >= *best_cost {
+            stats.pruned += 1;
+            continue;
+        }
+        candidates.push((inc, e as ElementId));
+        // Stash lb_drop via recomputation later; cheap enough at O(n).
+    }
+    candidates.sort_unstable();
+    for (inc, e) in candidates {
+        // Recheck the bound (best_cost may have improved).
+        let mut lb_drop = 0u64;
+        for u in 0..n {
+            if u == e as usize || in_prefix[u] {
+                continue;
+            }
+            lb_drop += c[e as usize * n + u].min(c[u * n + e as usize]);
+        }
+        if cost_so_far + inc + (lb_remaining - lb_drop) >= *best_cost {
+            stats.pruned += 1;
+            continue;
+        }
+        prefix.push(e);
+        in_prefix[e as usize] = true;
+        dfs(
+            prefix,
+            in_prefix,
+            cost_so_far + inc,
+            lb_remaining - lb_drop,
+            c,
+            n,
+            best_perm,
+            best_cost,
+            stats,
+        );
+        in_prefix[e as usize] = false;
+        prefix.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::kemeny_optimal_full;
+    use bucketrank_core::BucketOrder;
+
+    fn lcg_profile(seed: u64, n: usize, m: usize, levels: u64) -> Vec<BucketOrder> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(3);
+        let mut next = move |md: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % md
+        };
+        (0..m)
+            .map(|_| {
+                let ks: Vec<i64> = (0..n).map(|_| next(levels) as i64).collect();
+                BucketOrder::from_keys(&ks)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_held_karp_on_random_profiles() {
+        for seed in 0..15u64 {
+            let n = 4 + (seed % 6) as usize; // 4..=9
+            let inputs = lcg_profile(seed, n, 5, 4);
+            let (_, hk_cost) = kemeny_optimal_full(&inputs).unwrap();
+            let (order, bb_cost, _) = kemeny_optimal_bb(&inputs).unwrap();
+            assert_eq!(bb_cost, hk_cost, "seed {seed}");
+            assert_eq!(
+                total_cost_x2(AggMetric::KProf, &order, &inputs).unwrap(),
+                bb_cost
+            );
+        }
+    }
+
+    #[test]
+    fn scales_past_held_karp_on_cohesive_profiles() {
+        // n = 24 with strongly correlated voters: pruning keeps this tiny.
+        let reference: Vec<u32> = (0..24).collect();
+        let mut inputs = Vec::new();
+        for shift in 0..5usize {
+            let mut perm = reference.clone();
+            // A couple of local swaps per voter.
+            perm.swap(shift, shift + 1);
+            perm.swap(shift + 10, shift + 11);
+            inputs.push(BucketOrder::from_permutation(&perm).unwrap());
+        }
+        let (order, cost, stats) = kemeny_optimal_bb(&inputs).unwrap();
+        assert!(order.is_full());
+        // Sanity: the reference itself is a candidate; optimum can't cost
+        // more than the reference's cost.
+        let ref_cost = total_cost_x2(
+            AggMetric::KProf,
+            &BucketOrder::from_permutation(&reference).unwrap(),
+            &inputs,
+        )
+        .unwrap();
+        assert!(cost <= ref_cost);
+        assert!(stats.nodes < 2_000_000, "nodes = {}", stats.nodes);
+    }
+
+    #[test]
+    fn warm_start_already_optimal_terminates_fast() {
+        let s = BucketOrder::from_permutation(&[3, 1, 0, 2]).unwrap();
+        let inputs = vec![s.clone(); 4];
+        let (order, cost, _) = kemeny_optimal_bb(&inputs).unwrap();
+        assert_eq!(order, s);
+        assert_eq!(cost, 0);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(kemeny_optimal_bb(&[]).is_err());
+        let huge = BucketOrder::trivial(MAX_BB_N + 1);
+        assert!(matches!(
+            kemeny_optimal_bb(std::slice::from_ref(&huge)),
+            Err(AggregateError::DomainTooLarge { .. })
+        ));
+        let empty = BucketOrder::trivial(0);
+        let (o, c, _) = kemeny_optimal_bb(std::slice::from_ref(&empty)).unwrap();
+        assert!(o.is_empty());
+        assert_eq!(c, 0);
+    }
+}

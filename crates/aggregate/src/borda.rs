@@ -1,0 +1,114 @@
+//! Average-rank (Borda-style) aggregation and the best-of-inputs baseline.
+//!
+//! The paper contrasts the median with "the most natural heuristic based
+//! on average ranks" (Section 1): averaging is not instance-optimal in the
+//! sorted-access model (every list must be read in full) and enjoys no
+//! approximation guarantee under the `L1` objectives, but it is the
+//! classical baseline. The best-of-inputs rule is the "trivial" factor-2
+//! baseline of footnote 4: one of the input rankings always 2-approximates
+//! the optimal aggregation.
+
+use crate::cost::{total_cost_x2, AggMetric};
+use crate::error::check_inputs;
+use crate::AggregateError;
+use bucketrank_core::{BucketOrder, ElementId};
+
+/// Average-rank aggregation: rank elements by the **sum** of their
+/// positions across inputs (equivalent to the mean, but exact), ties kept
+/// as buckets.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn average_rank(inputs: &[BucketOrder]) -> Result<BucketOrder, AggregateError> {
+    let n = check_inputs(inputs)?;
+    let mut sums = vec![0i64; n];
+    for s in inputs {
+        for e in 0..n as ElementId {
+            sums[e as usize] += s.position(e).half_units();
+        }
+    }
+    Ok(BucketOrder::from_keys(&sums))
+}
+
+/// Average-rank aggregation refined to a full ranking (ties broken by
+/// element id).
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn average_rank_full(inputs: &[BucketOrder]) -> Result<BucketOrder, AggregateError> {
+    Ok(average_rank(inputs)?.arbitrary_full_refinement())
+}
+
+/// The best input as an aggregation: returns `(index, cost_x2)` of the
+/// input ranking minimizing `Σ_i d(σ_j, σ_i)` under `metric`.
+///
+/// Footnote 4: because `d` is a metric, the best input is always within a
+/// factor 2 of the optimal aggregation — the "trivial" baseline that the
+/// median algorithm is designed to beat in both quality and access cost.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn best_input(
+    inputs: &[BucketOrder],
+    metric: AggMetric,
+) -> Result<(usize, u64), AggregateError> {
+    check_inputs(inputs)?;
+    let mut best: Option<(usize, u64)> = None;
+    for (j, cand) in inputs.iter().enumerate() {
+        let c = total_cost_x2(metric, cand, inputs)?;
+        if best.is_none_or(|(_, bc)| c < bc) {
+            best = Some((j, c));
+        }
+    }
+    Ok(best.expect("inputs nonempty"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(k: &[i64]) -> BucketOrder {
+        BucketOrder::from_keys(k)
+    }
+
+    #[test]
+    fn average_rank_simple() {
+        // Element 2 has the best total position.
+        let inputs = vec![keys(&[3, 2, 1]), keys(&[2, 3, 1]), keys(&[1, 3, 2])];
+        let avg = average_rank(&inputs).unwrap();
+        assert_eq!(avg.bucket_index(2), 0);
+    }
+
+    #[test]
+    fn average_rank_keeps_ties() {
+        // Two elements with identical position multisets tie.
+        let inputs = vec![keys(&[1, 1, 2]), keys(&[2, 2, 1])];
+        let avg = average_rank(&inputs).unwrap();
+        assert!(avg.is_tied(0, 1));
+        let full = average_rank_full(&inputs).unwrap();
+        assert!(full.is_full());
+    }
+
+    #[test]
+    fn best_input_is_two_approximation() {
+        use crate::exact::optimal_partial_ranking;
+        let inputs = vec![
+            keys(&[1, 2, 3, 4]),
+            keys(&[4, 3, 2, 1]),
+            keys(&[2, 1, 4, 3]),
+            keys(&[1, 1, 2, 2]),
+        ];
+        for metric in AggMetric::ALL {
+            let (j, c) = best_input(&inputs, metric).unwrap();
+            assert!(j < inputs.len());
+            let (_, opt) = optimal_partial_ranking(&inputs, metric).unwrap();
+            assert!(c <= 2 * opt, "{}: {c} > 2·{opt}", metric.name());
+        }
+    }
+
+    #[test]
+    fn errors() {
+        assert!(average_rank(&[]).is_err());
+        assert!(best_input(&[], AggMetric::FProf).is_err());
+    }
+}

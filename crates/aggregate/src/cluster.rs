@@ -1,0 +1,242 @@
+//! Clustering rankings: k-medoids over any of the paper's metrics.
+//!
+//! The abstract lists "similarity search and classification" among the
+//! applications of partial-ranking metrics; the concrete workhorse is
+//! k-medoids (PAM-style), which needs nothing from the objects except a
+//! metric — exactly what Theorem 7 guarantees we have, with the freedom
+//! to pick whichever of the four is cheapest (`Kprof`/`Fprof`) knowing
+//! the clustering objective changes by at most the equivalence constants.
+//!
+//! The implementation is deterministic: farthest-first initialization
+//! from the global medoid, then alternating assignment / medoid-update
+//! until a fixed point.
+
+use crate::cost::{distance_x2, AggMetric};
+use crate::error::check_inputs;
+use crate::AggregateError;
+use bucketrank_core::BucketOrder;
+
+/// The result of a k-medoids run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clustering {
+    /// Indices (into the input slice) of the `k` medoids.
+    pub medoids: Vec<usize>,
+    /// `assignment[i]` = index into `medoids` of input `i`'s cluster.
+    pub assignment: Vec<usize>,
+    /// The objective: `2·Σ_i d(σ_i, medoid(σ_i))`.
+    pub cost_x2: u64,
+    /// Iterations until the fixed point.
+    pub iterations: usize,
+}
+
+impl Clustering {
+    /// The members of cluster `c` (indices into the input slice).
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| (a == c).then_some(i))
+            .collect()
+    }
+}
+
+/// Runs k-medoids over the rankings under the chosen metric.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`], [`AggregateError::DomainMismatch`], or
+/// [`AggregateError::InvalidK`] when `k` is 0 or exceeds the input count.
+pub fn k_medoids(
+    inputs: &[BucketOrder],
+    k: usize,
+    metric: AggMetric,
+) -> Result<Clustering, AggregateError> {
+    check_inputs(inputs)?;
+    let m = inputs.len();
+    if k == 0 || k > m {
+        return Err(AggregateError::InvalidK { k, domain_size: m });
+    }
+    // Full pairwise matrix once: every later step is table lookups.
+    let mut d = vec![0u64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = distance_x2(metric, &inputs[i], &inputs[j])?;
+            d[i * m + j] = v;
+            d[j * m + i] = v;
+        }
+    }
+    let dist = |a: usize, b: usize| d[a * m + b];
+
+    // Farthest-first init, seeded at the global medoid.
+    let global_medoid = (0..m)
+        .min_by_key(|&i| ((0..m).map(|j| dist(i, j)).sum::<u64>(), i))
+        .expect("inputs nonempty");
+    let mut medoids = vec![global_medoid];
+    while medoids.len() < k {
+        let next = (0..m)
+            .filter(|i| !medoids.contains(i))
+            .max_by_key(|&i| {
+                (
+                    medoids.iter().map(|&c| dist(i, c)).min().unwrap_or(0),
+                    std::cmp::Reverse(i),
+                )
+            })
+            .expect("k ≤ m leaves a candidate");
+        medoids.push(next);
+    }
+
+    let mut assignment = vec![0usize; m];
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // Assignment step (ties to the lower cluster index).
+        for (i, slot) in assignment.iter_mut().enumerate() {
+            *slot = (0..medoids.len())
+                .min_by_key(|&c| (dist(i, medoids[c]), c))
+                .expect("k ≥ 1");
+        }
+        // Update step: best medoid per cluster.
+        let mut changed = false;
+        for (c, medoid) in medoids.iter_mut().enumerate() {
+            let members: Vec<usize> = assignment
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &a)| (a == c).then_some(i))
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let best = members
+                .iter()
+                .copied()
+                .min_by_key(|&cand| {
+                    (
+                        members.iter().map(|&x| dist(cand, x)).sum::<u64>(),
+                        cand,
+                    )
+                })
+                .expect("members nonempty");
+            if best != *medoid {
+                *medoid = best;
+                changed = true;
+            }
+        }
+        if !changed || iterations > m {
+            break;
+        }
+    }
+    let cost_x2 = assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| dist(i, medoids[a]))
+        .sum();
+    Ok(Clustering {
+        medoids,
+        assignment,
+        cost_x2,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(k: &[i64]) -> BucketOrder {
+        BucketOrder::from_keys(k)
+    }
+
+    /// Two tight groups: near-identity rankings and near-reverse ones.
+    fn two_camps() -> Vec<BucketOrder> {
+        vec![
+            keys(&[1, 2, 3, 4, 5, 6]),
+            keys(&[1, 2, 3, 4, 6, 5]),
+            keys(&[2, 1, 3, 4, 5, 6]),
+            keys(&[6, 5, 4, 3, 2, 1]),
+            keys(&[6, 5, 4, 3, 1, 2]),
+            keys(&[5, 6, 4, 3, 2, 1]),
+        ]
+    }
+
+    #[test]
+    fn separates_two_camps() {
+        for metric in AggMetric::ALL {
+            let c = k_medoids(&two_camps(), 2, metric).unwrap();
+            let a = c.assignment.clone();
+            assert_eq!(a[0], a[1]);
+            assert_eq!(a[1], a[2]);
+            assert_eq!(a[3], a[4]);
+            assert_eq!(a[4], a[5]);
+            assert_ne!(a[0], a[3], "{}: camps merged", metric.name());
+            // Two nonempty clusters.
+            assert_eq!(c.members(0).len() + c.members(1).len(), 6);
+        }
+    }
+
+    #[test]
+    fn k_equals_one_picks_global_medoid() {
+        let inputs = two_camps();
+        let c = k_medoids(&inputs, 1, AggMetric::FProf).unwrap();
+        assert_eq!(c.medoids.len(), 1);
+        // The medoid minimizes the total distance (ties by index).
+        let direct: Vec<u64> = (0..inputs.len())
+            .map(|i| {
+                inputs
+                    .iter()
+                    .map(|s| distance_x2(AggMetric::FProf, &inputs[i], s).unwrap())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(direct[c.medoids[0]], *direct.iter().min().unwrap());
+        assert_eq!(c.cost_x2, direct[c.medoids[0]]);
+    }
+
+    #[test]
+    fn k_equals_m_gives_zero_cost() {
+        let inputs = two_camps();
+        let c = k_medoids(&inputs, inputs.len(), AggMetric::KProf).unwrap();
+        assert_eq!(c.cost_x2, 0);
+        // Every input is its own medoid.
+        let mut medoids = c.medoids.clone();
+        medoids.sort_unstable();
+        assert_eq!(medoids, (0..inputs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn equivalence_transfers_objective_quality() {
+        // Theorem 7 in application: cluster under Kprof, evaluate under
+        // FHaus — the objective is within the equivalence constants of
+        // clustering under FHaus directly.
+        let inputs = two_camps();
+        let under_k = k_medoids(&inputs, 2, AggMetric::KProf).unwrap();
+        let under_f = k_medoids(&inputs, 2, AggMetric::FHaus).unwrap();
+        let eval = |c: &Clustering| -> u64 {
+            c.assignment
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| {
+                    distance_x2(AggMetric::FHaus, &inputs[i], &inputs[c.medoids[a]]).unwrap()
+                })
+                .sum()
+        };
+        let via_k = eval(&under_k);
+        let direct = eval(&under_f);
+        assert!(via_k <= 4 * direct.max(1), "{via_k} vs {direct}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let inputs = two_camps();
+        assert_eq!(
+            k_medoids(&inputs, 2, AggMetric::KProf).unwrap(),
+            k_medoids(&inputs, 2, AggMetric::KProf).unwrap()
+        );
+    }
+
+    #[test]
+    fn errors() {
+        let inputs = two_camps();
+        assert!(k_medoids(&inputs, 0, AggMetric::KProf).is_err());
+        assert!(k_medoids(&inputs, 99, AggMetric::KProf).is_err());
+        assert!(k_medoids(&[], 1, AggMetric::KProf).is_err());
+    }
+}

@@ -1,0 +1,154 @@
+//! Aggregation objectives: total distance from a candidate to the inputs.
+
+use crate::error::check_inputs;
+use crate::AggregateError;
+use bucketrank_core::{BucketOrder, ElementId, Pos};
+use bucketrank_metrics::{footrule, hausdorff, kendall, MetricsError};
+
+/// Which of the paper's four partial-ranking metrics to aggregate under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggMetric {
+    /// Profile Kendall `Kprof` (Section 3.1).
+    KProf,
+    /// Profile footrule `Fprof` — the metric the median algorithm directly
+    /// approximates (Section 6).
+    FProf,
+    /// Hausdorff Kendall `KHaus` (Section 3.2).
+    KHaus,
+    /// Hausdorff footrule `FHaus` (Section 3.2).
+    FHaus,
+}
+
+impl AggMetric {
+    /// All four metrics, for sweeps.
+    pub const ALL: [AggMetric; 4] = [
+        AggMetric::KProf,
+        AggMetric::FProf,
+        AggMetric::KHaus,
+        AggMetric::FHaus,
+    ];
+
+    /// Human-readable name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggMetric::KProf => "Kprof",
+            AggMetric::FProf => "Fprof",
+            AggMetric::KHaus => "KHaus",
+            AggMetric::FHaus => "FHaus",
+        }
+    }
+}
+
+/// Distance between two partial rankings under `metric`, **doubled** so
+/// all four metrics share one exact integer scale.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn distance_x2(
+    metric: AggMetric,
+    a: &BucketOrder,
+    b: &BucketOrder,
+) -> Result<u64, MetricsError> {
+    Ok(match metric {
+        AggMetric::KProf => kendall::kprof_x2(a, b)?,
+        AggMetric::FProf => footrule::fprof_x2(a, b)?,
+        AggMetric::KHaus => 2 * hausdorff::khaus(a, b)?,
+        AggMetric::FHaus => 2 * hausdorff::fhaus(a, b)?,
+    })
+}
+
+/// The aggregation objective `2·Σ_i d(candidate, σ_i)` under `metric`.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn total_cost_x2(
+    metric: AggMetric,
+    candidate: &BucketOrder,
+    inputs: &[BucketOrder],
+) -> Result<u64, AggregateError> {
+    check_inputs(inputs)?;
+    let mut total = 0u64;
+    for s in inputs {
+        total += distance_x2(metric, candidate, s)?;
+    }
+    Ok(total)
+}
+
+/// The `L1` objective `2·Σ_i L1(f, σ_i)` for a raw score vector `f`
+/// against the inputs' position vectors (half-units). This is the
+/// quantity Lemma 8 says the median minimizes.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`] if
+/// `f` and the inputs do not share one domain.
+pub fn total_l1_x2(f: &[Pos], inputs: &[BucketOrder]) -> Result<u64, AggregateError> {
+    let n = check_inputs(inputs)?;
+    if f.len() != n {
+        return Err(AggregateError::DomainMismatch {
+            expected: n,
+            found: f.len(),
+        });
+    }
+    let mut total = 0u64;
+    for s in inputs {
+        for e in 0..n as ElementId {
+            total += f[e as usize].abs_diff(s.position(e));
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_names_and_all() {
+        assert_eq!(AggMetric::ALL.len(), 4);
+        assert_eq!(AggMetric::FProf.name(), "Fprof");
+    }
+
+    #[test]
+    fn distances_share_scale() {
+        // On full rankings: Kprof = K, Fprof = F, KHaus = K, FHaus = F,
+        // so in _x2 scale the profile and Hausdorff variants coincide.
+        let a = BucketOrder::from_permutation(&[0, 2, 1, 3]).unwrap();
+        let b = BucketOrder::from_permutation(&[3, 2, 0, 1]).unwrap();
+        assert_eq!(
+            distance_x2(AggMetric::KProf, &a, &b).unwrap(),
+            distance_x2(AggMetric::KHaus, &a, &b).unwrap()
+        );
+        assert_eq!(
+            distance_x2(AggMetric::FProf, &a, &b).unwrap(),
+            distance_x2(AggMetric::FHaus, &a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn total_cost_sums() {
+        let a = BucketOrder::identity(3);
+        let r = a.reverse();
+        let inputs = vec![a.clone(), r.clone()];
+        let c = total_cost_x2(AggMetric::FProf, &a, &inputs).unwrap();
+        // d(a, a) = 0; 2·Fprof(a, r) = 2·4 = 8.
+        assert_eq!(c, 8);
+    }
+
+    #[test]
+    fn total_l1_matches_fprof_for_profile_candidates() {
+        let s1 = BucketOrder::from_keys(&[1, 2, 2]);
+        let s2 = BucketOrder::from_keys(&[2, 1, 1]);
+        let inputs = vec![s1.clone(), s2];
+        let c1 = total_cost_x2(AggMetric::FProf, &s1, &inputs).unwrap();
+        let c2 = total_l1_x2(&s1.positions(), &inputs).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn errors() {
+        let a = BucketOrder::trivial(3);
+        assert!(total_cost_x2(AggMetric::KProf, &a, &[]).is_err());
+        let f = vec![Pos::ZERO; 2];
+        assert!(total_l1_x2(&f, std::slice::from_ref(&a)).is_err());
+    }
+}

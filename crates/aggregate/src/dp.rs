@@ -1,0 +1,611 @@
+//! Optimal bucketing of a score vector: the `O(n²)` dynamic program of
+//! Appendix A.6.4 (the paper's Figure 1).
+//!
+//! Given a score vector `f`, the algorithms compute a partial ranking
+//! `f†` minimizing `L1(f†, f)` over **all** partial rankings. Applied to a
+//! median vector (Lemma 8), this yields the Theorem 10 guarantees: the
+//! result is within factor 2 of any partial-ranking aggregation when the
+//! inputs are partial rankings, and factor 3 in general.
+//!
+//! Three implementations are provided and cross-checked:
+//!
+//! * [`optimal_bucketing`] — the paper's Figure 1: `O(n²)` time, linear
+//!   space, exploiting that `2·f(i)` is integral (always true for our
+//!   [`Pos`] half-units). **Implementation note:** the paper's Lemma 37
+//!   update assumes the crossing index `k` satisfies `k ≥ i + 1`; for
+//!   score vectors with many equal values the `WHILE` loop can leave
+//!   `k ≤ i`, making the printed update formula overshoot. We clamp `k`
+//!   to `i + 1` before applying it, which restores the intended
+//!   "count below minus count above" semantics (verified exhaustively
+//!   against brute force in the tests).
+//! * [`optimal_bucketing_table`] — the quadratic-space variant using the
+//!   anti-diagonal recurrence `c(i−1, j+1) = c(i, j) + |f(i) − m| +
+//!   |f(j+1) − m|` with shared center `m = (i+j+1)/2`.
+//! * [`optimal_bucketing_prefix`] — linear space, `O(n² log n)`, computing
+//!   each `c(i, j)` on demand from prefix sums by binary search.
+//!
+//! All costs are reported in half-units (`2 × L1`), consistent with the
+//! rest of the workspace.
+
+use crate::median::{median_positions, MedianPolicy};
+use crate::AggregateError;
+use bucketrank_core::{BucketOrder, ElementId, Pos};
+
+/// Result of an optimal-bucketing computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bucketing {
+    /// The optimal partial ranking `f†`.
+    pub order: BucketOrder,
+    /// Its cost `2·L1(f†, f)` in half-units.
+    pub cost_x2: u64,
+}
+
+/// Shared preprocessing: elements sorted ascending by `(score, id)` and
+/// the sorted half-unit values.
+fn sort_scores(f: &[Pos]) -> (Vec<ElementId>, Vec<i64>) {
+    let mut order: Vec<ElementId> = (0..f.len() as ElementId).collect();
+    order.sort_by(|&a, &b| f[a as usize].cmp(&f[b as usize]).then(a.cmp(&b)));
+    let v: Vec<i64> = order.iter().map(|&e| f[e as usize].half_units()).collect();
+    (order, v)
+}
+
+/// Builds the bucket order from DP boundaries over the sorted elements.
+fn rebuild(order: &[ElementId], parents: &[usize], n: usize) -> BucketOrder {
+    if n == 0 {
+        return BucketOrder::trivial(0);
+    }
+    let mut bounds = Vec::new();
+    let mut j = n;
+    while j > 0 {
+        bounds.push(j);
+        j = parents[j];
+    }
+    bounds.push(0);
+    bounds.reverse();
+    let buckets: Vec<Vec<ElementId>> = bounds
+        .windows(2)
+        .map(|w| order[w[0]..w[1]].to_vec())
+        .collect();
+    BucketOrder::from_buckets(n, buckets).expect("boundaries partition the domain")
+}
+
+/// The paper's Figure 1 algorithm: optimal bucketing in `O(n²)` time and
+/// linear space. See the [module docs](self) for the `k`-clamping note.
+pub fn optimal_bucketing(f: &[Pos]) -> Bucketing {
+    let n = f.len();
+    if n == 0 {
+        return Bucketing {
+            order: BucketOrder::trivial(0),
+            cost_x2: 0,
+        };
+    }
+    let (order, v) = sort_scores(f);
+    // 1-indexed sorted values, v1[1..=n].
+    let mut v1 = vec![0i64; n + 1];
+    v1[1..].copy_from_slice(&v);
+
+    let mut best = vec![i64::MAX; n + 1];
+    let mut parents = vec![0usize; n + 1];
+    best[0] = 0;
+    for j in 1..=n {
+        // c = C2(i, j) for the current i, starting at i = 0:
+        // C2(0, j) = Σ_{ℓ=1..j} |v(ℓ) − (j+1)| (center in half-units).
+        let mut c: i64 = (1..=j).map(|l| (v1[l] - (j as i64 + 1)).abs()).sum();
+        let mut best_j = best[0] + c;
+        let mut arg = 0usize;
+        let mut k = 1usize;
+        for i in 1..j {
+            // Advance k to the first index with v(k) ≥ i + j + 1.
+            while k <= j && v1[k] < (i + j + 1) as i64 {
+                k += 1;
+            }
+            // Lemma 37 update, with k clamped to i+1 (see module docs):
+            // C2(i, j) = C2(i−1, j) − |v(i) − (i+j)| + below − above.
+            let ek = k.max(i + 1);
+            let below = (ek - 1 - i) as i64;
+            let above = (j + 1 - ek) as i64;
+            c = c - (v1[i] - (i + j) as i64).abs() + below - above;
+            debug_assert!(c >= 0, "bucket cost must be nonnegative");
+            if best[i] != i64::MAX && best[i] + c < best_j {
+                best_j = best[i] + c;
+                arg = i;
+            }
+        }
+        best[j] = best_j;
+        parents[j] = arg;
+    }
+    Bucketing {
+        order: rebuild(&order, &parents, n),
+        cost_x2: best[n] as u64,
+    }
+}
+
+/// Quadratic-space variant: precomputes the full `c(i, j)` table along
+/// anti-diagonals (centers are shared along `i + j = const`), then runs
+/// the boundary DP. `O(n²)` time and space.
+pub fn optimal_bucketing_table(f: &[Pos]) -> Bucketing {
+    let n = f.len();
+    if n == 0 {
+        return Bucketing {
+            order: BucketOrder::trivial(0),
+            cost_x2: 0,
+        };
+    }
+    let (order, v) = sort_scores(f);
+    let mut v1 = vec![0i64; n + 1];
+    v1[1..].copy_from_slice(&v);
+    // c[i][j] for 0 ≤ i < j ≤ n; store in a flat (n+1)×(n+1) table.
+    let idx = |i: usize, j: usize| i * (n + 1) + j;
+    let mut c = vec![0i64; (n + 1) * (n + 1)];
+    // Width-1 base: c(i, i+1) = |v(i+1) − (2i+2)|.
+    for i in 0..n {
+        c[idx(i, i + 1)] = (v1[i + 1] - (2 * i as i64 + 2)).abs();
+    }
+    // Grow outward: c(i−1, j+1) = c(i, j) + |v(i) − m| + |v(j+1) − m|,
+    // m = i + j + 1 in half-units.
+    for w in 2..=n {
+        for i in 0..=(n - w) {
+            let j = i + w;
+            let m = (i + j + 1) as i64;
+            let inner = if w == 2 {
+                0 // c(i+1, j−1) with j−1 = i+1 is an empty bucket
+            } else {
+                c[idx(i + 1, j - 1)]
+            };
+            c[idx(i, j)] = inner + (v1[i + 1] - m).abs() + (v1[j] - m).abs();
+        }
+    }
+    let mut best = vec![i64::MAX; n + 1];
+    let mut parents = vec![0usize; n + 1];
+    best[0] = 0;
+    for j in 1..=n {
+        for i in 0..j {
+            if best[i] == i64::MAX {
+                continue;
+            }
+            let cand = best[i] + c[idx(i, j)];
+            if cand < best[j] {
+                best[j] = cand;
+                parents[j] = i;
+            }
+        }
+    }
+    Bucketing {
+        order: rebuild(&order, &parents, n),
+        cost_x2: best[n] as u64,
+    }
+}
+
+/// Linear-space variant computing each `c(i, j)` on demand from prefix
+/// sums with a binary search: `O(n² log n)` time, `O(n)` space, no
+/// integrality assumption on the scores.
+pub fn optimal_bucketing_prefix(f: &[Pos]) -> Bucketing {
+    let n = f.len();
+    if n == 0 {
+        return Bucketing {
+            order: BucketOrder::trivial(0),
+            cost_x2: 0,
+        };
+    }
+    let (order, v) = sort_scores(f);
+    // prefix[r] = Σ_{ℓ<r} v[ℓ] (0-indexed v).
+    let mut prefix = vec![0i64; n + 1];
+    for (r, &x) in v.iter().enumerate() {
+        prefix[r + 1] = prefix[r] + x;
+    }
+    // c(i, j) over sorted 0-indexed range [i, j): center m = i + j + 1.
+    let cost = |i: usize, j: usize| -> i64 {
+        let m = (i + j + 1) as i64;
+        // First index t in [i, j) with v[t] ≥ m.
+        let t = i + v[i..j].partition_point(|&x| x < m);
+        let below_cnt = (t - i) as i64;
+        let below_sum = prefix[t] - prefix[i];
+        let above_cnt = (j - t) as i64;
+        let above_sum = prefix[j] - prefix[t];
+        (below_cnt * m - below_sum) + (above_sum - above_cnt * m)
+    };
+    let mut best = vec![i64::MAX; n + 1];
+    let mut parents = vec![0usize; n + 1];
+    best[0] = 0;
+    for j in 1..=n {
+        for i in 0..j {
+            if best[i] == i64::MAX {
+                continue;
+            }
+            let cand = best[i] + cost(i, j);
+            if cand < best[j] {
+                best[j] = cand;
+                parents[j] = i;
+            }
+        }
+    }
+    Bucketing {
+        order: rebuild(&order, &parents, n),
+        cost_x2: best[n] as u64,
+    }
+}
+
+/// Optimal bucketing with **at most** `max_buckets` buckets: the best
+/// `L1(f†, f)` over partial rankings whose type has `≤ max_buckets`
+/// parts. `O(n²·max_buckets)` time via the layered boundary DP (no
+/// integrality assumption; `c(i, j)` from prefix sums).
+///
+/// Useful when the output must fit a UI with a bounded number of tiers
+/// (medal podiums, star ratings); with `max_buckets ≥ n` it coincides
+/// with [`optimal_bucketing`].
+///
+/// # Panics
+/// Panics if `max_buckets == 0` while `f` is nonempty.
+pub fn optimal_bucketing_bounded(f: &[Pos], max_buckets: usize) -> Bucketing {
+    let n = f.len();
+    if n == 0 {
+        return Bucketing {
+            order: BucketOrder::trivial(0),
+            cost_x2: 0,
+        };
+    }
+    assert!(max_buckets > 0, "need at least one bucket");
+    let t_max = max_buckets.min(n);
+    let (order, v) = sort_scores(f);
+    let mut prefix = vec![0i64; n + 1];
+    for (r, &x) in v.iter().enumerate() {
+        prefix[r + 1] = prefix[r] + x;
+    }
+    let cost = |i: usize, j: usize| -> i64 {
+        let m = (i + j + 1) as i64;
+        let t = i + v[i..j].partition_point(|&x| x < m);
+        let below_cnt = (t - i) as i64;
+        let below_sum = prefix[t] - prefix[i];
+        let above_cnt = (j - t) as i64;
+        let above_sum = prefix[j] - prefix[t];
+        (below_cnt * m - below_sum) + (above_sum - above_cnt * m)
+    };
+    // best[t][j]: min cost covering the first j sorted elements with
+    // exactly t buckets.
+    const INF: i64 = i64::MAX / 2;
+    let mut best = vec![vec![INF; n + 1]; t_max + 1];
+    let mut parent = vec![vec![0usize; n + 1]; t_max + 1];
+    best[0][0] = 0;
+    for t in 1..=t_max {
+        for j in t..=n {
+            for i in t - 1..j {
+                if best[t - 1][i] >= INF {
+                    continue;
+                }
+                let cand = best[t - 1][i] + cost(i, j);
+                if cand < best[t][j] {
+                    best[t][j] = cand;
+                    parent[t][j] = i;
+                }
+            }
+        }
+    }
+    let (best_t, &best_cost) = (1..=t_max)
+        .map(|t| (t, &best[t][n]))
+        .min_by_key(|&(t, &c)| (c, t))
+        .expect("t_max ≥ 1");
+    // Reconstruct boundaries.
+    let mut bounds = vec![n];
+    let mut j = n;
+    let mut t = best_t;
+    while t > 0 {
+        j = parent[t][j];
+        bounds.push(j);
+        t -= 1;
+    }
+    bounds.reverse();
+    let buckets: Vec<Vec<ElementId>> = bounds
+        .windows(2)
+        .map(|w| order[w[0]..w[1]].to_vec())
+        .collect();
+    Bucketing {
+        order: BucketOrder::from_buckets(n, buckets).expect("bounds partition the domain"),
+        cost_x2: best_cost as u64,
+    }
+}
+
+/// Brute force: tries every composition of `n` (every type) and keeps the
+/// best. `O(2^n)`; verification only.
+///
+/// # Panics
+/// Panics if `f.len() > 20` to avoid accidental exponential blowups.
+pub fn optimal_bucketing_brute(f: &[Pos]) -> Bucketing {
+    let n = f.len();
+    assert!(n <= 20, "brute-force bucketing limited to n ≤ 20");
+    if n == 0 {
+        return Bucketing {
+            order: BucketOrder::trivial(0),
+            cost_x2: 0,
+        };
+    }
+    let (order, v) = sort_scores(f);
+    let mut best_cost = i64::MAX;
+    let mut best_bounds: Vec<usize> = vec![];
+    for mask in 0u64..(1u64 << (n - 1)) {
+        let mut bounds = vec![0usize];
+        for gap in 0..n - 1 {
+            if mask >> gap & 1 == 1 {
+                bounds.push(gap + 1);
+            }
+        }
+        bounds.push(n);
+        let mut cost = 0i64;
+        for w in bounds.windows(2) {
+            let m = (w[0] + w[1] + 1) as i64;
+            for &x in &v[w[0]..w[1]] {
+                cost += (x - m).abs();
+            }
+        }
+        if cost < best_cost {
+            best_cost = cost;
+            best_bounds = bounds;
+        }
+    }
+    let buckets: Vec<Vec<ElementId>> = best_bounds
+        .windows(2)
+        .map(|w| order[w[0]..w[1]].to_vec())
+        .collect();
+    Bucketing {
+        order: BucketOrder::from_buckets(n, buckets).expect("bounds partition the domain"),
+        cost_x2: best_cost as u64,
+    }
+}
+
+/// Median aggregation into an optimal partial ranking (Theorem 10): the
+/// `f†` bucketing of the per-element median vector. Within factor **2** of
+/// every partial ranking under the `Fprof` objective when the inputs are
+/// partial rankings.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn aggregate_optimal_bucketing(
+    inputs: &[BucketOrder],
+    policy: MedianPolicy,
+) -> Result<Bucketing, AggregateError> {
+    let f = median_positions(inputs, policy)?;
+    Ok(optimal_bucketing(&f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bucketrank_metrics::footrule::l1_x2;
+
+    fn pos_vec(vals: &[i64]) -> Vec<Pos> {
+        vals.iter().map(|&h| Pos::from_half_units(h)).collect()
+    }
+
+    fn check_cost(f: &[Pos], b: &Bucketing) {
+        // Reported cost must equal the actual L1 between f† and f.
+        let actual = l1_x2(&b.order.positions(), f).unwrap();
+        assert_eq!(actual, b.cost_x2, "cost mismatch for f = {f:?}");
+    }
+
+    #[test]
+    fn all_variants_agree_small_exhaustive() {
+        // All score vectors with half-unit values in {2,...,8}, n = 4.
+        let vals: Vec<i64> = (2..=8).collect();
+        let mut f = [0usize; 4];
+        loop {
+            let scores = pos_vec(&[
+                vals[f[0]],
+                vals[f[1]],
+                vals[f[2]],
+                vals[f[3]],
+            ]);
+            let a = optimal_bucketing(&scores);
+            let b = optimal_bucketing_table(&scores);
+            let c = optimal_bucketing_prefix(&scores);
+            let d = optimal_bucketing_brute(&scores);
+            check_cost(&scores, &a);
+            check_cost(&scores, &b);
+            check_cost(&scores, &c);
+            check_cost(&scores, &d);
+            assert_eq!(a.cost_x2, d.cost_x2, "figure-1 vs brute: f = {scores:?}");
+            assert_eq!(b.cost_x2, d.cost_x2, "table vs brute: f = {scores:?}");
+            assert_eq!(c.cost_x2, d.cost_x2, "prefix vs brute: f = {scores:?}");
+            // Odometer.
+            let mut i = 0;
+            loop {
+                if i == f.len() {
+                    return;
+                }
+                f[i] += 1;
+                if f[i] < vals.len() {
+                    break;
+                }
+                f[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn constant_scores_collapse_to_one_bucket_cost() {
+        // f ≡ c: the single-bucket candidate has position (n+1)/2; the
+        // optimum depends on c but must match brute force (this is the
+        // case where the unclamped paper formula would misfire).
+        for c in 1..=9 {
+            let f = pos_vec(&[c; 5]);
+            let a = optimal_bucketing(&f);
+            let d = optimal_bucketing_brute(&f);
+            assert_eq!(a.cost_x2, d.cost_x2, "c = {c}");
+            check_cost(&f, &a);
+        }
+    }
+
+    #[test]
+    fn exact_scores_of_a_bucket_order_cost_zero() {
+        let s = BucketOrder::from_buckets(5, vec![vec![0, 3], vec![1], vec![2, 4]]).unwrap();
+        let b = optimal_bucketing(&s.positions());
+        assert_eq!(b.cost_x2, 0);
+        assert_eq!(b.order, s);
+    }
+
+    #[test]
+    fn optimal_beats_every_type_projection() {
+        use bucketrank_core::consistent::project_to_type;
+        use bucketrank_core::TypeSeq;
+        let f = pos_vec(&[2, 3, 3, 9, 11, 12]);
+        let b = optimal_bucketing(&f);
+        check_cost(&f, &b);
+        for alpha in TypeSeq::all_types(6) {
+            let proj = project_to_type(&f, &alpha).unwrap();
+            let cost = l1_x2(&proj.positions(), &f).unwrap();
+            assert!(b.cost_x2 <= cost, "beaten by type {alpha}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let b = optimal_bucketing(&[]);
+        assert_eq!(b.cost_x2, 0);
+        assert!(b.order.is_empty());
+        let f = pos_vec(&[7]);
+        let b = optimal_bucketing(&f);
+        assert_eq!(b.order, BucketOrder::trivial(1));
+        // Single element sits at position 1 (half-units 2); score 3.5 → cost |7−2| = 5.
+        assert_eq!(b.cost_x2, 5);
+    }
+
+    #[test]
+    fn far_separated_scores_all_bucketings_tie() {
+        // When every score exceeds every achievable position, the cost
+        // Σ(v − σ(d)) is invariant (Σ σ(d) = n(n+1)/2 for every bucket
+        // order), so all bucketings are optimal; the DP must still report
+        // a cost matching brute force.
+        let f = pos_vec(&[2, 100, 200, 300]);
+        let b = optimal_bucketing(&f);
+        let d = optimal_bucketing_brute(&f);
+        assert_eq!(b.cost_x2, d.cost_x2);
+        check_cost(&f, &b);
+    }
+
+    #[test]
+    fn tight_cluster_groups_into_one_bucket() {
+        // Two elements both scored 1.5 (half-units 3): the tie bucket at
+        // position 1.5 costs 0, strictly better than any full ranking.
+        let f = pos_vec(&[3, 3]);
+        let b = optimal_bucketing(&f);
+        assert_eq!(b.cost_x2, 0);
+        assert_eq!(b.order, BucketOrder::trivial(2));
+    }
+
+    #[test]
+    fn separated_scores_stay_singletons() {
+        // Scores exactly at ranks 1 and 2: the full ranking costs 0.
+        let f = pos_vec(&[4, 2]);
+        let b = optimal_bucketing(&f);
+        assert_eq!(b.cost_x2, 0);
+        assert!(b.order.is_full());
+        assert_eq!(b.order.as_permutation(), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn equal_scores_order_respects_values() {
+        let f = pos_vec(&[6, 2, 6, 2, 6]);
+        let b = optimal_bucketing(&f);
+        let d = optimal_bucketing_brute(&f);
+        assert_eq!(b.cost_x2, d.cost_x2);
+        check_cost(&f, &b);
+        // Low scorers (1, 3) must precede or tie high scorers (0, 2, 4).
+        for &lo in &[1u32, 3] {
+            for &hi in &[0u32, 2, 4] {
+                assert!(!b.order.prefers(hi, lo));
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_optimal_bucketing_runs() {
+        let inputs = [
+            BucketOrder::from_keys(&[1, 1, 2, 3]),
+            BucketOrder::from_keys(&[1, 2, 2, 3]),
+            BucketOrder::from_keys(&[2, 1, 3, 3]),
+        ];
+        let b = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+        let f = median_positions(&inputs, MedianPolicy::Lower).unwrap();
+        assert_eq!(b.cost_x2, l1_x2(&b.order.positions(), &f).unwrap());
+        assert!(aggregate_optimal_bucketing(&[], MedianPolicy::Lower).is_err());
+    }
+
+    #[test]
+    fn bounded_dp_monotone_and_matches_unbounded() {
+        let f = pos_vec(&[2, 3, 3, 9, 11, 12, 20]);
+        let unbounded = optimal_bucketing(&f);
+        let mut prev = u64::MAX;
+        for t in 1..=f.len() {
+            let b = optimal_bucketing_bounded(&f, t);
+            check_cost(&f, &b);
+            assert!(b.order.num_buckets() <= t);
+            assert!(b.cost_x2 <= prev, "more buckets should never cost more");
+            prev = b.cost_x2;
+        }
+        assert_eq!(
+            optimal_bucketing_bounded(&f, f.len()).cost_x2,
+            unbounded.cost_x2
+        );
+        // t = 1 is the single bucket.
+        let one = optimal_bucketing_bounded(&f, 1);
+        assert_eq!(one.order, BucketOrder::trivial(f.len()));
+    }
+
+    #[test]
+    fn bounded_dp_matches_type_enumeration() {
+        use bucketrank_core::consistent::project_to_type;
+        use bucketrank_core::TypeSeq;
+        let f = pos_vec(&[1, 4, 4, 7, 13, 2]);
+        for t in 1..=4 {
+            let b = optimal_bucketing_bounded(&f, t);
+            // Brute force over all types with ≤ t parts.
+            let best = TypeSeq::all_types(6)
+                .into_iter()
+                .filter(|a| a.num_buckets() <= t)
+                .map(|a| {
+                    let proj = project_to_type(&f, &a).unwrap();
+                    l1_x2(&proj.positions(), &f).unwrap()
+                })
+                .min()
+                .unwrap();
+            assert_eq!(b.cost_x2, best, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn bounded_dp_edges() {
+        assert_eq!(optimal_bucketing_bounded(&[], 1).cost_x2, 0);
+        let f = pos_vec(&[5]);
+        let b = optimal_bucketing_bounded(&f, 3);
+        assert_eq!(b.order.num_buckets(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn bounded_dp_zero_buckets_panics() {
+        let _ = optimal_bucketing_bounded(&[Pos::from_rank(1)], 0);
+    }
+
+    #[test]
+    fn random_fuzz_against_brute() {
+        // Deterministic LCG fuzz over n ∈ {1..10}, values in 0..30.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as i64
+        };
+        for trial in 0..300 {
+            let n = (next() % 10 + 1) as usize;
+            let f: Vec<Pos> = (0..n)
+                .map(|_| Pos::from_half_units(next() % 30))
+                .collect();
+            let a = optimal_bucketing(&f);
+            let t = optimal_bucketing_table(&f);
+            let p = optimal_bucketing_prefix(&f);
+            let d = optimal_bucketing_brute(&f);
+            check_cost(&f, &a);
+            assert_eq!(a.cost_x2, d.cost_x2, "trial {trial}: f = {f:?}");
+            assert_eq!(t.cost_x2, d.cost_x2, "trial {trial}: f = {f:?}");
+            assert_eq!(p.cost_x2, d.cost_x2, "trial {trial}: f = {f:?}");
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Error type for aggregation.
+
+use bucketrank_core::CoreError;
+use bucketrank_metrics::MetricsError;
+use std::fmt;
+
+/// Errors produced by aggregation algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AggregateError {
+    /// Aggregation requires at least one input ranking.
+    NoInputs,
+    /// The input rankings do not all share one domain.
+    DomainMismatch {
+        /// Domain size of the first input.
+        expected: usize,
+        /// Differing domain size encountered.
+        found: usize,
+    },
+    /// `k` exceeds the domain size.
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// The domain size.
+        domain_size: usize,
+    },
+    /// A requested output type does not sum to the domain size.
+    TypeSizeMismatch {
+        /// Sum of the type's bucket sizes.
+        type_total: usize,
+        /// The domain size.
+        domain_size: usize,
+    },
+    /// An exact algorithm was asked for a domain too large to enumerate.
+    DomainTooLarge {
+        /// The domain size given.
+        n: usize,
+        /// The maximum the algorithm accepts.
+        max: usize,
+    },
+    /// An algorithm restricted to full-ranking inputs received ties.
+    NotFullRanking,
+}
+
+impl fmt::Display for AggregateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AggregateError::NoInputs => write!(f, "aggregation requires at least one input"),
+            AggregateError::DomainMismatch { expected, found } => write!(
+                f,
+                "inputs must share a domain (expected size {expected}, found {found})"
+            ),
+            AggregateError::InvalidK { k, domain_size } => {
+                write!(f, "k = {k} exceeds the domain size {domain_size}")
+            }
+            AggregateError::TypeSizeMismatch {
+                type_total,
+                domain_size,
+            } => write!(
+                f,
+                "output type sums to {type_total} but the domain has {domain_size} elements"
+            ),
+            AggregateError::DomainTooLarge { n, max } => write!(
+                f,
+                "exact algorithm limited to domains of size ≤ {max}, got {n}"
+            ),
+            AggregateError::NotFullRanking => {
+                write!(f, "algorithm requires full-ranking inputs (no ties)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AggregateError {}
+
+impl From<CoreError> for AggregateError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::DomainMismatch { left, right } => AggregateError::DomainMismatch {
+                expected: left,
+                found: right,
+            },
+            CoreError::TypeSizeMismatch {
+                type_total,
+                domain_size,
+            } => AggregateError::TypeSizeMismatch {
+                type_total,
+                domain_size,
+            },
+            CoreError::InvalidK { k, domain_size } => AggregateError::InvalidK { k, domain_size },
+            other => unreachable!("unexpected core error in aggregation: {other}"),
+        }
+    }
+}
+
+impl From<MetricsError> for AggregateError {
+    fn from(e: MetricsError) -> Self {
+        match e {
+            MetricsError::DomainMismatch { left, right } => AggregateError::DomainMismatch {
+                expected: left,
+                found: right,
+            },
+            MetricsError::NotFullRanking => AggregateError::NotFullRanking,
+            other => unreachable!("unexpected metrics error in aggregation: {other}"),
+        }
+    }
+}
+
+/// Checks a nonempty input slice sharing one domain; returns the domain
+/// size.
+pub(crate) fn check_inputs(
+    inputs: &[bucketrank_core::BucketOrder],
+) -> Result<usize, AggregateError> {
+    let first = inputs.first().ok_or(AggregateError::NoInputs)?;
+    let n = first.len();
+    for s in &inputs[1..] {
+        if s.len() != n {
+            return Err(AggregateError::DomainMismatch {
+                expected: n,
+                found: s.len(),
+            });
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(AggregateError::NoInputs.to_string().contains("at least one"));
+        assert!(AggregateError::DomainTooLarge { n: 12, max: 8 }
+            .to_string()
+            .contains("12"));
+    }
+
+    #[test]
+    fn check_inputs_helper() {
+        use bucketrank_core::BucketOrder;
+        assert_eq!(check_inputs(&[]), Err(AggregateError::NoInputs));
+        let a = BucketOrder::trivial(3);
+        let b = BucketOrder::trivial(4);
+        assert_eq!(check_inputs(std::slice::from_ref(&a)), Ok(3));
+        assert_eq!(
+            check_inputs(&[a, b]),
+            Err(AggregateError::DomainMismatch {
+                expected: 3,
+                found: 4
+            })
+        );
+    }
+}

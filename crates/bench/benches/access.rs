@@ -1,0 +1,93 @@
+//! Criterion benches for the access layer (experiment E6 counterpart):
+//! MEDRANK wall-clock vs a full Borda scan, and the end-to-end fielded
+//! search flow on the synthetic catalogs.
+
+use bucketrank_access::medrank::medrank_top_k;
+use bucketrank_access::query::PreferenceQuery;
+use bucketrank_aggregate::borda::average_rank_full;
+use bucketrank_core::BucketOrder;
+use bucketrank_workloads::datasets::{restaurant_query_specs, restaurants};
+use bucketrank_workloads::random::random_few_valued;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_medrank_vs_scan(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(71);
+    let mut g = c.benchmark_group("medrank_vs_scan");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let inputs: Vec<BucketOrder> = (0..5)
+            .map(|_| random_few_valued(&mut rng, n, 5))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("medrank_top1", n), &n, |b, _| {
+            b.iter(|| black_box(medrank_top_k(&inputs, 1).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("medrank_top10", n), &n, |b, _| {
+            b.iter(|| black_box(medrank_top_k(&inputs, 10).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("medrank_buckets_top10", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(
+                    bucketrank_access::medrank::medrank_top_k_buckets(&inputs, 10).unwrap(),
+                )
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("borda_full_scan", n), &n, |b, _| {
+            b.iter(|| black_box(average_rank_full(&inputs).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fielded_search(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(72);
+    let mut g = c.benchmark_group("fielded_search");
+    for &n in &[1_000usize, 10_000] {
+        let table = restaurants(&mut rng, n);
+        let query = PreferenceQuery::new(restaurant_query_specs()).with_k(5);
+        // Planning (index scans) + aggregation, end to end.
+        g.bench_with_input(BenchmarkId::new("plan_and_run", n), &n, |b, _| {
+            b.iter(|| black_box(query.run(&table).unwrap()));
+        });
+        // Aggregation only, on pre-planned rankings.
+        let rankings = query.plan(&table).unwrap();
+        g.bench_with_input(BenchmarkId::new("aggregate_only", n), &n, |b, _| {
+            b.iter(|| black_box(medrank_top_k(&rankings, 5).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_index_vs_sort(c: &mut Criterion) {
+    use bucketrank_access::index::IndexedTable;
+    let mut rng = StdRng::seed_from_u64(73);
+    let mut g = c.benchmark_group("ranking_construction");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let table = restaurants(&mut rng, n);
+        let specs = restaurant_query_specs();
+        g.bench_with_input(BenchmarkId::new("sort_per_query", n), &n, |b, _| {
+            b.iter(|| {
+                for s in &specs {
+                    black_box(table.ranking(s).unwrap());
+                }
+            });
+        });
+        let indexed = IndexedTable::build(restaurants(&mut rng, n)).unwrap();
+        g.bench_with_input(BenchmarkId::new("from_index", n), &n, |b, _| {
+            b.iter(|| {
+                for s in &specs {
+                    black_box(indexed.ranking(s).unwrap());
+                }
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_medrank_vs_scan, bench_fielded_search, bench_index_vs_sort
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion benches for aggregation (experiments E3/E8 counterpart):
+//! the median family vs Borda and the Markov chains, plus the exact
+//! optimizers on the sizes they admit.
+
+use bucketrank_aggregate::borda::average_rank_full;
+use bucketrank_aggregate::dp::aggregate_optimal_bucketing;
+use bucketrank_aggregate::exact::{footrule_optimal_full, kemeny_optimal_full};
+use bucketrank_aggregate::markov::{markov_aggregate, MarkovChain, MarkovOptions};
+use bucketrank_aggregate::median::{aggregate_full, aggregate_top_k, MedianPolicy};
+use bucketrank_core::BucketOrder;
+use bucketrank_workloads::random::random_few_valued;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn profile(rng: &mut StdRng, n: usize, m: usize) -> Vec<BucketOrder> {
+    (0..m).map(|_| random_few_valued(rng, n, 6)).collect()
+}
+
+fn bench_aggregators(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(61);
+    let mut g = c.benchmark_group("aggregators");
+    for &n in &[100usize, 1000, 10000] {
+        let inputs = profile(&mut rng, n, 7);
+        g.bench_with_input(BenchmarkId::new("median_top10", n), &n, |b, _| {
+            b.iter(|| black_box(aggregate_top_k(&inputs, 10, MedianPolicy::Lower).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("median_full", n), &n, |b, _| {
+            b.iter(|| black_box(aggregate_full(&inputs, MedianPolicy::Lower).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("median_fdagger", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap())
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("borda", n), &n, |b, _| {
+            b.iter(|| black_box(average_rank_full(&inputs).unwrap()));
+        });
+        if n <= 1000 {
+            g.bench_with_input(BenchmarkId::new("mc4", n), &n, |b, _| {
+                b.iter(|| {
+                    black_box(
+                        markov_aggregate(&inputs, MarkovChain::Mc4, MarkovOptions::default())
+                            .unwrap(),
+                    )
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_exact(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut g = c.benchmark_group("exact_optima");
+    for &n in &[8usize, 12, 14] {
+        let inputs = profile(&mut rng, n, 5);
+        g.bench_with_input(BenchmarkId::new("kemeny_held_karp", n), &n, |b, _| {
+            b.iter(|| black_box(kemeny_optimal_full(&inputs).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("kemeny_branch_bound", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(bucketrank_aggregate::bb::kemeny_optimal_bb(&inputs).unwrap())
+            });
+        });
+    }
+    // B&B scales past Held–Karp on cohesive profiles.
+    {
+        use bucketrank_workloads::mallows::Mallows;
+        let model = Mallows::new(24, 1.0);
+        let inputs = model.sample_profile(&mut rng, 7);
+        g.bench_function("kemeny_branch_bound_n24_cohesive", |b| {
+            b.iter(|| {
+                black_box(bucketrank_aggregate::bb::kemeny_optimal_bb(&inputs).unwrap())
+            });
+        });
+    }
+    {
+        let inputs = profile(&mut rng, 60, 7);
+        g.bench_function("schulze_n60", |b| {
+            b.iter(|| black_box(bucketrank_aggregate::schulze::schulze(&inputs).unwrap()));
+        });
+    }
+    for &n in &[16usize, 64, 256] {
+        let inputs = profile(&mut rng, n, 5);
+        g.bench_with_input(BenchmarkId::new("footrule_hungarian", n), &n, |b, _| {
+            b.iter(|| black_box(footrule_optimal_full(&inputs).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_aggregators, bench_exact
+}
+criterion_main!(benches);

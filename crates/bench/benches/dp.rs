@@ -1,0 +1,61 @@
+//! Criterion benches for the optimal-bucketing dynamic program
+//! (experiment E5's microbenchmark counterpart): the paper's Figure-1
+//! linear-space algorithm vs the table and prefix-sum variants.
+
+use bucketrank_aggregate::dp::{
+    optimal_bucketing, optimal_bucketing_prefix, optimal_bucketing_table,
+};
+use bucketrank_core::Pos;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn scores(rng: &mut StdRng, n: usize) -> Vec<Pos> {
+    (0..n)
+        .map(|_| Pos::from_half_units(rng.gen_range(0..(4 * n as i64 + 2))))
+        .collect()
+}
+
+fn bench_dp(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(51);
+    let mut g = c.benchmark_group("optimal_bucketing");
+    for &n in &[128usize, 512, 2048] {
+        let f = scores(&mut rng, n);
+        g.bench_with_input(BenchmarkId::new("figure1", n), &n, |b, _| {
+            b.iter(|| black_box(optimal_bucketing(&f)));
+        });
+        g.bench_with_input(BenchmarkId::new("table", n), &n, |b, _| {
+            b.iter(|| black_box(optimal_bucketing_table(&f)));
+        });
+        g.bench_with_input(BenchmarkId::new("prefix", n), &n, |b, _| {
+            b.iter(|| black_box(optimal_bucketing_prefix(&f)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_dp_structured(c: &mut Criterion) {
+    // Ablation: clustered scores (few natural buckets) vs spread scores.
+    let mut rng = StdRng::seed_from_u64(52);
+    let n = 1024;
+    let clustered: Vec<Pos> = (0..n)
+        .map(|_| Pos::from_half_units(rng.gen_range(0..5) * 400 + rng.gen_range(0..10)))
+        .collect();
+    let spread = scores(&mut rng, n);
+    let mut g = c.benchmark_group("dp_score_structure");
+    g.bench_function("clustered", |b| {
+        b.iter(|| black_box(optimal_bucketing(&clustered)));
+    });
+    g.bench_function("spread", |b| {
+        b.iter(|| black_box(optimal_bucketing(&spread)));
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_dp, bench_dp_structured
+}
+criterion_main!(benches);

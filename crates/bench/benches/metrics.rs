@@ -1,0 +1,94 @@
+//! Criterion benches for the four partial-ranking metrics (experiment
+//! E4's microbenchmark counterpart): fast vs naive pair statistics, and
+//! each metric across domain sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bucketrank_metrics::pairs::{pair_counts, pair_counts_naive};
+use bucketrank_metrics::{footrule, hausdorff, kendall};
+use bucketrank_workloads::random::random_few_valued;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pair_counts(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut g = c.benchmark_group("pair_counts");
+    for &n in &[64usize, 256, 1024, 4096] {
+        let a = random_few_valued(&mut rng, n, 5);
+        let b = random_few_valued(&mut rng, n, 5);
+        g.bench_with_input(BenchmarkId::new("fast", n), &n, |bench, _| {
+            bench.iter(|| black_box(pair_counts(&a, &b).unwrap()));
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| black_box(pair_counts_naive(&a, &b).unwrap()));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut g = c.benchmark_group("metrics");
+    for &n in &[256usize, 1024, 4096] {
+        let a = random_few_valued(&mut rng, n, 5);
+        let b = random_few_valued(&mut rng, n, 5);
+        g.bench_with_input(BenchmarkId::new("kprof", n), &n, |bench, _| {
+            bench.iter(|| black_box(kendall::kprof_x2(&a, &b).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("fprof", n), &n, |bench, _| {
+            bench.iter(|| black_box(footrule::fprof_x2(&a, &b).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("khaus", n), &n, |bench, _| {
+            bench.iter(|| black_box(hausdorff::khaus(&a, &b).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("fhaus", n), &n, |bench, _| {
+            bench.iter(|| black_box(hausdorff::fhaus(&a, &b).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_rankings(c: &mut Criterion) {
+    use bucketrank_workloads::random::random_full_ranking;
+    let mut rng = StdRng::seed_from_u64(43);
+    let mut g = c.benchmark_group("full_rankings");
+    for &n in &[1024usize, 8192] {
+        let a = random_full_ranking(&mut rng, n);
+        let b = random_full_ranking(&mut rng, n);
+        g.bench_with_input(BenchmarkId::new("kendall", n), &n, |bench, _| {
+            bench.iter(|| black_box(bucketrank_metrics::full::kendall(&a, &b).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("footrule", n), &n, |bench, _| {
+            bench.iter(|| black_box(bucketrank_metrics::full::footrule(&a, &b).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_tie_density(c: &mut Criterion) {
+    // Ablation: pair statistics cost vs tie structure at fixed n — from
+    // two giant buckets (levels = 2) to a full permutation (levels ≫ n).
+    let mut rng = StdRng::seed_from_u64(44);
+    let n = 4096;
+    let mut g = c.benchmark_group("tie_density");
+    for &levels in &[2u32, 8, 64, 4096] {
+        let a = random_few_valued(&mut rng, n, levels as usize);
+        let b = random_few_valued(&mut rng, n, levels as usize);
+        g.bench_with_input(BenchmarkId::new("pair_counts", levels), &levels, |bench, _| {
+            bench.iter(|| black_box(pair_counts(&a, &b).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("fhaus", levels), &levels, |bench, _| {
+            bench.iter(|| black_box(hausdorff::fhaus(&a, &b).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pair_counts, bench_metrics, bench_full_rankings, bench_tie_density
+}
+criterion_main!(benches);

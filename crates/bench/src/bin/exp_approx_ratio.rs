@@ -1,0 +1,138 @@
+//! E3 — Theorems 9/10/11: approximation ratios of median aggregation
+//! against exact optima, over random and Mallows profiles.
+//!
+//! Paper-predicted shape: every measured ratio respects its bound
+//! (3 for top-k vs best top-k; 2 for f† vs best partial ranking with
+//! partial-ranking inputs; 2 for median-full vs anything with full
+//! inputs), with typical ratios near 1.
+
+use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank_aggregate::dp::aggregate_optimal_bucketing;
+use bucketrank_aggregate::exact::{optimal_of_type, optimal_partial_ranking};
+use bucketrank_aggregate::median::{aggregate_full, aggregate_top_k, MedianPolicy};
+use bucketrank_bench::Table;
+use bucketrank_core::{BucketOrder, TypeSeq};
+use bucketrank_workloads::mallows::{Mallows, MallowsWithTies};
+use bucketrank_workloads::random::{random_bucket_order, random_full_ranking};
+use bucketrank_workloads::stats::summarize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E3 — approximation ratios of median aggregation (Fprof objective)\n");
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut t = Table::new(&[
+        "experiment", "n", "m", "trials", "mean ratio", "max ratio", "bound",
+    ]);
+
+    // Theorem 9: top-k output vs optimal top-k list.
+    for &(n, m) in &[(5usize, 3usize), (6, 5), (7, 7)] {
+        let mut ratios = Vec::new();
+        for _ in 0..40 {
+            let inputs: Vec<BucketOrder> =
+                (0..m).map(|_| random_bucket_order(&mut rng, n)).collect();
+            let k = n / 2;
+            let alpha = TypeSeq::top_k(n, k).unwrap();
+            let med = aggregate_top_k(&inputs, k, MedianPolicy::Lower).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+            let (_, opt) = optimal_of_type(&inputs, &alpha, AggMetric::FProf).unwrap();
+            if opt > 0 {
+                ratios.push(cost as f64 / opt as f64);
+            }
+        }
+        let s = summarize(&ratios);
+        assert!(s.max <= 3.0, "Theorem 9 bound violated: {}", s.max);
+        t.row(&[
+            "Thm 9 top-k".to_owned(),
+            n.to_string(),
+            m.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.max),
+            "3".to_owned(),
+        ]);
+    }
+
+    // Theorem 10: f† vs optimal partial ranking (partial-ranking inputs).
+    for &(n, m) in &[(5usize, 3usize), (6, 5), (7, 7)] {
+        let mut ratios = Vec::new();
+        for _ in 0..40 {
+            let inputs: Vec<BucketOrder> =
+                (0..m).map(|_| random_bucket_order(&mut rng, n)).collect();
+            let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &fd.order, &inputs).unwrap();
+            let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+            if opt > 0 {
+                ratios.push(cost as f64 / opt as f64);
+            }
+        }
+        let s = summarize(&ratios);
+        assert!(s.max <= 2.0, "Theorem 10 bound violated: {}", s.max);
+        t.row(&[
+            "Thm 10 f† (DP)".to_owned(),
+            n.to_string(),
+            m.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.max),
+            "2".to_owned(),
+        ]);
+    }
+
+    // Theorem 11: full inputs, full output, vs optimum over everything.
+    for &(n, m) in &[(5usize, 3usize), (6, 5), (7, 7)] {
+        let mut ratios = Vec::new();
+        for _ in 0..40 {
+            let inputs: Vec<BucketOrder> =
+                (0..m).map(|_| random_full_ranking(&mut rng, n)).collect();
+            let med = aggregate_full(&inputs, MedianPolicy::Lower).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+            let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+            if opt > 0 {
+                ratios.push(cost as f64 / opt as f64);
+            }
+        }
+        let s = summarize(&ratios);
+        assert!(s.max <= 2.0, "Theorem 11 bound violated: {}", s.max);
+        t.row(&[
+            "Thm 11 full".to_owned(),
+            n.to_string(),
+            m.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.max),
+            "2".to_owned(),
+        ]);
+    }
+
+    // Mallows noisy-voter profiles: realistic inputs sit near ratio 1.
+    for &theta in &[0.2, 0.8, 2.0] {
+        let alpha = TypeSeq::new(vec![2, 2, 3]).unwrap();
+        let model = MallowsWithTies::new(Mallows::new(7, theta), alpha);
+        let mut ratios = Vec::new();
+        for _ in 0..30 {
+            let inputs = model.sample_profile(&mut rng, 5);
+            let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &fd.order, &inputs).unwrap();
+            let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+            if opt > 0 {
+                ratios.push(cost as f64 / opt as f64);
+            }
+        }
+        let s = summarize(&ratios);
+        assert!(s.max <= 2.0);
+        t.row(&[
+            format!("Mallows θ={theta}"),
+            "7".to_owned(),
+            "5".to_owned(),
+            s.count.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.max),
+            "2".to_owned(),
+        ]);
+    }
+
+    t.print();
+    println!("\nall bounds held; typical ratios are near 1, worst cases stay");
+    println!("well under the proved constants — the paper's predicted shape.");
+}

@@ -1,0 +1,82 @@
+//! E2 — Proposition 13: `K^(p)` is a metric for `p ≥ 1/2`, a near metric
+//! for `0 < p < 1/2` (worst triangle ratio `1/(2p)`), and not a distance
+//! measure at `p = 0`. Sweeps `p` over exhaustive small domains and
+//! random chains.
+
+use bucketrank_bench::Table;
+use bucketrank_core::consistent::all_bucket_orders;
+use bucketrank_core::BucketOrder;
+use bucketrank_metrics::kendall::k_p;
+use bucketrank_metrics::near::{
+    check_distance_measure, max_polygonal_ratio, max_triangle_ratio,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    println!("E2 — Proposition 13: classification of K^(p)\n");
+
+    let orders = all_bucket_orders(4);
+    let mut t = Table::new(&[
+        "p",
+        "distance measure?",
+        "max triangle ratio",
+        "paper bound 1/(2p)",
+        "classification",
+    ]);
+
+    for &p in &[0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.75, 0.9, 1.0] {
+        let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, p).unwrap();
+        let dm_ok = check_distance_measure(&orders, d).is_none();
+        let ratio = max_triangle_ratio(&orders, d).unwrap();
+        let bound = if p > 0.0 {
+            format!("{:.3}", 1.0 / (2.0 * p))
+        } else {
+            "∞".to_owned()
+        };
+        let class = if !dm_ok {
+            "not a distance measure"
+        } else if ratio <= 1.0 + 1e-9 {
+            "metric"
+        } else {
+            "near metric"
+        };
+        // Shape assertions per the paper.
+        if p == 0.0 {
+            assert!(!dm_ok);
+        } else if p < 0.5 {
+            assert!(dm_ok && ratio > 1.0);
+            assert!(ratio <= 1.0 / (2.0 * p) + 1e-9);
+        } else {
+            assert!(dm_ok && ratio <= 1.0 + 1e-9);
+        }
+        t.row(&[
+            format!("{p:.2}"),
+            if dm_ok { "yes" } else { "no" }.to_owned(),
+            format!("{ratio:.3}"),
+            bound,
+            class.to_owned(),
+        ]);
+    }
+    t.print();
+
+    // Longer chains: the near-metric constant also bounds polygonal paths.
+    println!("\npolygonal (chain) ratios on random chains of length 5, n = 4:");
+    let mut rng = StdRng::seed_from_u64(2);
+    let chains: Vec<Vec<usize>> = (0..4000)
+        .map(|_| (0..5).map(|_| rng.gen_range(0..orders.len())).collect())
+        .collect();
+    let mut t2 = Table::new(&["p", "max chain ratio", "bound 1/(2p)"]);
+    for &p in &[0.1, 0.25, 0.4, 0.5] {
+        let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, p).unwrap();
+        let r = max_polygonal_ratio(&orders, &chains, d).unwrap();
+        assert!(r <= 1.0 / (2.0 * p) + 1e-9);
+        t2.row(&[
+            format!("{p:.2}"),
+            format!("{r:.3}"),
+            format!("{:.3}", 1.0 / (2.0 * p)),
+        ]);
+    }
+    t2.print();
+    println!("\nshape matches Prop. 13: boundary exactly at p = 1/2.");
+}

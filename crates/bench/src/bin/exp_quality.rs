@@ -1,0 +1,227 @@
+//! E8 — aggregation quality: the median algorithm vs the heavier
+//! heuristics the paper positions itself against (Borda, MC1–MC4, local
+//! Kemenization, best input) on Mallows noisy-voter profiles with ties.
+//!
+//! Predicted shape: median matches the quality of the Markov-chain
+//! heuristics (and the exact optimum where computable) while being the
+//! only contender that is database-friendly (sorted access, early stop).
+
+use bucketrank_aggregate::borda::{average_rank_full, best_input};
+use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank_aggregate::dp::aggregate_optimal_bucketing;
+use bucketrank_aggregate::exact::optimal_partial_ranking;
+use bucketrank_aggregate::local::local_kemenize;
+use bucketrank_aggregate::markov::{markov_aggregate, MarkovChain, MarkovOptions};
+use bucketrank_aggregate::median::{aggregate_full, MedianPolicy};
+use bucketrank_bench::Table;
+use bucketrank_core::{BucketOrder, TypeSeq};
+use bucketrank_metrics::kendall;
+use bucketrank_workloads::mallows::{Mallows, MallowsWithTies};
+use bucketrank_workloads::stats::summarize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E8 — aggregation quality on Mallows profiles with ties\n");
+    let mut rng = StdRng::seed_from_u64(8);
+
+    // Small domain: everything vs the exact optimum.
+    println!("small domain (n = 7, m = 5, 20 trials/θ): mean Σ Fprof / optimum");
+    let mut t = Table::new(&[
+        "θ", "median", "median+f†", "borda", "MC4", "MC4+local", "best input",
+    ]);
+    for &theta in &[0.1, 0.3, 0.7, 1.5] {
+        let alpha = TypeSeq::new(vec![2, 2, 3]).unwrap();
+        let model = MallowsWithTies::new(Mallows::new(7, theta), alpha);
+        let mut ratios: [Vec<f64>; 6] = Default::default();
+        for _ in 0..20 {
+            let inputs = model.sample_profile(&mut rng, 5);
+            let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+            if opt == 0 {
+                continue;
+            }
+            let cost =
+                |c: &BucketOrder| total_cost_x2(AggMetric::FProf, c, &inputs).unwrap() as f64;
+            let median = aggregate_full(&inputs, MedianPolicy::Lower).unwrap();
+            let fdag = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            let borda = average_rank_full(&inputs).unwrap();
+            let mc4 =
+                markov_aggregate(&inputs, MarkovChain::Mc4, MarkovOptions::default()).unwrap();
+            let mc4l = local_kemenize(&mc4, &inputs).unwrap();
+            let (_, best) = best_input(&inputs, AggMetric::FProf).unwrap();
+            let opt = opt as f64;
+            ratios[0].push(cost(&median) / opt);
+            ratios[1].push(cost(&fdag.order) / opt);
+            ratios[2].push(cost(&borda) / opt);
+            ratios[3].push(cost(&mc4) / opt);
+            ratios[4].push(cost(&mc4l) / opt);
+            ratios[5].push(best as f64 / opt);
+        }
+        let m = |i: usize| format!("{:.3}", summarize(&ratios[i]).mean);
+        t.row(&[
+            format!("{theta}"),
+            m(0),
+            m(1),
+            m(2),
+            m(3),
+            m(4),
+            m(5),
+        ]);
+    }
+    t.print();
+
+    // Larger domain: objective values and truth recovery (no exact optimum).
+    println!("\nlarger domain (n = 40, m = 9, top-8 lists, 10 trials/θ):");
+    println!("mean Σ Fprof (objective, lower better) / mean Kprof to hidden truth");
+    let mut t2 = Table::new(&["θ", "median f†", "borda", "MC2", "MC4", "best input"]);
+    for &theta in &[0.15, 0.4, 1.0] {
+        let model = MallowsWithTies::new(
+            Mallows::new(40, theta),
+            TypeSeq::top_k(40, 8).unwrap(),
+        );
+        let truth = model.reference();
+        let mut cells: [Vec<(f64, f64)>; 5] = Default::default();
+        for _ in 0..10 {
+            let inputs = model.sample_profile(&mut rng, 9);
+            let eval = |c: &BucketOrder| -> (f64, f64) {
+                (
+                    total_cost_x2(AggMetric::FProf, c, &inputs).unwrap() as f64 / 2.0,
+                    kendall::kprof(c, &truth).unwrap(),
+                )
+            };
+            let fdag = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            cells[0].push(eval(&fdag.order));
+            cells[1].push(eval(&average_rank_full(&inputs).unwrap()));
+            cells[2].push(eval(
+                &markov_aggregate(&inputs, MarkovChain::Mc2, MarkovOptions::default()).unwrap(),
+            ));
+            cells[3].push(eval(
+                &markov_aggregate(&inputs, MarkovChain::Mc4, MarkovOptions::default()).unwrap(),
+            ));
+            let (bi, _) = best_input(&inputs, AggMetric::FProf).unwrap();
+            cells[4].push(eval(&inputs[bi]));
+        }
+        let fmt = |v: &[(f64, f64)]| {
+            let c: Vec<f64> = v.iter().map(|x| x.0).collect();
+            let d: Vec<f64> = v.iter().map(|x| x.1).collect();
+            format!(
+                "{:.0} / {:.1}",
+                summarize(&c).mean,
+                summarize(&d).mean
+            )
+        };
+        t2.row(&[
+            format!("{theta}"),
+            fmt(&cells[0]),
+            fmt(&cells[1]),
+            fmt(&cells[2]),
+            fmt(&cells[3]),
+            fmt(&cells[4]),
+        ]);
+    }
+    t2.print();
+
+    // Kprof objective vs the pairwise lower bound: a sound optimality gap
+    // at sizes where exact optimization is impossible.
+    println!("\nKprof objective vs the pairwise lower bound (n = 40, m = 9):");
+    let mut t3 = Table::new(&["θ", "lower bound", "median f†", "gap", "borda", "gap"]);
+    for &theta in &[0.15, 0.4, 1.0] {
+        let model = MallowsWithTies::new(
+            Mallows::new(40, theta),
+            TypeSeq::top_k(40, 8).unwrap(),
+        );
+        let mut lbs = Vec::new();
+        let mut fds = Vec::new();
+        let mut bds = Vec::new();
+        for _ in 0..10 {
+            let inputs = model.sample_profile(&mut rng, 9);
+            let lb = bucketrank_aggregate::exact::kprof_lower_bound_x2(&inputs).unwrap();
+            let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            let fdc = total_cost_x2(AggMetric::KProf, &fd.order, &inputs).unwrap();
+            let bd = total_cost_x2(
+                AggMetric::KProf,
+                &average_rank_full(&inputs).unwrap(),
+                &inputs,
+            )
+            .unwrap();
+            assert!(lb <= fdc && lb <= bd, "lower bound exceeded a real cost");
+            lbs.push(lb as f64 / 2.0);
+            fds.push(fdc as f64 / 2.0);
+            bds.push(bd as f64 / 2.0);
+        }
+        let mean = |v: &[f64]| summarize(v).mean;
+        t3.row(&[
+            format!("{theta}"),
+            format!("{:.0}", mean(&lbs)),
+            format!("{:.0}", mean(&fds)),
+            format!("{:.2}x", mean(&fds) / mean(&lbs)),
+            format!("{:.0}", mean(&bds)),
+            format!("{:.2}x", mean(&bds) / mean(&lbs)),
+        ]);
+    }
+    t3.print();
+
+    // Exact optimum at n = 22 via branch and bound (past the Held–Karp
+    // memory wall): how close is the median pipeline to the true Kemeny
+    // optimum on a mid-size cohesive profile?
+    println!("\nexact Kemeny at n = 22 via branch & bound (full-ranking inputs):");
+    let mut t_bb = Table::new(&["θ", "B&B optimum", "median+local", "ratio", "nodes"]);
+    for &theta in &[0.6, 1.2] {
+        let model = Mallows::new(22, theta);
+        let inputs = model.sample_profile(&mut rng, 7);
+        let (_, opt, stats) = bucketrank_aggregate::bb::kemeny_optimal_bb(&inputs).unwrap();
+        let med = aggregate_full(&inputs, MedianPolicy::Lower).unwrap();
+        let med_local = local_kemenize(&med, &inputs).unwrap();
+        let mc = total_cost_x2(AggMetric::KProf, &med_local, &inputs).unwrap();
+        assert!(opt <= mc);
+        t_bb.row(&[
+            format!("{theta}"),
+            format!("{:.1}", opt as f64 / 2.0),
+            format!("{:.1}", mc as f64 / 2.0),
+            format!("{:.3}", mc as f64 / opt.max(1) as f64),
+            stats.nodes.to_string(),
+        ]);
+    }
+    t_bb.print();
+
+    // Plackett–Luce workload: heteroscedastic noise (stable head, noisy
+    // tail) — the regime where top-k aggregation should shine.
+    println!("\nPlackett–Luce workload (n = 7, m = 5, geometric weights, 20 trials):");
+    let mut t4 = Table::new(&["base", "median f† / opt", "borda / opt", "MC4 / opt"]);
+    for &base in &[0.4, 0.6, 0.8] {
+        let model = bucketrank_workloads::plackett_luce::PlackettLuceWithTies::new(
+            bucketrank_workloads::plackett_luce::PlackettLuce::geometric(7, base),
+            TypeSeq::new(vec![2, 2, 3]).unwrap(),
+        );
+        let mut fd_r = Vec::new();
+        let mut bd_r = Vec::new();
+        let mut mc_r = Vec::new();
+        for _ in 0..20 {
+            let inputs = model.sample_profile(&mut rng, 5);
+            let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+            if opt == 0 {
+                continue;
+            }
+            let cost =
+                |c: &BucketOrder| total_cost_x2(AggMetric::FProf, c, &inputs).unwrap() as f64;
+            let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+            fd_r.push(cost(&fd.order) / opt as f64);
+            bd_r.push(cost(&average_rank_full(&inputs).unwrap()) / opt as f64);
+            let mc4 =
+                markov_aggregate(&inputs, MarkovChain::Mc4, MarkovOptions::default()).unwrap();
+            mc_r.push(cost(&mc4) / opt as f64);
+        }
+        t4.row(&[
+            format!("{base}"),
+            format!("{:.3}", summarize(&fd_r).mean),
+            format!("{:.3}", summarize(&bd_r).mean),
+            format!("{:.3}", summarize(&mc_r).mean),
+        ]);
+    }
+    t4.print();
+
+    println!("\npredicted shape: the median family tracks (or beats) Borda and");
+    println!("the Markov chains on the objective at every noise level, while");
+    println!("the full rankings from MC chains pay the bottom-bucket spread on");
+    println!("top-k inputs; best-input wins the objective only at high noise.");
+}

@@ -1,0 +1,84 @@
+//! E10 — Appendix A.6.3 (Theorems 33/35) and the polynomial typed
+//! optimum: median top-k lists are nearly optimal in the *strong* sense
+//! (they project from a globally near-optimal partial ranking), and the
+//! Hungarian slot-matching optimum lets us verify the Theorem 9 bound at
+//! domain sizes far beyond enumeration.
+
+use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank_aggregate::exact::footrule_optimal_of_type;
+use bucketrank_aggregate::median::MedianPolicy;
+use bucketrank_aggregate::strong::{aggregate_top_k_strong, is_projection_of};
+use bucketrank_bench::Table;
+use bucketrank_core::{BucketOrder, TypeSeq};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::stats::summarize;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E10 — strong optimality and the typed optimum at scale\n");
+    let mut rng = StdRng::seed_from_u64(10);
+
+    println!("median top-k vs the exact optimal top-k list (Hungarian matching),");
+    println!("with the strong-optimality witness verified on every instance:");
+    let mut t = Table::new(&[
+        "n", "k", "m", "trials", "mean ratio", "max ratio", "bound", "witness ok",
+    ]);
+    for &(n, k, m) in &[
+        (20usize, 5usize, 5usize),
+        (50, 10, 5),
+        (100, 10, 7),
+        (200, 20, 9),
+        (500, 25, 9),
+    ] {
+        let trials = if n <= 100 { 25 } else { 8 };
+        let mut ratios = Vec::new();
+        let mut witness_ok = true;
+        let alpha = TypeSeq::top_k(n, k).unwrap();
+        for _ in 0..trials {
+            let inputs: Vec<BucketOrder> = (0..m)
+                .map(|_| random_few_valued(&mut rng, n, 6))
+                .collect();
+            let s = aggregate_top_k_strong(&inputs, k, MedianPolicy::Lower).unwrap();
+            witness_ok &= is_projection_of(&s.output, &s.witness, &alpha).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &s.output, &inputs).unwrap();
+            let (_, opt) = footrule_optimal_of_type(&inputs, &alpha).unwrap();
+            if opt > 0 {
+                let r = cost as f64 / opt as f64;
+                assert!(r <= 3.0, "Theorem 9 bound violated at n = {n}: {r}");
+                ratios.push(r);
+            }
+        }
+        assert!(witness_ok, "strong-optimality witness failed at n = {n}");
+        let s = summarize(&ratios);
+        t.row(&[
+            n.to_string(),
+            k.to_string(),
+            m.to_string(),
+            s.count.to_string(),
+            format!("{:.3}", s.mean),
+            format!("{:.3}", s.max),
+            "3".to_owned(),
+            "yes".to_owned(),
+        ]);
+    }
+    t.print();
+
+    println!("\nwitness quality: L1(witness, median) ≤ L1(τ, median) for every");
+    println!("type τ — checked exhaustively on small domains in the test suite;");
+    println!("here the witness cost vs the output cost at n = 200:");
+    let inputs: Vec<BucketOrder> = (0..7)
+        .map(|_| random_few_valued(&mut rng, 200, 5))
+        .collect();
+    let s = aggregate_top_k_strong(&inputs, 20, MedianPolicy::Lower).unwrap();
+    let wc = total_cost_x2(AggMetric::FProf, &s.witness, &inputs).unwrap();
+    let oc = total_cost_x2(AggMetric::FProf, &s.output, &inputs).unwrap();
+    println!(
+        "  witness Σ Fprof = {:.1} (type {}), top-20 output Σ Fprof = {:.1}",
+        wc as f64 / 2.0,
+        s.witness.type_seq(),
+        oc as f64 / 2.0
+    );
+    println!("\nshape as predicted: ratios near 1, never above 3; every output");
+    println!("is the type-α projection of its globally near-optimal witness.");
+}

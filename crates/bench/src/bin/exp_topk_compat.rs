@@ -1,0 +1,96 @@
+//! E7 — Appendix A.3: compatibility with the top-k machinery of
+//! Fagin–Kumar–Sivakumar 2003.
+//!
+//! * `Fprof = F^(ℓ)` at `ℓ = (|D| + k + 1)/2` on top-k lists;
+//! * `Kavg = Kprof + tied_both/2`, hence `Kavg = Kprof` exactly when no
+//!   pair is tied in both — and `Kavg(σ, σ) > 0` on genuine partial
+//!   rankings (not a distance measure);
+//! * Goodman–Kruskal gamma is undefined (None) whenever every pair is
+//!   tied in at least one ranking — the defect the paper points out.
+
+use bucketrank_bench::Table;
+use bucketrank_core::consistent::all_bucket_orders;
+use bucketrank_metrics::footrule::{canonical_location, footrule_location_x2, fprof_x2};
+use bucketrank_metrics::kendall::{kavg_x2, kprof_x2};
+use bucketrank_metrics::related::goodman_kruskal_gamma;
+use bucketrank_workloads::random::{random_bucket_order, random_top_k};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    println!("E7 — top-k list compatibility (Appendix A.3)\n");
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // (a) F^(ℓ) identity.
+    let mut t = Table::new(&["n", "k", "pairs", "Fprof = F^(ℓ) ?"]);
+    for &(n, k) in &[(8usize, 2usize), (12, 4), (30, 10), (60, 10)] {
+        let ell = canonical_location(n, k);
+        let mut ok = true;
+        let trials = 200;
+        for _ in 0..trials {
+            let a = random_top_k(&mut rng, n, k);
+            let b = random_top_k(&mut rng, n, k);
+            ok &= footrule_location_x2(&a, &b, k, ell).unwrap() == fprof_x2(&a, &b).unwrap();
+        }
+        assert!(ok, "identity failed at n={n} k={k}");
+        t.row(&[
+            n.to_string(),
+            k.to_string(),
+            trials.to_string(),
+            "yes (exact)".to_owned(),
+        ]);
+    }
+    t.print();
+
+    // (b) Kavg vs Kprof.
+    println!("\nKavg vs Kprof (random bucket orders, n = 10):");
+    let mut same = 0u32;
+    let mut differ = 0u32;
+    for _ in 0..300 {
+        let a = random_bucket_order(&mut rng, 10);
+        let b = random_bucket_order(&mut rng, 10);
+        let kp = kprof_x2(&a, &b).unwrap();
+        let ka = kavg_x2(&a, &b).unwrap();
+        assert!(ka >= kp, "Kavg < Kprof");
+        if ka == kp {
+            same += 1;
+        } else {
+            differ += 1;
+        }
+    }
+    println!("  Kavg = Kprof on {same} pairs (no doubly tied pair), > on {differ};");
+    let s = random_bucket_order(&mut rng, 10);
+    if !s.is_full() {
+        assert!(kavg_x2(&s, &s).unwrap() > 0);
+        println!("  Kavg(σ, σ) > 0 on tied σ — not a distance measure, as noted.");
+    }
+
+    // (c) gamma's undefined region.
+    println!("\nGoodman–Kruskal gamma undefined rate by tie density (n = 4, exhaustive):");
+    let orders = all_bucket_orders(4);
+    let mut undefined = 0u32;
+    let mut total = 0u32;
+    for a in &orders {
+        for b in &orders {
+            total += 1;
+            if goodman_kruskal_gamma(a, b).unwrap().is_none() {
+                undefined += 1;
+            }
+        }
+    }
+    println!(
+        "  {undefined} of {total} pairs ({:.1}%) have gamma undefined —",
+        100.0 * undefined as f64 / total as f64
+    );
+    println!("  the \"serious disadvantage\" motivating the paper's metrics,");
+    println!("  which are total functions on all {} × {} pairs.", orders.len(), orders.len());
+
+    // Sanity: bound on the random sweep.
+    let mut r2 = StdRng::seed_from_u64(77);
+    let n = 12;
+    for _ in 0..100 {
+        let a = random_bucket_order(&mut r2, n);
+        let b = random_bucket_order(&mut r2, n);
+        let _ = kprof_x2(&a, &b).unwrap();
+    }
+}

@@ -1,0 +1,572 @@
+//! Bucket orders: linear orders with ties, the paper's central object.
+
+use crate::{CoreError, ElementId, Pos, TypeSeq};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A *bucket order* over the domain `{0, 1, …, n−1}`: an ordered partition
+/// of the domain into nonempty buckets. Elements in the same bucket are
+/// tied; `x ◁ y` holds exactly when the bucket of `x` precedes the bucket
+/// of `y`.
+///
+/// The associated *partial ranking* `σ` maps each element to the position
+/// of its bucket, `σ(x) = pos(B) = Σ_{j<i}|B_j| + (|B_i|+1)/2`, available
+/// exactly (in half-units) via [`BucketOrder::position`].
+///
+/// Buckets are stored with their elements sorted ascending, so structural
+/// equality (`==`, `Hash`) coincides with semantic equality of the ranking.
+///
+/// # Example
+///
+/// ```
+/// use bucketrank_core::BucketOrder;
+///
+/// // Two ways to build the same ranking with a tie between 1 and 3.
+/// let a = BucketOrder::from_buckets(4, vec![vec![2], vec![3, 1], vec![0]]).unwrap();
+/// let b = BucketOrder::from_keys(&[3, 2, 1, 2]); // rank by key ascending
+/// assert_eq!(a, b);
+/// assert!(a.prefers(2, 3));
+/// assert!(a.is_tied(1, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BucketOrder {
+    n: usize,
+    /// Buckets in rank order; each bucket's elements sorted ascending.
+    buckets: Vec<Vec<ElementId>>,
+    /// Element id → index of its bucket.
+    bucket_of: Vec<u32>,
+    /// Bucket index → position (half-units).
+    bucket_pos: Vec<Pos>,
+}
+
+impl BucketOrder {
+    /// Builds a bucket order from an ordered list of buckets covering the
+    /// domain `{0, …, n−1}` exactly once each.
+    pub fn from_buckets(
+        n: usize,
+        buckets: Vec<Vec<ElementId>>,
+    ) -> Result<BucketOrder, CoreError> {
+        let mut bucket_of = vec![u32::MAX; n];
+        for (bi, bucket) in buckets.iter().enumerate() {
+            if bucket.is_empty() {
+                return Err(CoreError::EmptyBucket { index: bi });
+            }
+            for &e in bucket {
+                let slot = bucket_of
+                    .get_mut(e as usize)
+                    .ok_or(CoreError::ElementOutOfRange {
+                        element: e,
+                        domain_size: n,
+                    })?;
+                if *slot != u32::MAX {
+                    return Err(CoreError::DuplicateElement { element: e });
+                }
+                *slot = bi as u32;
+            }
+        }
+        if let Some(e) = bucket_of.iter().position(|&b| b == u32::MAX) {
+            return Err(CoreError::MissingElement { element: e as u32 });
+        }
+        let mut buckets = buckets;
+        for b in &mut buckets {
+            b.sort_unstable();
+        }
+        let bucket_pos = Self::compute_positions(&buckets);
+        Ok(BucketOrder {
+            n,
+            buckets,
+            bucket_of,
+            bucket_pos,
+        })
+    }
+
+    /// Builds a full ranking from a permutation: `perm[r]` is the element at
+    /// rank `r + 1`.
+    pub fn from_permutation(perm: &[ElementId]) -> Result<BucketOrder, CoreError> {
+        let buckets = perm.iter().map(|&e| vec![e]).collect();
+        BucketOrder::from_buckets(perm.len(), buckets)
+    }
+
+    /// Ranks the domain by a key per element, ascending (smaller key is
+    /// ranked ahead); equal keys tie. This is how a database sort on a
+    /// few-valued attribute produces a partial ranking.
+    pub fn from_keys<K: Ord>(keys: &[K]) -> BucketOrder {
+        let n = keys.len();
+        let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+        ids.sort_by(|&a, &b| keys[a as usize].cmp(&keys[b as usize]).then(a.cmp(&b)));
+        let mut buckets: Vec<Vec<ElementId>> = Vec::new();
+        for &e in &ids {
+            match buckets.last() {
+                Some(last) if keys[last[0] as usize] == keys[e as usize] => {
+                    buckets.last_mut().expect("nonempty").push(e);
+                }
+                _ => buckets.push(vec![e]),
+            }
+        }
+        BucketOrder::from_buckets(n, buckets).expect("keys cover the domain by construction")
+    }
+
+    /// Ranks the domain by a key per element, descending (larger key is
+    /// ranked ahead); equal keys tie.
+    pub fn from_keys_desc<K: Ord>(keys: &[K]) -> BucketOrder {
+        let n = keys.len();
+        let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+        ids.sort_by(|&a, &b| keys[b as usize].cmp(&keys[a as usize]).then(a.cmp(&b)));
+        let mut buckets: Vec<Vec<ElementId>> = Vec::new();
+        for &e in &ids {
+            match buckets.last() {
+                Some(last) if keys[last[0] as usize] == keys[e as usize] => {
+                    buckets.last_mut().expect("nonempty").push(e);
+                }
+                _ => buckets.push(vec![e]),
+            }
+        }
+        BucketOrder::from_buckets(n, buckets).expect("keys cover the domain by construction")
+    }
+
+    /// Builds a top-k list: the given elements as singleton buckets in
+    /// order, followed by one bottom bucket holding the rest of the domain.
+    pub fn top_k(n: usize, top: &[ElementId]) -> Result<BucketOrder, CoreError> {
+        if top.len() > n {
+            return Err(CoreError::InvalidK {
+                k: top.len(),
+                domain_size: n,
+            });
+        }
+        let mut seen = vec![false; n];
+        let mut buckets: Vec<Vec<ElementId>> = Vec::with_capacity(top.len() + 1);
+        for &e in top {
+            let slot = seen
+                .get_mut(e as usize)
+                .ok_or(CoreError::ElementOutOfRange {
+                    element: e,
+                    domain_size: n,
+                })?;
+            if *slot {
+                return Err(CoreError::DuplicateElement { element: e });
+            }
+            *slot = true;
+            buckets.push(vec![e]);
+        }
+        let rest: Vec<ElementId> = (0..n as ElementId)
+            .filter(|&e| !seen[e as usize])
+            .collect();
+        if !rest.is_empty() {
+            buckets.push(rest);
+        }
+        BucketOrder::from_buckets(n, buckets)
+    }
+
+    /// The bucket order with a single bucket: everything tied.
+    pub fn trivial(n: usize) -> BucketOrder {
+        if n == 0 {
+            return BucketOrder {
+                n: 0,
+                buckets: vec![],
+                bucket_of: vec![],
+                bucket_pos: vec![],
+            };
+        }
+        let all: Vec<ElementId> = (0..n as ElementId).collect();
+        BucketOrder::from_buckets(n, vec![all]).expect("single full bucket is valid")
+    }
+
+    /// The identity full ranking `0 ◁ 1 ◁ … ◁ n−1`.
+    pub fn identity(n: usize) -> BucketOrder {
+        let perm: Vec<ElementId> = (0..n as ElementId).collect();
+        BucketOrder::from_permutation(&perm).expect("identity permutation is valid")
+    }
+
+    fn compute_positions(buckets: &[Vec<ElementId>]) -> Vec<Pos> {
+        let mut out = Vec::with_capacity(buckets.len());
+        let mut before = 0usize;
+        for b in buckets {
+            out.push(Pos::from_half_units((2 * before + b.len() + 1) as i64));
+            before += b.len();
+        }
+        out
+    }
+
+    /// Domain size `|D|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the domain is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of buckets.
+    #[inline]
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The buckets, in rank order; each bucket's elements sorted ascending.
+    #[inline]
+    pub fn buckets(&self) -> &[Vec<ElementId>] {
+        &self.buckets
+    }
+
+    /// The index of the bucket containing `x`.
+    ///
+    /// # Panics
+    /// Panics if `x` is outside the domain.
+    #[inline]
+    pub fn bucket_index(&self, x: ElementId) -> usize {
+        self.bucket_of[x as usize] as usize
+    }
+
+    /// The partial ranking value `σ(x) = pos(bucket of x)`, exactly.
+    ///
+    /// # Panics
+    /// Panics if `x` is outside the domain.
+    #[inline]
+    pub fn position(&self, x: ElementId) -> Pos {
+        self.bucket_pos[self.bucket_of[x as usize] as usize]
+    }
+
+    /// The position of bucket `i`.
+    #[inline]
+    pub fn bucket_position(&self, i: usize) -> Pos {
+        self.bucket_pos[i]
+    }
+
+    /// The *F-profile*: the vector `⟨σ(x) : x ∈ D⟩` of element positions.
+    pub fn positions(&self) -> Vec<Pos> {
+        (0..self.n as ElementId).map(|x| self.position(x)).collect()
+    }
+
+    /// Whether `x` is ahead of `y` (`σ(x) < σ(y)`).
+    #[inline]
+    pub fn prefers(&self, x: ElementId, y: ElementId) -> bool {
+        self.bucket_of[x as usize] < self.bucket_of[y as usize]
+    }
+
+    /// Whether `x` and `y` are tied (same bucket).
+    #[inline]
+    pub fn is_tied(&self, x: ElementId, y: ElementId) -> bool {
+        self.bucket_of[x as usize] == self.bucket_of[y as usize]
+    }
+
+    /// Compares two elements by rank: `Less` means `x` is ahead of `y`,
+    /// `Equal` means tied.
+    #[inline]
+    pub fn cmp_elements(&self, x: ElementId, y: ElementId) -> Ordering {
+        self.bucket_of[x as usize].cmp(&self.bucket_of[y as usize])
+    }
+
+    /// The type (sequence of bucket sizes) of this bucket order.
+    pub fn type_seq(&self) -> TypeSeq {
+        TypeSeq::new(self.buckets.iter().map(Vec::len).collect())
+            .expect("buckets are nonempty by construction")
+    }
+
+    /// Whether this is a full ranking (all buckets singletons).
+    pub fn is_full(&self) -> bool {
+        self.buckets.len() == self.n
+    }
+
+    /// If this is a top-k list (`k` singleton buckets, then at most one
+    /// bottom bucket), returns `k`. Full rankings return `Some(n)`.
+    pub fn top_k_len(&self) -> Option<usize> {
+        self.type_seq().is_top_k()
+    }
+
+    /// The reverse `σ^R` with `σ^R(d) = |D| + 1 − σ(d)`: the bucket
+    /// sequence reversed.
+    pub fn reverse(&self) -> BucketOrder {
+        let buckets: Vec<Vec<ElementId>> = self.buckets.iter().rev().cloned().collect();
+        BucketOrder::from_buckets(self.n, buckets).expect("reversal preserves validity")
+    }
+
+    /// If this is a full ranking, the permutation `rank → element`.
+    pub fn as_permutation(&self) -> Option<Vec<ElementId>> {
+        if !self.is_full() {
+            return None;
+        }
+        Some(self.buckets.iter().map(|b| b[0]).collect())
+    }
+
+    /// A canonical full refinement: ties broken by ascending element id.
+    pub fn arbitrary_full_refinement(&self) -> BucketOrder {
+        let mut perm = Vec::with_capacity(self.n);
+        for b in &self.buckets {
+            perm.extend_from_slice(b); // buckets are stored sorted
+        }
+        BucketOrder::from_permutation(&perm).expect("refinement covers the domain")
+    }
+
+    /// Iterates over elements in rank order, yielding `(bucket_index, id)`.
+    pub fn iter_ranked(&self) -> impl Iterator<Item = (usize, ElementId)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(bi, b)| b.iter().map(move |&e| (bi, e)))
+    }
+
+    /// Restricts the ranking to a sub-domain: `keep[i]` is the element
+    /// (in this order's domain) that becomes element `i` of the result.
+    /// Relative order and ties are preserved; empty buckets vanish.
+    ///
+    /// This is the "projection onto a subset" used when comparing
+    /// rankings over different domains via their common elements.
+    ///
+    /// # Errors
+    /// [`CoreError::ElementOutOfRange`] / [`CoreError::DuplicateElement`].
+    pub fn restrict(&self, keep: &[ElementId]) -> Result<BucketOrder, CoreError> {
+        let mut new_id = vec![u32::MAX; self.n];
+        for (i, &e) in keep.iter().enumerate() {
+            let slot = new_id
+                .get_mut(e as usize)
+                .ok_or(CoreError::ElementOutOfRange {
+                    element: e,
+                    domain_size: self.n,
+                })?;
+            if *slot != u32::MAX {
+                return Err(CoreError::DuplicateElement { element: e });
+            }
+            *slot = i as u32;
+        }
+        let mut buckets: Vec<Vec<ElementId>> = Vec::new();
+        for b in &self.buckets {
+            let kept: Vec<ElementId> = b
+                .iter()
+                .filter_map(|&e| {
+                    let id = new_id[e as usize];
+                    (id != u32::MAX).then_some(id)
+                })
+                .collect();
+            if !kept.is_empty() {
+                buckets.push(kept);
+            }
+        }
+        BucketOrder::from_buckets(keep.len(), buckets)
+    }
+
+    /// Renders the order as e.g. `[0 2 | 1 | 3]` (buckets separated by `|`).
+    pub fn display(&self) -> String {
+        let mut s = String::from("[");
+        for (bi, b) in self.buckets.iter().enumerate() {
+            if bi > 0 {
+                s.push_str(" | ");
+            }
+            for (i, e) in b.iter().enumerate() {
+                if i > 0 {
+                    s.push(' ');
+                }
+                s.push_str(&e.to_string());
+            }
+        }
+        s.push(']');
+        s
+    }
+}
+
+impl fmt::Debug for BucketOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BucketOrder{}", self.display())
+    }
+}
+
+/// An incremental builder that appends buckets in rank order.
+///
+/// ```
+/// use bucketrank_core::BucketOrderBuilder;
+///
+/// let mut b = BucketOrderBuilder::new(4);
+/// b.push_bucket([3]);
+/// b.push_bucket([0, 1]);
+/// b.push_bucket([2]);
+/// let order = b.finish().unwrap();
+/// assert_eq!(order.display(), "[3 | 0 1 | 2]");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BucketOrderBuilder {
+    n: usize,
+    buckets: Vec<Vec<ElementId>>,
+}
+
+impl BucketOrderBuilder {
+    /// Starts a builder for a domain of size `n`.
+    pub fn new(n: usize) -> Self {
+        BucketOrderBuilder {
+            n,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Appends the next bucket (following all buckets pushed so far).
+    pub fn push_bucket<I: IntoIterator<Item = ElementId>>(&mut self, bucket: I) -> &mut Self {
+        self.buckets.push(bucket.into_iter().collect());
+        self
+    }
+
+    /// Validates and produces the bucket order.
+    pub fn finish(self) -> Result<BucketOrder, CoreError> {
+        BucketOrder::from_buckets(self.n, self.buckets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bo(n: usize, buckets: Vec<Vec<ElementId>>) -> BucketOrder {
+        BucketOrder::from_buckets(n, buckets).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(matches!(
+            BucketOrder::from_buckets(3, vec![vec![0], vec![1]]),
+            Err(CoreError::MissingElement { element: 2 })
+        ));
+        assert!(matches!(
+            BucketOrder::from_buckets(2, vec![vec![0, 0], vec![1]]),
+            Err(CoreError::DuplicateElement { element: 0 })
+        ));
+        assert!(matches!(
+            BucketOrder::from_buckets(2, vec![vec![0, 5], vec![1]]),
+            Err(CoreError::ElementOutOfRange { element: 5, .. })
+        ));
+        assert!(matches!(
+            BucketOrder::from_buckets(2, vec![vec![0], vec![], vec![1]]),
+            Err(CoreError::EmptyBucket { index: 1 })
+        ));
+    }
+
+    #[test]
+    fn positions_follow_paper() {
+        // Example: B1 = {a, b}, B2 = {c}: pos(B1) = 1.5, pos(B2) = 3.
+        let s = bo(3, vec![vec![0, 1], vec![2]]);
+        assert_eq!(s.position(0), Pos::from_half_units(3));
+        assert_eq!(s.position(1), Pos::from_half_units(3));
+        assert_eq!(s.position(2), Pos::from_half_units(6));
+    }
+
+    #[test]
+    fn equality_is_semantic() {
+        let a = bo(3, vec![vec![1, 0], vec![2]]);
+        let b = bo(3, vec![vec![0, 1], vec![2]]);
+        assert_eq!(a, b);
+        let c = bo(3, vec![vec![0], vec![1], vec![2]]);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn from_keys_groups_ties() {
+        let s = BucketOrder::from_keys(&[30, 10, 30, 20]);
+        assert_eq!(s.display(), "[1 | 3 | 0 2]");
+        let d = BucketOrder::from_keys_desc(&[30, 10, 30, 20]);
+        assert_eq!(d.display(), "[0 2 | 3 | 1]");
+    }
+
+    #[test]
+    fn permutation_round_trip() {
+        let s = BucketOrder::from_permutation(&[2, 0, 1]).unwrap();
+        assert!(s.is_full());
+        assert_eq!(s.as_permutation(), Some(vec![2, 0, 1]));
+        assert_eq!(s.position(2), Pos::from_rank(1));
+        assert_eq!(s.position(0), Pos::from_rank(2));
+    }
+
+    #[test]
+    fn top_k_shape() {
+        let s = BucketOrder::top_k(5, &[4, 1]).unwrap();
+        assert_eq!(s.display(), "[4 | 1 | 0 2 3]");
+        assert_eq!(s.top_k_len(), Some(2));
+        assert!(BucketOrder::top_k(3, &[0, 0]).is_err());
+        assert!(BucketOrder::top_k(2, &[0, 1, 1]).is_err());
+        // top-n is a full ranking
+        let f = BucketOrder::top_k(3, &[2, 1, 0]).unwrap();
+        assert!(f.is_full());
+    }
+
+    #[test]
+    fn reverse_matches_formula() {
+        let s = bo(4, vec![vec![0], vec![1, 2], vec![3]]);
+        let r = s.reverse();
+        let n1 = Pos::from_half_units(2 * (s.len() as i64 + 1));
+        for x in 0..4 {
+            assert_eq!(r.position(x), n1 - s.position(x), "element {x}");
+        }
+        assert_eq!(s.reverse().reverse(), s);
+    }
+
+    #[test]
+    fn trivial_and_identity() {
+        let t = BucketOrder::trivial(4);
+        assert_eq!(t.num_buckets(), 1);
+        for x in 0..4 {
+            for y in 0..4 {
+                assert!(t.is_tied(x, y));
+            }
+        }
+        let i = BucketOrder::identity(3);
+        assert!(i.prefers(0, 1));
+        assert!(i.prefers(1, 2));
+
+        let e = BucketOrder::trivial(0);
+        assert!(e.is_empty());
+        assert_eq!(e.num_buckets(), 0);
+    }
+
+    #[test]
+    fn arbitrary_full_refinement_is_refinement() {
+        let s = bo(4, vec![vec![2, 3], vec![0, 1]]);
+        let f = s.arbitrary_full_refinement();
+        assert!(f.is_full());
+        assert_eq!(f.as_permutation(), Some(vec![2, 3, 0, 1]));
+    }
+
+    #[test]
+    fn iter_ranked_visits_in_order() {
+        let s = bo(3, vec![vec![1, 2], vec![0]]);
+        let got: Vec<_> = s.iter_ranked().collect();
+        assert_eq!(got, vec![(0, 1), (0, 2), (1, 0)]);
+    }
+
+    #[test]
+    fn builder() {
+        let mut b = BucketOrderBuilder::new(3);
+        b.push_bucket([2]).push_bucket([0, 1]);
+        let s = b.finish().unwrap();
+        assert_eq!(s.display(), "[2 | 0 1]");
+    }
+
+    #[test]
+    fn restrict_preserves_order_and_ties() {
+        let s = bo(6, vec![vec![0, 1], vec![2], vec![3, 4], vec![5]]);
+        // Keep 1, 3, 4, 5 → renumbered 0, 1, 2, 3.
+        let r = s.restrict(&[1, 3, 4, 5]).unwrap();
+        assert_eq!(r.display(), "[0 | 1 2 | 3]");
+        // Keep in a different order: renumbering follows `keep`.
+        let r = s.restrict(&[5, 1]).unwrap();
+        assert_eq!(r.display(), "[1 | 0]");
+        // Empty restriction.
+        let r = s.restrict(&[]).unwrap();
+        assert!(r.is_empty());
+        // Errors.
+        assert!(s.restrict(&[9]).is_err());
+        assert!(s.restrict(&[1, 1]).is_err());
+    }
+
+    #[test]
+    fn restrict_full_stays_full() {
+        let s = BucketOrder::from_permutation(&[3, 0, 2, 1]).unwrap();
+        let r = s.restrict(&[0, 2, 3]).unwrap();
+        assert!(r.is_full());
+        // 3 first, then 0, then 2 → renumbered 2, 0, 1.
+        assert_eq!(r.as_permutation(), Some(vec![2, 0, 1]));
+    }
+
+    #[test]
+    fn type_seq_reflects_buckets() {
+        let s = bo(5, vec![vec![0, 1], vec![2], vec![3, 4]]);
+        assert_eq!(s.type_seq().sizes(), &[2, 1, 2]);
+    }
+}

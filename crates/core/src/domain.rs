@@ -1,0 +1,139 @@
+//! Named domains: interning external labels to dense element ids.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A dense element identifier, valid within one [`Domain`] (or, for the
+/// label-free APIs, simply an index into `0..n`).
+pub type ElementId = u32;
+
+/// A fixed domain `D` of named elements.
+///
+/// All rankings in the paper share one fixed domain. Hot paths work on dense
+/// `ElementId`s (`0..n`); `Domain` is the boundary object that interns
+/// human-readable labels (restaurant names, URLs, …) to ids and back.
+///
+/// # Example
+///
+/// ```
+/// use bucketrank_core::Domain;
+///
+/// let mut d = Domain::new();
+/// let thai = d.intern("Thai Palace");
+/// let sushi = d.intern("Sushi Go");
+/// assert_eq!(d.intern("Thai Palace"), thai); // idempotent
+/// assert_eq!(d.label(sushi), Some("Sushi Go"));
+/// assert_eq!(d.len(), 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct Domain {
+    labels: Vec<String>,
+    index: HashMap<String, ElementId>,
+}
+
+impl Domain {
+    /// Creates an empty domain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a domain from an iterator of labels. Duplicate labels map to
+    /// the same id.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut d = Domain::new();
+        for l in labels {
+            d.intern(l);
+        }
+        d
+    }
+
+    /// Interns a label, returning its element id (allocating a new id for a
+    /// previously unseen label).
+    pub fn intern<S: Into<String>>(&mut self, label: S) -> ElementId {
+        let label = label.into();
+        if let Some(&id) = self.index.get(&label) {
+            return id;
+        }
+        let id = self.labels.len() as ElementId;
+        self.index.insert(label.clone(), id);
+        self.labels.push(label);
+        id
+    }
+
+    /// Looks up an existing label without interning.
+    pub fn id(&self, label: &str) -> Option<ElementId> {
+        self.index.get(label).copied()
+    }
+
+    /// The label of an element id, if in range.
+    pub fn label(&self, id: ElementId) -> Option<&str> {
+        self.labels.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of elements in the domain.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Iterates over `(id, label)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ElementId, &str)> {
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (i as ElementId, l.as_str()))
+    }
+}
+
+impl fmt::Debug for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Domain")
+            .field("len", &self.labels.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_and_lookup() {
+        let mut d = Domain::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(d.id("a"), Some(a));
+        assert_eq!(d.id("missing"), None);
+        assert_eq!(d.label(b), Some("b"));
+        assert_eq!(d.label(99), None);
+    }
+
+    #[test]
+    fn from_labels_dedupes() {
+        let d = Domain::from_labels(["x", "y", "x"]);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let d = Domain::from_labels(["p", "q", "r"]);
+        let got: Vec<_> = d.iter().collect();
+        assert_eq!(got, vec![(0, "p"), (1, "q"), (2, "r")]);
+    }
+
+    #[test]
+    fn empty() {
+        let d = Domain::new();
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

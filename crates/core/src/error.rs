@@ -1,0 +1,116 @@
+//! Error type for constructing and manipulating bucket orders.
+
+use std::fmt;
+
+/// Errors produced while constructing or validating ranking objects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An element id is outside the domain `0..n`.
+    ElementOutOfRange {
+        /// The offending element id.
+        element: u32,
+        /// The domain size.
+        domain_size: usize,
+    },
+    /// An element appears in more than one bucket.
+    DuplicateElement {
+        /// The offending element id.
+        element: u32,
+    },
+    /// Some domain element appears in no bucket.
+    MissingElement {
+        /// The first element found to be missing.
+        element: u32,
+    },
+    /// A bucket was empty; bucket orders require nonempty buckets.
+    EmptyBucket {
+        /// Index of the empty bucket.
+        index: usize,
+    },
+    /// A type sequence does not sum to the domain size.
+    TypeSizeMismatch {
+        /// Sum of the type's bucket sizes.
+        type_total: usize,
+        /// The domain size.
+        domain_size: usize,
+    },
+    /// Two rankings were expected to share a domain but do not.
+    DomainMismatch {
+        /// Domain size of the left ranking.
+        left: usize,
+        /// Domain size of the right ranking.
+        right: usize,
+    },
+    /// A `k` larger than the domain was requested for a top-k construction.
+    InvalidK {
+        /// The requested `k`.
+        k: usize,
+        /// The domain size.
+        domain_size: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            CoreError::ElementOutOfRange {
+                element,
+                domain_size,
+            } => write!(
+                f,
+                "element {element} is out of range for a domain of size {domain_size}"
+            ),
+            CoreError::DuplicateElement { element } => {
+                write!(f, "element {element} appears in more than one bucket")
+            }
+            CoreError::MissingElement { element } => {
+                write!(f, "element {element} is not assigned to any bucket")
+            }
+            CoreError::EmptyBucket { index } => {
+                write!(f, "bucket {index} is empty; buckets must be nonempty")
+            }
+            CoreError::TypeSizeMismatch {
+                type_total,
+                domain_size,
+            } => write!(
+                f,
+                "type sums to {type_total} but the domain has {domain_size} elements"
+            ),
+            CoreError::DomainMismatch { left, right } => write!(
+                f,
+                "rankings have different domains (sizes {left} and {right})"
+            ),
+            CoreError::InvalidK { k, domain_size } => {
+                write!(f, "k = {k} exceeds the domain size {domain_size}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ElementOutOfRange {
+            element: 9,
+            domain_size: 4,
+        };
+        assert!(e.to_string().contains("element 9"));
+        assert!(e.to_string().contains("size 4"));
+
+        let e = CoreError::DomainMismatch { left: 3, right: 5 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(CoreError::EmptyBucket { index: 2 });
+        assert!(e.to_string().contains("bucket 2"));
+    }
+}

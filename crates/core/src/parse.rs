@@ -1,0 +1,288 @@
+//! Text serialization of bucket orders.
+//!
+//! The grammar is the one [`BucketOrder::display`] emits:
+//!
+//! ```text
+//! ranking   := "[" bucket ("|" bucket)* "]" | "[" "]"
+//! bucket    := item+
+//! item      := bare id (numeric form) or label (labeled form)
+//! ```
+//!
+//! e.g. `[2 | 0 1 | 3]` (ids) or `[thai | sushi pizza]` (labels, interned
+//! through a [`Domain`]). Labels may not contain whitespace, `|`, `[`,
+//! or `]`.
+
+use crate::{BucketOrder, CoreError, Domain, ElementId};
+use std::fmt;
+
+/// Errors from parsing a ranking string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// The string does not start with `[` and end with `]`.
+    MissingBrackets,
+    /// A bucket between `|` separators was empty.
+    EmptyBucket {
+        /// 0-based index of the offending bucket.
+        index: usize,
+    },
+    /// An item could not be parsed as an element id (numeric form only).
+    BadElementId {
+        /// The offending token.
+        token: String,
+    },
+    /// The parsed buckets do not form a valid bucket order (duplicate or
+    /// out-of-range elements, or — in strict mode — missing elements).
+    Invalid(CoreError),
+    /// A label was not present in the domain (strict labeled parsing).
+    UnknownLabel {
+        /// The offending label.
+        label: String,
+    },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingBrackets => {
+                write!(f, "ranking must be enclosed in [ … ]")
+            }
+            ParseError::EmptyBucket { index } => {
+                write!(f, "bucket {index} is empty")
+            }
+            ParseError::BadElementId { token } => {
+                write!(f, "cannot parse {token:?} as an element id")
+            }
+            ParseError::Invalid(e) => write!(f, "invalid bucket order: {e}"),
+            ParseError::UnknownLabel { label } => {
+                write!(f, "label {label:?} is not in the domain")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ParseError {
+    fn from(e: CoreError) -> Self {
+        ParseError::Invalid(e)
+    }
+}
+
+fn split_buckets(s: &str) -> Result<Vec<Vec<&str>>, ParseError> {
+    let s = s.trim();
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|rest| rest.strip_suffix(']'))
+        .ok_or(ParseError::MissingBrackets)?;
+    if inner.trim().is_empty() {
+        return Ok(vec![]);
+    }
+    let mut out = Vec::new();
+    for (index, chunk) in inner.split('|').enumerate() {
+        let items: Vec<&str> = chunk.split_whitespace().collect();
+        if items.is_empty() {
+            return Err(ParseError::EmptyBucket { index });
+        }
+        out.push(items);
+    }
+    Ok(out)
+}
+
+/// Parses the numeric form over the domain `{0, …, n−1}`:
+/// every element must appear exactly once.
+///
+/// ```
+/// use bucketrank_core::parse::parse_ranking;
+///
+/// let s = parse_ranking("[2 | 0 1 | 3]", 4).unwrap();
+/// assert_eq!(s.display(), "[2 | 0 1 | 3]");
+/// ```
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse_ranking(s: &str, n: usize) -> Result<BucketOrder, ParseError> {
+    let buckets = split_buckets(s)?;
+    let mut parsed: Vec<Vec<ElementId>> = Vec::with_capacity(buckets.len());
+    for items in buckets {
+        let mut bucket = Vec::with_capacity(items.len());
+        for tok in items {
+            let id: ElementId = tok.parse().map_err(|_| ParseError::BadElementId {
+                token: tok.to_owned(),
+            })?;
+            bucket.push(id);
+        }
+        parsed.push(bucket);
+    }
+    Ok(BucketOrder::from_buckets(n, parsed)?)
+}
+
+/// Parses the labeled form, interning unseen labels into `domain`.
+/// The resulting order covers only the mentioned labels **if** the domain
+/// grew to exactly the mentioned set; otherwise every domain element must
+/// appear (standard bucket-order validation).
+///
+/// ```
+/// use bucketrank_core::parse::parse_labeled_ranking;
+/// use bucketrank_core::Domain;
+///
+/// let mut d = Domain::new();
+/// let s = parse_labeled_ranking("[thai | sushi pizza]", &mut d).unwrap();
+/// assert_eq!(d.len(), 3);
+/// assert_eq!(s.position(d.id("thai").unwrap()).as_f64(), 1.0);
+/// ```
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse_labeled_ranking(
+    s: &str,
+    domain: &mut Domain,
+) -> Result<BucketOrder, ParseError> {
+    let buckets = split_buckets(s)?;
+    let parsed: Vec<Vec<ElementId>> = buckets
+        .into_iter()
+        .map(|items| items.into_iter().map(|l| domain.intern(l)).collect())
+        .collect();
+    Ok(BucketOrder::from_buckets(domain.len(), parsed)?)
+}
+
+/// Parses the labeled form against a **fixed** domain: unknown labels are
+/// an error rather than interned.
+///
+/// # Errors
+/// See [`ParseError`].
+pub fn parse_labeled_ranking_strict(
+    s: &str,
+    domain: &Domain,
+) -> Result<BucketOrder, ParseError> {
+    let buckets = split_buckets(s)?;
+    let mut parsed: Vec<Vec<ElementId>> = Vec::with_capacity(buckets.len());
+    for items in buckets {
+        let mut bucket = Vec::with_capacity(items.len());
+        for l in items {
+            let id = domain.id(l).ok_or_else(|| ParseError::UnknownLabel {
+                label: l.to_owned(),
+            })?;
+            bucket.push(id);
+        }
+        parsed.push(bucket);
+    }
+    Ok(BucketOrder::from_buckets(domain.len(), parsed)?)
+}
+
+/// Renders a bucket order with labels from a domain; falls back to the
+/// numeric id for unlabeled elements.
+pub fn display_labeled(order: &BucketOrder, domain: &Domain) -> String {
+    let mut s = String::from("[");
+    for (bi, b) in order.buckets().iter().enumerate() {
+        if bi > 0 {
+            s.push_str(" | ");
+        }
+        for (i, &e) in b.iter().enumerate() {
+            if i > 0 {
+                s.push(' ');
+            }
+            match domain.label(e) {
+                Some(l) => s.push_str(l),
+                None => s.push_str(&e.to_string()),
+            }
+        }
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_round_trip() {
+        for text in ["[0]", "[1 | 0]", "[0 2 | 1 | 3 4]", "[]"] {
+            let n = text.chars().filter(|c| c.is_ascii_digit()).count();
+            let s = parse_ranking(text, n).unwrap();
+            assert_eq!(s.display(), text.replace("  ", " "));
+            // Round trip.
+            let again = parse_ranking(&s.display(), n).unwrap();
+            assert_eq!(again, s);
+        }
+    }
+
+    #[test]
+    fn numeric_errors() {
+        assert_eq!(parse_ranking("0 | 1", 2), Err(ParseError::MissingBrackets));
+        assert!(matches!(
+            parse_ranking("[0 | | 1]", 2),
+            Err(ParseError::EmptyBucket { index: 1 })
+        ));
+        assert!(matches!(
+            parse_ranking("[0 x]", 2),
+            Err(ParseError::BadElementId { .. })
+        ));
+        assert!(matches!(
+            parse_ranking("[0 1]", 3),
+            Err(ParseError::Invalid(CoreError::MissingElement { .. }))
+        ));
+        assert!(matches!(
+            parse_ranking("[0 0 1]", 2),
+            Err(ParseError::Invalid(CoreError::DuplicateElement { .. }))
+        ));
+        assert!(matches!(
+            parse_ranking("[5]", 1),
+            Err(ParseError::Invalid(CoreError::ElementOutOfRange { .. }))
+        ));
+    }
+
+    #[test]
+    fn whitespace_tolerance() {
+        let s = parse_ranking("  [ 0   2 |1| 3 4 ]  ", 5).unwrap();
+        assert_eq!(s.display(), "[0 2 | 1 | 3 4]");
+    }
+
+    #[test]
+    fn labeled_interning_round_trip() {
+        let mut d = Domain::new();
+        let s = parse_labeled_ranking("[b | a c]", &mut d).unwrap();
+        assert_eq!(d.len(), 3);
+        let rendered = display_labeled(&s, &d);
+        assert_eq!(rendered, "[b | a c]");
+        let t = parse_labeled_ranking_strict(&rendered, &d).unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn strict_rejects_unknown_labels() {
+        let d = Domain::from_labels(["a", "b"]);
+        assert!(matches!(
+            parse_labeled_ranking_strict("[a | z]", &d),
+            Err(ParseError::UnknownLabel { .. })
+        ));
+        // Strict also requires covering the whole domain.
+        assert!(matches!(
+            parse_labeled_ranking_strict("[a]", &d),
+            Err(ParseError::Invalid(CoreError::MissingElement { .. }))
+        ));
+    }
+
+    #[test]
+    fn display_labeled_falls_back_to_ids() {
+        let d = Domain::from_labels(["x"]);
+        let s = BucketOrder::from_buckets(2, vec![vec![1], vec![0]]).unwrap();
+        assert_eq!(display_labeled(&s, &d), "[1 | x]");
+    }
+
+    #[test]
+    fn error_display_and_source() {
+        let e = ParseError::Invalid(CoreError::MissingElement { element: 2 });
+        assert!(e.to_string().contains("invalid"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&ParseError::MissingBrackets).is_none());
+    }
+}

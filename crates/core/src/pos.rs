@@ -1,0 +1,181 @@
+//! Exact bucket positions in half-units.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// An exact rank position, stored in *half-units* (twice the paper's value).
+///
+/// The position of a bucket, `pos(B_i) = Σ_{j<i}|B_j| + (|B_i|+1)/2`, is
+/// always an integer multiple of `1/2`. Storing `2·pos` as an `i64` keeps
+/// every position — and therefore every `L1`/footrule quantity built from
+/// positions — exact. Use [`Pos::as_f64`] only at presentation boundaries.
+///
+/// `Pos` is also used for median score vectors during aggregation: the
+/// *lower* (or upper) median of half-unit values is again a half-unit value,
+/// which is exactly the integrality condition the paper's dynamic program
+/// requires ("we make the additional assumption that `2f(i)` is integral",
+/// Appendix A.6.4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Pos(i64);
+
+impl Pos {
+    /// Zero position.
+    pub const ZERO: Pos = Pos(0);
+
+    /// Creates a position from a raw half-unit count (`2×` the rank value).
+    #[inline]
+    pub const fn from_half_units(h: i64) -> Self {
+        Pos(h)
+    }
+
+    /// Creates a position from a whole rank value (e.g. a 1-based rank in a
+    /// full ranking).
+    #[inline]
+    pub const fn from_rank(r: i64) -> Self {
+        Pos(2 * r)
+    }
+
+    /// Raw half-unit count (`2×` the rank value).
+    #[inline]
+    pub const fn half_units(self) -> i64 {
+        self.0
+    }
+
+    /// The position as a floating-point rank value (presentation only).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64 / 2.0
+    }
+
+    /// Absolute difference `|self − other|`, in half-units.
+    ///
+    /// This is the per-element contribution to the footrule/`L1` distance
+    /// (scaled by 2 relative to the paper).
+    #[inline]
+    pub fn abs_diff(self, other: Pos) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+
+    /// Whether the position is a whole (non-fractional) rank.
+    #[inline]
+    pub const fn is_integral(self) -> bool {
+        self.0 % 2 == 0
+    }
+}
+
+impl Add for Pos {
+    type Output = Pos;
+    #[inline]
+    fn add(self, rhs: Pos) -> Pos {
+        Pos(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Pos {
+    #[inline]
+    fn add_assign(&mut self, rhs: Pos) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Pos {
+    type Output = Pos;
+    #[inline]
+    fn sub(self, rhs: Pos) -> Pos {
+        Pos(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Pos {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Pos) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Neg for Pos {
+    type Output = Pos;
+    #[inline]
+    fn neg(self) -> Pos {
+        Pos(-self.0)
+    }
+}
+
+impl Sum for Pos {
+    fn sum<I: Iterator<Item = Pos>>(iter: I) -> Pos {
+        iter.fold(Pos::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pos({})", self)
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 % 2 == 0 {
+            write!(f, "{}", self.0 / 2)
+        } else {
+            let sign = if self.0 < 0 { "-" } else { "" };
+            write!(f, "{sign}{}.5", self.0.unsigned_abs() / 2)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_unit_round_trip() {
+        let p = Pos::from_half_units(7);
+        assert_eq!(p.half_units(), 7);
+        assert_eq!(p.as_f64(), 3.5);
+        assert!(!p.is_integral());
+    }
+
+    #[test]
+    fn from_rank_is_integral() {
+        let p = Pos::from_rank(4);
+        assert_eq!(p.half_units(), 8);
+        assert!(p.is_integral());
+        assert_eq!(p.as_f64(), 4.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Pos::from_half_units(5);
+        let b = Pos::from_half_units(2);
+        assert_eq!((a + b).half_units(), 7);
+        assert_eq!((a - b).half_units(), 3);
+        assert_eq!((-a).half_units(), -5);
+        assert_eq!(a.abs_diff(b), 3);
+        assert_eq!(b.abs_diff(a), 3);
+    }
+
+    #[test]
+    fn sum_and_default() {
+        let s: Pos = [1, 2, 3].iter().map(|&h| Pos::from_half_units(h)).sum();
+        assert_eq!(s.half_units(), 6);
+        assert_eq!(Pos::default(), Pos::ZERO);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Pos::from_half_units(6).to_string(), "3");
+        assert_eq!(Pos::from_half_units(7).to_string(), "3.5");
+        assert_eq!(Pos::from_half_units(-3).to_string(), "-1.5");
+        assert_eq!(Pos::from_half_units(-1).to_string(), "-0.5");
+        assert_eq!(Pos::from_half_units(-4).to_string(), "-2");
+        assert_eq!(format!("{:?}", Pos::from_half_units(7)), "Pos(3.5)");
+    }
+
+    #[test]
+    fn ordering_matches_value_order() {
+        assert!(Pos::from_half_units(3) < Pos::from_rank(2));
+        assert!(Pos::from_rank(1) < Pos::from_half_units(3));
+    }
+}

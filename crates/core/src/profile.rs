@@ -1,0 +1,252 @@
+//! Ergonomic construction of ranking *profiles* from labeled data.
+//!
+//! The algorithmic layers work on dense element ids over one fixed
+//! domain. Real inputs arrive as lists of names, often mentioning only
+//! the items a source ranked (a search engine's top ten, a judge's
+//! shortlist). [`ProfileBuilder`] collects labeled rankings, interns the
+//! union of all labels as the domain, and finalizes every ranking over
+//! it — either demanding full coverage or placing unmentioned items in an
+//! implicit bottom bucket (turning each source into exactly the paper's
+//! top-k-style partial ranking).
+//!
+//! ```
+//! use bucketrank_core::profile::{MissingPolicy, ProfileBuilder};
+//!
+//! let mut b = ProfileBuilder::new();
+//! b.ranking().bucket(["thai"]).bucket(["sushi", "pizza"]).done();
+//! b.ranking().bucket(["sushi"]).done(); // mentions only one item
+//! let profile = b.finish(MissingPolicy::BottomBucket).unwrap();
+//!
+//! assert_eq!(profile.domain().len(), 3);
+//! let second = &profile.rankings()[1];
+//! // "thai" and "pizza" were unmentioned: tied in the bottom bucket.
+//! let thai = profile.domain().id("thai").unwrap();
+//! let pizza = profile.domain().id("pizza").unwrap();
+//! assert!(second.is_tied(thai, pizza));
+//! ```
+
+use crate::{BucketOrder, CoreError, Domain, ElementId};
+
+/// What to do with domain elements a ranking does not mention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MissingPolicy {
+    /// Place all unmentioned elements in one bottom bucket (the paper's
+    /// top-k convention).
+    #[default]
+    BottomBucket,
+    /// Reject rankings that do not cover the full domain.
+    Error,
+}
+
+/// A finalized profile: the shared domain and the rankings over it.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    domain: Domain,
+    rankings: Vec<BucketOrder>,
+}
+
+impl Profile {
+    /// The interned domain.
+    pub fn domain(&self) -> &Domain {
+        &self.domain
+    }
+
+    /// The rankings, in insertion order.
+    pub fn rankings(&self) -> &[BucketOrder] {
+        &self.rankings
+    }
+
+    /// Decomposes into `(domain, rankings)`.
+    pub fn into_parts(self) -> (Domain, Vec<BucketOrder>) {
+        (self.domain, self.rankings)
+    }
+}
+
+/// Collects labeled rankings; see the [module docs](self).
+#[derive(Debug, Default)]
+pub struct ProfileBuilder {
+    domain: Domain,
+    /// Each ranking as bucket lists of interned ids.
+    raw: Vec<Vec<Vec<ElementId>>>,
+}
+
+impl ProfileBuilder {
+    /// Starts an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts the next ranking; finish it with [`RankingBuilder::done`]
+    /// (dropping the guard without `done` discards the ranking).
+    pub fn ranking(&mut self) -> RankingBuilder<'_> {
+        RankingBuilder {
+            parent: self,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Adds a whole ranking at once: each inner slice is a bucket.
+    pub fn push_ranking<S: AsRef<str>>(&mut self, buckets: &[&[S]]) -> &mut Self {
+        let interned: Vec<Vec<ElementId>> = buckets
+            .iter()
+            .map(|b| b.iter().map(|l| self.domain.intern(l.as_ref())).collect())
+            .collect();
+        self.raw.push(interned);
+        self
+    }
+
+    /// Number of rankings collected so far.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether no rankings were collected.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Finalizes all rankings over the union domain.
+    ///
+    /// # Errors
+    /// [`CoreError::DuplicateElement`] if a ranking mentions a label
+    /// twice; [`CoreError::MissingElement`] under
+    /// [`MissingPolicy::Error`] when a ranking does not cover the domain.
+    pub fn finish(self, missing: MissingPolicy) -> Result<Profile, CoreError> {
+        let n = self.domain.len();
+        let mut rankings = Vec::with_capacity(self.raw.len());
+        for buckets in self.raw {
+            let mut buckets = buckets;
+            match missing {
+                MissingPolicy::BottomBucket => {
+                    let mut seen = vec![false; n];
+                    for b in &buckets {
+                        for &e in b {
+                            if seen[e as usize] {
+                                return Err(CoreError::DuplicateElement { element: e });
+                            }
+                            seen[e as usize] = true;
+                        }
+                    }
+                    let rest: Vec<ElementId> = (0..n as ElementId)
+                        .filter(|&e| !seen[e as usize])
+                        .collect();
+                    if !rest.is_empty() {
+                        buckets.push(rest);
+                    }
+                }
+                MissingPolicy::Error => {}
+            }
+            rankings.push(BucketOrder::from_buckets(n, buckets)?);
+        }
+        Ok(Profile {
+            domain: self.domain,
+            rankings,
+        })
+    }
+}
+
+/// Guard for building one ranking inside a [`ProfileBuilder`].
+#[derive(Debug)]
+pub struct RankingBuilder<'a> {
+    parent: &'a mut ProfileBuilder,
+    buckets: Vec<Vec<ElementId>>,
+}
+
+impl RankingBuilder<'_> {
+    /// Appends the next bucket of tied labels.
+    #[must_use = "finish the ranking with done()"]
+    pub fn bucket<I, S>(mut self, labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let b: Vec<ElementId> = labels
+            .into_iter()
+            .map(|l| self.parent.domain.intern(l.as_ref()))
+            .collect();
+        self.buckets.push(b);
+        self
+    }
+
+    /// Commits the ranking to the profile.
+    pub fn done(self) {
+        self.parent.raw.push(self.buckets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bottom_bucket_policy_completes_rankings() {
+        let mut b = ProfileBuilder::new();
+        b.ranking().bucket(["a"]).bucket(["b"]).done();
+        b.ranking().bucket(["c"]).done();
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        let p = b.finish(MissingPolicy::BottomBucket).unwrap();
+        assert_eq!(p.domain().len(), 3);
+        let c = p.domain().id("c").unwrap();
+        let a = p.domain().id("a").unwrap();
+        let bb = p.domain().id("b").unwrap();
+        // First ranking: c unmentioned → bottom.
+        assert!(p.rankings()[0].prefers(a, c));
+        // Second: a, b tied at the bottom behind c.
+        assert!(p.rankings()[1].prefers(c, a));
+        assert!(p.rankings()[1].is_tied(a, bb));
+    }
+
+    #[test]
+    fn error_policy_requires_coverage() {
+        let mut b = ProfileBuilder::new();
+        b.push_ranking(&[&["x", "y"]]);
+        b.push_ranking(&[&["x"]]); // misses y
+        let e = b.finish(MissingPolicy::Error).unwrap_err();
+        assert!(matches!(e, CoreError::MissingElement { .. }));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut b = ProfileBuilder::new();
+        b.push_ranking(&[&["x"], &["x"]]);
+        assert!(matches!(
+            b.finish(MissingPolicy::BottomBucket),
+            Err(CoreError::DuplicateElement { .. })
+        ));
+    }
+
+    #[test]
+    fn dropped_guard_discards_ranking() {
+        let mut b = ProfileBuilder::new();
+        {
+            let _incomplete = b.ranking().bucket(["a"]);
+            // dropped without done()
+        }
+        b.ranking().bucket(["a"]).done();
+        let p = b.finish(MissingPolicy::BottomBucket).unwrap();
+        assert_eq!(p.rankings().len(), 1);
+    }
+
+    #[test]
+    fn profile_feeds_the_pipeline() {
+        // End-to-end smoke: everything downstream accepts the rankings.
+        let mut b = ProfileBuilder::new();
+        b.push_ranking(&[&["a"], &["b", "c"], &["d"]]);
+        b.push_ranking(&[&["b"], &["a"]]);
+        b.push_ranking(&[&["d", "c"]]);
+        let p = b.finish(MissingPolicy::BottomBucket).unwrap();
+        let (domain, rankings) = p.into_parts();
+        assert_eq!(domain.len(), 4);
+        assert!(rankings.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn empty_profile_is_fine() {
+        let p = ProfileBuilder::new()
+            .finish(MissingPolicy::BottomBucket)
+            .unwrap();
+        assert!(p.rankings().is_empty());
+        assert!(p.domain().is_empty());
+    }
+}

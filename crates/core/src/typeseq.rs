@@ -1,0 +1,378 @@
+//! Types of partial rankings: the ordered sequence of bucket sizes.
+
+use crate::{CoreError, Pos};
+use std::fmt;
+
+/// The *type* of a partial ranking: its sequence of bucket sizes
+/// `|B_1|, |B_2|, …, |B_t|` (Appendix A.1 of the paper).
+///
+/// A full ranking on `n` elements has type `1, 1, …, 1` (`n` ones); a top-k
+/// list has type `1, …, 1, n−k` (`k` ones followed by the bottom bucket).
+///
+/// # Example
+///
+/// ```
+/// use bucketrank_core::TypeSeq;
+///
+/// let t = TypeSeq::new(vec![1, 1, 3]).unwrap();
+/// assert_eq!(t.domain_size(), 5);
+/// assert!(t.is_top_k().is_some());
+/// assert_eq!(t.is_top_k(), Some(2));
+/// assert!(!t.is_full());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct TypeSeq {
+    sizes: Vec<usize>,
+}
+
+impl TypeSeq {
+    /// Creates a type from bucket sizes. Every size must be positive.
+    pub fn new(sizes: Vec<usize>) -> Result<Self, CoreError> {
+        if let Some(index) = sizes.iter().position(|&s| s == 0) {
+            return Err(CoreError::EmptyBucket { index });
+        }
+        Ok(TypeSeq { sizes })
+    }
+
+    /// The type of a full ranking on `n` elements: `n` singleton buckets.
+    pub fn full(n: usize) -> Self {
+        TypeSeq { sizes: vec![1; n] }
+    }
+
+    /// The type of a top-k list on `n` elements: `k` singletons then a
+    /// bottom bucket of size `n − k`. Requires `k < n` (for `k = n`, the
+    /// top-k type *is* the full type, which this also returns).
+    pub fn top_k(n: usize, k: usize) -> Result<Self, CoreError> {
+        if k > n {
+            return Err(CoreError::InvalidK { k, domain_size: n });
+        }
+        let mut sizes = vec![1; k];
+        if n > k {
+            sizes.push(n - k);
+        }
+        Ok(TypeSeq { sizes })
+    }
+
+    /// A single bucket containing the whole domain (everything tied).
+    pub fn trivial(n: usize) -> Result<Self, CoreError> {
+        if n == 0 {
+            return Ok(TypeSeq { sizes: vec![] });
+        }
+        Ok(TypeSeq { sizes: vec![n] })
+    }
+
+    /// The bucket sizes.
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Total number of elements (sum of bucket sizes).
+    pub fn domain_size(&self) -> usize {
+        self.sizes.iter().sum()
+    }
+
+    /// Whether this is the type of a full ranking (all singleton buckets).
+    pub fn is_full(&self) -> bool {
+        self.sizes.iter().all(|&s| s == 1)
+    }
+
+    /// If this is a top-k type (`k` singletons followed by at most one
+    /// larger bottom bucket), returns `k`.
+    ///
+    /// A full type on `n` elements is reported as `Some(n)` — a full ranking
+    /// is a top-`|D|` list, as the paper notes before Theorem 9.
+    pub fn is_top_k(&self) -> Option<usize> {
+        let n = self.sizes.len();
+        let singleton_prefix = self.sizes.iter().take_while(|&&s| s == 1).count();
+        match n - singleton_prefix {
+            0 => Some(singleton_prefix),
+            1 => Some(singleton_prefix),
+            _ => None,
+        }
+    }
+
+    /// The position `pos(B_i)` of each bucket, in half-units.
+    pub fn positions(&self) -> Vec<Pos> {
+        let mut out = Vec::with_capacity(self.sizes.len());
+        let mut before = 0usize;
+        for &s in &self.sizes {
+            // pos = before + (s + 1)/2  =>  half-units = 2*before + s + 1
+            out.push(Pos::from_half_units((2 * before + s + 1) as i64));
+            before += s;
+        }
+        out
+    }
+
+    /// Enumerates every type of a domain of size `n` (i.e., every
+    /// composition of `n`). There are `2^(n−1)` of them. Intended for
+    /// exhaustive verification on small `n`.
+    pub fn all_types(n: usize) -> Vec<TypeSeq> {
+        if n == 0 {
+            return vec![TypeSeq { sizes: vec![] }];
+        }
+        let mut out = Vec::with_capacity(1 << (n - 1));
+        // Each of the n-1 gaps is either a bucket boundary or not.
+        for mask in 0u64..(1u64 << (n - 1)) {
+            let mut sizes = Vec::new();
+            let mut run = 1usize;
+            for gap in 0..n - 1 {
+                if mask >> gap & 1 == 1 {
+                    sizes.push(run);
+                    run = 1;
+                } else {
+                    run += 1;
+                }
+            }
+            sizes.push(run);
+            out.push(TypeSeq { sizes });
+        }
+        out
+    }
+
+    /// Whether this type is a *coarsening* of `other`: every bucket of
+    /// `self` is a union of consecutive buckets of `other` (equivalently,
+    /// `self`'s prefix sums are a subset of `other`'s). Any bucket order
+    /// of type `other` then refines some bucket order of type `self`.
+    pub fn is_coarsening_of(&self, other: &TypeSeq) -> bool {
+        if self.domain_size() != other.domain_size() {
+            return false;
+        }
+        let mut fine = other.sizes().iter();
+        for &coarse in &self.sizes {
+            let mut acc = 0usize;
+            while acc < coarse {
+                match fine.next() {
+                    Some(&s) => acc += s,
+                    None => return false,
+                }
+            }
+            if acc != coarse {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enumerates every coarsening of this type (all ways of merging runs
+    /// of consecutive buckets): `2^(t−1)` results for `t` buckets.
+    /// Intended for exhaustive verification on small types.
+    pub fn coarsenings(&self) -> Vec<TypeSeq> {
+        let t = self.sizes.len();
+        if t == 0 {
+            return vec![TypeSeq { sizes: vec![] }];
+        }
+        let mut out = Vec::with_capacity(1 << (t - 1));
+        for mask in 0u64..(1u64 << (t - 1)) {
+            let mut sizes = Vec::new();
+            let mut run = self.sizes[0];
+            for gap in 0..t - 1 {
+                if mask >> gap & 1 == 1 {
+                    sizes.push(run);
+                    run = self.sizes[gap + 1];
+                } else {
+                    run += self.sizes[gap + 1];
+                }
+            }
+            sizes.push(run);
+            out.push(TypeSeq { sizes });
+        }
+        out
+    }
+
+    /// The number of bucket orders of this type: the multinomial
+    /// coefficient `n! / (|B_1|! · … · |B_t|!)`.
+    ///
+    /// Returns `None` on overflow.
+    pub fn count_bucket_orders(&self) -> Option<u128> {
+        let mut result: u128 = 1;
+        let mut placed = 0usize;
+        for &s in &self.sizes {
+            // multiply by C(placed + s, s)
+            for i in 1..=s {
+                result = result.checked_mul((placed + i) as u128)?;
+                result /= i as u128; // exact: running product of binomials
+            }
+            placed += s;
+        }
+        Some(result)
+    }
+}
+
+/// The number of bucket orders on `n` elements: the ordered Bell (Fubini)
+/// number. Returns `None` on overflow (`n ≤ 25` is safe in `u128`).
+///
+/// ```
+/// use bucketrank_core::TypeSeq;
+/// use bucketrank_core::fubini;
+///
+/// assert_eq!(fubini(3), Some(13));
+/// let total: u128 = TypeSeq::all_types(3)
+///     .iter()
+///     .map(|t| t.count_bucket_orders().unwrap())
+///     .sum();
+/// assert_eq!(total, 13);
+/// ```
+pub fn fubini(n: usize) -> Option<u128> {
+    // a(n) = sum_{k=1..n} C(n, k) * a(n-k), a(0) = 1
+    let mut a = vec![0u128; n + 1];
+    a[0] = 1;
+    for m in 1..=n {
+        let mut binom: u128 = 1; // C(m, k)
+        let mut total: u128 = 0;
+        for k in 1..=m {
+            binom = binom.checked_mul((m - k + 1) as u128)? / k as u128;
+            total = total.checked_add(binom.checked_mul(a[m - k])?)?;
+        }
+        a[m] = total;
+    }
+    Some(a[n])
+}
+
+impl fmt::Debug for TypeSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TypeSeq{:?}", self.sizes)
+    }
+}
+
+impl fmt::Display for TypeSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for s in &self.sizes {
+            if !first {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_zero_sizes() {
+        assert_eq!(
+            TypeSeq::new(vec![1, 0, 2]),
+            Err(CoreError::EmptyBucket { index: 1 })
+        );
+    }
+
+    #[test]
+    fn full_and_top_k_classification() {
+        assert!(TypeSeq::full(4).is_full());
+        assert_eq!(TypeSeq::full(4).is_top_k(), Some(4));
+        let t = TypeSeq::top_k(6, 2).unwrap();
+        assert_eq!(t.sizes(), &[1, 1, 4]);
+        assert_eq!(t.is_top_k(), Some(2));
+        assert!(TypeSeq::new(vec![2, 1, 1]).unwrap().is_top_k().is_none());
+        assert!(TypeSeq::new(vec![1, 2, 3]).unwrap().is_top_k().is_none());
+        // k = n degenerates to the full type.
+        assert_eq!(TypeSeq::top_k(3, 3).unwrap(), TypeSeq::full(3));
+        assert!(TypeSeq::top_k(3, 4).is_err());
+    }
+
+    #[test]
+    fn trivial_type() {
+        assert_eq!(TypeSeq::trivial(5).unwrap().sizes(), &[5]);
+        assert_eq!(TypeSeq::trivial(0).unwrap().num_buckets(), 0);
+    }
+
+    #[test]
+    fn positions_match_paper_definition() {
+        // Buckets of sizes 2, 1, 3 over n=6:
+        // pos(B1) = (2+1)/2 = 1.5; pos(B2) = 2 + 1 = 3; pos(B3) = 3 + 2 = 5
+        let t = TypeSeq::new(vec![2, 1, 3]).unwrap();
+        let p = t.positions();
+        assert_eq!(p[0], Pos::from_half_units(3));
+        assert_eq!(p[1], Pos::from_half_units(6));
+        assert_eq!(p[2], Pos::from_half_units(10));
+    }
+
+    #[test]
+    fn full_ranking_positions_are_ranks() {
+        let t = TypeSeq::full(4);
+        let p = t.positions();
+        for (i, &pi) in p.iter().enumerate() {
+            assert_eq!(pi, Pos::from_rank(i as i64 + 1));
+        }
+    }
+
+    #[test]
+    fn all_types_counts_are_powers_of_two() {
+        assert_eq!(TypeSeq::all_types(1).len(), 1);
+        assert_eq!(TypeSeq::all_types(4).len(), 8);
+        for t in TypeSeq::all_types(5) {
+            assert_eq!(t.domain_size(), 5);
+        }
+    }
+
+    #[test]
+    fn fubini_small_values() {
+        // OEIS A000670
+        let expect = [1u128, 1, 3, 13, 75, 541, 4683, 47293];
+        for (n, &e) in expect.iter().enumerate() {
+            assert_eq!(fubini(n), Some(e), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn coarsening_relation() {
+        let fine = TypeSeq::new(vec![1, 2, 1, 3]).unwrap();
+        assert!(TypeSeq::new(vec![3, 4]).unwrap().is_coarsening_of(&fine));
+        assert!(TypeSeq::new(vec![7]).unwrap().is_coarsening_of(&fine));
+        assert!(fine.is_coarsening_of(&fine));
+        // Boundary inside a fine bucket: not a coarsening.
+        assert!(!TypeSeq::new(vec![2, 5]).unwrap().is_coarsening_of(&fine));
+        // Different domain.
+        assert!(!TypeSeq::new(vec![6]).unwrap().is_coarsening_of(&fine));
+        // Full type is coarsened by every type of the same n.
+        for t in TypeSeq::all_types(5) {
+            assert!(t.is_coarsening_of(&TypeSeq::full(5)));
+        }
+    }
+
+    #[test]
+    fn coarsenings_enumeration() {
+        let t = TypeSeq::new(vec![1, 2, 1]).unwrap();
+        let cs = t.coarsenings();
+        assert_eq!(cs.len(), 4);
+        for c in &cs {
+            assert!(c.is_coarsening_of(&t), "{c}");
+            assert_eq!(c.domain_size(), 4);
+        }
+        assert!(cs.contains(&TypeSeq::new(vec![4]).unwrap()));
+        assert!(cs.contains(&t));
+        // Consistency: coarsenings of the full type are all types.
+        let all = TypeSeq::full(4).coarsenings();
+        assert_eq!(all.len(), 8);
+        // Empty type.
+        assert_eq!(TypeSeq::trivial(0).unwrap().coarsenings().len(), 1);
+    }
+
+    #[test]
+    fn count_bucket_orders_multinomial() {
+        // type (2,1): 3!/2! = 3 orders
+        assert_eq!(
+            TypeSeq::new(vec![2, 1]).unwrap().count_bucket_orders(),
+            Some(3)
+        );
+        // full type: n! orders
+        assert_eq!(TypeSeq::full(5).count_bucket_orders(), Some(120));
+        // sum over all types = Fubini
+        for n in 0..=6 {
+            let total: u128 = TypeSeq::all_types(n)
+                .iter()
+                .map(|t| t.count_bucket_orders().unwrap())
+                .sum();
+            assert_eq!(Some(total), fubini(n), "n = {n}");
+        }
+    }
+}

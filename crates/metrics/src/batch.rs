@@ -1,0 +1,231 @@
+//! Batch distance computation: full pairwise matrices, optionally in
+//! parallel.
+//!
+//! Applications of the paper's metrics (similarity search, clustering,
+//! the experiment harness itself) routinely need all `m(m−1)/2` pairwise
+//! distances of a profile. This module provides a cache-friendly
+//! single-threaded path and a [`crossbeam`]-scoped parallel path that
+//! splits the pair list across threads (the metrics are pure functions of
+//! immutable inputs, so this parallelizes embarrassingly).
+
+use crate::error::check_same_domain;
+use crate::MetricsError;
+use bucketrank_core::BucketOrder;
+
+/// A symmetric distance matrix over `m` rankings, stored densely
+/// (`m × m`, diagonal zero).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistanceMatrix {
+    m: usize,
+    values: Vec<u64>,
+}
+
+impl DistanceMatrix {
+    /// Number of rankings.
+    pub fn len(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.m == 0
+    }
+
+    /// The distance between rankings `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics if an index is out of range.
+    pub fn get(&self, i: usize, j: usize) -> u64 {
+        assert!(i < self.m && j < self.m, "index out of range");
+        self.values[i * self.m + j]
+    }
+
+    /// Total over all unordered pairs (each pair counted once).
+    pub fn total(&self) -> u64 {
+        let mut t = 0;
+        for i in 0..self.m {
+            for j in i + 1..self.m {
+                t += self.get(i, j);
+            }
+        }
+        t
+    }
+
+    /// The index of the ranking minimizing the sum of distances to the
+    /// others (the medoid / best-input of `aggregate::borda::best_input`,
+    /// computed from the matrix), with its total. `None` when empty.
+    pub fn medoid(&self) -> Option<(usize, u64)> {
+        (0..self.m)
+            .map(|i| {
+                let s: u64 = (0..self.m).map(|j| self.get(i, j)).sum();
+                (i, s)
+            })
+            .min_by_key(|&(i, s)| (s, i))
+    }
+}
+
+/// Computes the pairwise matrix single-threaded.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if the rankings differ in domain, or
+/// any error from the distance function.
+pub fn pairwise_matrix<D>(orders: &[BucketOrder], d: D) -> Result<DistanceMatrix, MetricsError>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>,
+{
+    let m = orders.len();
+    for w in orders.windows(2) {
+        check_same_domain(&w[0], &w[1])?;
+    }
+    let mut values = vec![0u64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = d(&orders[i], &orders[j])?;
+            values[i * m + j] = v;
+            values[j * m + i] = v;
+        }
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
+/// Computes the pairwise matrix with `threads` worker threads
+/// (crossbeam-scoped; `threads = 1` falls back to the sequential path).
+///
+/// Pairs are dealt round-robin by flattened pair index, which balances
+/// well because every pair costs roughly the same `O(n log n)`.
+///
+/// # Errors
+/// As [`pairwise_matrix`]. The first error encountered (by pair order)
+/// is returned.
+pub fn pairwise_matrix_parallel<D>(
+    orders: &[BucketOrder],
+    d: D,
+    threads: usize,
+) -> Result<DistanceMatrix, MetricsError>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError> + Sync,
+{
+    let m = orders.len();
+    if threads <= 1 || m < 4 {
+        return pairwise_matrix(orders, d);
+    }
+    for w in orders.windows(2) {
+        check_same_domain(&w[0], &w[1])?;
+    }
+    // Flattened list of unordered pairs.
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| (i + 1..m).map(move |j| (i, j)))
+        .collect();
+    let mut results: Vec<Result<u64, MetricsError>> = Vec::with_capacity(pairs.len());
+    results.resize_with(pairs.len(), || Ok(0));
+
+    crossbeam::thread::scope(|scope| {
+        // Chunk the results buffer so each worker owns a disjoint slice.
+        let chunk = pairs.len().div_ceil(threads);
+        for (t, res_chunk) in results.chunks_mut(chunk).enumerate() {
+            let pairs = &pairs;
+            let d = &d;
+            let start = t * chunk;
+            scope.spawn(move |_| {
+                for (off, slot) in res_chunk.iter_mut().enumerate() {
+                    let (i, j) = pairs[start + off];
+                    *slot = d(&orders[i], &orders[j]);
+                }
+            });
+        }
+    })
+    .expect("metric workers do not panic");
+
+    let mut values = vec![0u64; m * m];
+    for ((i, j), r) in pairs.into_iter().zip(results) {
+        let v = r?;
+        values[i * m + j] = v;
+        values[j * m + i] = v;
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{footrule, hausdorff, kendall};
+
+    fn profile() -> Vec<BucketOrder> {
+        (0..9)
+            .map(|i| {
+                let keys: Vec<i64> = (0..12).map(|e| ((e * (i + 2) + i) % 5) as i64).collect();
+                BucketOrder::from_keys(&keys)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_zero_diagonal() {
+        let p = profile();
+        let mx = pairwise_matrix(&p, kendall::kprof_x2).unwrap();
+        assert_eq!(mx.len(), 9);
+        assert!(!mx.is_empty());
+        for i in 0..9 {
+            assert_eq!(mx.get(i, i), 0);
+            for j in 0..9 {
+                assert_eq!(mx.get(i, j), mx.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_all_metrics() {
+        let p = profile();
+        type DistFn = fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>;
+        let metrics: [DistFn; 4] = [
+            kendall::kprof_x2,
+            footrule::fprof_x2,
+            hausdorff::khaus,
+            hausdorff::fhaus,
+        ];
+        for d in metrics {
+            let seq = pairwise_matrix(&p, d).unwrap();
+            for threads in [1usize, 2, 3, 8] {
+                let par = pairwise_matrix_parallel(&p, d, threads).unwrap();
+                assert_eq!(seq, par, "threads = {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn medoid_matches_best_input_semantics() {
+        let p = profile();
+        let mx = pairwise_matrix(&p, footrule::fprof_x2).unwrap();
+        let (medoid, total) = mx.medoid().unwrap();
+        // Recompute directly.
+        let direct: Vec<u64> = (0..p.len())
+            .map(|i| {
+                p.iter()
+                    .map(|s| footrule::fprof_x2(&p[i], s).unwrap())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(total, direct[medoid]);
+        assert_eq!(total, *direct.iter().min().unwrap());
+        assert!(mx.total() > 0);
+    }
+
+    #[test]
+    fn domain_mismatch_detected() {
+        let p = vec![BucketOrder::trivial(3), BucketOrder::trivial(4)];
+        assert!(pairwise_matrix(&p, kendall::kprof_x2).is_err());
+        assert!(pairwise_matrix_parallel(&p, kendall::kprof_x2, 4).is_err());
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let empty: Vec<BucketOrder> = vec![];
+        let mx = pairwise_matrix(&empty, kendall::kprof_x2).unwrap();
+        assert!(mx.is_empty());
+        assert_eq!(mx.medoid(), None);
+        let one = vec![BucketOrder::trivial(3)];
+        let mx = pairwise_matrix_parallel(&one, kendall::kprof_x2, 4).unwrap();
+        assert_eq!(mx.len(), 1);
+        assert_eq!(mx.medoid(), Some((0, 0)));
+    }
+}

@@ -1,0 +1,93 @@
+//! Error type for metric computations.
+
+use bucketrank_core::CoreError;
+use std::fmt;
+
+/// Errors produced by metric computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MetricsError {
+    /// The two rankings do not share a domain.
+    DomainMismatch {
+        /// Domain size of the left ranking.
+        left: usize,
+        /// Domain size of the right ranking.
+        right: usize,
+    },
+    /// The metric is defined only for full rankings (permutations) but an
+    /// input had ties.
+    NotFullRanking,
+    /// The metric is defined only for top-k lists but an input was not one,
+    /// or the two inputs had different `k`.
+    NotTopK,
+    /// The location parameter `ℓ` of `F^(ℓ)` must exceed `k`.
+    InvalidLocationParameter,
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MetricsError::DomainMismatch { left, right } => write!(
+                f,
+                "rankings have different domains (sizes {left} and {right})"
+            ),
+            MetricsError::NotFullRanking => {
+                write!(f, "metric requires full rankings (no ties)")
+            }
+            MetricsError::NotTopK => {
+                write!(f, "metric requires two top-k lists with the same k")
+            }
+            MetricsError::InvalidLocationParameter => {
+                write!(f, "location parameter ℓ must be greater than k")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+impl From<CoreError> for MetricsError {
+    fn from(e: CoreError) -> Self {
+        match e {
+            CoreError::DomainMismatch { left, right } => {
+                MetricsError::DomainMismatch { left, right }
+            }
+            // Metric code only funnels domain mismatches through this
+            // conversion; anything else indicates an internal bug.
+            other => unreachable!("unexpected core error in metrics: {other}"),
+        }
+    }
+}
+
+/// Checks that two rankings share a domain.
+pub(crate) fn check_same_domain(
+    a: &bucketrank_core::BucketOrder,
+    b: &bucketrank_core::BucketOrder,
+) -> Result<(), MetricsError> {
+    if a.len() != b.len() {
+        return Err(MetricsError::DomainMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MetricsError::DomainMismatch { left: 2, right: 3 }
+            .to_string()
+            .contains("2 and 3"));
+        assert!(MetricsError::NotFullRanking.to_string().contains("full"));
+    }
+
+    #[test]
+    fn from_core_error() {
+        let e: MetricsError = CoreError::DomainMismatch { left: 1, right: 2 }.into();
+        assert_eq!(e, MetricsError::DomainMismatch { left: 1, right: 2 });
+    }
+}

@@ -1,0 +1,255 @@
+//! Spearman-footrule generalizations to partial rankings: the profile
+//! metric `Fprof` (Section 3.1) and the footrule with location parameter
+//! `F^(ℓ)` for top-k lists (Appendix A.3).
+
+use crate::error::check_same_domain;
+use crate::MetricsError;
+use bucketrank_core::{BucketOrder, ElementId, Pos};
+
+/// **Twice** the profile footrule metric: `2·Fprof(σ, τ)`, exactly.
+///
+/// `Fprof` is the `L1` distance between the position vectors (F-profiles)
+/// `⟨σ(d)⟩` and `⟨τ(d)⟩`. Positions are multiples of `1/2`, so `2·Fprof`
+/// is an integer. `O(n)`.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fprof_x2(sigma: &BucketOrder, tau: &BucketOrder) -> Result<u64, MetricsError> {
+    check_same_domain(sigma, tau)?;
+    let mut total = 0u64;
+    for e in 0..sigma.len() as ElementId {
+        total += sigma.position(e).abs_diff(tau.position(e));
+    }
+    Ok(total)
+}
+
+/// The profile footrule metric `Fprof(σ, τ)` as a float. Prefer
+/// [`fprof_x2`] when exactness matters.
+pub fn fprof(sigma: &BucketOrder, tau: &BucketOrder) -> Result<f64, MetricsError> {
+    Ok(fprof_x2(sigma, tau)? as f64 / 2.0)
+}
+
+/// `L1` distance between two score vectors, in half-units. The aggregation
+/// objective `Σ_i L1(τ, σ_i)` of Section 6 is this quantity summed over
+/// the input rankings' F-profiles.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if lengths differ.
+pub fn l1_x2(f: &[Pos], g: &[Pos]) -> Result<u64, MetricsError> {
+    if f.len() != g.len() {
+        return Err(MetricsError::DomainMismatch {
+            left: f.len(),
+            right: g.len(),
+        });
+    }
+    Ok(f.iter().zip(g).map(|(a, b)| a.abs_diff(*b)).sum())
+}
+
+/// **Twice** the footrule distance with location parameter `ℓ`,
+/// `2·F^(ℓ)(σ, τ)`, for two top-k lists with the same `k`
+/// (Appendix A.3).
+///
+/// Every element ranked in the top `k` keeps its position; every
+/// bottom-bucket element is treated as if at position `ℓ` (given in
+/// half-units via [`Pos`]). The paper shows
+/// `Fprof(σ, τ) = F^(ℓ)(σ, τ)` at `ℓ = (|D| + k + 1)/2`; see
+/// [`canonical_location`].
+///
+/// `k` is passed explicitly because the shape alone can be ambiguous — a
+/// full ranking is simultaneously a top-`n` and a top-`(n−1)` list.
+///
+/// # Errors
+/// * [`MetricsError::NotTopK`] unless both inputs are top-`k` lists for the
+///   given `k`;
+/// * [`MetricsError::InvalidLocationParameter`] unless `ℓ > k`;
+/// * [`MetricsError::DomainMismatch`] on differing domains.
+pub fn footrule_location_x2(
+    sigma: &BucketOrder,
+    tau: &BucketOrder,
+    k: usize,
+    ell: Pos,
+) -> Result<u64, MetricsError> {
+    check_same_domain(sigma, tau)?;
+    if !is_top_k_for(sigma, k) || !is_top_k_for(tau, k) {
+        return Err(MetricsError::NotTopK);
+    }
+    if ell <= Pos::from_rank(k as i64) {
+        return Err(MetricsError::InvalidLocationParameter);
+    }
+    let cutoff = Pos::from_rank(k as i64);
+    let value = |o: &BucketOrder, e: ElementId| -> Pos {
+        let p = o.position(e);
+        if p <= cutoff {
+            p
+        } else {
+            ell
+        }
+    };
+    let mut total = 0u64;
+    for e in 0..sigma.len() as ElementId {
+        total += value(sigma, e).abs_diff(value(tau, e));
+    }
+    Ok(total)
+}
+
+/// Whether `o` has the shape of a top-`k` list for this specific `k`:
+/// `k` singleton buckets followed by one bucket holding the rest of the
+/// domain (none when `k = |D|`).
+pub fn is_top_k_for(o: &BucketOrder, k: usize) -> bool {
+    let n = o.len();
+    if k > n {
+        return false;
+    }
+    let expected_buckets = if n == k { k } else { k + 1 };
+    o.num_buckets() == expected_buckets && o.buckets().iter().take(k).all(|b| b.len() == 1)
+}
+
+/// The canonical location parameter `ℓ = (|D| + k + 1)/2` at which
+/// `F^(ℓ)` coincides with `Fprof` on top-k lists (Appendix A.3), in
+/// half-units.
+pub fn canonical_location(n: usize, k: usize) -> Pos {
+    Pos::from_half_units((n + k + 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bucketrank_core::consistent::all_bucket_orders;
+
+    fn bo(n: usize, buckets: Vec<Vec<ElementId>>) -> BucketOrder {
+        BucketOrder::from_buckets(n, buckets).unwrap()
+    }
+
+    #[test]
+    fn fprof_basic() {
+        // σ = [0 1 | 2] positions (1.5, 1.5, 3); τ = [0 | 1 | 2] (1, 2, 3).
+        let s = bo(3, vec![vec![0, 1], vec![2]]);
+        let t = BucketOrder::identity(3);
+        // 2·Fprof = |3-2| + |3-4| + |6-6| = 2, so Fprof = 1.
+        assert_eq!(fprof_x2(&s, &t).unwrap(), 2);
+        assert_eq!(fprof(&s, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn fprof_is_metric_on_n3() {
+        let orders = all_bucket_orders(3);
+        for a in &orders {
+            for b in &orders {
+                let d = fprof_x2(a, b).unwrap();
+                assert_eq!(d, fprof_x2(b, a).unwrap());
+                assert_eq!(d == 0, a == b, "regularity: {a:?} {b:?}");
+                for c in &orders {
+                    assert!(fprof_x2(a, c).unwrap() <= d + fprof_x2(b, c).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fprof_reduces_to_footrule_on_full_rankings() {
+        let a = BucketOrder::from_permutation(&[2, 0, 1, 3]).unwrap();
+        let b = BucketOrder::from_permutation(&[3, 1, 0, 2]).unwrap();
+        assert_eq!(
+            fprof_x2(&a, &b).unwrap(),
+            2 * crate::full::footrule(&a, &b).unwrap()
+        );
+    }
+
+    #[test]
+    fn l1_matches_fprof_on_profiles() {
+        let s = bo(4, vec![vec![0, 1], vec![2, 3]]);
+        let t = bo(4, vec![vec![3], vec![0, 1, 2]]);
+        assert_eq!(
+            l1_x2(&s.positions(), &t.positions()).unwrap(),
+            fprof_x2(&s, &t).unwrap()
+        );
+        assert!(l1_x2(&s.positions(), &[]).is_err());
+    }
+
+    #[test]
+    fn location_parameter_identity() {
+        // Fprof = F^(ℓ) at ℓ = (n+k+1)/2 for all pairs of top-k lists.
+        let n = 6;
+        for k in 1..n {
+            let tops: Vec<BucketOrder> = top_k_lists(n, k);
+            let ell = canonical_location(n, k);
+            for a in &tops {
+                for b in &tops {
+                    assert_eq!(
+                        footrule_location_x2(a, b, k, ell).unwrap(),
+                        fprof_x2(a, b).unwrap(),
+                        "n={n} k={k} a={a:?} b={b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A modest sample of top-k lists on n elements (all k-subsets would be
+    /// large; use rotations and reversals of the identity prefix).
+    fn top_k_lists(n: usize, k: usize) -> Vec<BucketOrder> {
+        let mut out = Vec::new();
+        let ids: Vec<ElementId> = (0..n as ElementId).collect();
+        for rot in 0..n {
+            let mut top: Vec<ElementId> = (0..k).map(|i| ids[(rot + i) % n]).collect();
+            out.push(BucketOrder::top_k(n, &top).unwrap());
+            top.reverse();
+            out.push(BucketOrder::top_k(n, &top).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn location_parameter_validation() {
+        let a = BucketOrder::top_k(5, &[0, 1]).unwrap();
+        let b = BucketOrder::top_k(5, &[3, 4]).unwrap();
+        // ℓ must exceed k.
+        assert_eq!(
+            footrule_location_x2(&a, &b, 2, Pos::from_rank(2)),
+            Err(MetricsError::InvalidLocationParameter)
+        );
+        assert!(footrule_location_x2(&a, &b, 2, Pos::from_half_units(5)).is_ok());
+        // Mismatched k.
+        let c = BucketOrder::top_k(5, &[0]).unwrap();
+        assert_eq!(
+            footrule_location_x2(&a, &c, 2, Pos::from_rank(4)),
+            Err(MetricsError::NotTopK)
+        );
+        // Not a top-k list at all.
+        let d = bo(5, vec![vec![0, 1, 2], vec![3, 4]]);
+        assert_eq!(
+            footrule_location_x2(&a, &d, 2, Pos::from_rank(4)),
+            Err(MetricsError::NotTopK)
+        );
+    }
+
+    #[test]
+    fn top_k_shape_check() {
+        let full = BucketOrder::identity(4);
+        assert!(is_top_k_for(&full, 4));
+        assert!(is_top_k_for(&full, 3)); // full ranking is also top-(n-1)
+        assert!(!is_top_k_for(&full, 2));
+        let t2 = BucketOrder::top_k(4, &[1, 3]).unwrap();
+        assert!(is_top_k_for(&t2, 2));
+        assert!(!is_top_k_for(&t2, 1));
+        assert!(!is_top_k_for(&t2, 3));
+        assert!(!is_top_k_for(&t2, 9));
+    }
+
+    #[test]
+    fn larger_location_parameter_is_its_own_measure() {
+        // For ℓ > (n+k+1)/2, F^(ℓ) weighs displaced elements more heavily.
+        let n = 6;
+        let a = BucketOrder::top_k(n, &[0, 1]).unwrap();
+        let b = BucketOrder::top_k(n, &[2, 3]).unwrap();
+        let canon = footrule_location_x2(&a, &b, 2, canonical_location(n, 2)).unwrap();
+        let heavy = footrule_location_x2(&a, &b, 2, Pos::from_rank(n as i64)).unwrap();
+        assert!(heavy > canon);
+    }
+
+    #[test]
+    fn empty_domain() {
+        let e = BucketOrder::trivial(0);
+        assert_eq!(fprof_x2(&e, &e).unwrap(), 0);
+    }
+}

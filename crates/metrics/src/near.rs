@@ -1,0 +1,261 @@
+//! Property checkers for distance measures, metrics, and near metrics
+//! (Section 2.1).
+//!
+//! A *distance measure* is nonnegative, symmetric, and regular
+//! (`d(x, y) = 0 ⟺ x = y`); a *metric* additionally satisfies the
+//! triangle inequality; a *near metric* satisfies the relaxed polygonal
+//! inequality `d(x, z) ≤ c·(d(x, x₁) + … + d(x_{n−1}, z))` for a constant
+//! `c` independent of the domain size. These checkers power the
+//! reproduction of Proposition 13 (the `K^(p)` classification) and the
+//! empirical side of Theorem 7.
+
+use bucketrank_core::BucketOrder;
+
+/// A witness that the triangle inequality fails:
+/// `d(a, c) > d(a, b) + d(b, c)` at the given indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleViolation {
+    /// Index of `a` in the checked slice.
+    pub a: usize,
+    /// Index of `b` in the checked slice.
+    pub b: usize,
+    /// Index of `c` in the checked slice.
+    pub c: usize,
+    /// The direct distance `d(a, c)`.
+    pub direct: f64,
+    /// The detour sum `d(a, b) + d(b, c)`.
+    pub detour: f64,
+}
+
+/// How a binary function fails to be a distance measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistanceMeasureViolation {
+    /// `d(x, y) < 0` at indices `(x, y)`.
+    Negative(usize, usize),
+    /// `d(x, y) ≠ d(y, x)` at indices `(x, y)`.
+    Asymmetric(usize, usize),
+    /// `d(x, x) ≠ 0` at index `x`.
+    SelfDistanceNonzero(usize),
+    /// `d(x, y) = 0` for distinct `x ≠ y` at indices `(x, y)`.
+    DistinctAtDistanceZero(usize, usize),
+}
+
+/// Checks the distance-measure axioms over every pair from `orders`.
+/// Returns the first violation found, or `None` if `d` is a distance
+/// measure on this set.
+pub fn check_distance_measure<D>(orders: &[BucketOrder], d: D) -> Option<DistanceMeasureViolation>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> f64,
+{
+    for (i, a) in orders.iter().enumerate() {
+        if d(a, a) != 0.0 {
+            return Some(DistanceMeasureViolation::SelfDistanceNonzero(i));
+        }
+        for (j, b) in orders.iter().enumerate().skip(i + 1) {
+            let ab = d(a, b);
+            let ba = d(b, a);
+            if ab < 0.0 || ba < 0.0 {
+                return Some(DistanceMeasureViolation::Negative(i, j));
+            }
+            if ab != ba {
+                return Some(DistanceMeasureViolation::Asymmetric(i, j));
+            }
+            if ab == 0.0 && a != b {
+                return Some(DistanceMeasureViolation::DistinctAtDistanceZero(i, j));
+            }
+        }
+    }
+    None
+}
+
+/// Checks the triangle inequality over every ordered triple from `orders`
+/// (with a tiny absolute tolerance for float rounding). Returns the first
+/// violation, or `None` if the inequality holds throughout.
+pub fn check_triangle<D>(orders: &[BucketOrder], d: D) -> Option<TriangleViolation>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> f64,
+{
+    const EPS: f64 = 1e-9;
+    for (ai, a) in orders.iter().enumerate() {
+        for (bi, b) in orders.iter().enumerate() {
+            let ab = d(a, b);
+            for (ci, c) in orders.iter().enumerate() {
+                let ac = d(a, c);
+                let bc = d(b, c);
+                if ac > ab + bc + EPS {
+                    return Some(TriangleViolation {
+                        a: ai,
+                        b: bi,
+                        c: ci,
+                        direct: ac,
+                        detour: ab + bc,
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The worst triangle ratio `d(a, c) / (d(a, b) + d(b, c))` over all
+/// triples with a positive detour sum. A value `≤ 1` certifies the
+/// triangle inequality on this set; the supremum over all domains is the
+/// best constant `c` in the relaxed (length-2) polygonal inequality.
+pub fn max_triangle_ratio<D>(orders: &[BucketOrder], d: D) -> Option<f64>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> f64,
+{
+    let mut worst: Option<f64> = None;
+    for a in orders {
+        for b in orders {
+            let ab = d(a, b);
+            for c in orders {
+                let detour = ab + d(b, c);
+                if detour > 0.0 {
+                    let r = d(a, c) / detour;
+                    if worst.is_none_or(|w| r > w) {
+                        worst = Some(r);
+                    }
+                }
+            }
+        }
+    }
+    worst
+}
+
+/// The worst polygonal ratio `d(x, z) / Σ d(consecutive)` over the given
+/// chains (each chain is a sequence of indices into `orders`). Chains with
+/// zero path length are skipped. Used to estimate the near-metric constant
+/// `c` for `K^(p)`, `p < 1/2`, on longer paths than triples.
+pub fn max_polygonal_ratio<D>(orders: &[BucketOrder], chains: &[Vec<usize>], d: D) -> Option<f64>
+where
+    D: Fn(&BucketOrder, &BucketOrder) -> f64,
+{
+    let mut worst: Option<f64> = None;
+    for chain in chains {
+        if chain.len() < 2 {
+            continue;
+        }
+        let path: f64 = chain
+            .windows(2)
+            .map(|w| d(&orders[w[0]], &orders[w[1]]))
+            .sum();
+        if path > 0.0 {
+            let direct = d(&orders[chain[0]], &orders[chain[chain.len() - 1]]);
+            let r = direct / path;
+            if worst.is_none_or(|w| r > w) {
+                worst = Some(r);
+            }
+        }
+    }
+    worst
+}
+
+/// The range of ratios `d1 / d2` over all pairs from `orders` where at
+/// least one of the two distances is positive: returns `(min, max)`.
+///
+/// For equivalent distance measures (Definition 2) this range is contained
+/// in `[1/c₂, 1/c₁]` for the equivalence constants; for the paper's metric
+/// pairs the proved ranges are e.g. `Kprof/Fprof ∈ [1/2, 1]`.
+/// Returns `None` if every pair has both distances zero, or `Some(Err)`
+/// semantics are avoided by treating `d2 = 0 < d1` as an infinite ratio
+/// (`f64::INFINITY`).
+pub fn equivalence_ratio_range<D1, D2>(
+    orders: &[BucketOrder],
+    d1: D1,
+    d2: D2,
+) -> Option<(f64, f64)>
+where
+    D1: Fn(&BucketOrder, &BucketOrder) -> f64,
+    D2: Fn(&BucketOrder, &BucketOrder) -> f64,
+{
+    let mut range: Option<(f64, f64)> = None;
+    for (i, a) in orders.iter().enumerate() {
+        for b in &orders[i + 1..] {
+            let x = d1(a, b);
+            let y = d2(a, b);
+            if x == 0.0 && y == 0.0 {
+                continue;
+            }
+            let r = if y == 0.0 { f64::INFINITY } else { x / y };
+            range = Some(match range {
+                None => (r, r),
+                Some((lo, hi)) => (lo.min(r), hi.max(r)),
+            });
+        }
+    }
+    range
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{footrule, kendall};
+    use bucketrank_core::consistent::all_bucket_orders;
+
+    #[test]
+    fn kprof_passes_all_checks_on_n3() {
+        let orders = all_bucket_orders(3);
+        let d = |a: &BucketOrder, b: &BucketOrder| kendall::kprof_x2(a, b).unwrap() as f64;
+        assert_eq!(check_distance_measure(&orders, d), None);
+        assert_eq!(check_triangle(&orders, d), None);
+        assert!(max_triangle_ratio(&orders, d).unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn k0_fails_regularity() {
+        let orders = all_bucket_orders(2);
+        let d = |a: &BucketOrder, b: &BucketOrder| kendall::k_p(a, b, 0.0).unwrap();
+        assert!(matches!(
+            check_distance_measure(&orders, d),
+            Some(DistanceMeasureViolation::DistinctAtDistanceZero(_, _))
+        ));
+    }
+
+    #[test]
+    fn k_quarter_fails_triangle_on_n2() {
+        let orders = all_bucket_orders(2);
+        let d = |a: &BucketOrder, b: &BucketOrder| kendall::k_p(a, b, 0.25).unwrap();
+        let v = check_triangle(&orders, d).expect("triangle must fail for p < 1/2");
+        assert!(v.direct > v.detour);
+        // Worst ratio is 1/(2p) = 2 for the paper's example triple.
+        let r = max_triangle_ratio(&orders, d).unwrap();
+        assert!((r - 2.0).abs() < 1e-12, "r = {r}");
+    }
+
+    #[test]
+    fn polygonal_ratio_on_chains() {
+        let orders = all_bucket_orders(2);
+        // Find indices: τ1 = [0|1], τ2 = [0 1], τ3 = [1|0].
+        let idx = |disp: &str| orders.iter().position(|o| o.display() == disp).unwrap();
+        let chain = vec![idx("[0 | 1]"), idx("[0 1]"), idx("[1 | 0]")];
+        let d = |a: &BucketOrder, b: &BucketOrder| kendall::k_p(a, b, 0.25).unwrap();
+        let r = max_polygonal_ratio(&orders, &[chain], d).unwrap();
+        assert!((r - 2.0).abs() < 1e-12);
+        // Degenerate chains are skipped.
+        assert_eq!(max_polygonal_ratio(&orders, &[vec![0]], d), None);
+    }
+
+    #[test]
+    fn equivalence_range_kprof_fprof() {
+        let orders = all_bucket_orders(4);
+        let (lo, hi) = equivalence_ratio_range(
+            &orders,
+            |a, b| kendall::kprof_x2(a, b).unwrap() as f64,
+            |a, b| footrule::fprof_x2(a, b).unwrap() as f64,
+        )
+        .unwrap();
+        // Kprof ≤ Fprof ≤ 2·Kprof  ⟹  ratio ∈ [1/2, 1].
+        assert!(lo >= 0.5 - 1e-12, "lo = {lo}");
+        assert!(hi <= 1.0 + 1e-12, "hi = {hi}");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = |_: &BucketOrder, _: &BucketOrder| 0.0;
+        assert_eq!(check_distance_measure(&[], d), None);
+        assert_eq!(check_triangle(&[], d), None);
+        assert_eq!(max_triangle_ratio(&[], d), None);
+        assert_eq!(equivalence_ratio_range(&[], d, d), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Explicit profile vectors (Section 3.1), kept as the definitional
+//! reference for the closed-form `Kprof`/`Fprof` implementations.
+//!
+//! The *K-profile* of `σ` assigns to each **ordered** pair `(i, j)` the
+//! value `p_ij ∈ {1/4, 0, −1/4}` according to whether `σ(i) < σ(j)`,
+//! `σ(i) = σ(j)`, or `σ(i) > σ(j)`; `Kprof` is the `L1` distance between
+//! K-profiles. The *F-profile* is the vector of positions `⟨σ(d)⟩`;
+//! `Fprof` is the `L1` distance between F-profiles.
+//!
+//! Profiles are `O(n²)` objects — use them for verification and pedagogy,
+//! and the closed forms in [`crate::kendall`] / [`crate::footrule`] in
+//! anger.
+
+use crate::error::check_same_domain;
+use crate::MetricsError;
+use bucketrank_core::{BucketOrder, ElementId, Pos};
+
+/// The K-profile of `σ`, scaled by 4 so entries are integers in
+/// `{1, 0, −1}`, indexed by ordered pairs `(i, j)`, `i ≠ j`, in
+/// lexicographic order.
+pub fn k_profile_x4(sigma: &BucketOrder) -> Vec<i8> {
+    let n = sigma.len() as ElementId;
+    let mut out = Vec::with_capacity((n as usize) * (n as usize).saturating_sub(1));
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            out.push(match sigma.cmp_elements(i, j) {
+                std::cmp::Ordering::Less => 1,
+                std::cmp::Ordering::Equal => 0,
+                std::cmp::Ordering::Greater => -1,
+            });
+        }
+    }
+    out
+}
+
+/// The F-profile of `σ`: its position vector (identical to
+/// [`BucketOrder::positions`], re-exported here for symmetry with the
+/// paper's terminology).
+pub fn f_profile(sigma: &BucketOrder) -> Vec<Pos> {
+    sigma.positions()
+}
+
+/// `2·Kprof` computed as the `L1` distance between explicit K-profiles
+/// (definitional reference; `O(n²)`).
+///
+/// The profiles are scaled by 4 and each unordered pair appears twice, so
+/// the raw `L1` distance equals `4·Kprof = 2·(2·Kprof)`; this function
+/// divides back to the `_x2` scale used across the crate.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kprof_x2_via_profiles(
+    sigma: &BucketOrder,
+    tau: &BucketOrder,
+) -> Result<u64, MetricsError> {
+    check_same_domain(sigma, tau)?;
+    let a = k_profile_x4(sigma);
+    let b = k_profile_x4(tau);
+    let l1_x4: u64 = a
+        .iter()
+        .zip(&b)
+        .map(|(&x, &y)| (x as i64).abs_diff(y as i64))
+        .sum();
+    debug_assert_eq!(l1_x4 % 2, 0);
+    Ok(l1_x4 / 2)
+}
+
+/// `2·Fprof` computed as the `L1` distance between explicit F-profiles
+/// (definitional reference; identical to [`crate::footrule::fprof_x2`]).
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fprof_x2_via_profiles(
+    sigma: &BucketOrder,
+    tau: &BucketOrder,
+) -> Result<u64, MetricsError> {
+    check_same_domain(sigma, tau)?;
+    Ok(f_profile(sigma)
+        .iter()
+        .zip(f_profile(tau))
+        .map(|(a, b)| a.abs_diff(b))
+        .sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{footrule, kendall};
+    use bucketrank_core::consistent::all_bucket_orders;
+
+    #[test]
+    fn k_profile_entries() {
+        let s = BucketOrder::from_buckets(3, vec![vec![0, 1], vec![2]]).unwrap();
+        // Ordered pairs: (0,1) (0,2) (1,0) (1,2) (2,0) (2,1)
+        assert_eq!(k_profile_x4(&s), vec![0, 1, 0, 1, -1, -1]);
+    }
+
+    #[test]
+    fn profile_l1_matches_closed_forms_exhaustive() {
+        let orders = all_bucket_orders(4);
+        for a in &orders {
+            for b in &orders {
+                assert_eq!(
+                    kprof_x2_via_profiles(a, b).unwrap(),
+                    kendall::kprof_x2(a, b).unwrap(),
+                    "Kprof mismatch: {a:?} {b:?}"
+                );
+                assert_eq!(
+                    fprof_x2_via_profiles(a, b).unwrap(),
+                    footrule::fprof_x2(a, b).unwrap(),
+                    "Fprof mismatch: {a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn profile_lengths() {
+        let s = BucketOrder::trivial(5);
+        assert_eq!(k_profile_x4(&s).len(), 20);
+        assert_eq!(f_profile(&s).len(), 5);
+        let e = BucketOrder::trivial(0);
+        assert!(k_profile_x4(&e).is_empty());
+    }
+
+    #[test]
+    fn domain_mismatch() {
+        let a = BucketOrder::trivial(2);
+        let b = BucketOrder::trivial(3);
+        assert!(kprof_x2_via_profiles(&a, &b).is_err());
+        assert!(fprof_x2_via_profiles(&a, &b).is_err());
+    }
+}

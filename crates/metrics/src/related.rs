@@ -1,0 +1,134 @@
+//! Related association measures from prior work (Section 1, "Related
+//! work"): the Goodman–Kruskal gamma (1954) and Kendall's tau-b (1945).
+//!
+//! These are *correlations* in `[−1, 1]` rather than distances; the paper
+//! criticizes gamma for being undefined when every pair is tied in at
+//! least one ranking, which we surface as `None`.
+
+use crate::pairs::pair_counts;
+use crate::MetricsError;
+use bucketrank_core::BucketOrder;
+
+/// Goodman–Kruskal gamma: `(C − D) / (C + D)` over the concordant and
+/// discordant pair counts.
+///
+/// Returns `Ok(None)` when `C + D = 0` — the "serious disadvantage" the
+/// paper notes: the measure is undefined whenever every pair is tied in at
+/// least one of the two rankings.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn goodman_kruskal_gamma(
+    sigma: &BucketOrder,
+    tau: &BucketOrder,
+) -> Result<Option<f64>, MetricsError> {
+    let c = pair_counts(sigma, tau)?;
+    let denom = c.concordant + c.discordant;
+    if denom == 0 {
+        return Ok(None);
+    }
+    Ok(Some(
+        (c.concordant as f64 - c.discordant as f64) / denom as f64,
+    ))
+}
+
+/// Kendall's tau-b (Kendall 1945, the tie-adjusted rank correlation):
+/// `(C − D) / √((C + D + |T|)·(C + D + |S|))`, where `|S|`/`|T|` are the
+/// pairs tied only in `σ`/only in `τ`.
+///
+/// Returns `Ok(None)` when either ranking ties *all* pairs (denominator
+/// zero).
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kendall_tau_b(
+    sigma: &BucketOrder,
+    tau: &BucketOrder,
+) -> Result<Option<f64>, MetricsError> {
+    let c = pair_counts(sigma, tau)?;
+    // Pairs untied in σ: C + D + (tied only in τ); symmetric for τ.
+    let untied_sigma = c.concordant + c.discordant + c.tied_right_only;
+    let untied_tau = c.concordant + c.discordant + c.tied_left_only;
+    let denom = ((untied_sigma as f64) * (untied_tau as f64)).sqrt();
+    if denom == 0.0 {
+        return Ok(None);
+    }
+    Ok(Some(
+        (c.concordant as f64 - c.discordant as f64) / denom,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bucketrank_core::consistent::all_bucket_orders;
+
+    #[test]
+    fn gamma_extremes() {
+        let id = BucketOrder::identity(4);
+        assert_eq!(goodman_kruskal_gamma(&id, &id).unwrap(), Some(1.0));
+        assert_eq!(
+            goodman_kruskal_gamma(&id, &id.reverse()).unwrap(),
+            Some(-1.0)
+        );
+    }
+
+    #[test]
+    fn gamma_undefined_when_all_pairs_tied_somewhere() {
+        // The paper's criticism: with τ trivial, C + D = 0.
+        let id = BucketOrder::identity(3);
+        let triv = BucketOrder::trivial(3);
+        assert_eq!(goodman_kruskal_gamma(&id, &triv).unwrap(), None);
+        // Also for interlocking partial rankings with no doubly-untied pair.
+        let a = BucketOrder::from_buckets(3, vec![vec![0, 1], vec![2]]).unwrap();
+        let b = BucketOrder::from_buckets(3, vec![vec![0], vec![1, 2]]).unwrap();
+        // Pairs: {0,1} tied in a; {1,2} tied in b; {0,2} untied in both.
+        assert!(goodman_kruskal_gamma(&a, &b).unwrap().is_some());
+    }
+
+    #[test]
+    fn tau_b_extremes_and_range() {
+        let id = BucketOrder::identity(5);
+        assert_eq!(kendall_tau_b(&id, &id).unwrap(), Some(1.0));
+        assert_eq!(kendall_tau_b(&id, &id.reverse()).unwrap(), Some(-1.0));
+        for a in all_bucket_orders(4) {
+            for b in all_bucket_orders(4) {
+                if let Some(t) = kendall_tau_b(&a, &b).unwrap() {
+                    assert!((-1.0..=1.0).contains(&t), "{a:?} {b:?} -> {t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tau_b_undefined_for_trivial_order() {
+        let triv = BucketOrder::trivial(4);
+        let id = BucketOrder::identity(4);
+        assert_eq!(kendall_tau_b(&triv, &id).unwrap(), None);
+        assert_eq!(kendall_tau_b(&triv, &triv).unwrap(), None);
+    }
+
+    #[test]
+    fn gamma_symmetry() {
+        for a in all_bucket_orders(3) {
+            for b in all_bucket_orders(3) {
+                assert_eq!(
+                    goodman_kruskal_gamma(&a, &b).unwrap(),
+                    goodman_kruskal_gamma(&b, &a).unwrap()
+                );
+                assert_eq!(
+                    kendall_tau_b(&a, &b).unwrap(),
+                    kendall_tau_b(&b, &a).unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn domain_mismatch() {
+        let a = BucketOrder::trivial(2);
+        let b = BucketOrder::trivial(3);
+        assert!(goodman_kruskal_gamma(&a, &b).is_err());
+        assert!(kendall_tau_b(&a, &b).is_err());
+    }
+}

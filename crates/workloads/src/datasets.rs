@@ -1,0 +1,157 @@
+//! Synthetic catalogs matching the paper's motivating applications:
+//! restaurant search (dine.com) and flight search (travelocity.com).
+//!
+//! Both generators produce [`Table`]s whose attributes have few distinct
+//! values (cuisine, star rating, stops) or get coarsened by the query
+//! (distance, price bands), so every per-attribute ranking is a genuine
+//! partial ranking with large buckets — the regime the paper targets.
+
+use bucketrank_access::db::{
+    AttrKind, AttrValue, Binning, Direction, OrderSpec, Table, TableBuilder,
+};
+use rand::Rng;
+
+/// Cuisines used by [`restaurants`].
+pub const CUISINES: [&str; 6] = ["thai", "sushi", "pizza", "mexican", "indian", "french"];
+
+/// Airlines used by [`flights`].
+pub const AIRLINES: [&str; 4] = ["blue", "red", "gray", "green"];
+
+/// A synthetic restaurant catalog with `n` rows and columns
+/// `cuisine: Text`, `distance: Float` (miles, 0–30), `price: Int`
+/// (1–4 dollar signs), `stars: Int` (1–5).
+pub fn restaurants<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Table {
+    let mut t = TableBuilder::new();
+    t.column("cuisine", AttrKind::Text);
+    t.column("distance", AttrKind::Float);
+    t.column("price", AttrKind::Int);
+    t.column("stars", AttrKind::Int);
+    for _ in 0..n {
+        let cuisine = CUISINES[rng.gen_range(0..CUISINES.len())];
+        let distance = rng.gen_range(0.0..30.0f64);
+        let price = rng.gen_range(1..=4i64);
+        // Stars correlate loosely with price: pricier places skew higher.
+        let stars = (rng.gen_range(1..=3i64) + (price + 1) / 2).min(5);
+        t.row(vec![
+            AttrValue::text(cuisine),
+            AttrValue::Float(distance),
+            AttrValue::Int(price),
+            AttrValue::Int(stars),
+        ]);
+    }
+    t.finish().expect("generated rows match the schema")
+}
+
+/// A typical restaurant preference query: favorite cuisines, distance
+/// coarsened to 10-mile bands, cheap first, best-rated first.
+pub fn restaurant_query_specs() -> Vec<OrderSpec> {
+    vec![
+        OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
+        OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+        OrderSpec::numeric("price", Direction::Asc),
+        OrderSpec::numeric("stars", Direction::Desc),
+    ]
+}
+
+/// A synthetic flight catalog with `n` rows and columns `price: Int`
+/// (dollars, 120–900), `stops: Int` (0–3, skewed low), `duration: Int`
+/// (minutes), `airline: Text`.
+pub fn flights<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Table {
+    let mut t = TableBuilder::new();
+    t.column("price", AttrKind::Int);
+    t.column("stops", AttrKind::Int);
+    t.column("duration", AttrKind::Int);
+    t.column("airline", AttrKind::Text);
+    for _ in 0..n {
+        // Most itineraries have 0–1 stops; 2–3 are rarer.
+        let stops = match rng.gen_range(0..10) {
+            0..=4 => 0i64,
+            5..=7 => 1,
+            8 => 2,
+            _ => 3,
+        };
+        let base = rng.gen_range(120..=600i64);
+        let price = base + stops * rng.gen_range(0..=60);
+        let duration = rng.gen_range(90..=300i64) + 100 * stops;
+        let airline = AIRLINES[rng.gen_range(0..AIRLINES.len())];
+        t.row(vec![
+            AttrValue::Int(price),
+            AttrValue::Int(stops),
+            AttrValue::Int(duration),
+            AttrValue::text(airline),
+        ]);
+    }
+    t.finish().expect("generated rows match the schema")
+}
+
+/// A typical flight preference query: price in $100 bands, fewest stops,
+/// shortest duration in hour bands, preferred airline.
+pub fn flight_query_specs() -> Vec<OrderSpec> {
+    vec![
+        OrderSpec::numeric("price", Direction::Asc).with_binning(Binning::Width(100.0)),
+        OrderSpec::numeric("stops", Direction::Asc),
+        OrderSpec::numeric("duration", Direction::Asc).with_binning(Binning::Width(60.0)),
+        OrderSpec::text_preference("airline", ["blue", "red"]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bucketrank_access::query::PreferenceQuery;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn restaurants_rank_and_query() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = restaurants(&mut rng, 200);
+        assert_eq!(t.len(), 200);
+        let q = PreferenceQuery::new(restaurant_query_specs()).with_k(5);
+        let r = q.run(&t).unwrap();
+        assert_eq!(r.top.len(), 5);
+        // Every attribute ranking should be a genuine partial ranking
+        // (few-valued ⇒ far fewer buckets than rows).
+        for ranking in &r.rankings {
+            assert!(ranking.num_buckets() < 20, "{}", ranking.num_buckets());
+        }
+    }
+
+    #[test]
+    fn flights_rank_and_query() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = flights(&mut rng, 500);
+        let q = PreferenceQuery::new(flight_query_specs()).with_k(3);
+        let r = q.run(&t).unwrap();
+        assert_eq!(r.top.len(), 3);
+        // Sub-linear access: MEDRANK should stop well before scanning
+        // all 4 indexes fully (2000 accesses).
+        assert!(
+            r.stats.total_accesses() < 2000,
+            "accesses = {}",
+            r.stats.total_accesses()
+        );
+    }
+
+    #[test]
+    fn stops_distribution_skewed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let t = flights(&mut rng, 1000);
+        let nonstop = (0..t.len())
+            .filter(|&i| matches!(t.value(i, "stops"), Some(&AttrValue::Int(0))))
+            .count();
+        assert!(nonstop > 300, "nonstop = {nonstop}");
+    }
+
+    #[test]
+    fn star_values_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = restaurants(&mut rng, 300);
+        for i in 0..t.len() {
+            let Some(&AttrValue::Int(s)) = t.value(i, "stars") else {
+                panic!("stars must be Int")
+            };
+            assert!((1..=5).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Fitting the Mallows dispersion from data.
+//!
+//! Given full rankings assumed to be Mallows samples around a known (or
+//! estimated) reference, the dispersion `θ` is identified by the expected
+//! Kendall distance: with `q = e^{−θ}`, the repeated-insertion
+//! displacement of the element inserted at step `i` (0-based, `i+1`
+//! slots) is a truncated geometric with mean
+//! `q/(1−q) − (i+1)·q^{i+1}/(1−q^{i+1})`, and `E[K]` is the sum of those
+//! means over `i = 1..n−1`. [`expected_kendall`] evaluates it;
+//! [`fit_theta`] inverts it by bisection on the observed mean distance.
+
+use crate::mallows::Mallows;
+use bucketrank_core::alg::count_inversions;
+use bucketrank_core::BucketOrder;
+
+/// Kendall distance between two full rankings via inversion counting
+/// (kept local so the workloads crate stays independent of the metrics
+/// crate). Returns `None` unless both inputs are full and share a domain.
+fn kendall_full(a: &BucketOrder, b: &BucketOrder) -> Option<u64> {
+    if a.len() != b.len() || !a.is_full() || !b.is_full() {
+        return None;
+    }
+    let perm = a.as_permutation()?;
+    let ranks: Vec<u32> = perm.iter().map(|&e| b.bucket_index(e) as u32).collect();
+    Some(count_inversions(&ranks))
+}
+
+/// The expected Kendall distance `E[K(π, π₀)]` of a Mallows sample on `n`
+/// elements at dispersion `theta ≥ 0`.
+///
+/// # Panics
+/// Panics if `theta` is negative or not finite.
+pub fn expected_kendall(n: usize, theta: f64) -> f64 {
+    assert!(theta.is_finite() && theta >= 0.0, "theta must be ≥ 0");
+    if n < 2 {
+        return 0.0;
+    }
+    if theta == 0.0 {
+        // Uniform permutations: n(n−1)/4.
+        return n as f64 * (n as f64 - 1.0) / 4.0;
+    }
+    let q = (-theta).exp();
+    let mut total = 0.0;
+    // Element inserted at step i has i+1 slots; displacement d ∈ 0..=i
+    // with P(d) ∝ q^d. Mean of truncated geometric:
+    //   q/(1−q) − (i+1)·q^{i+1}/(1−q^{i+1}).
+    for i in 1..n {
+        let k = (i + 1) as f64;
+        let qk = q.powf(k);
+        total += q / (1.0 - q) - k * qk / (1.0 - qk);
+    }
+    total
+}
+
+/// Estimates `θ` from full rankings and a known reference by inverting
+/// [`expected_kendall`] at the observed mean Kendall distance (bisection;
+/// result clamped to `[0, 30]`).
+///
+/// Returns `None` if `samples` is empty, any sample is not full, or
+/// domains mismatch the reference.
+pub fn fit_theta(samples: &[BucketOrder], reference: &BucketOrder) -> Option<f64> {
+    if samples.is_empty() || !reference.is_full() {
+        return None;
+    }
+    let n = reference.len();
+    let mut total = 0u64;
+    for s in samples {
+        total += kendall_full(s, reference)?;
+    }
+    let observed = total as f64 / samples.len() as f64;
+    // E[K] is strictly decreasing in θ from n(n−1)/4 toward 0.
+    let max_mean = expected_kendall(n, 0.0);
+    if observed >= max_mean {
+        return Some(0.0);
+    }
+    let (mut lo, mut hi) = (0.0f64, 30.0f64);
+    if observed <= expected_kendall(n, hi) {
+        return Some(hi);
+    }
+    for _ in 0..200 {
+        let mid = (lo + hi) / 2.0;
+        if expected_kendall(n, mid) > observed {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some((lo + hi) / 2.0)
+}
+
+/// Estimates both the reference (via median-rank aggregation of the
+/// samples, Theorem 11's near-optimal full ranking) and `θ`. Returns
+/// `(reference, theta)`, or `None` on empty/invalid input.
+pub fn fit_mallows(samples: &[BucketOrder]) -> Option<(BucketOrder, f64)> {
+    use bucketrank_aggregate_free::median_full;
+    let reference = median_full(samples)?;
+    let theta = fit_theta(samples, &reference)?;
+    Some((reference, theta))
+}
+
+/// A dependency-free median-full aggregation (the workloads crate does
+/// not depend on `bucketrank-aggregate`; this mirrors
+/// `aggregate::median::aggregate_full` with the Lower policy).
+mod bucketrank_aggregate_free {
+    use bucketrank_core::consistent::project_to_type;
+    use bucketrank_core::{BucketOrder, ElementId, Pos, TypeSeq};
+
+    pub fn median_full(samples: &[BucketOrder]) -> Option<BucketOrder> {
+        let first = samples.first()?;
+        let n = first.len();
+        if samples.iter().any(|s| s.len() != n) {
+            return None;
+        }
+        let mut f = Vec::with_capacity(n);
+        let mut scratch: Vec<Pos> = Vec::with_capacity(samples.len());
+        for e in 0..n as ElementId {
+            scratch.clear();
+            scratch.extend(samples.iter().map(|s| s.position(e)));
+            scratch.sort_unstable();
+            f.push(scratch[(scratch.len() - 1) / 2]);
+        }
+        project_to_type(&f, &TypeSeq::full(n)).ok()
+    }
+}
+
+/// Goodness-of-fit diagnostic: the observed vs expected mean Kendall
+/// distance under the fitted model, as `(observed, expected)`.
+///
+/// Returns `None` on invalid input (as [`fit_theta`]).
+pub fn fit_diagnostic(
+    samples: &[BucketOrder],
+    reference: &BucketOrder,
+    theta: f64,
+) -> Option<(f64, f64)> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut total = 0u64;
+    for s in samples {
+        total += kendall_full(s, reference)?;
+    }
+    Some((
+        total as f64 / samples.len() as f64,
+        expected_kendall(reference.len(), theta),
+    ))
+}
+
+/// Convenience: draws a profile from `Mallows` and immediately refits it
+/// (used for calibration tests and the experiment harness).
+pub fn refit_roundtrip<R: rand::Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    theta: f64,
+    m: usize,
+) -> Option<f64> {
+    let model = Mallows::new(n, theta);
+    let samples = model.sample_profile(rng, m);
+    fit_theta(&samples, &model.reference())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expected_kendall_limits() {
+        assert_eq!(expected_kendall(1, 1.0), 0.0);
+        assert_eq!(expected_kendall(6, 0.0), 7.5);
+        // θ → ∞: distance → 0.
+        assert!(expected_kendall(6, 25.0) < 1e-9);
+        // Monotone decreasing in θ.
+        let mut prev = f64::INFINITY;
+        for t in [0.0, 0.2, 0.5, 1.0, 2.0, 5.0] {
+            let v = expected_kendall(8, t);
+            assert!(v < prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn expected_matches_empirical_mean() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for &theta in &[0.3, 1.0, 2.5] {
+            let model = Mallows::new(7, theta);
+            let reference = model.reference();
+            let trials = 3000;
+            let mut total = 0u64;
+            for _ in 0..trials {
+                total += kendall_full(&model.sample(&mut rng), &reference).unwrap();
+            }
+            let empirical = total as f64 / trials as f64;
+            let expected = expected_kendall(7, theta);
+            assert!(
+                (empirical - expected).abs() < 0.25,
+                "θ = {theta}: empirical {empirical} vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_recovers_theta() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for &theta in &[0.3, 0.8, 1.5] {
+            let est = refit_roundtrip(&mut rng, 10, theta, 400).unwrap();
+            assert!(
+                (est - theta).abs() < 0.25,
+                "θ = {theta} estimated as {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn fit_mallows_estimates_reference_too() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let model = Mallows::with_reference(vec![3, 0, 4, 1, 2], 1.5);
+        let samples = model.sample_profile(&mut rng, 200);
+        let (reference, theta) = fit_mallows(&samples).unwrap();
+        assert_eq!(reference, model.reference());
+        assert!((theta - 1.5).abs() < 0.4, "theta = {theta}");
+        let (obs, exp) = fit_diagnostic(&samples, &reference, theta).unwrap();
+        assert!((obs - exp).abs() < 0.3);
+    }
+
+    #[test]
+    fn fit_edge_cases() {
+        assert!(fit_theta(&[], &BucketOrder::identity(3)).is_none());
+        // Tied reference rejected.
+        let tied = BucketOrder::trivial(3);
+        assert!(fit_theta(&[BucketOrder::identity(3)], &tied).is_none());
+        // Identical samples → very large θ (clamped).
+        let id = BucketOrder::identity(5);
+        let est = fit_theta(&vec![id.clone(); 50], &id).unwrap();
+        assert!(est >= 29.0);
+        // Anti-correlated samples → θ = 0 (observed ≥ uniform mean).
+        let rev = id.reverse();
+        let est = fit_theta(&vec![rev; 50], &id).unwrap();
+        assert_eq!(est, 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Workload generators for the experiments: random bucket orders, the
+//! Mallows noise model (with tie coarsening), top-k lists, and synthetic
+//! catalogs matching the paper's motivating database scenarios.
+//!
+//! The paper's guarantees are worst-case theorems with no empirical
+//! datasets; these generators provide controlled inputs whose tie
+//! structure, noise level and skew can be swept to exercise every claim
+//! (see `EXPERIMENTS.md` in the repository root).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod fit;
+pub mod mallows;
+pub mod plackett_luce;
+pub mod random;
+pub mod stats;

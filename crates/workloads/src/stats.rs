@@ -1,0 +1,109 @@
+//! Small summary-statistics helpers for the experiment harness.
+
+/// Summary of a sample of `f64` observations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for fewer than two observations).
+    pub stddev: f64,
+}
+
+/// Summarizes a nonempty sample.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let count = xs.len();
+    let mean = xs.iter().sum::<f64>() / count as f64;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for &x in xs {
+        min = min.min(x);
+        max = max.max(x);
+    }
+    let stddev = if count < 2 {
+        0.0
+    } else {
+        let var = xs.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64;
+        var.sqrt()
+    };
+    Summary {
+        count,
+        mean,
+        min,
+        max,
+        stddev,
+    }
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation on the sorted
+/// sample.
+///
+/// # Panics
+/// Panics on an empty sample or a `q` outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "cannot take a quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "q must lie in [0, 1]");
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.stddev - 1.2909944).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_single() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn summary_empty_panics() {
+        summarize(&[]);
+    }
+
+    #[test]
+    fn quantiles() {
+        let xs = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0, 1]")]
+    fn quantile_out_of_range_panics() {
+        quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerates every experiment table from EXPERIMENTS.md (E1–E11).
+# Usage: scripts/run_experiments.sh [> experiments_output.txt]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+for exp in equivalence kp_metric approx_ratio metric_scaling dp access \
+           topk_compat quality hausdorff strong measures; do
+  echo "==================== exp_${exp} ===================="
+  cargo run --release -q -p bucketrank-bench --bin "exp_${exp}"
+  echo
+done

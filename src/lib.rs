@@ -1,0 +1,54 @@
+//! **bucketrank** — comparing and aggregating rankings with ties.
+//!
+//! A Rust implementation of Fagin, Kumar, Mahdian, Sivakumar and Vee,
+//! *"Comparing and Aggregating Rankings with Ties"* (PODS 2004): metrics
+//! between partial rankings (bucket orders), constant-factor rank
+//! aggregation built on median ranks, and a database-friendly
+//! sorted-access algorithm (MEDRANK) that reads as little of each input
+//! as the instance allows.
+//!
+//! This crate is a façade re-exporting the workspace members:
+//!
+//! * [`core`] — bucket orders, positions, refinements, types.
+//! * [`metrics`] — `Kprof`, `Fprof`, `KHaus`, `FHaus` and friends.
+//! * [`aggregate`] — median aggregation, the optimal-bucketing DP, exact
+//!   optima and classical baselines.
+//! * [`access`] — sorted-access cursors, MEDRANK, the Threshold
+//!   Algorithm, and an in-memory fielded-search substrate.
+//! * [`workloads`] — random/Mallows generators and synthetic catalogs.
+//!
+//! The most common items are also re-exported at the top level.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use bucketrank::{BucketOrder, MedianPolicy};
+//! use bucketrank::aggregate::median::aggregate_top_k;
+//! use bucketrank::metrics::{footrule, kendall};
+//!
+//! // Rankings with ties, e.g. produced by sorting on few-valued fields.
+//! let by_price = BucketOrder::from_keys(&[2, 1, 2, 3]);
+//! let by_stars = BucketOrder::from_keys_desc(&[4, 5, 4, 3]);
+//!
+//! // Compare them with the paper's profile metrics (exact, scaled ×2).
+//! let k2 = kendall::kprof_x2(&by_price, &by_stars).unwrap();
+//! let f2 = footrule::fprof_x2(&by_price, &by_stars).unwrap();
+//! assert!(k2 <= f2 && f2 <= 2 * k2); // Theorem 7, inequality (5)
+//!
+//! // Aggregate them into a provably near-optimal top-2 list.
+//! let top2 = aggregate_top_k(&[by_price, by_stars], 2, MedianPolicy::Lower).unwrap();
+//! assert_eq!(top2.top_k_len(), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use bucketrank_access as access;
+pub use bucketrank_aggregate as aggregate;
+pub use bucketrank_core as core;
+pub use bucketrank_metrics as metrics;
+pub use bucketrank_workloads as workloads;
+
+pub use bucketrank_aggregate::cost::AggMetric;
+pub use bucketrank_aggregate::MedianPolicy;
+pub use bucketrank_core::{BucketOrder, BucketOrderBuilder, Domain, ElementId, Pos, TypeSeq};

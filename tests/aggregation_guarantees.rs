@@ -1,0 +1,163 @@
+//! The aggregation approximation guarantees of Section 6, checked against
+//! exact optima on small domains:
+//!
+//! * Theorem 9 / Corollary 30 — median projection to a type is within 3×
+//!   of the best partial ranking of that type (2× when all inputs share
+//!   the type);
+//! * Theorem 10 / Corollary 31 — the DP bucketing `f†` is within 2× of
+//!   the best partial ranking (inputs being partial rankings);
+//! * Theorem 11 / Corollary 32 — for full-ranking inputs, the median full
+//!   ranking is within 2× of *any* aggregation.
+//!
+//! All costs use the `Fprof` (`Σ L1`) objective the theorems are stated
+//! in; Theorem 7 transfers the factors to the other three metrics.
+
+use bucketrank::aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank::aggregate::dp::aggregate_optimal_bucketing;
+use bucketrank::aggregate::exact::{optimal_of_type, optimal_partial_ranking};
+use bucketrank::aggregate::median::{aggregate_full, aggregate_to_type, aggregate_top_k};
+use bucketrank::workloads::mallows::{Mallows, MallowsWithTies};
+use bucketrank::workloads::random::{random_bucket_order, random_full_ranking, random_of_type};
+use bucketrank::{BucketOrder, MedianPolicy, TypeSeq};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const POLICIES: [MedianPolicy; 2] = [MedianPolicy::Lower, MedianPolicy::Upper];
+
+#[test]
+fn theorem9_top_k_within_factor_three() {
+    let mut rng = StdRng::seed_from_u64(9);
+    for trial in 0..60 {
+        let n = rng.gen_range(3..=6);
+        let m = [3, 5, 7][trial % 3];
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_bucket_order(&mut rng, n)).collect();
+        for k in 1..=n {
+            let alpha = TypeSeq::top_k(n, k).unwrap();
+            let (_, opt) = optimal_of_type(&inputs, &alpha, AggMetric::FProf).unwrap();
+            for policy in POLICIES {
+                let med = aggregate_top_k(&inputs, k, policy).unwrap();
+                let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+                assert!(
+                    cost <= 3 * opt,
+                    "trial {trial} k={k}: {cost} > 3·{opt} for {inputs:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corollary30_arbitrary_types_within_factor_three() {
+    let mut rng = StdRng::seed_from_u64(30);
+    for trial in 0..40 {
+        let n = rng.gen_range(3..=6);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_bucket_order(&mut rng, n)).collect();
+        for alpha in TypeSeq::all_types(n) {
+            let (_, opt) = optimal_of_type(&inputs, &alpha, AggMetric::FProf).unwrap();
+            let med = aggregate_to_type(&inputs, &alpha, MedianPolicy::Lower).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+            assert!(
+                cost <= 3 * opt,
+                "trial {trial} type {alpha}: {cost} > 3·{opt}"
+            );
+        }
+    }
+}
+
+#[test]
+fn corollary30_same_type_inputs_within_factor_two() {
+    // When every input has type α and the output type is α, the factor
+    // improves to 2 (second part of Corollary 30).
+    let mut rng = StdRng::seed_from_u64(31);
+    for _ in 0..40 {
+        let n = rng.gen_range(3..=6);
+        let alpha = {
+            let types = TypeSeq::all_types(n);
+            types[rng.gen_range(0..types.len())].clone()
+        };
+        let inputs: Vec<BucketOrder> = (0..5)
+            .map(|_| random_of_type(&mut rng, n, &alpha))
+            .collect();
+        let (_, opt) = optimal_of_type(&inputs, &alpha, AggMetric::FProf).unwrap();
+        let med = aggregate_to_type(&inputs, &alpha, MedianPolicy::Lower).unwrap();
+        let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+        assert!(cost <= 2 * opt, "type {alpha}: {cost} > 2·{opt}");
+    }
+}
+
+#[test]
+fn theorem10_dp_bucketing_within_factor_two() {
+    let mut rng = StdRng::seed_from_u64(10);
+    for trial in 0..60 {
+        let n = rng.gen_range(3..=6);
+        let inputs: Vec<BucketOrder> =
+            (0..[3, 4, 7][trial % 3]).map(|_| random_bucket_order(&mut rng, n)).collect();
+        let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+        for policy in POLICIES {
+            let fd = aggregate_optimal_bucketing(&inputs, policy).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &fd.order, &inputs).unwrap();
+            assert!(cost <= 2 * opt, "trial {trial}: {cost} > 2·{opt}");
+        }
+    }
+}
+
+#[test]
+fn theorem11_full_inputs_full_output_within_factor_two_of_anything() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for trial in 0..60 {
+        let n = rng.gen_range(3..=6);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_full_ranking(&mut rng, n)).collect();
+        // Optimum over ALL partial rankings, not just full ones.
+        let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+        for policy in POLICIES {
+            let med = aggregate_full(&inputs, policy).unwrap();
+            let cost = total_cost_x2(AggMetric::FProf, &med, &inputs).unwrap();
+            assert!(cost <= 2 * opt, "trial {trial}: {cost} > 2·{opt}");
+        }
+    }
+}
+
+#[test]
+fn equivalence_transfers_factor_to_other_metrics() {
+    // Theorem 7 machinery: a median aggregate is a constant-factor
+    // approximation under KProf/KHaus/FHaus too. The transferred constant
+    // is 3·c₁·c₂ with the equivalence constants; conservatively assert 12
+    // (Fprof within [1,2]× of Kprof, KHaus within [1/2,1]× of Fprof...).
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..30 {
+        let n = rng.gen_range(3..=5);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_bucket_order(&mut rng, n)).collect();
+        let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+        for metric in [AggMetric::KProf, AggMetric::KHaus, AggMetric::FHaus] {
+            let (_, opt) = optimal_partial_ranking(&inputs, metric).unwrap();
+            let cost = total_cost_x2(metric, &fd.order, &inputs).unwrap();
+            assert!(
+                cost <= 12 * opt.max(1),
+                "{}: {cost} > 12·{opt}",
+                metric.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn mallows_profiles_behave() {
+    // On realistic noisy-voter workloads the ratio is typically ≈ 1.
+    let mut rng = StdRng::seed_from_u64(77);
+    let alpha = TypeSeq::new(vec![2, 2, 2]).unwrap();
+    let model = MallowsWithTies::new(Mallows::new(6, 1.0), alpha);
+    let mut worst: f64 = 0.0;
+    for _ in 0..25 {
+        let inputs = model.sample_profile(&mut rng, 5);
+        let fd = aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap();
+        let cost = total_cost_x2(AggMetric::FProf, &fd.order, &inputs).unwrap();
+        let (_, opt) = optimal_partial_ranking(&inputs, AggMetric::FProf).unwrap();
+        worst = worst.max(cost as f64 / opt.max(1) as f64);
+    }
+    assert!(worst <= 2.0, "worst observed ratio {worst} exceeds the bound");
+    assert!(worst < 1.6, "Mallows profiles should be nearly optimal, got {worst}");
+}

@@ -1,0 +1,220 @@
+//! Cross-crate integration of the baseline aggregators and application
+//! layers added around the paper's core: Schulze, branch-and-bound
+//! Kemeny, own-domain top-k aggregation, clustering, weighted variants,
+//! and the similarity index.
+
+use bucketrank::access::medrank::{medrank_top_k, medrank_top_k_weighted};
+use bucketrank::access::similarity::SimilarityIndex;
+use bucketrank::aggregate::bb::kemeny_optimal_bb;
+use bucketrank::aggregate::cluster::k_medoids;
+use bucketrank::aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank::aggregate::exact::kemeny_optimal_full;
+use bucketrank::aggregate::median::{weighted_median_positions, MedianPolicy};
+use bucketrank::aggregate::schulze::schulze;
+use bucketrank::aggregate::topk::aggregate_topk_lists;
+use bucketrank::metrics::topk::{kprof_x2_topk, set_difference_topk, TopKList};
+use bucketrank::workloads::mallows::Mallows;
+use bucketrank::workloads::random::{random_bucket_order, random_full_ranking, random_top_k};
+use bucketrank::BucketOrder;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn bb_and_held_karp_agree_on_tied_profiles() {
+    let mut rng = StdRng::seed_from_u64(301);
+    for _ in 0..20 {
+        let n = rng.gen_range(4..=10);
+        let m = rng.gen_range(3..=7);
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_bucket_order(&mut rng, n)).collect();
+        let (_, hk) = kemeny_optimal_full(&inputs).unwrap();
+        let (order, bb, _) = kemeny_optimal_bb(&inputs).unwrap();
+        assert_eq!(hk, bb);
+        assert_eq!(
+            total_cost_x2(AggMetric::KProf, &order, &inputs).unwrap(),
+            bb
+        );
+    }
+}
+
+#[test]
+fn schulze_cost_is_competitive_and_condorcet_consistent() {
+    use bucketrank::aggregate::condorcet::MajorityGraph;
+    let mut rng = StdRng::seed_from_u64(302);
+    for _ in 0..25 {
+        let n = rng.gen_range(4..=8);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let out = schulze(&inputs).unwrap();
+        // Condorcet winner (if any) sits alone in the first bucket.
+        let g = MajorityGraph::build(&inputs).unwrap();
+        if let Some(w) = g.condorcet_winner() {
+            assert_eq!(out.bucket_index(w), 0);
+        }
+        // Cost sanity: never worse than the worst input by more than the
+        // metric diameter (loose, but guards pathological outputs).
+        let c = total_cost_x2(AggMetric::KProf, &out, &inputs).unwrap();
+        let worst = inputs
+            .iter()
+            .map(|s| total_cost_x2(AggMetric::KProf, s, &inputs).unwrap())
+            .max()
+            .unwrap();
+        assert!(c <= 2 * worst.max(1));
+    }
+}
+
+#[test]
+fn topk_aggregation_recovers_consensus_engines() {
+    // Engines mostly agree on a top-3; one dissents entirely.
+    let consensus = [100u32, 200, 300];
+    let lists = vec![
+        TopKList::new(vec![100, 200, 300]).unwrap(),
+        TopKList::new(vec![100, 300, 200]).unwrap(),
+        TopKList::new(vec![200, 100, 300]).unwrap(),
+        TopKList::new(vec![900, 800, 700]).unwrap(),
+    ];
+    let out = aggregate_topk_lists(&lists, 3, MedianPolicy::Lower).unwrap();
+    let mut got = out.items().to_vec();
+    got.sort_unstable();
+    assert_eq!(got, consensus);
+    // The aggregate is close to the consensus lists under the [10]
+    // measures and far from the dissenter.
+    let d_consensus = kprof_x2_topk(&out, &lists[0]).unwrap();
+    let d_dissent = kprof_x2_topk(&out, &lists[3]).unwrap();
+    assert!(d_consensus < d_dissent);
+    assert_eq!(set_difference_topk(&out, &lists[3]).unwrap(), 1.0);
+}
+
+#[test]
+fn clustering_mallows_mixture_recovers_components() {
+    let mut rng = StdRng::seed_from_u64(303);
+    let ref_a: Vec<u32> = (0..10).collect();
+    let ref_b: Vec<u32> = (0..10).rev().collect();
+    let a = Mallows::with_reference(ref_a, 1.2);
+    let b = Mallows::with_reference(ref_b, 1.2);
+    let mut inputs = Vec::new();
+    for _ in 0..8 {
+        inputs.push(a.sample(&mut rng));
+    }
+    for _ in 0..8 {
+        inputs.push(b.sample(&mut rng));
+    }
+    let c = k_medoids(&inputs, 2, AggMetric::KProf).unwrap();
+    // All of the first 8 together, all of the last 8 together.
+    let first = c.assignment[0];
+    assert!(c.assignment[..8].iter().all(|&x| x == first));
+    let second = c.assignment[8];
+    assert!(c.assignment[8..].iter().all(|&x| x == second));
+    assert_ne!(first, second);
+}
+
+#[test]
+fn weighted_median_and_weighted_medrank_agree_on_the_winner() {
+    let mut rng = StdRng::seed_from_u64(304);
+    for _ in 0..60 {
+        let n = rng.gen_range(3..=9);
+        let m = rng.gen_range(2..=5);
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let weights: Vec<f64> = (0..m).map(|_| rng.gen_range(1..=4) as f64).collect();
+        let f = weighted_median_positions(&inputs, &weights).unwrap();
+        let r = medrank_top_k_weighted(&inputs, &weights, 1).unwrap();
+        let w = r.top[0];
+        // MEDRANK's weighted winner reaches majority mass first ⇒ its
+        // "strict majority rank" is minimal. That rank is the smallest d
+        // with Σ{w_i : σ_i(w) ≤ d} > W/2 — which is ≥ the weighted lower
+        // median and ≤ the weighted upper median + 1; assert the robust
+        // property: no element has a strictly smaller weighted upper
+        // median than the winner's strict-majority depth.
+        let depth = r.stats.max_depth() as i64;
+        let strictly_better = (0..n as u32).filter(|&e| {
+            // e would have reached majority strictly earlier.
+            let total: f64 = weights.iter().sum();
+            let mut mass = 0.0;
+            for (s, &wt) in inputs.iter().zip(&weights) {
+                if s.position(e) < bucketrank::Pos::from_rank(depth) {
+                    mass += wt;
+                }
+            }
+            mass > total / 2.0
+        });
+        assert_eq!(
+            strictly_better.count(),
+            0,
+            "someone beat the weighted winner {w}: {inputs:?} {weights:?}"
+        );
+        let _ = f;
+    }
+}
+
+#[test]
+fn similarity_index_agrees_with_medrank_on_distance_rankings() {
+    // Build explicit |value − q| rankings and run plain MEDRANK; the
+    // similarity index must produce the same winner set for k = 1 up to
+    // cursor tie conventions — assert winner distance-rank optimality.
+    let mut rng = StdRng::seed_from_u64(305);
+    for _ in 0..20 {
+        let n = rng.gen_range(5..=40);
+        let mut t = bucketrank::access::db::TableBuilder::new();
+        t.column("x", bucketrank::access::db::AttrKind::Int);
+        t.column("y", bucketrank::access::db::AttrKind::Int);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x = rng.gen_range(0..50i64);
+            let y = rng.gen_range(0..50i64);
+            xs.push(x);
+            ys.push(y);
+            t.row(vec![
+                bucketrank::access::db::AttrValue::Int(x),
+                bucketrank::access::db::AttrValue::Int(y),
+            ]);
+        }
+        let table = t.finish().unwrap();
+        let idx = SimilarityIndex::build(&table, &["x", "y"]).unwrap();
+        let q = [rng.gen_range(0..50) as f64, rng.gen_range(0..50) as f64];
+        let r = idx.nearest(&q, 1).unwrap();
+        let w = r.top[0] as usize;
+
+        // Offline distance rankings + plain MEDRANK.
+        let dx: Vec<i64> = xs.iter().map(|&x| (x as f64 - q[0]).abs() as i64).collect();
+        let dy: Vec<i64> = ys.iter().map(|&y| (y as f64 - q[1]).abs() as i64).collect();
+        let rx = BucketOrder::from_keys(&dx);
+        let ry = BucketOrder::from_keys(&dy);
+        let offline = medrank_top_k(&[rx.clone(), ry.clone()], 1).unwrap();
+        // Both winners must be "2-majority at their depth": compare the
+        // max of their two distance ranks; the index winner may differ
+        // from the offline one only on ties.
+        let rank = |o: &BucketOrder, e: u32| o.position(e);
+        let score =
+            |e: u32| std::cmp::max(rank(&rx, e).half_units(), rank(&ry, e).half_units());
+        assert!(
+            score(w as u32) <= score(offline.top[0]) + 4,
+            "similarity winner {w} much worse than offline {}",
+            offline.top[0]
+        );
+    }
+}
+
+#[test]
+fn random_top_k_lists_round_trip_through_aggregation() {
+    let mut rng = StdRng::seed_from_u64(306);
+    for _ in 0..20 {
+        let n = rng.gen_range(6..=15);
+        let k = rng.gen_range(2..=4);
+        let lists: Vec<TopKList> = (0..5)
+            .map(|_| {
+                let order = random_top_k(&mut rng, n, k);
+                let items: Vec<u32> =
+                    order.buckets().iter().take(k).map(|b| b[0]).collect();
+                TopKList::new(items).unwrap()
+            })
+            .collect();
+        let out = aggregate_topk_lists(&lists, k, MedianPolicy::Lower).unwrap();
+        assert_eq!(out.k(), k);
+        // Every output item was ranked by someone.
+        for &e in out.items() {
+            assert!(lists.iter().any(|l| l.contains(e)));
+        }
+    }
+}

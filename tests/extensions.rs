@@ -1,0 +1,174 @@
+//! Integration tests for the extension surface: the [10]-style top-k
+//! module, strong optimality, the typed Hungarian optimum, KwikSort, and
+//! NRA-vs-TA agreement.
+
+use bucketrank::aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank::aggregate::exact::{footrule_optimal_of_type, optimal_of_type};
+use bucketrank::aggregate::kwiksort::{kwiksort, kwiksort_best_of};
+use bucketrank::aggregate::strong::{aggregate_to_type_strong, is_projection_of};
+use bucketrank::access::nra::nra_top_k;
+use bucketrank::access::ta::{ta_top_k, ScoreList};
+use bucketrank::metrics::topk::{
+    as_bucket_orders, fprof_x2_topk, khaus_topk, kprof_x2_topk, TopKList,
+};
+use bucketrank::workloads::random::{random_bucket_order, random_top_k};
+use bucketrank::{BucketOrder, MedianPolicy, TypeSeq};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn typed_hungarian_matches_enumeration_randomized() {
+    let mut rng = StdRng::seed_from_u64(101);
+    for _ in 0..40 {
+        let n = rng.gen_range(3..=6);
+        let m = rng.gen_range(2..=5);
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_bucket_order(&mut rng, n)).collect();
+        for alpha in TypeSeq::all_types(n) {
+            let (o1, c1) = footrule_optimal_of_type(&inputs, &alpha).unwrap();
+            let (_, c2) = optimal_of_type(&inputs, &alpha, AggMetric::FProf).unwrap();
+            assert_eq!(c1, c2, "type {alpha}, inputs {inputs:?}");
+            assert_eq!(
+                total_cost_x2(AggMetric::FProf, &o1, &inputs).unwrap(),
+                c1
+            );
+        }
+    }
+}
+
+#[test]
+fn strong_aggregation_all_types_small_domains() {
+    let mut rng = StdRng::seed_from_u64(102);
+    for _ in 0..25 {
+        let n = rng.gen_range(3..=5);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_bucket_order(&mut rng, n)).collect();
+        for alpha in TypeSeq::all_types(n) {
+            let s = aggregate_to_type_strong(&inputs, &alpha, MedianPolicy::Lower).unwrap();
+            assert!(
+                is_projection_of(&s.output, &s.witness, &alpha).unwrap(),
+                "type {alpha}"
+            );
+            // Witness keeps the Theorem 10 bound.
+            let wc = total_cost_x2(AggMetric::FProf, &s.witness, &inputs).unwrap();
+            let (_, opt) =
+                bucketrank::aggregate::exact::optimal_partial_ranking(&inputs, AggMetric::FProf)
+                    .unwrap();
+            assert!(wc <= 2 * opt);
+        }
+    }
+}
+
+#[test]
+fn kwiksort_never_catastrophic() {
+    let mut rng = StdRng::seed_from_u64(103);
+    for trial in 0..30 {
+        let n = rng.gen_range(4..=9);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_bucket_order(&mut rng, n)).collect();
+        let out = kwiksort_best_of(&inputs, trial, 4).unwrap();
+        assert!(out.is_full());
+        let c = total_cost_x2(AggMetric::KProf, &out, &inputs).unwrap();
+        // Sanity: no worse than the reverse of the best single input.
+        let worst_single: u64 = inputs
+            .iter()
+            .map(|s| total_cost_x2(AggMetric::KProf, s, &inputs).unwrap())
+            .max()
+            .unwrap();
+        assert!(c <= 2 * worst_single.max(1), "trial {trial}");
+        // Determinism.
+        assert_eq!(kwiksort(&inputs, trial).unwrap(), kwiksort(&inputs, trial).unwrap());
+    }
+}
+
+#[test]
+fn nra_and_ta_agree_on_top_k_sets() {
+    let mut rng = StdRng::seed_from_u64(104);
+    for _ in 0..50 {
+        let n = rng.gen_range(3..=30);
+        let m = rng.gen_range(2..=4);
+        let k = rng.gen_range(1..=n.min(5));
+        let lists: Vec<ScoreList> = (0..m)
+            .map(|_| {
+                let scores: Vec<f64> =
+                    (0..n).map(|_| (rng.gen_range(0..100) as f64) / 10.0).collect();
+                ScoreList::from_scores(&scores).unwrap()
+            })
+            .collect();
+        // Exact aggregate order with deterministic tie-break.
+        let mut exact: Vec<(u32, f64)> = (0..n as u32)
+            .map(|e| (e, lists.iter().map(|l| l.score(e)).sum()))
+            .collect();
+        exact.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+
+        let ta = ta_top_k(&lists, k).unwrap();
+        let nra = nra_top_k(&lists, k).unwrap();
+        // The certified *set* may resolve ties differently (equal
+        // aggregates are interchangeable, and NRA's internal order among
+        // equals depends on when bounds tighten), so compare the exact
+        // aggregate-score multisets of the returned elements.
+        let score_of = |e: u32| -> f64 { lists.iter().map(|l| l.score(e)).sum() };
+        let mut want: Vec<i64> = exact[..k].iter().map(|&(_, s)| (s * 10.0).round() as i64).collect();
+        let mut got_ta: Vec<i64> = ta.top.iter().map(|&(e, _)| (score_of(e) * 10.0).round() as i64).collect();
+        let mut got_nra: Vec<i64> = nra.top.iter().map(|&(e, _, _)| (score_of(e) * 10.0).round() as i64).collect();
+        want.sort_unstable();
+        got_ta.sort_unstable();
+        got_nra.sort_unstable();
+        assert_eq!(got_ta, want, "TA diverged");
+        assert_eq!(got_nra, want, "NRA diverged");
+        // NRA performs no random accesses; TA may.
+        assert!(nra.stats.random_accesses.iter().all(|&x| x == 0));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(100))]
+
+    /// The topk module is exactly "embed over the active domain, then use
+    /// the fixed-domain metrics" — and the Theorem 7 bounds carry over
+    /// pairwise.
+    #[test]
+    fn topk_module_consistency(
+        xs in prop::collection::vec(0u32..12, 4),
+        ys in prop::collection::vec(0u32..12, 4),
+    ) {
+        let dedup = |v: &[u32]| -> Vec<u32> {
+            let mut out = Vec::new();
+            for &e in v {
+                if !out.contains(&e) {
+                    out.push(e);
+                }
+            }
+            out
+        };
+        let a = TopKList::new(dedup(&xs)).unwrap();
+        let b = TopKList::new(dedup(&ys)).unwrap();
+        let (sa, sb) = as_bucket_orders(&a, &b);
+        prop_assert_eq!(
+            kprof_x2_topk(&a, &b).unwrap(),
+            bucketrank::metrics::kendall::kprof_x2(&sa, &sb).unwrap()
+        );
+        let kp = kprof_x2_topk(&a, &b).unwrap();
+        let fp = fprof_x2_topk(&a, &b).unwrap();
+        let kh = khaus_topk(&a, &b).unwrap();
+        prop_assert!(kp <= fp && (fp <= 2 * kp || kp == 0));
+        prop_assert!(kp <= 2 * kh && kh <= kp || kp == 0);
+    }
+}
+
+#[test]
+fn topk_lists_from_bucket_orders_round_trip() {
+    let mut rng = StdRng::seed_from_u64(105);
+    for _ in 0..50 {
+        let n = rng.gen_range(3..=10);
+        let k = rng.gen_range(1..=n - 1);
+        let order = random_top_k(&mut rng, n, k);
+        // Extract the top-k as a TopKList, embed a pair of identical
+        // lists: distance zero.
+        let items: Vec<u32> = order.buckets().iter().take(k).map(|b| b[0]).collect();
+        let l = TopKList::new(items).unwrap();
+        assert_eq!(kprof_x2_topk(&l, &l).unwrap(), 0);
+        assert_eq!(l.k(), k);
+    }
+}

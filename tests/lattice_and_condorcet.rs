@@ -1,0 +1,164 @@
+//! Integration tests for the refinement-lattice operations and the
+//! Condorcet analysis tools, at sizes beyond the unit tests' exhaustive
+//! domains.
+
+use bucketrank::aggregate::condorcet::{respects_smith_set, MajorityGraph};
+use bucketrank::aggregate::kwiksort::kwiksort_best_of;
+use bucketrank::aggregate::local::local_kemenize;
+use bucketrank::aggregate::median::{aggregate_full, MedianPolicy};
+use bucketrank::core::ops::{coarsen_adjacent, common_refinement, finest_common_coarsening};
+use bucketrank::core::refine::{is_refinement, star};
+use bucketrank::metrics::pairs::pair_counts;
+use bucketrank::workloads::random::{random_bucket_order, random_full_ranking};
+use bucketrank::BucketOrder;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
+    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn meet_exists_iff_no_discordant_pair(
+        a in bucket_order_strategy(10, 4),
+        b in bucket_order_strategy(10, 4),
+    ) {
+        let meet = common_refinement(&a, &b).unwrap();
+        let c = pair_counts(&a, &b).unwrap();
+        prop_assert_eq!(meet.is_some(), c.discordant == 0);
+        if let Some(m) = meet {
+            prop_assert!(is_refinement(&m, &a).unwrap());
+            prop_assert!(is_refinement(&m, &b).unwrap());
+            // The meet is star in both orders.
+            prop_assert_eq!(&m, &star(&a, &b).unwrap());
+            prop_assert_eq!(&m, &star(&b, &a).unwrap());
+        }
+    }
+
+    #[test]
+    fn join_is_sound_and_absorbs(
+        a in bucket_order_strategy(12, 5),
+        b in bucket_order_strategy(12, 5),
+    ) {
+        let j = finest_common_coarsening(&a, &b).unwrap();
+        prop_assert!(is_refinement(&a, &j).unwrap());
+        prop_assert!(is_refinement(&b, &j).unwrap());
+        // Absorption: join(a, a) = a; join(a, join(a, b)) = join(a, b).
+        prop_assert_eq!(&finest_common_coarsening(&a, &a).unwrap(), &a);
+        prop_assert_eq!(
+            finest_common_coarsening(&a, &j).unwrap(),
+            j.clone()
+        );
+        // Associativity with a third order.
+        let c = a.reverse();
+        let left = finest_common_coarsening(&finest_common_coarsening(&a, &b).unwrap(), &c).unwrap();
+        let right = finest_common_coarsening(&a, &finest_common_coarsening(&b, &c).unwrap()).unwrap();
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn every_coarsening_is_an_adjacent_merge(
+        a in bucket_order_strategy(8, 8),
+    ) {
+        // Merging adjacent buckets always yields something `a` refines.
+        let t = a.num_buckets();
+        if t >= 2 {
+            let runs = vec![2usize]
+                .into_iter()
+                .chain(std::iter::repeat_n(1, t - 2))
+                .collect::<Vec<_>>();
+            let c = coarsen_adjacent(&a, &runs).unwrap();
+            prop_assert!(is_refinement(&a, &c).unwrap());
+            prop_assert_eq!(c.num_buckets(), t - 1);
+        }
+    }
+}
+
+#[test]
+fn median_full_respects_condorcet_winner_usually_and_kemenized_always() {
+    // Dwork et al.: local Kemenization guarantees the (adjacent) extended
+    // Condorcet property; we additionally check Smith-set respect for the
+    // locally-Kemenized median on profiles with a clear two-tier
+    // structure.
+    let mut rng = StdRng::seed_from_u64(201);
+    let mut smith_ok = 0;
+    let mut trials = 0;
+    for _ in 0..40 {
+        let n = rng.gen_range(4..=8);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let g = MajorityGraph::build(&inputs).unwrap();
+        let med = aggregate_full(&inputs, MedianPolicy::Lower).unwrap();
+        let fixed = local_kemenize(&med, &inputs).unwrap();
+        // Adjacent criterion always holds after local Kemenization.
+        assert_eq!(g.adjacent_condorcet_violation(&fixed), None);
+        trials += 1;
+        if respects_smith_set(&g, &fixed).unwrap() {
+            smith_ok += 1;
+        }
+    }
+    // The Smith property is not guaranteed by adjacent-only fixes, but it
+    // should hold on the strong majority of random profiles.
+    assert!(
+        smith_ok * 10 >= trials * 8,
+        "Smith-set respect too rare: {smith_ok}/{trials}"
+    );
+}
+
+#[test]
+fn kwiksort_respects_condorcet_winner() {
+    // A pivot algorithm always puts a Condorcet winner first: the winner
+    // beats every pivot it meets, so it keeps moving to the "ahead" side.
+    let mut rng = StdRng::seed_from_u64(202);
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let n = rng.gen_range(4..=8);
+        let inputs: Vec<BucketOrder> =
+            (0..5).map(|_| random_bucket_order(&mut rng, n)).collect();
+        let g = MajorityGraph::build(&inputs).unwrap();
+        let Some(w) = g.condorcet_winner() else {
+            continue;
+        };
+        checked += 1;
+        let out = kwiksort_best_of(&inputs, seed, 2).unwrap();
+        assert_eq!(
+            out.as_permutation().unwrap()[0],
+            w,
+            "seed {seed}: Condorcet winner not first"
+        );
+    }
+    assert!(checked >= 10, "too few profiles had a Condorcet winner");
+}
+
+#[test]
+fn meet_and_join_interact_with_metrics() {
+    // d(a, join(a,b)) counts exactly the pairs that a orders and the join
+    // ties... at minimum, the triangle through the join never
+    // underestimates: d(a,b) ≤ d(a,j) + d(j,b) with equality precisely
+    // for Fprof on "nested" configurations. We assert the inequalities.
+    use bucketrank::metrics::footrule::fprof_x2;
+    use bucketrank::metrics::kendall::kprof_x2;
+    let mut rng = StdRng::seed_from_u64(203);
+    for _ in 0..100 {
+        let n = rng.gen_range(2..=10);
+        let a = random_bucket_order(&mut rng, n);
+        let b = random_bucket_order(&mut rng, n);
+        let j = finest_common_coarsening(&a, &b).unwrap();
+        for d in [kprof_x2, fprof_x2] {
+            let ab = d(&a, &b).unwrap();
+            let aj = d(&a, &j).unwrap();
+            let jb = d(&j, &b).unwrap();
+            assert!(ab <= aj + jb);
+        }
+        if let Some(m) = common_refinement(&a, &b).unwrap() {
+            for d in [kprof_x2, fprof_x2] {
+                let ab = d(&a, &b).unwrap();
+                assert!(d(&a, &m).unwrap() <= ab + d(&b, &m).unwrap());
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! End-to-end consistency of the access layer: MEDRANK (online, sorted
+//! access) against offline median aggregation, access-cost bounds, and
+//! the full fielded-search flow.
+
+use bucketrank::access::medrank::{medrank_top_k, medrank_winner};
+use bucketrank::access::query::PreferenceQuery;
+use bucketrank::access::RankingCursor;
+use bucketrank::aggregate::median::{median_positions, MedianPolicy};
+use bucketrank::workloads::datasets::{flight_query_specs, flights, restaurant_query_specs, restaurants};
+use bucketrank::workloads::random::{random_few_valued, random_full_ranking};
+use bucketrank::{BucketOrder, Pos};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MEDRANK sees inputs through cursors that refine ties by element id;
+/// its guarantees are therefore stated against the medians of those
+/// *refined* positions. A strict majority (`count > m/2`) corresponds to
+/// the **upper** median (for odd `m` the two medians coincide).
+fn refined_median_positions(inputs: &[BucketOrder]) -> Vec<Pos> {
+    let refined: Vec<BucketOrder> = inputs
+        .iter()
+        .map(BucketOrder::arbitrary_full_refinement)
+        .collect();
+    median_positions(&refined, MedianPolicy::Upper).unwrap()
+}
+
+#[test]
+fn winner_has_minimal_refined_median() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for _ in 0..200 {
+        let n = rng.gen_range(2..=12);
+        let m = rng.gen_range(1..=7usize) | 1; // odd for unique medians
+        let inputs: Vec<BucketOrder> = (0..m)
+            .map(|_| {
+                let levels = rng.gen_range(1..=4);
+                random_few_valued(&mut rng, n, levels)
+            })
+            .collect();
+        let (w, _) = medrank_winner(&inputs).unwrap();
+        let f = refined_median_positions(&inputs);
+        let min = f.iter().min().copied().unwrap();
+        assert_eq!(
+            f[w as usize], min,
+            "winner {w} lacks the minimal refined median: {f:?} inputs {inputs:?}"
+        );
+    }
+}
+
+#[test]
+fn access_depth_matches_winner_median() {
+    // MEDRANK's stopping round for the winner is exactly its median
+    // refined position: a majority of cursors must descend that far, and
+    // no further reading is performed after the k-th winner emerges.
+    let mut rng = StdRng::seed_from_u64(22);
+    for _ in 0..100 {
+        let n = rng.gen_range(2..=10);
+        let m = rng.gen_range(1..=5usize) | 1;
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let (w, stats) = medrank_winner(&inputs).unwrap();
+        let f = refined_median_positions(&inputs);
+        let med_rank = (f[w as usize].half_units() / 2) as u64;
+        assert_eq!(
+            stats.max_depth(),
+            med_rank,
+            "depth {} ≠ median rank {med_rank}",
+            stats.max_depth()
+        );
+    }
+}
+
+#[test]
+fn top_k_winners_match_offline_median_set() {
+    // The *set* of top-k winners agrees with the k smallest refined
+    // medians whenever those are strictly separated from the rest.
+    let mut rng = StdRng::seed_from_u64(23);
+    let mut checked = 0;
+    for _ in 0..300 {
+        let n = rng.gen_range(3..=9);
+        let m = rng.gen_range(1..=5usize) | 1;
+        let k = rng.gen_range(1..=n);
+        let inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let f = refined_median_positions(&inputs);
+        let mut sorted = f.clone();
+        sorted.sort();
+        if k < n && sorted[k - 1] == sorted[k] {
+            continue; // boundary tie: either resolution is valid
+        }
+        checked += 1;
+        let r = medrank_top_k(&inputs, k).unwrap();
+        let mut expected: Vec<u32> = (0..n as u32).collect();
+        expected.sort_by_key(|&e| f[e as usize]);
+        let mut got = r.top.clone();
+        got.sort_unstable();
+        let mut want = expected[..k].to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want, "inputs {inputs:?} k {k}");
+    }
+    assert!(checked > 150, "too few unambiguous instances: {checked}");
+}
+
+#[test]
+fn medrank_never_reads_more_than_needed_sequentially() {
+    // Depth is bounded by the round after the last winner emerged; in
+    // particular never beyond n, and all sources advance in lockstep
+    // (max spread 0 before exhaustion).
+    let mut rng = StdRng::seed_from_u64(24);
+    for _ in 0..100 {
+        let n = rng.gen_range(2..=15);
+        let m = rng.gen_range(2..=6);
+        let inputs: Vec<BucketOrder> = (0..m)
+            .map(|_| random_few_valued(&mut rng, n, 3))
+            .collect();
+        let r = medrank_top_k(&inputs, 1).unwrap();
+        let max = r.stats.max_depth();
+        for &d in &r.stats.sorted_depth {
+            assert!(d <= n as u64);
+            assert_eq!(d, max, "cursors must move in lockstep");
+        }
+    }
+}
+
+#[test]
+fn cursor_enumerates_refinement_positions() {
+    // The cursor's delivery order is exactly the arbitrary full
+    // refinement used by the offline comparison.
+    let mut rng = StdRng::seed_from_u64(25);
+    for _ in 0..50 {
+        let s = random_few_valued(&mut rng, 12, 4);
+        let mut c = RankingCursor::new(&s);
+        let refined = s.arbitrary_full_refinement();
+        let perm = refined.as_permutation().unwrap();
+        for &expect in &perm {
+            assert_eq!(c.next(), Some(expect));
+        }
+        assert_eq!(c.next(), None);
+    }
+}
+
+#[test]
+fn restaurant_query_agrees_with_offline_median_on_winner() {
+    let mut rng = StdRng::seed_from_u64(26);
+    let table = restaurants(&mut rng, 400);
+    let q = PreferenceQuery::new(restaurant_query_specs()).with_k(1);
+    let r = q.run(&table).unwrap();
+    let f = refined_median_positions(&r.rankings);
+    let min = f.iter().min().copied().unwrap();
+    assert_eq!(f[r.top[0] as usize], min);
+}
+
+#[test]
+fn flight_query_access_is_sublinear_on_average() {
+    let mut rng = StdRng::seed_from_u64(27);
+    let n = 2000;
+    let table = flights(&mut rng, n);
+    let q = PreferenceQuery::new(flight_query_specs()).with_k(3);
+    let r = q.run(&table).unwrap();
+    let full_scan = (q.specs().len() * n) as u64;
+    assert!(
+        r.stats.total_accesses() * 2 < full_scan,
+        "accesses {} not sublinear vs {}",
+        r.stats.total_accesses(),
+        full_scan
+    );
+}

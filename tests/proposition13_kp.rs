@@ -1,0 +1,83 @@
+//! Proposition 13: `K^(p)` is a metric for `p ∈ [1/2, 1]`, a near metric
+//! for `p ∈ (0, 1/2)`, and not a distance measure at `p = 0`.
+
+use bucketrank::core::consistent::all_bucket_orders;
+use bucketrank::metrics::kendall::k_p;
+use bucketrank::metrics::near::{
+    check_distance_measure, check_triangle, max_triangle_ratio, DistanceMeasureViolation,
+};
+use bucketrank::BucketOrder;
+
+#[test]
+fn p_zero_is_not_a_distance_measure() {
+    let orders = all_bucket_orders(3);
+    let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, 0.0).unwrap();
+    assert!(matches!(
+        check_distance_measure(&orders, d),
+        Some(DistanceMeasureViolation::DistinctAtDistanceZero(_, _))
+    ));
+}
+
+#[test]
+fn p_at_least_half_is_a_metric() {
+    for n in 2..=3 {
+        let orders = all_bucket_orders(n);
+        for &p in &[0.5, 0.6, 0.75, 1.0] {
+            let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, p).unwrap();
+            assert_eq!(check_distance_measure(&orders, d), None, "p = {p}, n = {n}");
+            assert_eq!(check_triangle(&orders, d), None, "p = {p}, n = {n}");
+        }
+    }
+}
+
+#[test]
+fn p_below_half_violates_triangle_but_is_near_metric() {
+    for n in 2..=3 {
+        let orders = all_bucket_orders(n);
+        for &p in &[0.1, 0.25, 0.4] {
+            let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, p).unwrap();
+            // Still a distance measure...
+            assert_eq!(check_distance_measure(&orders, d), None, "p = {p}");
+            // ...but the triangle inequality fails...
+            assert!(check_triangle(&orders, d).is_some(), "p = {p}, n = {n}");
+            // ...by exactly the bounded factor 1/(2p) (near-metric
+            // constant: K^(p) and K^(1/2) are within 1/(2p) of each
+            // other, so the relaxed polygonal inequality holds with
+            // c = 1/(2p)).
+            let r = max_triangle_ratio(&orders, d).unwrap();
+            let c = 1.0 / (2.0 * p);
+            assert!(r <= c + 1e-9, "p = {p}: ratio {r} exceeds 1/(2p) = {c}");
+        }
+    }
+}
+
+#[test]
+fn near_metric_constant_is_attained_on_paper_triple() {
+    // τ1 = a<b, τ2 = {a b}, τ3 = b<a: d(τ1,τ3) = 1 = (1/2p)·(p + p).
+    let orders = all_bucket_orders(2);
+    for &p in &[0.1, 0.25, 0.4] {
+        let d = |a: &BucketOrder, b: &BucketOrder| k_p(a, b, p).unwrap();
+        let r = max_triangle_ratio(&orders, d).unwrap();
+        assert!((r - 1.0 / (2.0 * p)).abs() < 1e-9, "p = {p}: r = {r}");
+    }
+}
+
+#[test]
+fn kp_scaling_equivalence_class() {
+    // K^(p) ≤ K^(p') ≤ (p'/p) K^(p) for 0 < p < p': all K^(p) with p > 0
+    // are equivalent distance measures (the proof skeleton of Prop. 13).
+    let orders = all_bucket_orders(4);
+    let grid = [0.2, 0.35, 0.5, 0.8, 1.0];
+    for (i, a) in orders.iter().enumerate() {
+        // Subsample the quadratic loop to keep this fast.
+        for b in orders.iter().skip(i % 7).step_by(7) {
+            for w in grid.windows(2) {
+                let (lo, hi) = (w[0], w[1]);
+                let dl = k_p(a, b, lo).unwrap();
+                let dh = k_p(a, b, hi).unwrap();
+                assert!(dl <= dh + 1e-12);
+                assert!(dh <= (hi / lo) * dl + 1e-12);
+            }
+        }
+    }
+}

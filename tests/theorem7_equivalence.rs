@@ -1,0 +1,105 @@
+//! Theorem 7: the four metrics `Kprof`, `Fprof`, `KHaus`, `FHaus` are in
+//! one equivalence class, with the specific constants of inequalities
+//! (4), (5), (6) — verified exhaustively on small domains and by
+//! property-based testing on larger random bucket orders.
+//!
+//! Scaled-unit translations (x2 = twice paper units):
+//!   (4) KHaus ≤ FHaus ≤ 2·KHaus
+//!   (5) kprof_x2 ≤ fprof_x2 ≤ 2·kprof_x2
+//!   (6) kprof_x2 ≤ 2·khaus and khaus ≤ kprof_x2
+
+use bucketrank::core::consistent::all_bucket_orders;
+use bucketrank::metrics::{footrule, hausdorff, kendall};
+use bucketrank::BucketOrder;
+use proptest::prelude::*;
+
+fn assert_theorem7(a: &BucketOrder, b: &BucketOrder) {
+    let kp2 = kendall::kprof_x2(a, b).unwrap();
+    let fp2 = footrule::fprof_x2(a, b).unwrap();
+    let kh = hausdorff::khaus(a, b).unwrap();
+    let fh = hausdorff::fhaus(a, b).unwrap();
+
+    // (4) KHaus ≤ FHaus ≤ 2 KHaus
+    assert!(kh <= fh, "KHaus ≤ FHaus failed: {a:?} {b:?}");
+    assert!(fh <= 2 * kh, "FHaus ≤ 2KHaus failed: {a:?} {b:?}");
+    // (5) Kprof ≤ Fprof ≤ 2 Kprof
+    assert!(kp2 <= fp2, "Kprof ≤ Fprof failed: {a:?} {b:?}");
+    assert!(fp2 <= 2 * kp2, "Fprof ≤ 2Kprof failed: {a:?} {b:?}");
+    // (6) Kprof ≤ KHaus ≤ 2 Kprof
+    assert!(kp2 <= 2 * kh, "Kprof ≤ KHaus failed: {a:?} {b:?}");
+    assert!(kh <= kp2, "KHaus ≤ 2Kprof failed: {a:?} {b:?}");
+
+    // Derived: Fprof and FHaus within factor 4 of each other.
+    assert!(fp2 <= 4 * 2 * fh || fh == 0);
+    assert!(2 * fh <= 4 * fp2 || fp2 == 0);
+}
+
+#[test]
+fn exhaustive_small_domains() {
+    for n in 0..=4 {
+        let orders = all_bucket_orders(n);
+        for a in &orders {
+            for b in &orders {
+                assert_theorem7(a, b);
+            }
+        }
+    }
+}
+
+#[test]
+fn bound_tightness_witnesses() {
+    // Fprof = 2·Kprof at (full, reverse) pairs of size 2:
+    let id = BucketOrder::identity(2);
+    let rev = id.reverse();
+    assert_eq!(
+        footrule::fprof_x2(&id, &rev).unwrap(),
+        2 * kendall::kprof_x2(&id, &rev).unwrap()
+    );
+    // KHaus = 2·Kprof when one order ties everything (|U| = 0, |T| = C(n,2)):
+    let triv = BucketOrder::trivial(4);
+    let full = BucketOrder::identity(4);
+    assert_eq!(
+        2 * hausdorff::khaus(&triv, &full).unwrap(),
+        2 * kendall::kprof_x2(&triv, &full).unwrap()
+    );
+    // Kprof = KHaus on full rankings (S = T = 0):
+    let a = BucketOrder::from_permutation(&[1, 3, 0, 2]).unwrap();
+    let b = BucketOrder::from_permutation(&[2, 0, 3, 1]).unwrap();
+    assert_eq!(
+        kendall::kprof_x2(&a, &b).unwrap(),
+        2 * hausdorff::khaus(&a, &b).unwrap()
+    );
+}
+
+/// Arbitrary bucket order on `n` elements via per-element keys.
+fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
+    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn random_pairs_n12(
+        a in bucket_order_strategy(12, 5),
+        b in bucket_order_strategy(12, 5),
+    ) {
+        assert_theorem7(&a, &b);
+    }
+
+    #[test]
+    fn random_pairs_n40_many_ties(
+        a in bucket_order_strategy(40, 3),
+        b in bucket_order_strategy(40, 3),
+    ) {
+        assert_theorem7(&a, &b);
+    }
+
+    #[test]
+    fn random_pairs_n25_fine_grained(
+        a in bucket_order_strategy(25, 25),
+        b in bucket_order_strategy(25, 25),
+    ) {
+        assert_theorem7(&a, &b);
+    }
+}
