@@ -1,0 +1,74 @@
+//! Timing benches for the access layer (experiment E6 counterpart):
+//! MEDRANK wall-clock vs a full Borda scan, the end-to-end fielded
+//! search flow, and ranking construction from indexes vs per-query
+//! sorts.
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin bench_access`.
+
+use bucketrank_access::index::IndexedTable;
+use bucketrank_access::medrank::{medrank_top_k, medrank_top_k_buckets};
+use bucketrank_access::query::PreferenceQuery;
+use bucketrank_aggregate::borda::average_rank_full;
+use bucketrank_bench::timing::{group, Sampler};
+use bucketrank_core::BucketOrder;
+use bucketrank_workloads::datasets::{restaurant_query_specs, restaurants};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, SeedableRng};
+
+fn main() {
+    let s = Sampler::default();
+
+    group("medrank_vs_scan");
+    let mut rng = Pcg32::seed_from_u64(71);
+    for n in [1_000usize, 10_000, 100_000] {
+        let inputs: Vec<BucketOrder> = (0..5)
+            .map(|_| random_few_valued(&mut rng, n, 5))
+            .collect();
+        s.bench(&format!("medrank_vs_scan/medrank_top1/{n}"), || {
+            medrank_top_k(&inputs, 1).unwrap()
+        });
+        s.bench(&format!("medrank_vs_scan/medrank_top10/{n}"), || {
+            medrank_top_k(&inputs, 10).unwrap()
+        });
+        s.bench(&format!("medrank_vs_scan/medrank_buckets_top10/{n}"), || {
+            medrank_top_k_buckets(&inputs, 10).unwrap()
+        });
+        s.bench(&format!("medrank_vs_scan/borda_full_scan/{n}"), || {
+            average_rank_full(&inputs).unwrap()
+        });
+    }
+
+    group("fielded_search");
+    let mut rng = Pcg32::seed_from_u64(72);
+    for n in [1_000usize, 10_000] {
+        let table = restaurants(&mut rng, n);
+        let query = PreferenceQuery::new(restaurant_query_specs()).with_k(5);
+        // Planning (index scans) + aggregation, end to end.
+        s.bench(&format!("fielded_search/plan_and_run/{n}"), || {
+            query.run(&table).unwrap()
+        });
+        // Aggregation only, on pre-planned rankings.
+        let rankings = query.plan(&table).unwrap();
+        s.bench(&format!("fielded_search/aggregate_only/{n}"), || {
+            medrank_top_k(&rankings, 5).unwrap()
+        });
+    }
+
+    group("ranking_construction");
+    let mut rng = Pcg32::seed_from_u64(73);
+    for n in [1_000usize, 10_000, 100_000] {
+        let table = restaurants(&mut rng, n);
+        let specs = restaurant_query_specs();
+        s.bench(&format!("ranking_construction/sort_per_query/{n}"), || {
+            for spec in &specs {
+                std::hint::black_box(table.ranking(spec).unwrap());
+            }
+        });
+        let indexed = IndexedTable::build(restaurants(&mut rng, n)).unwrap();
+        s.bench(&format!("ranking_construction/from_index/{n}"), || {
+            for spec in &specs {
+                std::hint::black_box(indexed.ranking(spec).unwrap());
+            }
+        });
+    }
+}

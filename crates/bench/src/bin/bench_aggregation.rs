@@ -1,0 +1,79 @@
+//! Timing benches for aggregation (experiments E3/E8 counterpart):
+//! the median family vs Borda and the Markov chains, plus the exact
+//! optimizers on the sizes they admit.
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin bench_aggregation`.
+
+use bucketrank_aggregate::borda::average_rank_full;
+use bucketrank_aggregate::dp::aggregate_optimal_bucketing;
+use bucketrank_aggregate::exact::{footrule_optimal_full, kemeny_optimal_full};
+use bucketrank_aggregate::markov::{markov_aggregate, MarkovChain, MarkovOptions};
+use bucketrank_aggregate::median::{aggregate_full, aggregate_top_k, MedianPolicy};
+use bucketrank_bench::timing::{group, Sampler};
+use bucketrank_core::BucketOrder;
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, SeedableRng};
+
+fn profile(rng: &mut Pcg32, n: usize, m: usize) -> Vec<BucketOrder> {
+    (0..m).map(|_| random_few_valued(rng, n, 6)).collect()
+}
+
+fn main() {
+    let s = Sampler::default();
+
+    group("aggregators");
+    let mut rng = Pcg32::seed_from_u64(61);
+    for n in [100usize, 1000, 10000] {
+        let inputs = profile(&mut rng, n, 7);
+        s.bench(&format!("aggregators/median_top10/{n}"), || {
+            aggregate_top_k(&inputs, 10, MedianPolicy::Lower).unwrap()
+        });
+        s.bench(&format!("aggregators/median_full/{n}"), || {
+            aggregate_full(&inputs, MedianPolicy::Lower).unwrap()
+        });
+        s.bench(&format!("aggregators/median_fdagger/{n}"), || {
+            aggregate_optimal_bucketing(&inputs, MedianPolicy::Lower).unwrap()
+        });
+        s.bench(&format!("aggregators/borda/{n}"), || {
+            average_rank_full(&inputs).unwrap()
+        });
+        if n <= 1000 {
+            s.bench(&format!("aggregators/mc4/{n}"), || {
+                markov_aggregate(&inputs, MarkovChain::Mc4, MarkovOptions::default()).unwrap()
+            });
+        }
+    }
+
+    group("exact_optima");
+    let mut rng = Pcg32::seed_from_u64(62);
+    for n in [8usize, 12, 14] {
+        let inputs = profile(&mut rng, n, 5);
+        s.bench(&format!("exact_optima/kemeny_held_karp/{n}"), || {
+            kemeny_optimal_full(&inputs).unwrap()
+        });
+        s.bench(&format!("exact_optima/kemeny_branch_bound/{n}"), || {
+            bucketrank_aggregate::bb::kemeny_optimal_bb(&inputs).unwrap()
+        });
+    }
+    // B&B scales past Held–Karp on cohesive profiles.
+    {
+        use bucketrank_workloads::mallows::Mallows;
+        let model = Mallows::new(24, 1.0);
+        let inputs = model.sample_profile(&mut rng, 7);
+        s.bench("exact_optima/kemeny_branch_bound_n24_cohesive", || {
+            bucketrank_aggregate::bb::kemeny_optimal_bb(&inputs).unwrap()
+        });
+    }
+    {
+        let inputs = profile(&mut rng, 60, 7);
+        s.bench("exact_optima/schulze_n60", || {
+            bucketrank_aggregate::schulze::schulze(&inputs).unwrap()
+        });
+    }
+    for n in [16usize, 64, 256] {
+        let inputs = profile(&mut rng, n, 5);
+        s.bench(&format!("exact_optima/footrule_hungarian/{n}"), || {
+            footrule_optimal_full(&inputs).unwrap()
+        });
+    }
+}

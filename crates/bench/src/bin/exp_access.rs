@@ -14,12 +14,12 @@ use bucketrank_access::ta::{ta_top_k, ScoreList};
 use bucketrank_bench::Table;
 use bucketrank_core::BucketOrder;
 use bucketrank_workloads::random::{random_few_valued, random_zipf_valued};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::{Rng, SeedableRng};
 
 fn main() {
     println!("E6 — MEDRANK access cost vs database size (k = 1 unless noted)\n");
-    let mut rng = StdRng::seed_from_u64(6);
+    let mut rng = Pcg32::seed_from_u64(6);
 
     let mut t = Table::new(&[
         "workload",
@@ -165,7 +165,7 @@ fn main() {
 
 /// A full ranking that perturbs the identity by `swaps` random adjacent
 /// transpositions — a cheap correlated-input generator for large n.
-fn noisy_identity(rng: &mut StdRng, n: usize, swaps: usize) -> BucketOrder {
+fn noisy_identity(rng: &mut Pcg32, n: usize, swaps: usize) -> BucketOrder {
     let mut perm: Vec<u32> = (0..n as u32).collect();
     for _ in 0..swaps {
         let i = rng.gen_range(0..n - 1);

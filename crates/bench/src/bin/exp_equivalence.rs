@@ -11,8 +11,8 @@ use bucketrank_core::consistent::all_bucket_orders;
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::{footrule, hausdorff, kendall};
 use bucketrank_workloads::random::random_few_valued;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::SeedableRng;
 
 struct RatioRange {
     lo: f64,
@@ -101,7 +101,7 @@ fn main() {
     }
 
     // Random few-valued bucket orders at larger n.
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = Pcg32::seed_from_u64(1);
     for n in [10usize, 20, 40, 80, 160, 320, 640] {
         let mut r = Ranges::new();
         let trials = if n <= 80 { 400 } else { 100 };

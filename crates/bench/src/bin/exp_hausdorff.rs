@@ -10,8 +10,8 @@ use bucketrank_core::consistent::all_bucket_orders;
 use bucketrank_core::refine::count_full_refinements;
 use bucketrank_metrics::hausdorff::{fhaus, fhaus_brute, khaus, khaus_brute, khaus_theorem5};
 use bucketrank_workloads::random::random_few_valued;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::SeedableRng;
 
 fn main() {
     println!("E9 — Hausdorff characterization (Theorem 5, Proposition 6)\n");
@@ -50,8 +50,8 @@ fn main() {
 
     // n = 5 sampled brute force (the refinement sets reach 120 each).
     let orders5 = all_bucket_orders(5);
-    let mut rng = StdRng::seed_from_u64(9);
-    use rand::Rng;
+    let mut rng = Pcg32::seed_from_u64(9);
+    use bucketrank_workloads::rng::Rng;
     let mut checked = 0;
     for _ in 0..300 {
         let a = &orders5[rng.gen_range(0..orders5.len())];

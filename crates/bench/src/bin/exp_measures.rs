@@ -16,13 +16,13 @@ use bucketrank_metrics::normalized::{
 use bucketrank_metrics::related::{goodman_kruskal_gamma, kendall_tau_b};
 use bucketrank_workloads::mallows::{Mallows, MallowsWithTies};
 use bucketrank_workloads::stats::summarize;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::SeedableRng;
 
 fn main() {
     println!("E11 — normalized metrics vs classical coefficients (n = 30,");
     println!("type (3,3,3,3,3,15), pairs of independent Mallows samples)\n");
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Pcg32::seed_from_u64(11);
 
     let alpha = TypeSeq::new(vec![3, 3, 3, 3, 3, 15]).unwrap();
     let mut t = Table::new(&[

@@ -12,12 +12,12 @@ use bucketrank_bench::Table;
 use bucketrank_core::{BucketOrder, TypeSeq};
 use bucketrank_workloads::random::random_few_valued;
 use bucketrank_workloads::stats::summarize;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::SeedableRng;
 
 fn main() {
     println!("E10 — strong optimality and the typed optimum at scale\n");
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Pcg32::seed_from_u64(10);
 
     println!("median top-k vs the exact optimal top-k list (Hungarian matching),");
     println!("with the strong-optimality witness verified on every instance:");

@@ -8,8 +8,10 @@
 #![forbid(unsafe_code)]
 
 pub mod table;
+pub mod timing;
 
 pub use table::Table;
+pub use timing::{Measurement, Sampler};
 
 /// Formats a ratio with three decimals, or `-` for an undefined ratio.
 pub fn ratio(num: f64, den: f64) -> String {

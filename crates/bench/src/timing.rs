@@ -1,0 +1,167 @@
+//! A small measurement loop for the `bench_*` binaries — the in-repo
+//! replacement for criterion, keeping the workspace dependency-free.
+//!
+//! Method: warm up, calibrate an iteration count so one sample takes
+//! roughly [`Sampler::sample_time`], then collect [`Sampler::samples`]
+//! samples and report min / median / mean per-iteration time. Min is
+//! the headline number (least noise on a shared machine); the
+//! median–mean spread flags interference.
+//!
+//! Set `BUCKETRANK_BENCH_FAST=1` to run a smoke-test-speed pass (one
+//! short sample per case) — used to keep the bench binaries testable.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated timings, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id, e.g. `pair_counts/fast/1024`.
+    pub name: String,
+    /// Iterations per sample after calibration.
+    pub iters: u64,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1}ns")
+    } else if ns < 1e6 {
+        format!("{:.2}µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2}ms", ns / 1e6)
+    } else {
+        format!("{:.3}s", ns / 1e9)
+    }
+}
+
+impl Measurement {
+    /// One aligned report line.
+    pub fn line(&self) -> String {
+        format!(
+            "{:<44} min {:>10}   median {:>10}   mean {:>10}   ({} iters/sample)",
+            self.name,
+            fmt_ns(self.min_ns),
+            fmt_ns(self.median_ns),
+            fmt_ns(self.mean_ns),
+            self.iters,
+        )
+    }
+}
+
+/// Benchmark configuration: warmup budget, per-sample time target, and
+/// sample count.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    /// Time spent running the closure before measuring.
+    pub warmup: Duration,
+    /// Target wall time per sample (calibrates the iteration count).
+    pub sample_time: Duration,
+    /// Number of samples collected.
+    pub samples: usize,
+}
+
+impl Default for Sampler {
+    fn default() -> Self {
+        if std::env::var_os("BUCKETRANK_BENCH_FAST").is_some() {
+            Sampler {
+                warmup: Duration::from_millis(1),
+                sample_time: Duration::from_millis(1),
+                samples: 2,
+            }
+        } else {
+            Sampler {
+                warmup: Duration::from_millis(40),
+                sample_time: Duration::from_millis(25),
+                samples: 11,
+            }
+        }
+    }
+}
+
+impl Sampler {
+    /// Measure `f`, print the report line, and return the measurement.
+    pub fn bench<T>(&self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // Warm up (also seeds caches/allocator) while estimating cost
+        // with doubling batches, so sub-microsecond closures are not
+        // swamped by timer overhead.
+        let mut batch: u64 = 1;
+        let per_iter_estimate;
+        let warmup_start = Instant::now();
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let took = t.elapsed();
+            if took >= Duration::from_millis(1) || warmup_start.elapsed() >= self.warmup {
+                per_iter_estimate = took.as_secs_f64() / batch as f64;
+                break;
+            }
+            batch = batch.saturating_mul(2);
+        }
+        while warmup_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+
+        let iters = ((self.sample_time.as_secs_f64() / per_iter_estimate.max(1e-9)).ceil()
+            as u64)
+            .max(1);
+        let mut per_iter_ns: Vec<f64> = (0..self.samples.max(1))
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+
+        let m = Measurement {
+            name: name.to_string(),
+            iters,
+            min_ns: per_iter_ns[0],
+            median_ns: per_iter_ns[per_iter_ns.len() / 2],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64,
+        };
+        println!("{}", m.line());
+        m
+    }
+}
+
+/// Prints a group header, mirroring criterion's benchmark groups.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_sane_numbers() {
+        let s = Sampler {
+            warmup: Duration::from_millis(1),
+            sample_time: Duration::from_millis(1),
+            samples: 3,
+        };
+        let m = s.bench("smoke", || (0..100u64).sum::<u64>());
+        assert!(m.iters >= 1);
+        assert!(m.min_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns * 1.001);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.3), "12.3ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30ms");
+        assert_eq!(fmt_ns(2.5e9), "2.500s");
+    }
+}

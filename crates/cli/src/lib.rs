@@ -25,8 +25,8 @@ use bucketrank_core::{BucketOrder, Domain, TypeSeq};
 use bucketrank_metrics::{footrule, hausdorff, kendall};
 use bucketrank_workloads::mallows::{Mallows, MallowsWithTies};
 use bucketrank_workloads::random::random_bucket_order;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank_workloads::rng::Pcg32;
+use bucketrank_workloads::rng::SeedableRng;
 use std::fmt::Write as _;
 
 /// A CLI failure: human-readable message, nonzero exit.
@@ -205,7 +205,7 @@ pub fn cmd_generate(
     if n == 0 || m == 0 {
         return err("need n ≥ 1 and m ≥ 1");
     }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Pcg32::seed_from_u64(seed);
     let rankings: Vec<BucketOrder> = match (mallows_theta, top) {
         (Some(theta), k) => {
             let alpha = match k {

@@ -4,7 +4,7 @@
 //! Applications of the paper's metrics (similarity search, clustering,
 //! the experiment harness itself) routinely need all `m(m−1)/2` pairwise
 //! distances of a profile. This module provides a cache-friendly
-//! single-threaded path and a [`crossbeam`]-scoped parallel path that
+//! single-threaded path and a [`std::thread::scope`]d parallel path that
 //! splits the pair list across threads (the metrics are pure functions of
 //! immutable inputs, so this parallelizes embarrassingly).
 
@@ -89,7 +89,7 @@ where
 }
 
 /// Computes the pairwise matrix with `threads` worker threads
-/// (crossbeam-scoped; `threads = 1` falls back to the sequential path).
+/// (scoped std threads; `threads = 1` falls back to the sequential path).
 ///
 /// Pairs are dealt round-robin by flattened pair index, which balances
 /// well because every pair costs roughly the same `O(n log n)`.
@@ -119,22 +119,21 @@ where
     let mut results: Vec<Result<u64, MetricsError>> = Vec::with_capacity(pairs.len());
     results.resize_with(pairs.len(), || Ok(0));
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         // Chunk the results buffer so each worker owns a disjoint slice.
         let chunk = pairs.len().div_ceil(threads);
         for (t, res_chunk) in results.chunks_mut(chunk).enumerate() {
             let pairs = &pairs;
             let d = &d;
             let start = t * chunk;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, slot) in res_chunk.iter_mut().enumerate() {
                     let (i, j) = pairs[start + off];
                     *slot = d(&orders[i], &orders[j]);
                 }
             });
         }
-    })
-    .expect("metric workers do not panic");
+    });
 
     let mut values = vec![0u64; m * m];
     for ((i, j), r) in pairs.into_iter().zip(results) {

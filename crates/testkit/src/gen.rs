@@ -1,0 +1,708 @@
+//! Generator combinators for property tests.
+//!
+//! A [`Gen`] produces random values from a [`Pcg32`] stream and knows
+//! how to *shrink* a failing value toward smaller counterexamples.
+//! Shrinking lives on the generator — not the value — so that
+//! generators with invariants (full rankings stay full, paired orders
+//! stay on the same domain) only ever propose candidates inside their
+//! own support.
+//!
+//! Domain generators for [`BucketOrder`] use two shrink moves:
+//!
+//! * **remove-item** — drop one element from the domain (coordinated
+//!   across tuple components, so pairs keep comparable domains);
+//! * **merge-bucket** — merge two adjacent buckets, increasing ties
+//!   (skipped by the full-ranking generators, whose support has none).
+
+use crate::rng::{Pcg32, Rng};
+use bucketrank_core::BucketOrder;
+use std::fmt::Debug;
+use std::ops::RangeInclusive;
+
+/// A reproducible random generator of test values with shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Produce one value from the stream.
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value;
+
+    /// Propose strictly "smaller" variants of a failing value. Every
+    /// candidate must lie in this generator's support. Order matters:
+    /// the runner tries candidates front to back and greedily recurses
+    /// on the first that still fails.
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let _ = v;
+        Vec::new()
+    }
+}
+
+impl<G: Gen + ?Sized> Gen for &G {
+    type Value = G::Value;
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (**self).generate(rng)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        (**self).shrink(v)
+    }
+}
+
+/// A generator from a closure, with no shrinking.
+pub fn from_fn<T, F>(f: F) -> FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut Pcg32) -> T,
+{
+    FromFn(f)
+}
+
+/// See [`from_fn`].
+pub struct FromFn<F>(F);
+
+impl<T, F> Gen for FromFn<F>
+where
+    T: Clone + Debug,
+    F: Fn(&mut Pcg32) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut Pcg32) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Two independent generators; shrinks one component at a time.
+pub fn pair<A: Gen, B: Gen>(a: A, b: B) -> Pair<A, B> {
+    Pair(a, b)
+}
+
+/// See [`pair`].
+pub struct Pair<A, B>(A, B);
+
+impl<A: Gen, B: Gen> Gen for Pair<A, B> {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone()));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b));
+        }
+        out
+    }
+}
+
+/// Three independent generators; shrinks one component at a time.
+pub fn triple<A: Gen, B: Gen, C: Gen>(a: A, b: B, c: C) -> Triple<A, B, C> {
+    Triple(a, b, c)
+}
+
+/// See [`triple`].
+pub struct Triple<A, B, C>(A, B, C);
+
+impl<A: Gen, B: Gen, C: Gen> Gen for Triple<A, B, C> {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        for a in self.0.shrink(&v.0) {
+            out.push((a, v.1.clone(), v.2.clone()));
+        }
+        for b in self.1.shrink(&v.1) {
+            out.push((v.0.clone(), b, v.2.clone()));
+        }
+        for c in self.2.shrink(&v.2) {
+            out.push((v.0.clone(), v.1.clone(), c));
+        }
+        out
+    }
+}
+
+/// A vector of values from `elem` with a length drawn from `len`.
+/// Shrinks by removing one element, then by shrinking each element.
+pub fn vec_of<G: Gen>(elem: G, len: RangeInclusive<usize>) -> VecOf<G> {
+    VecOf { elem, len }
+}
+
+/// See [`vec_of`].
+pub struct VecOf<G> {
+    elem: G,
+    len: RangeInclusive<usize>,
+}
+
+impl<G: Gen> Gen for VecOf<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        if v.len() > *self.len.start() {
+            for i in 0..v.len() {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        for (i, x) in v.iter().enumerate() {
+            for sx in self.elem.shrink(x) {
+                let mut copy = v.clone();
+                copy[i] = sx;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! int_gen {
+    ($fname:ident, $gname:ident, $t:ty) => {
+        /// A uniform integer in the inclusive range, shrinking toward
+        /// the lower bound by halving the distance.
+        pub fn $fname(range: RangeInclusive<$t>) -> $gname {
+            $gname(range)
+        }
+
+        #[doc = concat!("See [`", stringify!($fname), "`].")]
+        pub struct $gname(RangeInclusive<$t>);
+
+        impl Gen for $gname {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Pcg32) -> $t {
+                rng.gen_range(self.0.clone())
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                // Candidates `v - delta` for halving deltas: the greedy
+                // runner recursing on the first failure binary-searches
+                // onto the smallest failing value.
+                let lo = *self.0.start();
+                let mut out = Vec::new();
+                let mut delta = *v - lo;
+                while delta > 0 {
+                    out.push(*v - delta);
+                    delta /= 2;
+                }
+                out
+            }
+        }
+    };
+}
+
+int_gen!(usize_in, UsizeIn, usize);
+int_gen!(u32_in, U32In, u32);
+int_gen!(i64_in, I64In, i64);
+
+/// Any `i32`, shrinking toward zero by halving.
+pub fn i32_any() -> I32Any {
+    I32Any
+}
+
+/// See [`i32_any`].
+pub struct I32Any;
+
+impl Gen for I32Any {
+    type Value = i32;
+
+    fn generate(&self, rng: &mut Pcg32) -> i32 {
+        rng.next_u32() as i32
+    }
+
+    fn shrink(&self, v: &i32) -> Vec<i32> {
+        let mut out = Vec::new();
+        let mut cur = *v;
+        while cur != 0 {
+            let mid = cur / 2;
+            out.push(mid);
+            cur = mid;
+        }
+        out.dedup();
+        out
+    }
+}
+
+/// A string of length in `len` over `charset`, shrinking by removing
+/// one character at a time.
+pub fn string_from(charset: &'static [char], len: RangeInclusive<usize>) -> StringFrom {
+    StringFrom { charset, len }
+}
+
+/// Printable characters (ASCII printable plus a few multibyte
+/// codepoints), standing in for proptest's `\PC` class.
+pub fn printable_string(len: RangeInclusive<usize>) -> StringFrom {
+    const PRINTABLE: &[char] = &[
+        ' ', '!', '"', '#', '$', '%', '&', '\'', '(', ')', '*', '+', ',', '-', '.', '/', '0',
+        '1', '5', '9', ':', ';', '<', '=', '>', '?', '@', 'A', 'B', 'M', 'Z', '[', '\\', ']',
+        '^', '_', '`', 'a', 'b', 'k', 'z', '{', '|', '}', '~', 'é', 'ß', '中', '→', '🦀',
+    ];
+    StringFrom {
+        charset: PRINTABLE,
+        len,
+    }
+}
+
+/// See [`string_from`].
+pub struct StringFrom {
+    charset: &'static [char],
+    len: RangeInclusive<usize>,
+}
+
+impl Gen for StringFrom {
+    type Value = String;
+
+    fn generate(&self, rng: &mut Pcg32) -> String {
+        let n = rng.gen_range(self.len.clone());
+        (0..n)
+            .map(|_| self.charset[rng.gen_range(0..self.charset.len())])
+            .collect()
+    }
+
+    fn shrink(&self, v: &String) -> Vec<String> {
+        if v.chars().count() <= *self.len.start() {
+            return Vec::new();
+        }
+        let chars: Vec<char> = v.chars().collect();
+        (0..chars.len())
+            .map(|i| {
+                chars
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, &c)| c)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// BucketOrder shrink moves
+// ---------------------------------------------------------------------
+
+/// Drop element `e` from the domain of `o`, relabeling the survivors
+/// to `0..n-1` while preserving their relative order and ties.
+pub fn remove_element(o: &BucketOrder, e: u32) -> BucketOrder {
+    let keep: Vec<u32> = (0..o.len() as u32).filter(|&x| x != e).collect();
+    o.restrict(&keep).expect("keep is a valid sub-domain")
+}
+
+/// Merge buckets `i` and `i + 1` of `o` into one (coarsening the
+/// order by adding ties).
+pub fn merge_adjacent(o: &BucketOrder, i: usize) -> BucketOrder {
+    let mut buckets: Vec<Vec<u32>> = o.buckets().to_vec();
+    let upper = buckets.remove(i + 1);
+    buckets[i].extend(upper);
+    BucketOrder::from_buckets(o.len(), buckets).expect("merging buckets keeps a valid order")
+}
+
+fn all_removals_coordinated(orders: &[&BucketOrder]) -> Vec<Vec<BucketOrder>> {
+    let n = orders[0].len();
+    if n <= 1 {
+        return Vec::new();
+    }
+    (0..n as u32)
+        .map(|e| orders.iter().map(|o| remove_element(o, e)).collect())
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Domain generators
+// ---------------------------------------------------------------------
+
+fn random_keys_order(rng: &mut Pcg32, n: usize, levels: u8) -> BucketOrder {
+    let keys: Vec<u8> = (0..n).map(|_| rng.gen_range(0..levels)).collect();
+    BucketOrder::from_keys(&keys)
+}
+
+fn random_permutation(rng: &mut Pcg32, n: usize) -> BucketOrder {
+    let mut ids: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    BucketOrder::from_permutation(&ids).expect("shuffled permutation")
+}
+
+/// A bucket order on `n` elements built by assigning each element a
+/// uniform key in `0..levels` — the same distribution as the old
+/// proptest `bucket_order_strategy`. `levels` controls tie density:
+/// small `levels` relative to `n` forces large buckets.
+///
+/// Shrinks by removing an element and by merging adjacent buckets.
+pub fn bucket_order(n: usize, levels: u8) -> BucketOrderGen {
+    assert!(n >= 1 && levels >= 1);
+    BucketOrderGen { n, levels }
+}
+
+/// See [`bucket_order`].
+pub struct BucketOrderGen {
+    n: usize,
+    levels: u8,
+}
+
+impl Gen for BucketOrderGen {
+    type Value = BucketOrder;
+
+    fn generate(&self, rng: &mut Pcg32) -> BucketOrder {
+        random_keys_order(rng, self.n, self.levels)
+    }
+
+    fn shrink(&self, v: &BucketOrder) -> Vec<BucketOrder> {
+        let mut out = Vec::new();
+        if v.len() > 1 {
+            for e in 0..v.len() as u32 {
+                out.push(remove_element(v, e));
+            }
+        }
+        for i in 0..v.num_buckets().saturating_sub(1) {
+            out.push(merge_adjacent(v, i));
+        }
+        out
+    }
+}
+
+/// A pair of independent bucket orders over the **same** `n`-element
+/// domain. Shrinks coordinate element removal across both sides (so
+/// the domains stay equal) and merge buckets on either side alone.
+pub fn order_pair(n: usize, levels: u8) -> OrderPairGen {
+    assert!(n >= 1 && levels >= 1);
+    OrderPairGen { n, levels }
+}
+
+/// See [`order_pair`].
+pub struct OrderPairGen {
+    n: usize,
+    levels: u8,
+}
+
+impl Gen for OrderPairGen {
+    type Value = (BucketOrder, BucketOrder);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (
+            random_keys_order(rng, self.n, self.levels),
+            random_keys_order(rng, self.n, self.levels),
+        )
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (a, b) = v;
+        let mut out: Vec<Self::Value> = all_removals_coordinated(&[a, b])
+            .into_iter()
+            .map(|mut pair| {
+                let second = pair.pop().expect("two orders");
+                let first = pair.pop().expect("two orders");
+                (first, second)
+            })
+            .collect();
+        for i in 0..a.num_buckets().saturating_sub(1) {
+            out.push((merge_adjacent(a, i), b.clone()));
+        }
+        for i in 0..b.num_buckets().saturating_sub(1) {
+            out.push((a.clone(), merge_adjacent(b, i)));
+        }
+        out
+    }
+}
+
+/// A triple of independent bucket orders over the same domain, with
+/// the same coordinated shrinking as [`order_pair`].
+pub fn order_triple(n: usize, levels: u8) -> OrderTripleGen {
+    assert!(n >= 1 && levels >= 1);
+    OrderTripleGen { n, levels }
+}
+
+/// See [`order_triple`].
+pub struct OrderTripleGen {
+    n: usize,
+    levels: u8,
+}
+
+impl Gen for OrderTripleGen {
+    type Value = (BucketOrder, BucketOrder, BucketOrder);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (
+            random_keys_order(rng, self.n, self.levels),
+            random_keys_order(rng, self.n, self.levels),
+            random_keys_order(rng, self.n, self.levels),
+        )
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (a, b, c) = v;
+        let mut out: Vec<Self::Value> = all_removals_coordinated(&[a, b, c])
+            .into_iter()
+            .map(|mut t| {
+                let third = t.pop().expect("three orders");
+                let second = t.pop().expect("three orders");
+                let first = t.pop().expect("three orders");
+                (first, second, third)
+            })
+            .collect();
+        for i in 0..a.num_buckets().saturating_sub(1) {
+            out.push((merge_adjacent(a, i), b.clone(), c.clone()));
+        }
+        for i in 0..b.num_buckets().saturating_sub(1) {
+            out.push((a.clone(), merge_adjacent(b, i), c.clone()));
+        }
+        for i in 0..c.num_buckets().saturating_sub(1) {
+            out.push((a.clone(), b.clone(), merge_adjacent(c, i)));
+        }
+        out
+    }
+}
+
+/// A uniform full ranking (permutation) of `n` elements. Shrinks by
+/// element removal only — merges would introduce ties and leave the
+/// generator's support.
+pub fn full_ranking(n: usize) -> FullRankingGen {
+    assert!(n >= 1);
+    FullRankingGen { n }
+}
+
+/// See [`full_ranking`].
+pub struct FullRankingGen {
+    n: usize,
+}
+
+impl Gen for FullRankingGen {
+    type Value = BucketOrder;
+
+    fn generate(&self, rng: &mut Pcg32) -> BucketOrder {
+        random_permutation(rng, self.n)
+    }
+
+    fn shrink(&self, v: &BucketOrder) -> Vec<BucketOrder> {
+        if v.len() <= 1 {
+            return Vec::new();
+        }
+        (0..v.len() as u32).map(|e| remove_element(v, e)).collect()
+    }
+}
+
+/// A pair of independent full rankings over the same domain, with
+/// coordinated element-removal shrinking (no merges: both sides must
+/// stay full).
+pub fn full_pair(n: usize) -> FullPairGen {
+    assert!(n >= 1);
+    FullPairGen { n }
+}
+
+/// See [`full_pair`].
+pub struct FullPairGen {
+    n: usize,
+}
+
+impl Gen for FullPairGen {
+    type Value = (BucketOrder, BucketOrder);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        (
+            random_permutation(rng, self.n),
+            random_permutation(rng, self.n),
+        )
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (a, b) = v;
+        all_removals_coordinated(&[a, b])
+            .into_iter()
+            .map(|mut pair| {
+                let second = pair.pop().expect("two orders");
+                let first = pair.pop().expect("two orders");
+                (first, second)
+            })
+            .collect()
+    }
+}
+
+/// Number of full refinements of `o`: the product of the factorials
+/// of its bucket sizes (saturating).
+pub fn refinement_count(o: &BucketOrder) -> u128 {
+    let mut total: u128 = 1;
+    for b in o.buckets() {
+        for k in 2..=b.len() as u128 {
+            total = total.saturating_mul(k);
+        }
+    }
+    total
+}
+
+/// A pair of bucket orders on `n ≤ n_max` elements whose refinement
+/// sets are small enough for brute-force Hausdorff enumeration:
+/// `refinement_count(a) · refinement_count(b) ≤ cap`. Rejection-samples
+/// (shrinking `levels` pressure upward, i.e. more buckets → fewer
+/// refinements) until the budget holds, so generation always
+/// terminates. Shrinks like [`order_pair`] — both moves shrink the
+/// enumeration budget, never grow it past the cap... merges *grow*
+/// refinement counts, so merge candidates violating `cap` are
+/// filtered out.
+pub fn bounded_refinement_pair(n: usize, levels: u8, cap: u128) -> BoundedRefinementPairGen {
+    assert!(n >= 1 && levels >= 1 && cap >= 1);
+    BoundedRefinementPairGen { n, levels, cap }
+}
+
+/// See [`bounded_refinement_pair`].
+pub struct BoundedRefinementPairGen {
+    n: usize,
+    levels: u8,
+    cap: u128,
+}
+
+impl BoundedRefinementPairGen {
+    fn within_cap(&self, a: &BucketOrder, b: &BucketOrder) -> bool {
+        refinement_count(a).saturating_mul(refinement_count(b)) <= self.cap
+    }
+}
+
+impl Gen for BoundedRefinementPairGen {
+    type Value = (BucketOrder, BucketOrder);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        // More levels ⇒ smaller buckets ⇒ fewer refinements, so push
+        // the level count up if rejection keeps failing. With levels
+        // ≥ n every order is full (1 refinement), so this terminates.
+        let mut levels = self.levels;
+        loop {
+            for _ in 0..32 {
+                let a = random_keys_order(rng, self.n, levels);
+                let b = random_keys_order(rng, self.n, levels);
+                if self.within_cap(&a, &b) {
+                    return (a, b);
+                }
+            }
+            levels = levels.saturating_add(1);
+        }
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (a, b) = v;
+        let mut out: Vec<Self::Value> = all_removals_coordinated(&[a, b])
+            .into_iter()
+            .map(|mut pair| {
+                let second = pair.pop().expect("two orders");
+                let first = pair.pop().expect("two orders");
+                (first, second)
+            })
+            .collect();
+        for i in 0..a.num_buckets().saturating_sub(1) {
+            out.push((merge_adjacent(a, i), b.clone()));
+        }
+        for i in 0..b.num_buckets().saturating_sub(1) {
+            out.push((a.clone(), merge_adjacent(b, i)));
+        }
+        out.retain(|(x, y)| self.within_cap(x, y));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedableRng;
+
+    #[test]
+    fn bucket_order_gen_is_valid_and_bounded() {
+        let g = bucket_order(10, 4);
+        let mut rng = Pcg32::seed_from_u64(1);
+        for _ in 0..200 {
+            let o = g.generate(&mut rng);
+            assert_eq!(o.len(), 10);
+            assert!(o.num_buckets() <= 4);
+        }
+    }
+
+    #[test]
+    fn full_ranking_gen_is_full() {
+        let g = full_ranking(8);
+        let mut rng = Pcg32::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(g.generate(&mut rng).is_full());
+        }
+    }
+
+    #[test]
+    fn shrinks_stay_in_support() {
+        let g = full_pair(6);
+        let mut rng = Pcg32::seed_from_u64(3);
+        let v = g.generate(&mut rng);
+        for (a, b) in g.shrink(&v) {
+            assert!(a.is_full() && b.is_full());
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.len(), 5);
+        }
+    }
+
+    #[test]
+    fn order_pair_shrinks_are_coordinated() {
+        let g = order_pair(7, 3);
+        let mut rng = Pcg32::seed_from_u64(4);
+        let v = g.generate(&mut rng);
+        for (a, b) in g.shrink(&v) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn merge_adjacent_coarsens() {
+        let o = BucketOrder::from_buckets(4, vec![vec![0], vec![1, 2], vec![3]]).unwrap();
+        let m = merge_adjacent(&o, 1);
+        assert_eq!(m.num_buckets(), 2);
+        assert_eq!(m.len(), 4);
+    }
+
+    #[test]
+    fn remove_element_relabels() {
+        let o = BucketOrder::from_buckets(4, vec![vec![2], vec![0, 3], vec![1]]).unwrap();
+        let r = remove_element(&o, 0);
+        assert_eq!(r.len(), 3);
+        // Old 2 → new 1, old 3 → new 2, old 1 → new 0.
+        assert_eq!(r.buckets(), &[vec![1], vec![2], vec![0]]);
+    }
+
+    #[test]
+    fn bounded_refinement_pair_respects_cap() {
+        let g = bounded_refinement_pair(9, 2, 20_000);
+        let mut rng = Pcg32::seed_from_u64(5);
+        for _ in 0..50 {
+            let (a, b) = g.generate(&mut rng);
+            assert!(refinement_count(&a) * refinement_count(&b) <= 20_000);
+        }
+    }
+
+    #[test]
+    fn vec_of_shrink_removes_and_shrinks_elements() {
+        let g = vec_of(u32_in(0..=100), 1..=5);
+        let v = vec![10u32, 90];
+        let shrinks = g.shrink(&v);
+        assert!(shrinks.iter().any(|s| s.len() == 1));
+        assert!(shrinks.iter().any(|s| s.len() == 2 && s[1] < 90));
+    }
+
+    #[test]
+    fn refinement_count_is_product_of_factorials() {
+        let o = BucketOrder::from_buckets(5, vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
+        assert_eq!(refinement_count(&o), 12);
+    }
+}

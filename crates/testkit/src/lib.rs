@@ -1,0 +1,29 @@
+//! `bucketrank-testkit` — the repo's hermetic testing harness.
+//!
+//! Three pieces, zero external dependencies:
+//!
+//! * [`rng`] — deterministic PRNGs ([`rng::SplitMix64`],
+//!   [`rng::Pcg32`]) behind a `rand`-shaped trait surface
+//!   ([`rng::Rng`], [`rng::SeedableRng`], [`rng::SliceRandom`]), so
+//!   workload samplers and tests stay generic over the source.
+//! * [`gen`] — generator combinators with generator-owned shrinking,
+//!   including `BucketOrder` domain generators with remove-item and
+//!   merge-bucket shrink moves.
+//! * [`runner`] — a property runner: `runner::check(name, gen, |v| …)`
+//!   draws ≥ 64 cases, shrinks failures, and prints the seed plus a
+//!   `BUCKETRANK_PT_SEED=…` reproduction line.
+//!
+//! Determinism contract: case streams are a pure function of
+//! `(seed, property name, case index)`. `BUCKETRANK_PT_SEED` and
+//! `BUCKETRANK_PT_CASES` override the defaults process-wide.
+
+pub mod gen;
+pub mod rng;
+pub mod runner;
+
+/// One-stop imports for test files.
+pub mod prelude {
+    pub use crate::gen::{self, Gen};
+    pub use crate::rng::{Pcg32, Rng, SeedableRng, SliceRandom, SplitMix64};
+    pub use crate::runner::{check, check_with, Config};
+}

@@ -1,0 +1,287 @@
+//! A minimal deterministic property-test runner.
+//!
+//! [`check`] draws `cases` values from a [`Gen`], runs the property
+//! (which signals failure by panicking — plain `assert!` works), and
+//! on failure greedily shrinks the counterexample with the generator's
+//! own shrink moves before reporting.
+//!
+//! Reproduction contract: every run of the same property with the same
+//! seed generates the same cases. The failure report prints the seed
+//! and the exact `BUCKETRANK_PT_SEED=<seed>` incantation, so a CI
+//! failure can be replayed locally verbatim.
+//!
+//! Environment overrides:
+//!
+//! * `BUCKETRANK_PT_SEED`  — base seed (decimal or `0x…` hex).
+//! * `BUCKETRANK_PT_CASES` — cases per property (default 128, min 64).
+
+use crate::gen::Gen;
+use crate::rng::{splitmix64_mix, Pcg32, SeedableRng};
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Default base seed when `BUCKETRANK_PT_SEED` is unset. Frozen: CI
+/// logs reference case indices under this seed.
+pub const DEFAULT_SEED: u64 = 0xB0C4_E7DA_2004_0601;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: usize = 128;
+
+/// Runner configuration; usually built by [`Config::from_env`].
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: usize,
+    /// Base seed; combined with the property name per case.
+    pub seed: u64,
+    /// Cap on shrink candidate evaluations after a failure.
+    pub max_shrink_steps: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+            max_shrink_steps: 4096,
+        }
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+impl Config {
+    /// Configuration from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let mut cfg = Config::default();
+        if let Ok(s) = std::env::var("BUCKETRANK_PT_SEED") {
+            match parse_u64(&s) {
+                Some(seed) => cfg.seed = seed,
+                None => panic!("BUCKETRANK_PT_SEED must be a u64, got {s:?}"),
+            }
+        }
+        if let Ok(s) = std::env::var("BUCKETRANK_PT_CASES") {
+            match s.trim().parse::<usize>() {
+                // ≥ 64 cases per property is part of the testing
+                // policy; the env var can raise but not gut coverage.
+                Ok(c) => cfg.cases = c.max(64),
+                Err(_) => panic!("BUCKETRANK_PT_CASES must be a usize, got {s:?}"),
+            }
+        }
+        cfg
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = FNV_OFFSET;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// The RNG for case `index` of property `name` under `seed`. Public
+/// so a single case can be replayed in isolation while debugging.
+pub fn case_rng(seed: u64, name: &str, index: usize) -> Pcg32 {
+    let base = seed ^ fnv1a(name);
+    Pcg32::seed_from_u64(splitmix64_mix(
+        base.wrapping_add((index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    ))
+}
+
+// Panic capture: property failures are ordinary panics, which we
+// intercept to (a) silence the noise of shrink-candidate evaluations
+// and (b) extract the assertion message for the final report. The
+// hook is installed once, process-wide, and delegates to the previous
+// hook unless the current thread is inside a `check` evaluation.
+thread_local! {
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+static HOOK: Once = Once::new();
+
+fn install_capture_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if CAPTURING.with(|c| c.get()) {
+                let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "<non-string panic payload>".to_string()
+                };
+                let at = info
+                    .location()
+                    .map(|l| format!(" [{}:{}]", l.file(), l.line()))
+                    .unwrap_or_default();
+                LAST_PANIC.with(|p| *p.borrow_mut() = Some(format!("{msg}{at}")));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run `prop` silently, returning the panic message if it failed.
+fn probe<V, F: Fn(&V)>(prop: &F, value: &V) -> Option<String> {
+    CAPTURING.with(|c| c.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| prop(value)));
+    CAPTURING.with(|c| c.set(false));
+    match outcome {
+        Ok(()) => None,
+        Err(_) => Some(
+            LAST_PANIC
+                .with(|p| p.borrow_mut().take())
+                .unwrap_or_else(|| "<panic>".to_string()),
+        ),
+    }
+}
+
+/// Check `prop` against [`Config::from_env`]-many cases from `gen`.
+///
+/// The property signals failure by panicking; `assert!`-family macros
+/// are the expected style. On failure the counterexample is shrunk
+/// and the runner panics with the property name, case index, seed,
+/// shrunk input, and a reproduction command.
+pub fn check<G: Gen, F: Fn(&G::Value)>(name: &str, gen: G, prop: F) {
+    check_with(&Config::from_env(), name, gen, prop)
+}
+
+/// [`check`] with an explicit configuration.
+pub fn check_with<G: Gen, F: Fn(&G::Value)>(cfg: &Config, name: &str, gen: G, prop: F) {
+    install_capture_hook();
+    for index in 0..cfg.cases {
+        let mut rng = case_rng(cfg.seed, name, index);
+        let value = gen.generate(&mut rng);
+        let Some(first_failure) = probe(&prop, &value) else {
+            continue;
+        };
+
+        // Greedy shrink: take the first failing candidate, repeat.
+        let mut cur = value;
+        let mut failure = first_failure;
+        let mut steps = 0usize;
+        let mut shrunk = 0usize;
+        'shrinking: while steps < cfg.max_shrink_steps {
+            for cand in gen.shrink(&cur) {
+                steps += 1;
+                if let Some(msg) = probe(&prop, &cand) {
+                    cur = cand;
+                    failure = msg;
+                    shrunk += 1;
+                    continue 'shrinking;
+                }
+                if steps >= cfg.max_shrink_steps {
+                    break;
+                }
+            }
+            break;
+        }
+
+        panic!(
+            "property `{name}` failed (case {index} of {cases}, seed {seed:#x})\n\
+             counterexample ({shrunk} shrink steps): {cur:?}\n\
+             failure: {failure}\n\
+             reproduce with: BUCKETRANK_PT_SEED={seed:#x} cargo test -q {name}",
+            cases = cfg.cases,
+            seed = cfg.seed,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn passing_property_passes() {
+        check_with(
+            &Config::default(),
+            "tautology",
+            gen::usize_in(0..=100),
+            |&x| assert!(x <= 100),
+        );
+    }
+
+    #[test]
+    fn failing_property_reports_seed_and_shrinks() {
+        let cfg = Config {
+            cases: 64,
+            seed: 42,
+            max_shrink_steps: 4096,
+        };
+        let res = std::panic::catch_unwind(|| {
+            check_with(&cfg, "find_big", gen::usize_in(0..=1000), |&x| {
+                assert!(x < 500, "too big: {x}")
+            });
+        });
+        let msg = *res
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
+        assert!(msg.contains("find_big"), "{msg}");
+        assert!(msg.contains("seed 0x2a"), "{msg}");
+        assert!(msg.contains("BUCKETRANK_PT_SEED=0x2a"), "{msg}");
+        // Halving from the first failing x ≥ 500 must land exactly on
+        // the boundary 500.
+        assert!(msg.contains("counterexample"), "{msg}");
+        assert!(msg.contains(": 500"), "{msg}");
+    }
+
+    #[test]
+    fn same_seed_same_cases() {
+        let g = gen::bucket_order(8, 3);
+        let a: Vec<_> = (0..10).map(|i| g.generate(&mut case_rng(9, "p", i))).collect();
+        let b: Vec<_> = (0..10).map(|i| g.generate(&mut case_rng(9, "p", i))).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = (0..10).map(|i| g.generate(&mut case_rng(10, "p", i))).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shrinking_respects_generator_support() {
+        // A property that always fails on pairs; the shrunk value must
+        // still be a same-domain pair (the coordinated-removal shrink).
+        let cfg = Config {
+            cases: 1,
+            seed: 7,
+            max_shrink_steps: 4096,
+        };
+        let res = std::panic::catch_unwind(|| {
+            check_with(&cfg, "always_fails", gen::order_pair(6, 3), |(a, b)| {
+                assert_ne!(a.len(), b.len(), "forced failure")
+            });
+        });
+        let msg = *res
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
+        // Fully shrunk: both sides collapse to the single-element order.
+        assert!(msg.contains("forced failure"), "{msg}");
+    }
+
+    #[test]
+    fn probe_does_not_leak_between_checks() {
+        // After a failing probe inside a passed check, later panics
+        // behave normally.
+        install_capture_hook();
+        let noisy = std::panic::catch_unwind(|| panic!("visible"));
+        assert!(noisy.is_err());
+    }
+}

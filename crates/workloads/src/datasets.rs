@@ -9,7 +9,7 @@
 use bucketrank_access::db::{
     AttrKind, AttrValue, Binning, Direction, OrderSpec, Table, TableBuilder,
 };
-use rand::Rng;
+use bucketrank_testkit::rng::Rng;
 
 /// Cuisines used by [`restaurants`].
 pub const CUISINES: [&str; 6] = ["thai", "sushi", "pizza", "mexican", "indian", "french"];
@@ -99,12 +99,12 @@ pub fn flight_query_specs() -> Vec<OrderSpec> {
 mod tests {
     use super::*;
     use bucketrank_access::query::PreferenceQuery;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use bucketrank_testkit::rng::Pcg32;
+    use bucketrank_testkit::rng::SeedableRng;
 
     #[test]
     fn restaurants_rank_and_query() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Pcg32::seed_from_u64(2);
         let t = restaurants(&mut rng, 200);
         assert_eq!(t.len(), 200);
         let q = PreferenceQuery::new(restaurant_query_specs()).with_k(5);
@@ -119,7 +119,7 @@ mod tests {
 
     #[test]
     fn flights_rank_and_query() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Pcg32::seed_from_u64(3);
         let t = flights(&mut rng, 500);
         let q = PreferenceQuery::new(flight_query_specs()).with_k(3);
         let r = q.run(&t).unwrap();
@@ -135,7 +135,7 @@ mod tests {
 
     #[test]
     fn stops_distribution_skewed() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Pcg32::seed_from_u64(4);
         let t = flights(&mut rng, 1000);
         let nonstop = (0..t.len())
             .filter(|&i| matches!(t.value(i, "stops"), Some(&AttrValue::Int(0))))
@@ -145,7 +145,7 @@ mod tests {
 
     #[test]
     fn star_values_in_range() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Pcg32::seed_from_u64(5);
         let t = restaurants(&mut rng, 300);
         for i in 0..t.len() {
             let Some(&AttrValue::Int(s)) = t.value(i, "stars") else {

@@ -17,3 +17,11 @@ pub mod mallows;
 pub mod plackett_luce;
 pub mod random;
 pub mod stats;
+
+/// The deterministic RNG surface all samplers are generic over,
+/// re-exported from `bucketrank-testkit` so downstream crates (CLI,
+/// bench, examples) depend on one trait vocabulary without naming the
+/// testkit directly.
+pub mod rng {
+    pub use bucketrank_testkit::rng::*;
+}

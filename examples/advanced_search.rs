@@ -12,11 +12,11 @@ use bucketrank::access::nra::nra_top_k;
 use bucketrank::access::query::PreferenceQuery;
 use bucketrank::access::ta::{ta_top_k, ScoreList};
 use bucketrank::workloads::datasets::flights;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank::workloads::rng::Pcg32;
+use bucketrank::workloads::rng::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Pcg32::seed_from_u64(77);
     let n = 20_000;
     let table = flights(&mut rng, n);
     println!("catalog: {n} flights");

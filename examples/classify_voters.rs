@@ -13,11 +13,11 @@ use bucketrank::metrics::kendall;
 use bucketrank::workloads::mallows::Mallows;
 use bucketrank::workloads::random::random_full_ranking;
 use bucketrank::{BucketOrder, MedianPolicy};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank::workloads::rng::Pcg32;
+use bucketrank::workloads::rng::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rng = Pcg32::seed_from_u64(2004);
     let n = 12;
 
     // Two hidden voter populations with distinct references.

@@ -13,8 +13,8 @@ use bucketrank::aggregate::markov::{markov_aggregate, MarkovChain, MarkovOptions
 use bucketrank::aggregate::median::aggregate_top_k;
 use bucketrank::workloads::mallows::{Mallows, MallowsWithTies};
 use bucketrank::{BucketOrder, ElementId, MedianPolicy, TypeSeq};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank::workloads::rng::Pcg32;
+use bucketrank::workloads::rng::SeedableRng;
 use std::collections::HashSet;
 
 /// Fraction of `truth`'s top-k that `cand`'s top-k recovers.
@@ -34,7 +34,7 @@ fn take_top_k(full: &BucketOrder, k: usize) -> BucketOrder {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(47);
+    let mut rng = Pcg32::seed_from_u64(47);
 
     // --- large instance: 60 URLs, 7 engines returning top-10 lists ----
     let n = 60;

@@ -8,11 +8,11 @@
 use bucketrank::access::db::AttrValue;
 use bucketrank::access::query::PreferenceQuery;
 use bucketrank::workloads::datasets::{restaurant_query_specs, restaurants};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use bucketrank::workloads::rng::Pcg32;
+use bucketrank::workloads::rng::SeedableRng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(2004);
+    let mut rng = Pcg32::seed_from_u64(2004);
     let n = 5000;
     let table = restaurants(&mut rng, n);
 

@@ -19,14 +19,14 @@ use bucketrank::aggregate::median::{aggregate_full, aggregate_to_type, aggregate
 use bucketrank::workloads::mallows::{Mallows, MallowsWithTies};
 use bucketrank::workloads::random::{random_bucket_order, random_full_ranking, random_of_type};
 use bucketrank::{BucketOrder, MedianPolicy, TypeSeq};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bucketrank_testkit::rng::Pcg32;
+use bucketrank_testkit::rng::{Rng, SeedableRng};
 
 const POLICIES: [MedianPolicy; 2] = [MedianPolicy::Lower, MedianPolicy::Upper];
 
 #[test]
 fn theorem9_top_k_within_factor_three() {
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Pcg32::seed_from_u64(9);
     for trial in 0..60 {
         let n = rng.gen_range(3..=6);
         let m = [3, 5, 7][trial % 3];
@@ -49,7 +49,7 @@ fn theorem9_top_k_within_factor_three() {
 
 #[test]
 fn corollary30_arbitrary_types_within_factor_three() {
-    let mut rng = StdRng::seed_from_u64(30);
+    let mut rng = Pcg32::seed_from_u64(30);
     for trial in 0..40 {
         let n = rng.gen_range(3..=6);
         let inputs: Vec<BucketOrder> =
@@ -70,7 +70,7 @@ fn corollary30_arbitrary_types_within_factor_three() {
 fn corollary30_same_type_inputs_within_factor_two() {
     // When every input has type α and the output type is α, the factor
     // improves to 2 (second part of Corollary 30).
-    let mut rng = StdRng::seed_from_u64(31);
+    let mut rng = Pcg32::seed_from_u64(31);
     for _ in 0..40 {
         let n = rng.gen_range(3..=6);
         let alpha = {
@@ -89,7 +89,7 @@ fn corollary30_same_type_inputs_within_factor_two() {
 
 #[test]
 fn theorem10_dp_bucketing_within_factor_two() {
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Pcg32::seed_from_u64(10);
     for trial in 0..60 {
         let n = rng.gen_range(3..=6);
         let inputs: Vec<BucketOrder> =
@@ -105,7 +105,7 @@ fn theorem10_dp_bucketing_within_factor_two() {
 
 #[test]
 fn theorem11_full_inputs_full_output_within_factor_two_of_anything() {
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Pcg32::seed_from_u64(11);
     for trial in 0..60 {
         let n = rng.gen_range(3..=6);
         let inputs: Vec<BucketOrder> =
@@ -126,7 +126,7 @@ fn equivalence_transfers_factor_to_other_metrics() {
     // approximation under KProf/KHaus/FHaus too. The transferred constant
     // is 3·c₁·c₂ with the equivalence constants; conservatively assert 12
     // (Fprof within [1,2]× of Kprof, KHaus within [1/2,1]× of Fprof...).
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Pcg32::seed_from_u64(7);
     for _ in 0..30 {
         let n = rng.gen_range(3..=5);
         let inputs: Vec<BucketOrder> =
@@ -147,7 +147,7 @@ fn equivalence_transfers_factor_to_other_metrics() {
 #[test]
 fn mallows_profiles_behave() {
     // On realistic noisy-voter workloads the ratio is typically ≈ 1.
-    let mut rng = StdRng::seed_from_u64(77);
+    let mut rng = Pcg32::seed_from_u64(77);
     let alpha = TypeSeq::new(vec![2, 2, 2]).unwrap();
     let model = MallowsWithTies::new(Mallows::new(6, 1.0), alpha);
     let mut worst: f64 = 0.0;

@@ -1,0 +1,69 @@
+//! Regression tests for the scoped-thread batch matrix: the parallel
+//! path must reproduce the sequential path bit-for-bit for every metric
+//! and every thread count, on random profiles.
+
+use bucketrank::metrics::batch::{pairwise_matrix, pairwise_matrix_parallel};
+use bucketrank::metrics::{footrule, hausdorff, kendall, MetricsError};
+use bucketrank::BucketOrder;
+use bucketrank_testkit::prelude::*;
+
+type DistFn = fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>;
+
+const METRICS: [(&str, DistFn); 4] = [
+    ("kprof_x2", kendall::kprof_x2),
+    ("fprof_x2", footrule::fprof_x2),
+    ("khaus", hausdorff::khaus),
+    ("fhaus", hausdorff::fhaus),
+];
+
+#[test]
+fn parallel_matrix_matches_sequential_random_profiles() {
+    check(
+        "parallel_matrix_matches_sequential_random_profiles",
+        gen::vec_of(gen::bucket_order(10, 4), 2..=9),
+        |profile| {
+            for (name, d) in METRICS {
+                let seq = pairwise_matrix(profile, d).unwrap();
+                for threads in [2usize, 3, 8] {
+                    let par = pairwise_matrix_parallel(profile, d, threads).unwrap();
+                    assert_eq!(seq, par, "{name}, threads = {threads}");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn parallel_matrix_matches_sequential_wide_profile() {
+    // More rankings than 8 threads can chunk evenly, and a thread count
+    // exceeding the pair count — both chunking edge cases.
+    let profile: Vec<BucketOrder> = (0..17)
+        .map(|i| {
+            let keys: Vec<i64> = (0..20).map(|e| ((e * (i + 3) + 2 * i) % 7) as i64).collect();
+            BucketOrder::from_keys(&keys)
+        })
+        .collect();
+    for (name, d) in METRICS {
+        let seq = pairwise_matrix(&profile, d).unwrap();
+        for threads in [2usize, 3, 8, 64] {
+            let par = pairwise_matrix_parallel(&profile, d, threads).unwrap();
+            assert_eq!(seq, par, "{name}, threads = {threads}");
+        }
+    }
+}
+
+#[test]
+fn parallel_matrix_error_matches_sequential() {
+    // Mismatched domains: both paths must report the failure (the
+    // parallel path checks domains up front, before spawning).
+    let p = vec![
+        BucketOrder::trivial(5),
+        BucketOrder::trivial(5),
+        BucketOrder::trivial(5),
+        BucketOrder::trivial(6),
+    ];
+    assert!(pairwise_matrix(&p, kendall::kprof_x2).is_err());
+    for threads in [2usize, 3, 8] {
+        assert!(pairwise_matrix_parallel(&p, kendall::kprof_x2, threads).is_err());
+    }
+}

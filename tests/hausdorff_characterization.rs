@@ -13,77 +13,85 @@ use bucketrank::metrics::hausdorff::{
 };
 use bucketrank::metrics::{full, pairs};
 use bucketrank::BucketOrder;
-use proptest::prelude::*;
+use bucketrank_testkit::prelude::*;
 
-fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
-    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+/// Lemma 3: for a full σ̄ and partial τ, the nearest full refinement
+/// of τ is σ̄∗τ — under both F and K.
+#[test]
+fn lemma3_nearest_refinement() {
+    check(
+        "lemma3_nearest_refinement",
+        gen::order_pair(5, 5),
+        |(sigma, tau)| {
+            let sigma_full = sigma.arbitrary_full_refinement();
+            let best = star(&sigma_full, tau).unwrap();
+            let best_f = full::footrule(&sigma_full, &best).unwrap();
+            let best_k = full::kendall(&sigma_full, &best).unwrap();
+            for t in full_refinements(tau) {
+                assert!(full::footrule(&sigma_full, &t).unwrap() >= best_f);
+                assert!(full::kendall(&sigma_full, &t).unwrap() >= best_k);
+            }
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(120))]
+/// Theorem 5 witnesses are genuine refinements and reproduce both
+/// Hausdorff distances computed by brute force.
+#[test]
+fn theorem5_matches_brute_force() {
+    check(
+        "theorem5_matches_brute_force",
+        gen::order_pair(5, 3),
+        |(sigma, tau)| {
+            let ((s1, t1), (s2, t2)) = theorem5_witnesses(sigma, tau).unwrap();
+            for (w, base) in [(&s1, sigma), (&s2, sigma)] {
+                assert!(bucketrank::core::refine::is_refinement(w, base).unwrap());
+                assert!(w.is_full());
+            }
+            for (w, base) in [(&t1, tau), (&t2, tau)] {
+                assert!(bucketrank::core::refine::is_refinement(w, base).unwrap());
+                assert!(w.is_full());
+            }
+            assert_eq!(fhaus(sigma, tau).unwrap(), fhaus_brute(sigma, tau).unwrap());
+            assert_eq!(khaus(sigma, tau).unwrap(), khaus_brute(sigma, tau).unwrap());
+        },
+    );
+}
 
-    /// Lemma 3: for a full σ̄ and partial τ, the nearest full refinement
-    /// of τ is σ̄∗τ — under both F and K.
-    #[test]
-    fn lemma3_nearest_refinement(
-        sigma in bucket_order_strategy(5, 5),
-        tau in bucket_order_strategy(5, 3),
-    ) {
-        let sigma_full = sigma.arbitrary_full_refinement();
-        let best = star(&sigma_full, &tau).unwrap();
-        let best_f = full::footrule(&sigma_full, &best).unwrap();
-        let best_k = full::kendall(&sigma_full, &best).unwrap();
-        for t in full_refinements(&tau) {
-            prop_assert!(full::footrule(&sigma_full, &t).unwrap() >= best_f);
-            prop_assert!(full::kendall(&sigma_full, &t).unwrap() >= best_k);
-        }
-    }
+/// Proposition 6 closed form vs the Theorem 5 construction.
+#[test]
+fn proposition6_closed_form() {
+    check(
+        "proposition6_closed_form",
+        gen::order_pair(14, 4),
+        |(sigma, tau)| {
+            let c = pairs::pair_counts(sigma, tau).unwrap();
+            let closed = c.discordant + c.tied_left_only.max(c.tied_right_only);
+            assert_eq!(closed, khaus(sigma, tau).unwrap());
+            assert_eq!(closed, khaus_theorem5(sigma, tau).unwrap());
+        },
+    );
+}
 
-    /// Theorem 5 witnesses are genuine refinements and reproduce both
-    /// Hausdorff distances computed by brute force.
-    #[test]
-    fn theorem5_matches_brute_force(
-        sigma in bucket_order_strategy(5, 3),
-        tau in bucket_order_strategy(5, 3),
-    ) {
-        let ((s1, t1), (s2, t2)) = theorem5_witnesses(&sigma, &tau).unwrap();
-        for (w, base) in [(&s1, &sigma), (&s2, &sigma)] {
-            prop_assert!(bucketrank::core::refine::is_refinement(w, base).unwrap());
-            prop_assert!(w.is_full());
-        }
-        for (w, base) in [(&t1, &tau), (&t2, &tau)] {
-            prop_assert!(bucketrank::core::refine::is_refinement(w, base).unwrap());
-            prop_assert!(w.is_full());
-        }
-        prop_assert_eq!(fhaus(&sigma, &tau).unwrap(), fhaus_brute(&sigma, &tau).unwrap());
-        prop_assert_eq!(khaus(&sigma, &tau).unwrap(), khaus_brute(&sigma, &tau).unwrap());
-    }
-
-    /// Proposition 6 closed form vs the Theorem 5 construction.
-    #[test]
-    fn proposition6_closed_form(
-        sigma in bucket_order_strategy(14, 4),
-        tau in bucket_order_strategy(14, 4),
-    ) {
-        let c = pairs::pair_counts(&sigma, &tau).unwrap();
-        let closed = c.discordant + c.tied_left_only.max(c.tied_right_only);
-        prop_assert_eq!(closed, khaus(&sigma, &tau).unwrap());
-        prop_assert_eq!(closed, khaus_theorem5(&sigma, &tau).unwrap());
-    }
-
-    /// The same witness pairs exhibit the Hausdorff distance for BOTH F
-    /// and K — the "interesting" remark after Theorem 5.
-    #[test]
-    fn same_pairs_witness_both_metrics(
-        sigma in bucket_order_strategy(5, 3),
-        tau in bucket_order_strategy(5, 3),
-    ) {
-        let ((s1, t1), (s2, t2)) = theorem5_witnesses(&sigma, &tau).unwrap();
-        let f = full::footrule(&s1, &t1).unwrap().max(full::footrule(&s2, &t2).unwrap());
-        let k = full::kendall(&s1, &t1).unwrap().max(full::kendall(&s2, &t2).unwrap());
-        prop_assert_eq!(f, fhaus_brute(&sigma, &tau).unwrap());
-        prop_assert_eq!(k, khaus_brute(&sigma, &tau).unwrap());
-    }
+/// The same witness pairs exhibit the Hausdorff distance for BOTH F
+/// and K — the "interesting" remark after Theorem 5.
+#[test]
+fn same_pairs_witness_both_metrics() {
+    check(
+        "same_pairs_witness_both_metrics",
+        gen::order_pair(5, 3),
+        |(sigma, tau)| {
+            let ((s1, t1), (s2, t2)) = theorem5_witnesses(sigma, tau).unwrap();
+            let f = full::footrule(&s1, &t1)
+                .unwrap()
+                .max(full::footrule(&s2, &t2).unwrap());
+            let k = full::kendall(&s1, &t1)
+                .unwrap()
+                .max(full::kendall(&s2, &t2).unwrap());
+            assert_eq!(f, fhaus_brute(sigma, tau).unwrap());
+            assert_eq!(k, khaus_brute(sigma, tau).unwrap());
+        },
+    );
 }
 
 #[test]

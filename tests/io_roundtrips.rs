@@ -5,105 +5,127 @@ use bucketrank::access::csv::{split_record, table_from_csv, CsvOptions};
 use bucketrank::access::db::{AttrKind, AttrValue};
 use bucketrank::core::parse::{display_labeled, parse_labeled_ranking_strict, parse_ranking};
 use bucketrank::core::profile::{MissingPolicy, ProfileBuilder};
-use bucketrank::{BucketOrder, Domain};
-use proptest::prelude::*;
+use bucketrank::Domain;
+use bucketrank_testkit::prelude::*;
 
-fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
-    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
-}
+/// The character class of the old proptest regex `[a-z ,"]`.
+const CSV_FIELD_CHARS: &[char] = &[
+    'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h', 'i', 'j', 'k', 'l', 'm', 'n', 'o', 'p', 'q', 'r',
+    's', 't', 'u', 'v', 'w', 'x', 'y', 'z', ' ', ',', '"',
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn numeric_text_round_trip(s in bucket_order_strategy(9, 4)) {
+#[test]
+fn numeric_text_round_trip() {
+    check("numeric_text_round_trip", gen::bucket_order(9, 4), |s| {
         let text = s.display();
         let parsed = parse_ranking(&text, 9).unwrap();
-        prop_assert_eq!(parsed, s);
-    }
-
-    #[test]
-    fn labeled_text_round_trip(s in bucket_order_strategy(7, 3)) {
-        let domain = Domain::from_labels((0..7).map(|i| format!("item-{i}")));
-        let text = display_labeled(&s, &domain);
-        let parsed = parse_labeled_ranking_strict(&text, &domain).unwrap();
-        prop_assert_eq!(parsed, s);
-    }
-
-    #[test]
-    fn csv_fields_round_trip(fields in prop::collection::vec("[a-z ,\"]{0,8}", 1..6)) {
-        // Quote every field; splitting must return the originals.
-        let line: String = fields
-            .iter()
-            .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
-            .collect::<Vec<_>>()
-            .join(",");
-        let got = split_record(&line);
-        prop_assert_eq!(got, fields);
-    }
-
-    #[test]
-    fn csv_numeric_table_round_trip(
-        rows in prop::collection::vec((any::<i32>(), 0u32..1000), 1..20)
-    ) {
-        let mut csv = String::from("a,b\n");
-        for &(a, b) in &rows {
-            csv.push_str(&format!("{a},{b}\n"));
-        }
-        let t = table_from_csv(
-            &csv,
-            &[AttrKind::Int, AttrKind::Int],
-            CsvOptions { has_header: true },
-        )
-        .unwrap();
-        prop_assert_eq!(t.len(), rows.len());
-        for (i, &(a, b)) in rows.iter().enumerate() {
-            prop_assert_eq!(t.value(i, "a"), Some(&AttrValue::Int(a as i64)));
-            prop_assert_eq!(t.value(i, "b"), Some(&AttrValue::Int(b as i64)));
-        }
-    }
-
-    #[test]
-    fn profile_builder_total_coverage(
-        mentioned in prop::collection::vec(prop::collection::vec(0u8..6, 1..5), 1..5)
-    ) {
-        // Arbitrary (possibly duplicated) label mentions per ranking:
-        // dedup within each ranking, then every finalized ranking covers
-        // the union domain under the bottom-bucket policy.
-        let mut b = ProfileBuilder::new();
-        for r in &mentioned {
-            let mut seen = std::collections::HashSet::new();
-            let labels: Vec<String> = r
-                .iter()
-                .filter(|&&x| seen.insert(x))
-                .map(|x| format!("l{x}"))
-                .collect();
-            let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
-            b.push_ranking(&[&refs]);
-        }
-        let p = b.finish(MissingPolicy::BottomBucket).unwrap();
-        let n = p.domain().len();
-        for r in p.rankings() {
-            prop_assert_eq!(r.len(), n);
-        }
-    }
+        assert_eq!(&parsed, s);
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(300))]
+#[test]
+fn labeled_text_round_trip() {
+    check("labeled_text_round_trip", gen::bucket_order(7, 3), |s| {
+        let domain = Domain::from_labels((0..7).map(|i| format!("item-{i}")));
+        let text = display_labeled(s, &domain);
+        let parsed = parse_labeled_ranking_strict(&text, &domain).unwrap();
+        assert_eq!(&parsed, s);
+    });
+}
 
-    /// Robustness: arbitrary garbage never panics the parsers — they
-    /// return errors (or valid objects) for every input.
-    #[test]
-    fn parsers_never_panic(s in "\\PC{0,40}") {
-        let _ = parse_ranking(&s, 5);
-        let mut d = Domain::from_labels(["a", "b"]);
-        let _ = bucketrank::core::parse::parse_labeled_ranking(&s, &mut d);
-        let _ = parse_labeled_ranking_strict(&s, &d);
-        let _ = split_record(&s);
-        let _ = table_from_csv(&s, &[AttrKind::Int, AttrKind::Text], CsvOptions { has_header: true });
-        let _ = bucketrank::access::csv::parse_schema(&s);
-    }
+#[test]
+fn csv_fields_round_trip() {
+    check(
+        "csv_fields_round_trip",
+        gen::vec_of(gen::string_from(CSV_FIELD_CHARS, 0..=8), 1..=5),
+        |fields| {
+            // Quote every field; splitting must return the originals.
+            let line: String = fields
+                .iter()
+                .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+                .collect::<Vec<_>>()
+                .join(",");
+            let got = split_record(&line);
+            assert_eq!(&got, fields);
+        },
+    );
+}
+
+#[test]
+fn csv_numeric_table_round_trip() {
+    check(
+        "csv_numeric_table_round_trip",
+        gen::vec_of(gen::pair(gen::i32_any(), gen::u32_in(0..=999)), 1..=19),
+        |rows| {
+            let mut csv = String::from("a,b\n");
+            for &(a, b) in rows {
+                csv.push_str(&format!("{a},{b}\n"));
+            }
+            let t = table_from_csv(
+                &csv,
+                &[AttrKind::Int, AttrKind::Int],
+                CsvOptions { has_header: true },
+            )
+            .unwrap();
+            assert_eq!(t.len(), rows.len());
+            for (i, &(a, b)) in rows.iter().enumerate() {
+                assert_eq!(t.value(i, "a"), Some(&AttrValue::Int(a as i64)));
+                assert_eq!(t.value(i, "b"), Some(&AttrValue::Int(b as i64)));
+            }
+        },
+    );
+}
+
+#[test]
+fn profile_builder_total_coverage() {
+    check(
+        "profile_builder_total_coverage",
+        gen::vec_of(gen::vec_of(gen::usize_in(0..=5), 1..=4), 1..=4),
+        |mentioned| {
+            // Arbitrary (possibly duplicated) label mentions per ranking:
+            // dedup within each ranking, then every finalized ranking covers
+            // the union domain under the bottom-bucket policy.
+            let mut b = ProfileBuilder::new();
+            for r in mentioned {
+                let mut seen = std::collections::HashSet::new();
+                let labels: Vec<String> = r
+                    .iter()
+                    .filter(|&&x| seen.insert(x))
+                    .map(|x| format!("l{x}"))
+                    .collect();
+                let refs: Vec<&str> = labels.iter().map(String::as_str).collect();
+                b.push_ranking(&[&refs]);
+            }
+            let p = b.finish(MissingPolicy::BottomBucket).unwrap();
+            let n = p.domain().len();
+            for r in p.rankings() {
+                assert_eq!(r.len(), n);
+            }
+        },
+    );
+}
+
+/// Robustness: arbitrary garbage never panics the parsers — they
+/// return errors (or valid objects) for every input.
+#[test]
+fn parsers_never_panic() {
+    check(
+        "parsers_never_panic",
+        gen::printable_string(0..=40),
+        |s| {
+            let _ = parse_ranking(s, 5);
+            let mut d = Domain::from_labels(["a", "b"]);
+            let _ = bucketrank::core::parse::parse_labeled_ranking(s, &mut d);
+            let _ = parse_labeled_ranking_strict(s, &d);
+            let _ = split_record(s);
+            let _ = table_from_csv(
+                s,
+                &[AttrKind::Int, AttrKind::Text],
+                CsvOptions { has_header: true },
+            );
+            let _ = bucketrank::access::csv::parse_schema(s);
+        },
+    );
 }
 
 #[test]
@@ -111,9 +133,9 @@ fn cli_generate_output_is_machine_readable() {
     // The CLI's generate → parse loop, exercised through the library
     // crates (the CLI itself is tested in its own crate).
     use bucketrank::workloads::random::random_bucket_order;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(9);
+    use bucketrank_testkit::rng::Pcg32;
+    use bucketrank_testkit::rng::SeedableRng;
+    let mut rng = Pcg32::seed_from_u64(9);
     for _ in 0..20 {
         let s = random_bucket_order(&mut rng, 8);
         let text = s.display();

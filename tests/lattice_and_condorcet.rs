@@ -11,71 +11,71 @@ use bucketrank::core::refine::{is_refinement, star};
 use bucketrank::metrics::pairs::pair_counts;
 use bucketrank::workloads::random::{random_bucket_order, random_full_ranking};
 use bucketrank::BucketOrder;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use bucketrank_testkit::prelude::*;
+use bucketrank_testkit::rng::Pcg32;
 
-fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
-    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+#[test]
+fn meet_exists_iff_no_discordant_pair() {
+    check(
+        "meet_exists_iff_no_discordant_pair",
+        gen::order_pair(10, 4),
+        |(a, b)| {
+            let meet = common_refinement(a, b).unwrap();
+            let c = pair_counts(a, b).unwrap();
+            assert_eq!(meet.is_some(), c.discordant == 0);
+            if let Some(m) = meet {
+                assert!(is_refinement(&m, a).unwrap());
+                assert!(is_refinement(&m, b).unwrap());
+                // The meet is star in both orders.
+                assert_eq!(&m, &star(a, b).unwrap());
+                assert_eq!(&m, &star(b, a).unwrap());
+            }
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
+#[test]
+fn join_is_sound_and_absorbs() {
+    check(
+        "join_is_sound_and_absorbs",
+        gen::order_pair(12, 5),
+        |(a, b)| {
+            let j = finest_common_coarsening(a, b).unwrap();
+            assert!(is_refinement(a, &j).unwrap());
+            assert!(is_refinement(b, &j).unwrap());
+            // Absorption: join(a, a) = a; join(a, join(a, b)) = join(a, b).
+            assert_eq!(&finest_common_coarsening(a, a).unwrap(), a);
+            assert_eq!(finest_common_coarsening(a, &j).unwrap(), j.clone());
+            // Associativity with a third order.
+            let c = a.reverse();
+            let left =
+                finest_common_coarsening(&finest_common_coarsening(a, b).unwrap(), &c).unwrap();
+            let right =
+                finest_common_coarsening(a, &finest_common_coarsening(b, &c).unwrap()).unwrap();
+            assert_eq!(left, right);
+        },
+    );
+}
 
-    #[test]
-    fn meet_exists_iff_no_discordant_pair(
-        a in bucket_order_strategy(10, 4),
-        b in bucket_order_strategy(10, 4),
-    ) {
-        let meet = common_refinement(&a, &b).unwrap();
-        let c = pair_counts(&a, &b).unwrap();
-        prop_assert_eq!(meet.is_some(), c.discordant == 0);
-        if let Some(m) = meet {
-            prop_assert!(is_refinement(&m, &a).unwrap());
-            prop_assert!(is_refinement(&m, &b).unwrap());
-            // The meet is star in both orders.
-            prop_assert_eq!(&m, &star(&a, &b).unwrap());
-            prop_assert_eq!(&m, &star(&b, &a).unwrap());
-        }
-    }
-
-    #[test]
-    fn join_is_sound_and_absorbs(
-        a in bucket_order_strategy(12, 5),
-        b in bucket_order_strategy(12, 5),
-    ) {
-        let j = finest_common_coarsening(&a, &b).unwrap();
-        prop_assert!(is_refinement(&a, &j).unwrap());
-        prop_assert!(is_refinement(&b, &j).unwrap());
-        // Absorption: join(a, a) = a; join(a, join(a, b)) = join(a, b).
-        prop_assert_eq!(&finest_common_coarsening(&a, &a).unwrap(), &a);
-        prop_assert_eq!(
-            finest_common_coarsening(&a, &j).unwrap(),
-            j.clone()
-        );
-        // Associativity with a third order.
-        let c = a.reverse();
-        let left = finest_common_coarsening(&finest_common_coarsening(&a, &b).unwrap(), &c).unwrap();
-        let right = finest_common_coarsening(&a, &finest_common_coarsening(&b, &c).unwrap()).unwrap();
-        prop_assert_eq!(left, right);
-    }
-
-    #[test]
-    fn every_coarsening_is_an_adjacent_merge(
-        a in bucket_order_strategy(8, 8),
-    ) {
-        // Merging adjacent buckets always yields something `a` refines.
-        let t = a.num_buckets();
-        if t >= 2 {
-            let runs = vec![2usize]
-                .into_iter()
-                .chain(std::iter::repeat_n(1, t - 2))
-                .collect::<Vec<_>>();
-            let c = coarsen_adjacent(&a, &runs).unwrap();
-            prop_assert!(is_refinement(&a, &c).unwrap());
-            prop_assert_eq!(c.num_buckets(), t - 1);
-        }
-    }
+#[test]
+fn every_coarsening_is_an_adjacent_merge() {
+    check(
+        "every_coarsening_is_an_adjacent_merge",
+        gen::bucket_order(8, 8),
+        |a| {
+            // Merging adjacent buckets always yields something `a` refines.
+            let t = a.num_buckets();
+            if t >= 2 {
+                let runs = vec![2usize]
+                    .into_iter()
+                    .chain(std::iter::repeat_n(1, t - 2))
+                    .collect::<Vec<_>>();
+                let c = coarsen_adjacent(a, &runs).unwrap();
+                assert!(is_refinement(a, &c).unwrap());
+                assert_eq!(c.num_buckets(), t - 1);
+            }
+        },
+    );
 }
 
 #[test]
@@ -84,7 +84,7 @@ fn median_full_respects_condorcet_winner_usually_and_kemenized_always() {
     // Condorcet property; we additionally check Smith-set respect for the
     // locally-Kemenized median on profiles with a clear two-tier
     // structure.
-    let mut rng = StdRng::seed_from_u64(201);
+    let mut rng = Pcg32::seed_from_u64(201);
     let mut smith_ok = 0;
     let mut trials = 0;
     for _ in 0..40 {
@@ -113,7 +113,7 @@ fn median_full_respects_condorcet_winner_usually_and_kemenized_always() {
 fn kwiksort_respects_condorcet_winner() {
     // A pivot algorithm always puts a Condorcet winner first: the winner
     // beats every pivot it meets, so it keeps moving to the "ahead" side.
-    let mut rng = StdRng::seed_from_u64(202);
+    let mut rng = Pcg32::seed_from_u64(202);
     let mut checked = 0;
     for seed in 0..60u64 {
         let n = rng.gen_range(4..=8);
@@ -142,7 +142,7 @@ fn meet_and_join_interact_with_metrics() {
     // for Fprof on "nested" configurations. We assert the inequalities.
     use bucketrank::metrics::footrule::fprof_x2;
     use bucketrank::metrics::kendall::kprof_x2;
-    let mut rng = StdRng::seed_from_u64(203);
+    let mut rng = Pcg32::seed_from_u64(203);
     for _ in 0..100 {
         let n = rng.gen_range(2..=10);
         let a = random_bucket_order(&mut rng, n);

@@ -10,136 +10,131 @@ use bucketrank::metrics::profile::{fprof_x2_via_profiles, kprof_x2_via_profiles}
 use bucketrank::metrics::related::{goodman_kruskal_gamma, kendall_tau_b};
 use bucketrank::metrics::{full, hausdorff, pairs};
 use bucketrank::BucketOrder;
-use proptest::prelude::*;
+use bucketrank_testkit::prelude::*;
 
-fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
-    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+#[test]
+fn metric_axioms_random_triples() {
+    check(
+        "metric_axioms_random_triples",
+        gen::order_triple(10, 4),
+        |(a, b, c)| {
+            for d in [kprof_x2, fprof_x2, hausdorff::khaus, hausdorff::fhaus] {
+                let ab = d(a, b).unwrap();
+                let ba = d(b, a).unwrap();
+                assert_eq!(ab, ba, "symmetry");
+                assert_eq!(d(a, a).unwrap(), 0, "regularity");
+                assert_eq!(ab == 0, a == b, "positivity");
+                assert!(
+                    d(a, c).unwrap() <= ab + d(b, c).unwrap(),
+                    "triangle inequality"
+                );
+            }
+        },
+    );
 }
 
-fn permutation_strategy(n: usize) -> impl Strategy<Value = BucketOrder> {
-    Just(()).prop_perturb(move |_, mut rng| {
-        let mut ids: Vec<u32> = (0..n as u32).collect();
-        for i in (1..n).rev() {
-            let j = (rng.next_u32() as usize) % (i + 1);
-            ids.swap(i, j);
-        }
-        BucketOrder::from_permutation(&ids).expect("shuffled permutation")
-    })
+#[test]
+fn reductions_on_full_rankings() {
+    check(
+        "reductions_on_full_rankings",
+        gen::full_pair(9),
+        |(a, b)| {
+            let k = full::kendall(a, b).unwrap();
+            let f = full::footrule(a, b).unwrap();
+            assert_eq!(kprof_x2(a, b).unwrap(), 2 * k);
+            assert_eq!(fprof_x2(a, b).unwrap(), 2 * f);
+            assert_eq!(hausdorff::khaus(a, b).unwrap(), k);
+            assert_eq!(hausdorff::fhaus(a, b).unwrap(), f);
+            assert_eq!(kavg_x2(a, b).unwrap(), 2 * k);
+            // Diaconis–Graham.
+            assert!(k <= f && (f <= 2 * k || k == 0));
+        },
+    );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(150))]
-
-    #[test]
-    fn metric_axioms_random_triples(
-        a in bucket_order_strategy(10, 4),
-        b in bucket_order_strategy(10, 4),
-        c in bucket_order_strategy(10, 4),
-    ) {
-        for d in [kprof_x2, fprof_x2, hausdorff::khaus, hausdorff::fhaus] {
-            let ab = d(&a, &b).unwrap();
-            let ba = d(&b, &a).unwrap();
-            prop_assert_eq!(ab, ba, "symmetry");
-            prop_assert_eq!(d(&a, &a).unwrap(), 0, "regularity");
-            prop_assert_eq!(ab == 0, a == b, "positivity");
-            prop_assert!(
-                d(&a, &c).unwrap() <= ab + d(&b, &c).unwrap(),
-                "triangle inequality"
-            );
-        }
-    }
-
-    #[test]
-    fn reductions_on_full_rankings(
-        a in permutation_strategy(9),
-        b in permutation_strategy(9),
-    ) {
-        let k = full::kendall(&a, &b).unwrap();
-        let f = full::footrule(&a, &b).unwrap();
-        prop_assert_eq!(kprof_x2(&a, &b).unwrap(), 2 * k);
-        prop_assert_eq!(fprof_x2(&a, &b).unwrap(), 2 * f);
-        prop_assert_eq!(hausdorff::khaus(&a, &b).unwrap(), k);
-        prop_assert_eq!(hausdorff::fhaus(&a, &b).unwrap(), f);
-        prop_assert_eq!(kavg_x2(&a, &b).unwrap(), 2 * k);
-        // Diaconis–Graham.
-        prop_assert!(k <= f && (f <= 2 * k || k == 0));
-    }
-
-    #[test]
-    fn profile_identities(
-        a in bucket_order_strategy(8, 3),
-        b in bucket_order_strategy(8, 3),
-    ) {
-        prop_assert_eq!(
-            kprof_x2(&a, &b).unwrap(),
-            kprof_x2_via_profiles(&a, &b).unwrap()
+#[test]
+fn profile_identities() {
+    check("profile_identities", gen::order_pair(8, 3), |(a, b)| {
+        assert_eq!(
+            kprof_x2(a, b).unwrap(),
+            kprof_x2_via_profiles(a, b).unwrap()
         );
-        prop_assert_eq!(
-            fprof_x2(&a, &b).unwrap(),
-            fprof_x2_via_profiles(&a, &b).unwrap()
+        assert_eq!(
+            fprof_x2(a, b).unwrap(),
+            fprof_x2_via_profiles(a, b).unwrap()
         );
-    }
+    });
+}
 
-    #[test]
-    fn kavg_decomposition(
-        a in bucket_order_strategy(10, 3),
-        b in bucket_order_strategy(10, 3),
-    ) {
-        let c = pairs::pair_counts(&a, &b).unwrap();
-        prop_assert_eq!(kavg_x2(&a, &b).unwrap(), kprof_x2(&a, &b).unwrap() + c.tied_both);
-    }
+#[test]
+fn kavg_decomposition() {
+    check("kavg_decomposition", gen::order_pair(10, 3), |(a, b)| {
+        let c = pairs::pair_counts(a, b).unwrap();
+        assert_eq!(kavg_x2(a, b).unwrap(), kprof_x2(a, b).unwrap() + c.tied_both);
+    });
+}
 
-    #[test]
-    fn correlation_coefficients_bounded(
-        a in bucket_order_strategy(10, 4),
-        b in bucket_order_strategy(10, 4),
-    ) {
-        if let Some(g) = goodman_kruskal_gamma(&a, &b).unwrap() {
-            prop_assert!((-1.0..=1.0).contains(&g));
-        }
-        if let Some(t) = kendall_tau_b(&a, &b).unwrap() {
-            prop_assert!((-1.0..=1.0).contains(&t));
-        }
-    }
+#[test]
+fn correlation_coefficients_bounded() {
+    check(
+        "correlation_coefficients_bounded",
+        gen::order_pair(10, 4),
+        |(a, b)| {
+            if let Some(g) = goodman_kruskal_gamma(a, b).unwrap() {
+                assert!((-1.0..=1.0).contains(&g));
+            }
+            if let Some(t) = kendall_tau_b(a, b).unwrap() {
+                assert!((-1.0..=1.0).contains(&t));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn star_operator_invariants(
-        sigma in bucket_order_strategy(8, 3),
-        tau in bucket_order_strategy(8, 3),
-    ) {
-        let r = star(&tau, &sigma).unwrap();
-        // τ∗σ refines σ and is unchanged by re-refining with τ.
-        prop_assert!(bucketrank::core::refine::is_refinement(&r, &sigma).unwrap());
-        prop_assert_eq!(star(&tau, &r).unwrap(), r.clone());
-        // Refining cannot increase the distance budget beyond the ties:
-        // the refined order agrees with σ on all σ-untied pairs, so the
-        // only Kprof cost between them comes from broken ties.
-        let c = pairs::pair_counts(&r, &sigma).unwrap();
-        prop_assert_eq!(c.discordant, 0);
-    }
+#[test]
+fn star_operator_invariants() {
+    check(
+        "star_operator_invariants",
+        gen::order_pair(8, 3),
+        |(sigma, tau)| {
+            let r = star(tau, sigma).unwrap();
+            // τ∗σ refines σ and is unchanged by re-refining with τ.
+            assert!(bucketrank::core::refine::is_refinement(&r, sigma).unwrap());
+            assert_eq!(star(tau, &r).unwrap(), r);
+            // Refining cannot increase the distance budget beyond the ties:
+            // the refined order agrees with σ on all σ-untied pairs, so the
+            // only Kprof cost between them comes from broken ties.
+            let c = pairs::pair_counts(&r, sigma).unwrap();
+            assert_eq!(c.discordant, 0);
+        },
+    );
+}
 
-    #[test]
-    fn reverse_is_isometry(
-        a in bucket_order_strategy(9, 4),
-        b in bucket_order_strategy(9, 4),
-    ) {
+#[test]
+fn reverse_is_isometry() {
+    check("reverse_is_isometry", gen::order_pair(9, 4), |(a, b)| {
         // d(σᴿ, τᴿ) = d(σ, τ) for all four metrics.
         let (ar, br) = (a.reverse(), b.reverse());
-        prop_assert_eq!(kprof_x2(&a, &b).unwrap(), kprof_x2(&ar, &br).unwrap());
-        prop_assert_eq!(fprof_x2(&a, &b).unwrap(), fprof_x2(&ar, &br).unwrap());
-        prop_assert_eq!(hausdorff::khaus(&a, &b).unwrap(), hausdorff::khaus(&ar, &br).unwrap());
-        prop_assert_eq!(hausdorff::fhaus(&a, &b).unwrap(), hausdorff::fhaus(&ar, &br).unwrap());
-    }
+        assert_eq!(kprof_x2(a, b).unwrap(), kprof_x2(&ar, &br).unwrap());
+        assert_eq!(fprof_x2(a, b).unwrap(), fprof_x2(&ar, &br).unwrap());
+        assert_eq!(
+            hausdorff::khaus(a, b).unwrap(),
+            hausdorff::khaus(&ar, &br).unwrap()
+        );
+        assert_eq!(
+            hausdorff::fhaus(a, b).unwrap(),
+            hausdorff::fhaus(&ar, &br).unwrap()
+        );
+    });
 }
 
 #[test]
 fn location_parameter_identity_on_random_top_k() {
     use bucketrank::workloads::random::random_top_k;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(3);
+    use bucketrank_testkit::rng::Pcg32;
+    use bucketrank_testkit::rng::SeedableRng;
+    let mut rng = Pcg32::seed_from_u64(3);
     for _ in 0..200 {
-        use rand::Rng;
+        use bucketrank_testkit::rng::Rng;
         let n = rng.gen_range(2..=12);
         let k = rng.gen_range(1..n.max(2)).min(n);
         let a = random_top_k(&mut rng, n, k);

@@ -11,7 +11,7 @@
 use bucketrank::core::consistent::all_bucket_orders;
 use bucketrank::metrics::{footrule, hausdorff, kendall};
 use bucketrank::BucketOrder;
-use proptest::prelude::*;
+use bucketrank_testkit::prelude::*;
 
 fn assert_theorem7(a: &BucketOrder, b: &BucketOrder) {
     let kp2 = kendall::kprof_x2(a, b).unwrap();
@@ -71,35 +71,27 @@ fn bound_tightness_witnesses() {
     );
 }
 
-/// Arbitrary bucket order on `n` elements via per-element keys.
-fn bucket_order_strategy(n: usize, levels: u8) -> impl Strategy<Value = BucketOrder> {
-    prop::collection::vec(0..levels, n).prop_map(|keys| BucketOrder::from_keys(&keys))
+#[test]
+fn random_pairs_n12() {
+    check("random_pairs_n12", gen::order_pair(12, 5), |(a, b)| {
+        assert_theorem7(a, b)
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(200))]
+#[test]
+fn random_pairs_n40_many_ties() {
+    check(
+        "random_pairs_n40_many_ties",
+        gen::order_pair(40, 3),
+        |(a, b)| assert_theorem7(a, b),
+    );
+}
 
-    #[test]
-    fn random_pairs_n12(
-        a in bucket_order_strategy(12, 5),
-        b in bucket_order_strategy(12, 5),
-    ) {
-        assert_theorem7(&a, &b);
-    }
-
-    #[test]
-    fn random_pairs_n40_many_ties(
-        a in bucket_order_strategy(40, 3),
-        b in bucket_order_strategy(40, 3),
-    ) {
-        assert_theorem7(&a, &b);
-    }
-
-    #[test]
-    fn random_pairs_n25_fine_grained(
-        a in bucket_order_strategy(25, 25),
-        b in bucket_order_strategy(25, 25),
-    ) {
-        assert_theorem7(&a, &b);
-    }
+#[test]
+fn random_pairs_n25_fine_grained() {
+    check(
+        "random_pairs_n25_fine_grained",
+        gen::order_pair(25, 25),
+        |(a, b)| assert_theorem7(a, b),
+    );
 }
