@@ -16,7 +16,8 @@
 use crate::db::{AttrValue, Table};
 use crate::error::AccessError;
 use crate::model::AccessStats;
-use bucketrank_core::ElementId;
+use bucketrank_core::{BucketOrder, ElementId};
+use bucketrank_metrics::batch::{self, BatchMetric, DistanceMatrix};
 
 /// A pre-sorted numeric attribute prepared for two-cursor access.
 #[derive(Debug, Clone)]
@@ -100,6 +101,64 @@ impl SimilarityIndex {
     /// The attribute names, in index order (query values must match it).
     pub fn attribute_names(&self) -> Vec<&str> {
         self.attributes.iter().map(|a| a.name.as_str()).collect()
+    }
+
+    /// Materializes, for each indexed attribute, the full ranking of the
+    /// records by distance `|value − query|` — the rankings the
+    /// two-cursor walk of [`Self::nearest`] enumerates implicitly.
+    /// Records at equal distance tie (one bucket), so the result is a
+    /// genuine bucket order per attribute, all over the record domain.
+    ///
+    /// # Errors
+    /// [`AccessError::DomainMismatch`] if `query` does not match the
+    /// attribute count; [`AccessError::NonFiniteValue`] for a non-finite
+    /// query value.
+    pub fn attribute_rankings(&self, query: &[f64]) -> Result<Vec<BucketOrder>, AccessError> {
+        if query.len() != self.attributes.len() {
+            return Err(AccessError::DomainMismatch {
+                expected: self.attributes.len(),
+                found: query.len(),
+            });
+        }
+        if query.iter().any(|q| !q.is_finite()) {
+            return Err(AccessError::NonFiniteValue {
+                attribute: "<query>".to_owned(),
+            });
+        }
+        let mut keys = vec![0u64; self.n];
+        Ok(self
+            .attributes
+            .iter()
+            .zip(query)
+            .map(|(a, &q)| {
+                for &(v, row) in &a.entries {
+                    // |v − q| is finite and non-negative, so its IEEE bit
+                    // pattern is monotone in the value: sorting by the
+                    // bits sorts by distance, and exact ties stay ties.
+                    keys[row as usize] = (v - q).abs().to_bits();
+                }
+                BucketOrder::from_keys(&keys)
+            })
+            .collect())
+    }
+
+    /// How much the indexed attributes agree about `query`: the pairwise
+    /// distance matrix of the attribute distance-rankings under `metric`,
+    /// computed with the prepared batch engine (each attribute ranking
+    /// prepared once). Small entries mean the attributes rank the records
+    /// near-identically around this query — the regime where MEDRANK's
+    /// majority rule terminates shallow.
+    ///
+    /// # Errors
+    /// As [`Self::attribute_rankings`].
+    pub fn attribute_agreement(
+        &self,
+        query: &[f64],
+        metric: BatchMetric,
+    ) -> Result<DistanceMatrix, AccessError> {
+        let rankings = self.attribute_rankings(query)?;
+        Ok(batch::pairwise_matrix(&rankings, metric)
+            .expect("attribute rankings share the record domain"))
     }
 
     /// Finds the `k` records nearest to `query` (one value per indexed
@@ -310,6 +369,42 @@ mod tests {
         let r = idx.nearest(&[255.0], 2).unwrap();
         assert_eq!(r.top.len(), 2);
         assert!(r.top.contains(&1) && r.top.contains(&2));
+    }
+
+    #[test]
+    fn attribute_rankings_rank_by_distance_with_ties() {
+        // Distances to query x = 5: rows 0, 1, 2, 3 → 5, 1, 1, 4.
+        let t = points(&[(0.0, 0.0), (4.0, 0.0), (6.0, 0.0), (9.0, 0.0)]);
+        let idx = SimilarityIndex::build(&t, &["x", "y"]).unwrap();
+        let rankings = idx.attribute_rankings(&[5.0, 0.0]).unwrap();
+        assert_eq!(rankings.len(), 2);
+        let rx = &rankings[0];
+        assert!(rx.is_tied(1, 2), "equal distances must tie");
+        assert!(rx.prefers(1, 3) && rx.prefers(3, 0));
+        // Every row is at y = 0, so the y-ranking is one bucket.
+        assert_eq!(rankings[1].num_buckets(), 1);
+    }
+
+    #[test]
+    fn attribute_agreement_is_zero_iff_rankings_coincide() {
+        // y = x for every record, so both attributes induce the same
+        // distance ranking for any query on the diagonal.
+        let t = points(&[(1.0, 1.0), (4.0, 4.0), (9.0, 9.0)]);
+        let idx = SimilarityIndex::build(&t, &["x", "y"]).unwrap();
+        let mx = idx.attribute_agreement(&[3.0, 3.0], BatchMetric::KProfX2).unwrap();
+        assert_eq!(mx.get(0, 1), 0);
+        // An off-diagonal query breaks the agreement.
+        let mx = idx.attribute_agreement(&[1.0, 9.0], BatchMetric::KProfX2).unwrap();
+        assert!(mx.get(0, 1) > 0);
+    }
+
+    #[test]
+    fn attribute_rankings_errors() {
+        let t = points(&[(0.0, 0.0), (1.0, 1.0)]);
+        let idx = SimilarityIndex::build(&t, &["x", "y"]).unwrap();
+        assert!(idx.attribute_rankings(&[1.0]).is_err());
+        assert!(idx.attribute_rankings(&[1.0, f64::INFINITY]).is_err());
+        assert!(idx.attribute_agreement(&[1.0], BatchMetric::FHaus).is_err());
     }
 
     #[test]

@@ -8,10 +8,11 @@
 //! baseline of footnote 4: one of the input rankings always 2-approximates
 //! the optimal aggregation.
 
-use crate::cost::{total_cost_x2, AggMetric};
+use crate::cost::AggMetric;
 use crate::error::check_inputs;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
+use bucketrank_metrics::batch;
 
 /// Average-rank aggregation: rank elements by the **sum** of their
 /// positions across inputs (equivalent to the mean, but exact), ties kept
@@ -53,14 +54,13 @@ pub fn best_input(
     metric: AggMetric,
 ) -> Result<(usize, u64), AggregateError> {
     check_inputs(inputs)?;
-    let mut best: Option<(usize, u64)> = None;
-    for (j, cand) in inputs.iter().enumerate() {
-        let c = total_cost_x2(metric, cand, inputs)?;
-        if best.is_none_or(|(_, bc)| c < bc) {
-            best = Some((j, c));
-        }
-    }
-    Ok(best.expect("inputs nonempty"))
+    // One pairwise matrix over prepared kernels (each input prepared
+    // once) instead of m full `total_cost_x2` sweeps; the medoid's
+    // lowest-total, lowest-index tie-breaking matches the old loop.
+    let (bm, scale) = metric.batch_metric();
+    let mx = batch::pairwise_matrix(inputs, bm)?;
+    let (j, c) = mx.medoid().expect("inputs nonempty");
+    Ok((j, scale * c))
 }
 
 #[cfg(test)]

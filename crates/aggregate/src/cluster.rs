@@ -11,10 +11,11 @@
 //! from the global medoid, then alternating assignment / medoid-update
 //! until a fixed point.
 
-use crate::cost::{distance_x2, AggMetric};
+use crate::cost::AggMetric;
 use crate::error::check_inputs;
 use crate::AggregateError;
 use bucketrank_core::BucketOrder;
+use bucketrank_metrics::batch;
 
 /// The result of a k-medoids run.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,16 +56,11 @@ pub fn k_medoids(
     if k == 0 || k > m {
         return Err(AggregateError::InvalidK { k, domain_size: m });
     }
-    // Full pairwise matrix once: every later step is table lookups.
-    let mut d = vec![0u64; m * m];
-    for i in 0..m {
-        for j in i + 1..m {
-            let v = distance_x2(metric, &inputs[i], &inputs[j])?;
-            d[i * m + j] = v;
-            d[j * m + i] = v;
-        }
-    }
-    let dist = |a: usize, b: usize| d[a * m + b];
+    // Full pairwise matrix once, via the prepared batch engine (each
+    // input prepared once): every later step is table lookups.
+    let (bm, scale) = metric.batch_metric();
+    let mx = batch::pairwise_matrix(inputs, bm)?;
+    let dist = |a: usize, b: usize| scale * mx.get(a, b);
 
     // Farthest-first init, seeded at the global medoid.
     let global_medoid = (0..m)
@@ -140,6 +136,7 @@ pub fn k_medoids(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cost::distance_x2;
 
     fn keys(k: &[i64]) -> BucketOrder {
         BucketOrder::from_keys(k)

@@ -3,7 +3,8 @@
 use crate::error::check_inputs;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId, Pos};
-use bucketrank_metrics::{footrule, hausdorff, kendall, MetricsError};
+use bucketrank_metrics::batch::BatchMetric;
+use bucketrank_metrics::{footrule, hausdorff, kendall, prepared, MetricsError, PreparedRanking};
 
 /// Which of the paper's four partial-ranking metrics to aggregate under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -37,6 +38,18 @@ impl AggMetric {
             AggMetric::FHaus => "FHaus",
         }
     }
+
+    /// The batch-engine metric computing this objective, with the factor
+    /// turning the engine's canonical scale into the shared `_x2` scale
+    /// (the Hausdorff metrics come back unscaled and need doubling).
+    pub fn batch_metric(self) -> (BatchMetric, u64) {
+        match self {
+            AggMetric::KProf => (BatchMetric::KProfX2, 1),
+            AggMetric::FProf => (BatchMetric::FProfX2, 1),
+            AggMetric::KHaus => (BatchMetric::KHaus, 2),
+            AggMetric::FHaus => (BatchMetric::FHaus, 2),
+        }
+    }
 }
 
 /// Distance between two partial rankings under `metric`, **doubled** so
@@ -57,7 +70,25 @@ pub fn distance_x2(
     })
 }
 
+/// [`distance_x2`] over prepared views — for callers evaluating one
+/// candidate against many rankings (or many candidates against a fixed
+/// profile), preparing once and paying only the kernel per pair.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn distance_x2_prepared(
+    metric: AggMetric,
+    a: &PreparedRanking<'_>,
+    b: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let (bm, scale) = metric.batch_metric();
+    Ok(scale * bm.prepared(a, b)?)
+}
+
 /// The aggregation objective `2·Σ_i d(candidate, σ_i)` under `metric`.
+///
+/// The candidate is prepared once and scored against prepared input
+/// views, so the per-input cost is the bare metric kernel.
 ///
 /// # Errors
 /// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
@@ -67,9 +98,29 @@ pub fn total_cost_x2(
     inputs: &[BucketOrder],
 ) -> Result<u64, AggregateError> {
     check_inputs(inputs)?;
+    let cand = prepared::PreparedRanking::new(candidate);
+    let prepared_inputs: Vec<PreparedRanking<'_>> =
+        inputs.iter().map(PreparedRanking::new).collect();
+    total_cost_x2_prepared(metric, &cand, &prepared_inputs)
+}
+
+/// [`total_cost_x2`] over already-prepared views: the candidate and the
+/// inputs are prepared by the caller (typically once, then reused across
+/// many candidate evaluations — the local-search and medoid loops).
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
+pub fn total_cost_x2_prepared(
+    metric: AggMetric,
+    candidate: &PreparedRanking<'_>,
+    inputs: &[PreparedRanking<'_>],
+) -> Result<u64, AggregateError> {
+    if inputs.is_empty() {
+        return Err(AggregateError::NoInputs);
+    }
     let mut total = 0u64;
     for s in inputs {
-        total += distance_x2(metric, candidate, s)?;
+        total += distance_x2_prepared(metric, candidate, s)?;
     }
     Ok(total)
 }
@@ -145,9 +196,64 @@ mod tests {
     }
 
     #[test]
+    fn prepared_cost_matches_direct() {
+        let inputs: Vec<BucketOrder> = vec![
+            BucketOrder::from_keys(&[1, 2, 3, 4, 1]),
+            BucketOrder::from_keys(&[4, 3, 2, 1, 1]),
+            BucketOrder::from_keys(&[2, 2, 2, 1, 3]),
+        ];
+        let cand = BucketOrder::from_keys(&[1, 1, 2, 3, 2]);
+        let pc = PreparedRanking::new(&cand);
+        let pin: Vec<PreparedRanking<'_>> = inputs.iter().map(PreparedRanking::new).collect();
+        for metric in AggMetric::ALL {
+            let direct: u64 = inputs
+                .iter()
+                .map(|s| {
+                    match metric {
+                        AggMetric::KProf => kendall::kprof_x2(&cand, s),
+                        AggMetric::FProf => footrule::fprof_x2(&cand, s),
+                        AggMetric::KHaus => hausdorff::khaus(&cand, s).map(|v| 2 * v),
+                        AggMetric::FHaus => hausdorff::fhaus(&cand, s).map(|v| 2 * v),
+                    }
+                    .unwrap()
+                })
+                .sum();
+            assert_eq!(
+                total_cost_x2(metric, &cand, &inputs).unwrap(),
+                direct,
+                "{}",
+                metric.name()
+            );
+            assert_eq!(
+                total_cost_x2_prepared(metric, &pc, &pin).unwrap(),
+                direct,
+                "{} prepared",
+                metric.name()
+            );
+            assert_eq!(
+                distance_x2_prepared(metric, &pc, &pin[0]).unwrap(),
+                distance_x2(metric, &cand, &inputs[0]).unwrap(),
+                "{} pair",
+                metric.name()
+            );
+        }
+    }
+
+    #[test]
     fn errors() {
         let a = BucketOrder::trivial(3);
         assert!(total_cost_x2(AggMetric::KProf, &a, &[]).is_err());
+        assert_eq!(
+            total_cost_x2_prepared(AggMetric::KProf, &PreparedRanking::new(&a), &[]),
+            Err(AggregateError::NoInputs)
+        );
+        let b = BucketOrder::trivial(4);
+        assert!(distance_x2_prepared(
+            AggMetric::FHaus,
+            &PreparedRanking::new(&a),
+            &PreparedRanking::new(&b)
+        )
+        .is_err());
         let f = vec![Pos::ZERO; 2];
         assert!(total_l1_x2(&f, std::slice::from_ref(&a)).is_err());
     }

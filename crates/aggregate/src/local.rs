@@ -35,13 +35,19 @@ pub fn local_kemenize(
         .as_permutation()
         .ok_or(AggregateError::NotFullRanking)?;
 
+    // Hoist each input's element→bucket map out of the O(n²·m) swap
+    // loop: one contiguous slice per input, two indexed loads per
+    // comparison instead of `prefers`/`is_tied` method calls.
+    let input_buckets: Vec<&[u32]> = inputs.iter().map(|s| s.bucket_indices()).collect();
+
     // cost_x2 of placing a strictly ahead of b, summed over inputs.
     let pair_cost = |a: ElementId, b: ElementId| -> i64 {
         let mut c = 0i64;
-        for s in inputs {
-            if s.prefers(b, a) {
+        for bo in &input_buckets {
+            let (ba, bb) = (bo[a as usize], bo[b as usize]);
+            if bb < ba {
                 c += 2;
-            } else if s.is_tied(a, b) {
+            } else if ba == bb {
                 c += 1;
             }
         }

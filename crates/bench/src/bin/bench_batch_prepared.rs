@@ -1,0 +1,108 @@
+//! Prepared-kernel batch engine vs the per-pair direct path, on the
+//! full pairwise `DistanceMatrix` workload, sequential and parallel —
+//! the measurement backing the `PreparedRanking` layer.
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin
+//! bench_batch_prepared`. Results are appended to the perf trajectory
+//! file `BENCH_metrics.json` (override with `BUCKETRANK_BENCH_OUT`);
+//! `BUCKETRANK_BENCH_M` / `BUCKETRANK_BENCH_N` override the workload
+//! shape, and `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass.
+
+use bucketrank_bench::timing::{group, Measurement, Sampler};
+use bucketrank_core::BucketOrder;
+use bucketrank_metrics::batch::{
+    pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_parallel_with,
+    pairwise_matrix_with, BatchMetric,
+};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, SeedableRng};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a usize, got {s:?}")),
+        Err(_) => default,
+    }
+}
+
+fn main() {
+    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    // Acceptance workload: m ≥ 64 rankings over n ≥ 512 elements. The
+    // smoke gate shrinks it so CI stays quick; the committed baseline
+    // uses the full shape.
+    let (def_m, def_n) = if fast { (24, 96) } else { (64, 512) };
+    let m = env_usize("BUCKETRANK_BENCH_M", def_m);
+    let n = env_usize("BUCKETRANK_BENCH_N", def_n);
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let mut rng = Pcg32::seed_from_u64(45);
+    let profile: Vec<BucketOrder> = (0..m).map(|_| random_few_valued(&mut rng, n, 8)).collect();
+
+    let s = Sampler::default();
+    let mut all: Vec<Measurement> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for metric in BatchMetric::ALL {
+        group(&format!("batch/{} ({m} rankings × {n} elements)", metric.name()));
+        let direct_seq = s.bench(&format!("batch/{}/direct/seq/{m}x{n}", metric.name()), || {
+            pairwise_matrix_with(&profile, |a, b| metric.direct(a, b)).unwrap()
+        });
+        let prepared_seq = s.bench(
+            &format!("batch/{}/prepared/seq/{m}x{n}", metric.name()),
+            || pairwise_matrix(&profile, metric).unwrap(),
+        );
+        let direct_par = s.bench(
+            &format!("batch/{}/direct/par{threads}/{m}x{n}", metric.name()),
+            || pairwise_matrix_parallel_with(&profile, |a, b| metric.direct(a, b), threads)
+                .unwrap(),
+        );
+        let prepared_par = s.bench(
+            &format!("batch/{}/prepared/par{threads}/{m}x{n}", metric.name()),
+            || pairwise_matrix_parallel(&profile, metric, threads).unwrap(),
+        );
+
+        let seq_speedup = direct_seq.min_ns / prepared_seq.min_ns;
+        let par_speedup = direct_par.min_ns / prepared_par.min_ns;
+        println!(
+            "  prepared speedup: {seq_speedup:.2}x sequential, {par_speedup:.2}x parallel ({threads} threads)"
+        );
+        speedups.push((format!("batch/{}/seq", metric.name()), seq_speedup));
+        speedups.push((format!("batch/{}/par{threads}", metric.name()), par_speedup));
+        all.extend([direct_seq, prepared_seq, direct_par, prepared_par]);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace): one object with the
+    // workload shape, every measurement, and the headline ratios.
+    let out = std::env::var("BUCKETRANK_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_metrics.json".to_string());
+    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
+    let ratios: Vec<String> = speedups
+        .iter()
+        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_batch_prepared\",\n  \"m\": {m},\n  \"n\": {n},\n  \
+         \"threads\": {threads},\n  \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
+         \"prepared_speedups\": [\n{}\n  ]\n}}\n",
+        measurements.join(",\n"),
+        ratios.join(",\n"),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    // The smoke gate doubles as a regression check: the prepared path
+    // must not lose to the direct path on the matrix workload.
+    let worst = speedups
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    println!(
+        "worst prepared speedup: {:.2}x ({})",
+        worst.1, worst.0
+    );
+}

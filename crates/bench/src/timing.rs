@@ -52,6 +52,20 @@ impl Measurement {
             self.iters,
         )
     }
+
+    /// One JSON object (hand-rolled: the workspace has no serde), for
+    /// the `BENCH_*.json` trajectory files. Bench names are plain
+    /// `[a-z0-9_/]` identifiers, so no string escaping is needed.
+    pub fn json(&self) -> String {
+        debug_assert!(
+            self.name.chars().all(|c| c != '"' && c != '\\'),
+            "bench names must not need JSON escaping"
+        );
+        format!(
+            "{{\"name\":\"{}\",\"iters\":{},\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1}}}",
+            self.name, self.iters, self.min_ns, self.median_ns, self.mean_ns
+        )
+    }
 }
 
 /// Benchmark configuration: warmup budget, per-sample time target, and
@@ -155,6 +169,22 @@ mod tests {
         assert!(m.iters >= 1);
         assert!(m.min_ns > 0.0);
         assert!(m.min_ns <= m.mean_ns * 1.001);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let m = Measurement {
+            name: "batch/prepared/seq/64x512".to_string(),
+            iters: 7,
+            min_ns: 1234.56,
+            median_ns: 1300.0,
+            mean_ns: 1400.25,
+        };
+        let j = m.json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"name\":\"batch/prepared/seq/64x512\""));
+        assert!(j.contains("\"iters\":7"));
+        assert!(j.contains("\"min_ns\":1234.6"));
     }
 
     #[test]

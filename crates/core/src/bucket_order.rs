@@ -220,6 +220,15 @@ impl BucketOrder {
         self.bucket_of[x as usize] as usize
     }
 
+    /// Element id → bucket index, as one contiguous slice (entry `e` is
+    /// `bucket_index(e)`). Hot loops — the prepared metric kernels in
+    /// `bucketrank-metrics` — index this directly instead of paying a
+    /// method call per element.
+    #[inline]
+    pub fn bucket_indices(&self) -> &[u32] {
+        &self.bucket_of
+    }
+
     /// The partial ranking value `σ(x) = pos(bucket of x)`, exactly.
     ///
     /// # Panics

@@ -1,16 +1,105 @@
 //! Batch distance computation: full pairwise matrices, optionally in
-//! parallel.
+//! parallel, over [`PreparedRanking`] kernels.
 //!
 //! Applications of the paper's metrics (similarity search, clustering,
 //! the experiment harness itself) routinely need all `m(m−1)/2` pairwise
-//! distances of a profile. This module provides a cache-friendly
-//! single-threaded path and a [`std::thread::scope`]d parallel path that
-//! splits the pair list across threads (the metrics are pure functions of
-//! immutable inputs, so this parallelizes embarrassingly).
+//! distances of a profile. Calling the direct metric functions in a
+//! double loop repeats every per-ranking setup `m−1` times; instead,
+//! this module prepares each ranking **once** ([`prepare_all`]) and
+//! evaluates every pair against the prepared views — the per-pair work
+//! drops to the irreducible kernel (segment sorts + a Fenwick pass, or a
+//! position-vector scan). A cache-friendly single-threaded path and a
+//! [`std::thread::scope`]d parallel path that splits the flattened pair
+//! list into contiguous chunks are provided; the kernels are pure
+//! functions of immutable prepared state (per-thread scratch only), so
+//! this parallelizes embarrassingly.
+//!
+//! The batch entry points take a [`BatchMetric`] naming one of the
+//! paper's metrics on its canonical integer scale. Custom distance
+//! functions can still be batched with the `*_with` variants, which are
+//! also the naive reference implementation the regression tests compare
+//! against.
 
 use crate::error::check_same_domain;
+use crate::prepared::{
+    fhaus_prepared, fprof_x2_prepared, kavg_x2_prepared, khaus_prepared, kprof_x2_prepared,
+    PreparedRanking,
+};
 use crate::MetricsError;
+use crate::{footrule, hausdorff, kendall};
 use bucketrank_core::BucketOrder;
+
+/// The pairwise metrics the batch engine can evaluate, each on its
+/// canonical exact-integer scale (`_x2` = twice the paper's value; the
+/// Hausdorff metrics are integers already and stay unscaled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BatchMetric {
+    /// `2·Kprof` ([`kendall::kprof_x2`]).
+    KProfX2,
+    /// `2·Fprof` ([`footrule::fprof_x2`]).
+    FProfX2,
+    /// `2·Kavg` ([`kendall::kavg_x2`]).
+    KAvgX2,
+    /// `KHaus`, unscaled ([`hausdorff::khaus`]).
+    KHaus,
+    /// `FHaus`, unscaled ([`hausdorff::fhaus`]).
+    FHaus,
+}
+
+impl BatchMetric {
+    /// All batch metrics, in a fixed order (useful for sweeps).
+    pub const ALL: [BatchMetric; 5] = [
+        BatchMetric::KProfX2,
+        BatchMetric::FProfX2,
+        BatchMetric::KAvgX2,
+        BatchMetric::KHaus,
+        BatchMetric::FHaus,
+    ];
+
+    /// A short stable name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BatchMetric::KProfX2 => "kprof_x2",
+            BatchMetric::FProfX2 => "fprof_x2",
+            BatchMetric::KAvgX2 => "kavg_x2",
+            BatchMetric::KHaus => "khaus",
+            BatchMetric::FHaus => "fhaus",
+        }
+    }
+
+    /// The direct (unprepared) metric function — the reference the
+    /// prepared kernel must agree with exactly.
+    ///
+    /// # Errors
+    /// Whatever the underlying metric returns.
+    pub fn direct(self, a: &BucketOrder, b: &BucketOrder) -> Result<u64, MetricsError> {
+        match self {
+            BatchMetric::KProfX2 => kendall::kprof_x2(a, b),
+            BatchMetric::FProfX2 => footrule::fprof_x2(a, b),
+            BatchMetric::KAvgX2 => kendall::kavg_x2(a, b),
+            BatchMetric::KHaus => hausdorff::khaus(a, b),
+            BatchMetric::FHaus => hausdorff::fhaus(a, b),
+        }
+    }
+
+    /// The prepared kernel for this metric.
+    ///
+    /// # Errors
+    /// [`MetricsError::DomainMismatch`] on differing domains.
+    pub fn prepared(
+        self,
+        a: &PreparedRanking<'_>,
+        b: &PreparedRanking<'_>,
+    ) -> Result<u64, MetricsError> {
+        match self {
+            BatchMetric::KProfX2 => kprof_x2_prepared(a, b),
+            BatchMetric::FProfX2 => fprof_x2_prepared(a, b),
+            BatchMetric::KAvgX2 => kavg_x2_prepared(a, b),
+            BatchMetric::KHaus => khaus_prepared(a, b),
+            BatchMetric::FHaus => fhaus_prepared(a, b),
+        }
+    }
+}
 
 /// A symmetric distance matrix over `m` rankings, stored densely
 /// (`m × m`, diagonal zero).
@@ -64,12 +153,131 @@ impl DistanceMatrix {
     }
 }
 
-/// Computes the pairwise matrix single-threaded.
+/// Prepares every ranking of a profile for batch evaluation, validating
+/// once that they share a domain.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if any two rankings differ in domain.
+pub fn prepare_all(orders: &[BucketOrder]) -> Result<Vec<PreparedRanking<'_>>, MetricsError> {
+    for w in orders.windows(2) {
+        check_same_domain(&w[0], &w[1])?;
+    }
+    Ok(orders.iter().map(PreparedRanking::new).collect())
+}
+
+/// Computes the pairwise matrix single-threaded via prepared kernels:
+/// each ranking is prepared once, then all `m(m−1)/2` pairs are
+/// evaluated with no per-call setup.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if the rankings differ in domain.
+pub fn pairwise_matrix(
+    orders: &[BucketOrder],
+    metric: BatchMetric,
+) -> Result<DistanceMatrix, MetricsError> {
+    let prepared = prepare_all(orders)?;
+    pairwise_matrix_prepared(&prepared, metric)
+}
+
+/// [`pairwise_matrix`] over already-prepared views (reuse them across
+/// several metrics without re-preparing).
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if the prepared rankings differ in
+/// domain.
+pub fn pairwise_matrix_prepared(
+    prepared: &[PreparedRanking<'_>],
+    metric: BatchMetric,
+) -> Result<DistanceMatrix, MetricsError> {
+    let m = prepared.len();
+    let mut values = vec![0u64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = metric.prepared(&prepared[i], &prepared[j])?;
+            values[i * m + j] = v;
+            values[j * m + i] = v;
+        }
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
+/// Computes the pairwise matrix with `threads` worker threads over
+/// prepared kernels (scoped std threads; `threads = 1` falls back to
+/// the sequential path). Preparation is done once up front on the
+/// calling thread — it is `O(m·n)`, negligible next to the
+/// `O(m²·n log n)` pair work the threads split.
+///
+/// The flattened pair list is partitioned into contiguous chunks, one
+/// per thread, which balances well because every pair costs roughly the
+/// same `O(n log n)`. Each worker uses its own thread-local kernel
+/// scratch, so workers never contend.
+///
+/// # Errors
+/// As [`pairwise_matrix`]. The first error encountered (by pair order)
+/// is returned.
+pub fn pairwise_matrix_parallel(
+    orders: &[BucketOrder],
+    metric: BatchMetric,
+    threads: usize,
+) -> Result<DistanceMatrix, MetricsError> {
+    let prepared = prepare_all(orders)?;
+    pairwise_matrix_prepared_parallel(&prepared, metric, threads)
+}
+
+/// [`pairwise_matrix_parallel`] over already-prepared views.
+///
+/// # Errors
+/// As [`pairwise_matrix_parallel`].
+pub fn pairwise_matrix_prepared_parallel(
+    prepared: &[PreparedRanking<'_>],
+    metric: BatchMetric,
+    threads: usize,
+) -> Result<DistanceMatrix, MetricsError> {
+    let m = prepared.len();
+    if threads <= 1 || m < 4 {
+        return pairwise_matrix_prepared(prepared, metric);
+    }
+    // Flattened list of unordered pairs.
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| (i + 1..m).map(move |j| (i, j)))
+        .collect();
+    let mut results: Vec<Result<u64, MetricsError>> = Vec::with_capacity(pairs.len());
+    results.resize_with(pairs.len(), || Ok(0));
+
+    std::thread::scope(|scope| {
+        // Chunk the results buffer so each worker owns a disjoint slice.
+        let chunk = pairs.len().div_ceil(threads);
+        for (t, res_chunk) in results.chunks_mut(chunk).enumerate() {
+            let pairs = &pairs;
+            let prepared = &prepared;
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in res_chunk.iter_mut().enumerate() {
+                    let (i, j) = pairs[start + off];
+                    *slot = metric.prepared(&prepared[i], &prepared[j]);
+                }
+            });
+        }
+    });
+
+    let mut values = vec![0u64; m * m];
+    for ((i, j), r) in pairs.into_iter().zip(results) {
+        let v = r?;
+        values[i * m + j] = v;
+        values[j * m + i] = v;
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
+/// Computes the pairwise matrix single-threaded with an arbitrary
+/// distance function, calling it once per unordered pair. This is the
+/// naive reference path — the prepared engine must match it exactly —
+/// and the escape hatch for distances without a prepared kernel.
 ///
 /// # Errors
 /// [`MetricsError::DomainMismatch`] if the rankings differ in domain, or
 /// any error from the distance function.
-pub fn pairwise_matrix<D>(orders: &[BucketOrder], d: D) -> Result<DistanceMatrix, MetricsError>
+pub fn pairwise_matrix_with<D>(orders: &[BucketOrder], d: D) -> Result<DistanceMatrix, MetricsError>
 where
     D: Fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>,
 {
@@ -88,16 +296,14 @@ where
     Ok(DistanceMatrix { m, values })
 }
 
-/// Computes the pairwise matrix with `threads` worker threads
-/// (scoped std threads; `threads = 1` falls back to the sequential path).
-///
-/// Pairs are dealt round-robin by flattened pair index, which balances
-/// well because every pair costs roughly the same `O(n log n)`.
+/// [`pairwise_matrix_with`], parallelized over `threads` scoped worker
+/// threads with the same chunked pair-list partitioning as
+/// [`pairwise_matrix_parallel`].
 ///
 /// # Errors
-/// As [`pairwise_matrix`]. The first error encountered (by pair order)
-/// is returned.
-pub fn pairwise_matrix_parallel<D>(
+/// As [`pairwise_matrix_with`]. The first error encountered (by pair
+/// order) is returned.
+pub fn pairwise_matrix_parallel_with<D>(
     orders: &[BucketOrder],
     d: D,
     threads: usize,
@@ -107,12 +313,11 @@ where
 {
     let m = orders.len();
     if threads <= 1 || m < 4 {
-        return pairwise_matrix(orders, d);
+        return pairwise_matrix_with(orders, d);
     }
     for w in orders.windows(2) {
         check_same_domain(&w[0], &w[1])?;
     }
-    // Flattened list of unordered pairs.
     let pairs: Vec<(usize, usize)> = (0..m)
         .flat_map(|i| (i + 1..m).map(move |j| (i, j)))
         .collect();
@@ -120,7 +325,6 @@ where
     results.resize_with(pairs.len(), || Ok(0));
 
     std::thread::scope(|scope| {
-        // Chunk the results buffer so each worker owns a disjoint slice.
         let chunk = pairs.len().div_ceil(threads);
         for (t, res_chunk) in results.chunks_mut(chunk).enumerate() {
             let pairs = &pairs;
@@ -147,7 +351,6 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{footrule, hausdorff, kendall};
 
     fn profile() -> Vec<BucketOrder> {
         (0..9)
@@ -161,7 +364,7 @@ mod tests {
     #[test]
     fn matrix_is_symmetric_with_zero_diagonal() {
         let p = profile();
-        let mx = pairwise_matrix(&p, kendall::kprof_x2).unwrap();
+        let mx = pairwise_matrix(&p, BatchMetric::KProfX2).unwrap();
         assert_eq!(mx.len(), 9);
         assert!(!mx.is_empty());
         for i in 0..9 {
@@ -173,34 +376,42 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_for_all_metrics() {
+    fn prepared_engine_matches_naive_reference_for_all_metrics() {
         let p = profile();
-        type DistFn = fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>;
-        let metrics: [DistFn; 4] = [
-            kendall::kprof_x2,
-            footrule::fprof_x2,
-            hausdorff::khaus,
-            hausdorff::fhaus,
-        ];
-        for d in metrics {
-            let seq = pairwise_matrix(&p, d).unwrap();
+        for metric in BatchMetric::ALL {
+            let naive = pairwise_matrix_with(&p, |a, b| metric.direct(a, b)).unwrap();
+            let seq = pairwise_matrix(&p, metric).unwrap();
+            assert_eq!(naive, seq, "{} sequential", metric.name());
             for threads in [1usize, 2, 3, 8] {
-                let par = pairwise_matrix_parallel(&p, d, threads).unwrap();
-                assert_eq!(seq, par, "threads = {threads}");
+                let par = pairwise_matrix_parallel(&p, metric, threads).unwrap();
+                assert_eq!(naive, par, "{} threads = {threads}", metric.name());
             }
+        }
+    }
+
+    #[test]
+    fn prepared_views_are_reusable_across_metrics() {
+        let p = profile();
+        let prepared = prepare_all(&p).unwrap();
+        for metric in BatchMetric::ALL {
+            let from_views = pairwise_matrix_prepared(&prepared, metric).unwrap();
+            let from_orders = pairwise_matrix(&p, metric).unwrap();
+            assert_eq!(from_views, from_orders, "{}", metric.name());
+            let par = pairwise_matrix_prepared_parallel(&prepared, metric, 4).unwrap();
+            assert_eq!(from_views, par, "{} parallel", metric.name());
         }
     }
 
     #[test]
     fn medoid_matches_best_input_semantics() {
         let p = profile();
-        let mx = pairwise_matrix(&p, footrule::fprof_x2).unwrap();
+        let mx = pairwise_matrix(&p, BatchMetric::FProfX2).unwrap();
         let (medoid, total) = mx.medoid().unwrap();
         // Recompute directly.
         let direct: Vec<u64> = (0..p.len())
             .map(|i| {
                 p.iter()
-                    .map(|s| footrule::fprof_x2(&p[i], s).unwrap())
+                    .map(|s| crate::footrule::fprof_x2(&p[i], s).unwrap())
                     .sum()
             })
             .collect();
@@ -212,18 +423,20 @@ mod tests {
     #[test]
     fn domain_mismatch_detected() {
         let p = vec![BucketOrder::trivial(3), BucketOrder::trivial(4)];
-        assert!(pairwise_matrix(&p, kendall::kprof_x2).is_err());
-        assert!(pairwise_matrix_parallel(&p, kendall::kprof_x2, 4).is_err());
+        assert!(pairwise_matrix(&p, BatchMetric::KProfX2).is_err());
+        assert!(pairwise_matrix_parallel(&p, BatchMetric::KProfX2, 4).is_err());
+        assert!(pairwise_matrix_with(&p, crate::kendall::kprof_x2).is_err());
+        assert!(pairwise_matrix_parallel_with(&p, crate::kendall::kprof_x2, 4).is_err());
     }
 
     #[test]
     fn degenerate_sizes() {
         let empty: Vec<BucketOrder> = vec![];
-        let mx = pairwise_matrix(&empty, kendall::kprof_x2).unwrap();
+        let mx = pairwise_matrix(&empty, BatchMetric::KProfX2).unwrap();
         assert!(mx.is_empty());
         assert_eq!(mx.medoid(), None);
         let one = vec![BucketOrder::trivial(3)];
-        let mx = pairwise_matrix_parallel(&one, kendall::kprof_x2, 4).unwrap();
+        let mx = pairwise_matrix_parallel(&one, BatchMetric::KProfX2, 4).unwrap();
         assert_eq!(mx.len(), 1);
         assert_eq!(mx.medoid(), Some((0, 0)));
     }

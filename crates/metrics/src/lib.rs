@@ -58,9 +58,11 @@ pub mod kendall;
 pub mod near;
 pub mod normalized;
 pub mod pairs;
+pub mod prepared;
 pub mod profile;
 pub mod related;
 pub mod topk;
 
 pub use error::MetricsError;
 pub use pairs::PairCounts;
+pub use prepared::PreparedRanking;

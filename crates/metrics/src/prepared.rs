@@ -1,0 +1,532 @@
+//! Prepared-ranking kernels: precompute per-ranking state once, then
+//! evaluate any number of pairwise metrics without per-call setup.
+//!
+//! The direct metric functions ([`kendall::kprof_x2`](crate::kendall),
+//! [`footrule::fprof_x2`](crate::footrule), …) rebuild the same
+//! per-ranking structures on every call: the element→bucket map is read
+//! through method calls, the `(σ-bucket, τ-bucket)` cell list is
+//! allocated and sorted from scratch, and `fhaus` materializes four
+//! witness [`BucketOrder`]s. A batch of `m` rankings evaluated pairwise
+//! therefore pays `O(m²·n)` preparation for `O(m·n)` worth of
+//! information.
+//!
+//! [`PreparedRanking`] hoists everything that depends on **one** ranking
+//! out of the pair loop:
+//!
+//! * the element→bucket index map (borrowed contiguously from the order);
+//! * the half-unit position vector `⟨pos(B(e))⟩` (reusing
+//!   [`core::pos::Pos`](bucketrank_core::Pos));
+//! * bucket sizes as prefix sums over the rank-sorted domain;
+//! * the domain sorted by rank (`by_rank`);
+//! * the number of within-ranking tied pairs.
+//!
+//! The `*_prepared` kernels consume two `&PreparedRanking`s and skip all
+//! per-call setup. Domain agreement is validated in `O(1)` per pair (the
+//! sizes were computed at preparation) and reported as
+//! [`MetricsError::DomainMismatch`] — never a panic. Per-pair scratch
+//! buffers (the τ-bucket run array, the Fenwick tree, the witness rank
+//! arrays) live in a thread-local workspace, so steady-state evaluation
+//! allocates nothing.
+//!
+//! Every kernel returns **exactly** the same integer as its direct
+//! counterpart; `tests/prepared_vs_direct.rs` enforces this
+//! differentially with no float tolerance.
+
+use crate::pairs::PairCounts;
+use crate::MetricsError;
+use bucketrank_core::alg::Fenwick;
+use bucketrank_core::{BucketOrder, Pos};
+use std::cell::RefCell;
+
+/// A ranking with every reusable per-ranking structure precomputed, for
+/// repeated pairwise metric evaluation. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct PreparedRanking<'a> {
+    order: &'a BucketOrder,
+    /// Element id → bucket index (borrowed from the order, contiguous).
+    bucket_of: &'a [u32],
+    /// Element id → position, in half-units.
+    positions: Vec<Pos>,
+    /// The domain in rank order: bucket 0's elements, then bucket 1's, …
+    by_rank: Vec<u32>,
+    /// Prefix sums of bucket sizes over `by_rank`; bucket `i` occupies
+    /// `by_rank[bucket_starts[i]..bucket_starts[i + 1]]`.
+    bucket_starts: Vec<u32>,
+    /// Number of pairs tied within this ranking, `Σ_B |B|(|B|−1)/2`.
+    tied_pairs: u64,
+}
+
+impl<'a> PreparedRanking<'a> {
+    /// Prepares `order` for repeated pairwise evaluation. `O(n)`.
+    pub fn new(order: &'a BucketOrder) -> Self {
+        let n = order.len();
+        let mut by_rank = Vec::with_capacity(n);
+        let mut bucket_starts = Vec::with_capacity(order.num_buckets() + 1);
+        let mut tied_pairs = 0u64;
+        bucket_starts.push(0);
+        for b in order.buckets() {
+            by_rank.extend_from_slice(b);
+            let s = b.len() as u64;
+            tied_pairs += s * (s - 1) / 2;
+            bucket_starts.push(by_rank.len() as u32);
+        }
+        let bucket_of = order.bucket_indices();
+        let positions = bucket_of
+            .iter()
+            .map(|&b| order.bucket_position(b as usize))
+            .collect();
+        PreparedRanking {
+            order,
+            bucket_of,
+            positions,
+            by_rank,
+            bucket_starts,
+            tied_pairs,
+        }
+    }
+
+    /// The underlying order.
+    pub fn order(&self) -> &'a BucketOrder {
+        self.order
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.order.num_buckets()
+    }
+
+    /// Element id → bucket index, contiguous.
+    pub fn bucket_of(&self) -> &[u32] {
+        self.bucket_of
+    }
+
+    /// The F-profile `⟨pos(B(e))⟩` as a slice, in half-units.
+    pub fn positions(&self) -> &[Pos] {
+        &self.positions
+    }
+
+    /// The domain in rank order (concatenated buckets).
+    pub fn by_rank(&self) -> &[u32] {
+        &self.by_rank
+    }
+
+    /// Bucket-size prefix sums over [`Self::by_rank`] (length
+    /// `num_buckets() + 1`).
+    pub fn bucket_starts(&self) -> &[u32] {
+        &self.bucket_starts
+    }
+
+    /// Number of pairs tied within this ranking.
+    pub fn tied_pairs(&self) -> u64 {
+        self.tied_pairs
+    }
+}
+
+/// `O(1)` domain check for a prepared pair.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] if the prepared rankings differ in
+/// domain size.
+pub fn check_prepared_domain(
+    a: &PreparedRanking<'_>,
+    b: &PreparedRanking<'_>,
+) -> Result<(), MetricsError> {
+    if a.len() != b.len() {
+        return Err(MetricsError::DomainMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    Ok(())
+}
+
+/// Reusable per-thread scratch: cleared-and-refilled buffers so the
+/// kernels allocate nothing in steady state.
+#[derive(Default)]
+struct Scratch {
+    /// τ-bucket of each element, laid out in σ-rank order.
+    tb: Vec<u32>,
+    fenwick: Option<Fenwick>,
+    /// Witness element order and the two rank arrays for `fhaus`.
+    ord: Vec<u32>,
+    rank_a: Vec<u32>,
+    rank_b: Vec<u32>,
+}
+
+fn ensure_fenwick(slot: &mut Option<Fenwick>, n: usize) -> &mut Fenwick {
+    match slot {
+        Some(fw) if fw.len() >= n => fw.clear(),
+        _ => *slot = Some(Fenwick::new(n)),
+    }
+    slot.as_mut().expect("just ensured")
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+fn with_scratch<T>(f: impl FnOnce(&mut Scratch) -> T) -> T {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// The pair-statistics engine over prepared inputs. Identical output to
+/// [`pairs::pair_counts`](crate::pairs::pair_counts), but the global
+/// `(σ-bucket, τ-bucket)` sort is replaced by per-σ-bucket sorts of the
+/// precomputed τ-bucket map (the σ grouping is already known), and the
+/// within-ranking tie counts come straight off the prepared state.
+fn pair_counts_into(scratch: &mut Scratch, s: &PreparedRanking<'_>, t: &PreparedRanking<'_>) -> PairCounts {
+    let n = s.len();
+    if n < 2 {
+        return PairCounts::default();
+    }
+    let total = (n as u64) * (n as u64 - 1) / 2;
+
+    let Scratch { tb, fenwick, .. } = scratch;
+    tb.clear();
+    tb.extend(s.by_rank.iter().map(|&e| t.bucket_of[e as usize]));
+
+    // Sort each σ-bucket's segment of τ-buckets; equal runs within a
+    // segment are exactly the (σ-bucket, τ-bucket) cells of size ≥ 2.
+    let mut tied_both = 0u64;
+    for w in s.bucket_starts.windows(2) {
+        let seg = &mut tb[w[0] as usize..w[1] as usize];
+        seg.sort_unstable();
+        let mut run = 1u64;
+        for k in 1..seg.len() {
+            if seg[k] == seg[k - 1] {
+                run += 1;
+            } else {
+                tied_both += run * (run - 1) / 2;
+                run = 1;
+            }
+        }
+        tied_both += run * (run - 1) / 2;
+    }
+
+    // After the segment sorts, `tb` is the τ-bucket sequence in
+    // (σ-bucket, τ-bucket)-ascending order — the same traversal as the
+    // direct algorithm's sorted cell list — so strict inversions counted
+    // by the Fenwick tree are exactly the discordant pairs.
+    let fw = ensure_fenwick(fenwick, t.num_buckets());
+    let mut discordant = 0u64;
+    for &x in tb.iter() {
+        discordant += fw.suffix_sum(x as usize + 1);
+        fw.add(x as usize, 1);
+    }
+
+    let tied_left_only = s.tied_pairs - tied_both;
+    let tied_right_only = t.tied_pairs - tied_both;
+    let concordant = total - discordant - tied_both - tied_left_only - tied_right_only;
+    PairCounts {
+        concordant,
+        discordant,
+        tied_both,
+        tied_left_only,
+        tied_right_only,
+    }
+}
+
+/// The five pair statistics over prepared inputs; equals
+/// [`pairs::pair_counts`](crate::pairs::pair_counts) exactly.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn pair_counts_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<PairCounts, MetricsError> {
+    check_prepared_domain(s, t)?;
+    Ok(with_scratch(|scr| pair_counts_into(scr, s, t)))
+}
+
+/// Prepared `2·Kprof`; equals [`kendall::kprof_x2`](crate::kendall::kprof_x2)
+/// exactly.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kprof_x2_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared(s, t)?;
+    Ok(2 * c.discordant + c.tied_exactly_one())
+}
+
+/// Prepared `2·Kavg`; equals [`kendall::kavg_x2`](crate::kendall::kavg_x2)
+/// exactly.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kavg_x2_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared(s, t)?;
+    Ok(2 * c.discordant + c.tied_exactly_one() + c.tied_both)
+}
+
+/// Prepared `2·Fprof`; equals [`footrule::fprof_x2`](crate::footrule::fprof_x2)
+/// exactly. One linear pass over the precomputed position vectors.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fprof_x2_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    check_prepared_domain(s, t)?;
+    Ok(s.positions
+        .iter()
+        .zip(&t.positions)
+        .map(|(a, b)| a.abs_diff(*b))
+        .sum())
+}
+
+/// Prepared `KHaus` (unscaled, like [`hausdorff::khaus`](crate::hausdorff::khaus)):
+/// Proposition 6's `|U| + max{|S|, |T|}` over the prepared pair
+/// statistics.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn khaus_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared(s, t)?;
+    Ok(c.discordant + c.tied_left_only.max(c.tied_right_only))
+}
+
+/// Prepared `2·KHaus`, on the common `_x2` integer scale used by the
+/// aggregation objectives.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn khaus_x2_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    Ok(2 * khaus_prepared(s, t)?)
+}
+
+/// Fill `rank` with the position of each element in the Theorem 5
+/// witness refinement sorted by the key `(base-bucket, other-bucket, e)`
+/// — or `(base-bucket, reversed-other-bucket, e)` when `reverse_other`.
+///
+/// With `ρ = identity`, `star_chain(&[ρ, other], base)` sorts the domain
+/// by exactly that key (the trailing element id makes the order strict,
+/// so the witness is a full ranking). `base.by_rank` already groups
+/// elements by base-bucket, so one `sort_unstable` per segment
+/// reproduces the witness without building a [`BucketOrder`].
+fn witness_ranks(
+    ord: &mut Vec<u32>,
+    rank: &mut Vec<u32>,
+    base: &PreparedRanking<'_>,
+    other: &PreparedRanking<'_>,
+    reverse_other: bool,
+) {
+    ord.clear();
+    ord.extend_from_slice(&base.by_rank);
+    let last = other.num_buckets().saturating_sub(1) as u32;
+    for w in base.bucket_starts.windows(2) {
+        let seg = &mut ord[w[0] as usize..w[1] as usize];
+        if reverse_other {
+            seg.sort_unstable_by_key(|&e| (last - other.bucket_of[e as usize], e));
+        } else {
+            seg.sort_unstable_by_key(|&e| (other.bucket_of[e as usize], e));
+        }
+    }
+    rank.clear();
+    rank.resize(base.len(), 0);
+    for (i, &e) in ord.iter().enumerate() {
+        rank[e as usize] = i as u32;
+    }
+}
+
+/// Prepared `FHaus` (unscaled, like [`hausdorff::fhaus`](crate::hausdorff::fhaus)).
+///
+/// The Theorem 5 witness pairs `(σ1, τ1) = (ρ∗τᴿ∗σ, ρ∗σ∗τ)` and
+/// `(σ2, τ2) = (ρ∗τ∗σ, ρ∗σᴿ∗τ)` are computed as rank arrays directly
+/// (see [`witness_ranks`]); the footrule of two full rankings is then
+/// the `L1` distance of their rank arrays.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fhaus_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    check_prepared_domain(s, t)?;
+    Ok(with_scratch(|scr| {
+        let Scratch {
+            ord, rank_a, rank_b, ..
+        } = scr;
+        // F(σ1, τ1): σ ties broken by τᴿ, τ ties broken by σ.
+        witness_ranks(ord, rank_a, s, t, true);
+        witness_ranks(ord, rank_b, t, s, false);
+        let f1: u64 = rank_a
+            .iter()
+            .zip(rank_b.iter())
+            .map(|(x, y)| u64::from(x.abs_diff(*y)))
+            .sum();
+        // F(σ2, τ2): σ ties broken by τ, τ ties broken by σᴿ.
+        witness_ranks(ord, rank_a, s, t, false);
+        witness_ranks(ord, rank_b, t, s, true);
+        let f2: u64 = rank_a
+            .iter()
+            .zip(rank_b.iter())
+            .map(|(x, y)| u64::from(x.abs_diff(*y)))
+            .sum();
+        f1.max(f2)
+    }))
+}
+
+/// Prepared `2·FHaus`, on the common `_x2` integer scale used by the
+/// aggregation objectives.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fhaus_x2_prepared(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    Ok(2 * fhaus_prepared(s, t)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{footrule, hausdorff, kendall, pairs};
+    use bucketrank_core::consistent::all_bucket_orders;
+
+    #[test]
+    fn prepared_state_is_consistent() {
+        let o = BucketOrder::from_buckets(5, vec![vec![1, 3], vec![0], vec![2, 4]]).unwrap();
+        let p = PreparedRanking::new(&o);
+        assert_eq!(p.len(), 5);
+        assert!(!p.is_empty());
+        assert_eq!(p.num_buckets(), 3);
+        assert_eq!(p.by_rank(), &[1, 3, 0, 2, 4]);
+        assert_eq!(p.bucket_starts(), &[0, 2, 3, 5]);
+        assert_eq!(p.tied_pairs(), 2);
+        assert_eq!(p.bucket_of(), &[1, 0, 2, 0, 2]);
+        for e in 0..5u32 {
+            assert_eq!(p.positions()[e as usize], o.position(e));
+        }
+        assert!(std::ptr::eq(p.order(), &o));
+    }
+
+    #[test]
+    fn prepared_equals_direct_exhaustive_n4() {
+        let orders = all_bucket_orders(4);
+        let prepared: Vec<PreparedRanking<'_>> =
+            orders.iter().map(PreparedRanking::new).collect();
+        for (a, pa) in orders.iter().zip(&prepared) {
+            for (b, pb) in orders.iter().zip(&prepared) {
+                assert_eq!(
+                    pair_counts_prepared(pa, pb).unwrap(),
+                    pairs::pair_counts(a, b).unwrap(),
+                    "pair_counts: {a:?} {b:?}"
+                );
+                assert_eq!(
+                    kprof_x2_prepared(pa, pb).unwrap(),
+                    kendall::kprof_x2(a, b).unwrap()
+                );
+                assert_eq!(
+                    kavg_x2_prepared(pa, pb).unwrap(),
+                    kendall::kavg_x2(a, b).unwrap()
+                );
+                assert_eq!(
+                    fprof_x2_prepared(pa, pb).unwrap(),
+                    footrule::fprof_x2(a, b).unwrap()
+                );
+                assert_eq!(
+                    khaus_prepared(pa, pb).unwrap(),
+                    hausdorff::khaus(a, b).unwrap()
+                );
+                assert_eq!(
+                    fhaus_prepared(pa, pb).unwrap(),
+                    hausdorff::fhaus(a, b).unwrap(),
+                    "fhaus: {a:?} {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x2_wrappers_double() {
+        let a = BucketOrder::from_keys(&[1, 1, 2, 3]);
+        let b = BucketOrder::from_keys(&[3, 1, 2, 2]);
+        let (pa, pb) = (PreparedRanking::new(&a), PreparedRanking::new(&b));
+        assert_eq!(
+            khaus_x2_prepared(&pa, &pb).unwrap(),
+            2 * khaus_prepared(&pa, &pb).unwrap()
+        );
+        assert_eq!(
+            fhaus_x2_prepared(&pa, &pb).unwrap(),
+            2 * fhaus_prepared(&pa, &pb).unwrap()
+        );
+    }
+
+    #[test]
+    fn degenerate_domains() {
+        for n in [0usize, 1] {
+            let o = BucketOrder::trivial(n);
+            let p = PreparedRanking::new(&o);
+            assert_eq!(pair_counts_prepared(&p, &p).unwrap(), PairCounts::default());
+            assert_eq!(kprof_x2_prepared(&p, &p).unwrap(), 0);
+            assert_eq!(fprof_x2_prepared(&p, &p).unwrap(), 0);
+            assert_eq!(khaus_prepared(&p, &p).unwrap(), 0);
+            assert_eq!(fhaus_prepared(&p, &p).unwrap(), 0);
+        }
+    }
+
+    #[test]
+    fn mismatched_domains_error_from_every_kernel() {
+        let a = BucketOrder::trivial(3);
+        let b = BucketOrder::trivial(4);
+        let (pa, pb) = (PreparedRanking::new(&a), PreparedRanking::new(&b));
+        let expected = MetricsError::DomainMismatch { left: 3, right: 4 };
+        assert_eq!(pair_counts_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(kprof_x2_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(kavg_x2_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(fprof_x2_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(khaus_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(khaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(fhaus_prepared(&pa, &pb).unwrap_err(), expected);
+        assert_eq!(fhaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    }
+
+    #[test]
+    fn scratch_reuse_is_sound_across_shrinking_sizes() {
+        // A big pair first (grows the thread-local buffers), then small
+        // ones: stale scratch contents must not leak into the results.
+        let big_a = BucketOrder::from_keys(&(0..200).map(|i| i % 7).collect::<Vec<_>>());
+        let big_b = BucketOrder::from_keys(&(0..200).map(|i| (i * 3) % 5).collect::<Vec<_>>());
+        let (pa, pb) = (PreparedRanking::new(&big_a), PreparedRanking::new(&big_b));
+        let _ = kprof_x2_prepared(&pa, &pb).unwrap();
+        let _ = fhaus_prepared(&pa, &pb).unwrap();
+        for a in all_bucket_orders(3) {
+            for b in all_bucket_orders(3) {
+                let (qa, qb) = (PreparedRanking::new(&a), PreparedRanking::new(&b));
+                assert_eq!(
+                    kprof_x2_prepared(&qa, &qb).unwrap(),
+                    kendall::kprof_x2(&a, &b).unwrap()
+                );
+                assert_eq!(
+                    fhaus_prepared(&qa, &qb).unwrap(),
+                    hausdorff::fhaus(&a, &b).unwrap()
+                );
+            }
+        }
+    }
+}

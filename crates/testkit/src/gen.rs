@@ -425,6 +425,86 @@ impl Gen for OrderPairGen {
     }
 }
 
+/// Like [`order_pair`], but with heavy weight on the degenerate cases
+/// metric kernels must get right: singleton domains, all-tied (single
+/// bucket) orders on one or both sides, and full rankings on both
+/// sides. Roughly half the stream is degenerate; the rest is the plain
+/// [`order_pair`] distribution.
+///
+/// Shrinking **preserves the degeneracy class of each side**: a side
+/// that is all-tied stays all-tied, a side that is full stays full
+/// (coordinated element removal preserves both; bucket merges are only
+/// proposed on unconstrained sides). A counterexample found on, say, a
+/// full×all-tied pair therefore shrinks to the *smallest* full×all-tied
+/// pair that still fails, instead of drifting into a generic pair.
+pub fn order_pair_with_degenerates(n: usize, levels: u8) -> OrderPairWithDegeneratesGen {
+    assert!(n >= 1 && levels >= 1);
+    OrderPairWithDegeneratesGen { n, levels }
+}
+
+/// See [`order_pair_with_degenerates`].
+pub struct OrderPairWithDegeneratesGen {
+    n: usize,
+    levels: u8,
+}
+
+impl Gen for OrderPairWithDegeneratesGen {
+    type Value = (BucketOrder, BucketOrder);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        match rng.gen_range(0..8u32) {
+            // Singleton domain: the smallest nonempty instance.
+            0 => (BucketOrder::trivial(1), BucketOrder::trivial(1)),
+            // Both sides one bucket: every pair tied in both.
+            1 => (BucketOrder::trivial(self.n), BucketOrder::trivial(self.n)),
+            // One side all-tied, the other in the generic distribution.
+            2 => (
+                BucketOrder::trivial(self.n),
+                random_keys_order(rng, self.n, self.levels),
+            ),
+            3 => (
+                random_keys_order(rng, self.n, self.levels),
+                BucketOrder::trivial(self.n),
+            ),
+            // Both sides full rankings: no ties anywhere.
+            4 => (
+                random_permutation(rng, self.n),
+                random_permutation(rng, self.n),
+            ),
+            _ => (
+                random_keys_order(rng, self.n, self.levels),
+                random_keys_order(rng, self.n, self.levels),
+            ),
+        }
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (a, b) = v;
+        let mut out: Vec<Self::Value> = all_removals_coordinated(&[a, b])
+            .into_iter()
+            .map(|mut pair| {
+                let second = pair.pop().expect("two orders");
+                let first = pair.pop().expect("two orders");
+                (first, second)
+            })
+            .collect();
+        // Merges would break a full side out of its class (and all-tied
+        // sides have nothing to merge), so only unconstrained sides get
+        // merge candidates.
+        if !a.is_full() {
+            for i in 0..a.num_buckets().saturating_sub(1) {
+                out.push((merge_adjacent(a, i), b.clone()));
+            }
+        }
+        if !b.is_full() {
+            for i in 0..b.num_buckets().saturating_sub(1) {
+                out.push((a.clone(), merge_adjacent(b, i)));
+            }
+        }
+        out
+    }
+}
+
 /// A triple of independent bucket orders over the same domain, with
 /// the same coordinated shrinking as [`order_pair`].
 pub fn order_triple(n: usize, levels: u8) -> OrderTripleGen {
@@ -704,5 +784,80 @@ mod tests {
     fn refinement_count_is_product_of_factorials() {
         let o = BucketOrder::from_buckets(5, vec![vec![0, 1, 2], vec![3, 4]]).unwrap();
         assert_eq!(refinement_count(&o), 12);
+    }
+
+    #[test]
+    fn degenerate_pair_gen_hits_every_class() {
+        let g = order_pair_with_degenerates(8, 3);
+        let mut rng = Pcg32::seed_from_u64(6);
+        let (mut singleton, mut both_tied, mut one_tied, mut both_full, mut generic) =
+            (0, 0, 0, 0, 0);
+        for _ in 0..400 {
+            let (a, b) = g.generate(&mut rng);
+            assert_eq!(a.len(), b.len());
+            if a.len() == 1 {
+                singleton += 1;
+            } else if a.num_buckets() == 1 && b.num_buckets() == 1 {
+                both_tied += 1;
+            } else if a.num_buckets() == 1 || b.num_buckets() == 1 {
+                one_tied += 1;
+            } else if a.is_full() && b.is_full() {
+                both_full += 1;
+            } else {
+                generic += 1;
+            }
+        }
+        assert!(
+            singleton > 0 && both_tied > 0 && one_tied > 0 && both_full > 0 && generic > 0,
+            "classes: {singleton} {both_tied} {one_tied} {both_full} {generic}"
+        );
+    }
+
+    #[test]
+    fn degenerate_pair_shrinks_preserve_class() {
+        let g = order_pair_with_degenerates(6, 3);
+        // All-tied × generic: the trivial side must stay one bucket.
+        let v = (
+            BucketOrder::trivial(6),
+            BucketOrder::from_keys(&[2, 1, 3, 1, 2, 3]),
+        );
+        for (a, b) in g.shrink(&v) {
+            assert_eq!(a.len(), b.len());
+            assert_eq!(a.num_buckets(), 1, "all-tied side left its class");
+        }
+        // Full × full: both sides must stay full (no merge candidates).
+        let v = (
+            BucketOrder::from_permutation(&[2, 0, 1, 3]).unwrap(),
+            BucketOrder::from_permutation(&[3, 1, 0, 2]).unwrap(),
+        );
+        let shrinks = g.shrink(&v);
+        assert!(!shrinks.is_empty());
+        for (a, b) in shrinks {
+            assert!(a.is_full() && b.is_full(), "full side left its class");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bucket_order_rejects_empty_domain() {
+        let _ = bucket_order(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn order_pair_rejects_empty_domain() {
+        let _ = order_pair(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_pair_rejects_empty_domain() {
+        let _ = order_pair_with_degenerates(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn full_ranking_rejects_empty_domain() {
+        let _ = full_ranking(0);
     }
 }

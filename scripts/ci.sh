@@ -42,6 +42,22 @@ cargo build --workspace --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --workspace --offline
 
+echo "==> prepared-kernel conformance suite (256 cases per property)"
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test prepared_vs_direct
+
+echo "==> bench_batch_prepared smoke gate"
+# Fast pass proves the prepared batch engine runs end to end and writes
+# its JSON report. The smoke numbers land in target/ so they never
+# clobber a committed full-size baseline; if no baseline exists yet,
+# the smoke report seeds one.
+smoke_out="target/BENCH_metrics.smoke.json"
+BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$smoke_out" \
+  cargo run --release --offline -p bucketrank-bench --bin bench_batch_prepared
+if [ ! -f BENCH_metrics.json ]; then
+  cp "$smoke_out" BENCH_metrics.json
+  echo "seeded BENCH_metrics.json baseline from smoke run"
+fi
+
 echo "==> cargo clippy (best effort)"
 if cargo clippy --version >/dev/null 2>&1; then
   cargo clippy --workspace --all-targets --offline -- -D warnings ||

@@ -1,32 +1,28 @@
-//! Regression tests for the scoped-thread batch matrix: the parallel
-//! path must reproduce the sequential path bit-for-bit for every metric
-//! and every thread count, on random profiles.
+//! Regression tests for the prepared-kernel batch matrix: both the
+//! sequential and the scoped-thread parallel engines must reproduce a
+//! naive double loop over the **direct** metric functions bit-for-bit,
+//! for every metric and every thread count, on random profiles.
 
-use bucketrank::metrics::batch::{pairwise_matrix, pairwise_matrix_parallel};
-use bucketrank::metrics::{footrule, hausdorff, kendall, MetricsError};
+use bucketrank::metrics::batch::{
+    pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_parallel_with,
+    pairwise_matrix_with, BatchMetric,
+};
 use bucketrank::BucketOrder;
 use bucketrank_testkit::prelude::*;
 
-type DistFn = fn(&BucketOrder, &BucketOrder) -> Result<u64, MetricsError>;
-
-const METRICS: [(&str, DistFn); 4] = [
-    ("kprof_x2", kendall::kprof_x2),
-    ("fprof_x2", footrule::fprof_x2),
-    ("khaus", hausdorff::khaus),
-    ("fhaus", hausdorff::fhaus),
-];
-
 #[test]
-fn parallel_matrix_matches_sequential_random_profiles() {
+fn prepared_matrix_matches_naive_double_loop_random_profiles() {
     check(
-        "parallel_matrix_matches_sequential_random_profiles",
+        "prepared_matrix_matches_naive_double_loop_random_profiles",
         gen::vec_of(gen::bucket_order(10, 4), 2..=9),
         |profile| {
-            for (name, d) in METRICS {
-                let seq = pairwise_matrix(profile, d).unwrap();
+            for metric in BatchMetric::ALL {
+                let naive = pairwise_matrix_with(profile, |a, b| metric.direct(a, b)).unwrap();
+                let seq = pairwise_matrix(profile, metric).unwrap();
+                assert_eq!(naive, seq, "{} sequential", metric.name());
                 for threads in [2usize, 3, 8] {
-                    let par = pairwise_matrix_parallel(profile, d, threads).unwrap();
-                    assert_eq!(seq, par, "{name}, threads = {threads}");
+                    let par = pairwise_matrix_parallel(profile, metric, threads).unwrap();
+                    assert_eq!(naive, par, "{}, threads = {threads}", metric.name());
                 }
             }
         },
@@ -34,7 +30,7 @@ fn parallel_matrix_matches_sequential_random_profiles() {
 }
 
 #[test]
-fn parallel_matrix_matches_sequential_wide_profile() {
+fn prepared_matrix_matches_naive_double_loop_wide_profile() {
     // More rankings than 8 threads can chunk evenly, and a thread count
     // exceeding the pair count — both chunking edge cases.
     let profile: Vec<BucketOrder> = (0..17)
@@ -43,11 +39,16 @@ fn parallel_matrix_matches_sequential_wide_profile() {
             BucketOrder::from_keys(&keys)
         })
         .collect();
-    for (name, d) in METRICS {
-        let seq = pairwise_matrix(&profile, d).unwrap();
+    for metric in BatchMetric::ALL {
+        let naive = pairwise_matrix_with(&profile, |a, b| metric.direct(a, b)).unwrap();
+        let naive_par =
+            pairwise_matrix_parallel_with(&profile, |a, b| metric.direct(a, b), 8).unwrap();
+        assert_eq!(naive, naive_par, "{} naive parallel", metric.name());
+        let seq = pairwise_matrix(&profile, metric).unwrap();
+        assert_eq!(naive, seq, "{} sequential", metric.name());
         for threads in [2usize, 3, 8, 64] {
-            let par = pairwise_matrix_parallel(&profile, d, threads).unwrap();
-            assert_eq!(seq, par, "{name}, threads = {threads}");
+            let par = pairwise_matrix_parallel(&profile, metric, threads).unwrap();
+            assert_eq!(naive, par, "{}, threads = {threads}", metric.name());
         }
     }
 }
@@ -62,8 +63,8 @@ fn parallel_matrix_error_matches_sequential() {
         BucketOrder::trivial(5),
         BucketOrder::trivial(6),
     ];
-    assert!(pairwise_matrix(&p, kendall::kprof_x2).is_err());
+    assert!(pairwise_matrix(&p, BatchMetric::KProfX2).is_err());
     for threads in [2usize, 3, 8] {
-        assert!(pairwise_matrix_parallel(&p, kendall::kprof_x2, threads).is_err());
+        assert!(pairwise_matrix_parallel(&p, BatchMetric::KProfX2, threads).is_err());
     }
 }

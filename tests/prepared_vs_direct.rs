@@ -1,0 +1,155 @@
+//! Differential conformance suite for the prepared-ranking kernels:
+//! every `*_prepared` kernel must return **exactly** the same integer as
+//! the direct metric function — no float tolerance, since every value is
+//! exact — on random same-domain pairs with heavy degenerate coverage
+//! (full rankings, single-bucket rankings, singleton domains), and must
+//! report mismatched domains as a [`MetricsError`], never a panic.
+
+use bucketrank::metrics::batch::{
+    pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_with, prepare_all, BatchMetric,
+};
+use bucketrank::metrics::prepared::{
+    fhaus_prepared, fhaus_x2_prepared, fprof_x2_prepared, kavg_x2_prepared, khaus_prepared,
+    khaus_x2_prepared, kprof_x2_prepared, pair_counts_prepared, PreparedRanking,
+};
+use bucketrank::metrics::{footrule, hausdorff, kendall, pairs, MetricsError};
+use bucketrank::BucketOrder;
+use bucketrank_testkit::prelude::*;
+
+/// Assert exact prepared-vs-direct agreement on one pair, for every
+/// kernel the prepared layer exposes.
+fn assert_kernels_match(a: &BucketOrder, b: &BucketOrder) {
+    let pa = PreparedRanking::new(a);
+    let pb = PreparedRanking::new(b);
+    assert_eq!(
+        pair_counts_prepared(&pa, &pb).unwrap(),
+        pairs::pair_counts(a, b).unwrap(),
+        "pair_counts: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        kprof_x2_prepared(&pa, &pb).unwrap(),
+        kendall::kprof_x2(a, b).unwrap(),
+        "kprof_x2: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        kavg_x2_prepared(&pa, &pb).unwrap(),
+        kendall::kavg_x2(a, b).unwrap(),
+        "kavg_x2: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        fprof_x2_prepared(&pa, &pb).unwrap(),
+        footrule::fprof_x2(a, b).unwrap(),
+        "fprof_x2: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        khaus_prepared(&pa, &pb).unwrap(),
+        hausdorff::khaus(a, b).unwrap(),
+        "khaus: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        khaus_x2_prepared(&pa, &pb).unwrap(),
+        2 * hausdorff::khaus(a, b).unwrap(),
+        "khaus_x2: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        fhaus_prepared(&pa, &pb).unwrap(),
+        hausdorff::fhaus(a, b).unwrap(),
+        "fhaus: {a:?} vs {b:?}"
+    );
+    assert_eq!(
+        fhaus_x2_prepared(&pa, &pb).unwrap(),
+        2 * hausdorff::fhaus(a, b).unwrap(),
+        "fhaus_x2: {a:?} vs {b:?}"
+    );
+}
+
+#[test]
+fn prepared_equals_direct_on_degenerate_heavy_pairs() {
+    // The degenerate-weighted pair stream: singleton domains, all-tied
+    // sides, full×full pairs, and generic pairs, all over one domain.
+    check(
+        "prepared_equals_direct_on_degenerate_heavy_pairs",
+        gen::order_pair_with_degenerates(12, 4),
+        |(a, b)| assert_kernels_match(a, b),
+    );
+}
+
+#[test]
+fn prepared_equals_direct_on_full_rankings() {
+    check(
+        "prepared_equals_direct_on_full_rankings",
+        gen::full_pair(10),
+        |(a, b)| assert_kernels_match(a, b),
+    );
+}
+
+#[test]
+fn prepared_equals_direct_on_near_tied_pairs() {
+    // Two levels over eleven elements: huge buckets, maximal tie mass.
+    check(
+        "prepared_equals_direct_on_near_tied_pairs",
+        gen::order_pair(11, 2),
+        |(a, b)| assert_kernels_match(a, b),
+    );
+}
+
+#[test]
+fn prepared_equals_direct_on_singleton_and_single_bucket() {
+    // Pinned smallest cases, independent of generator weighting.
+    let singleton = BucketOrder::trivial(1);
+    assert_kernels_match(&singleton, &singleton);
+    let tied = BucketOrder::trivial(7);
+    let full = BucketOrder::from_permutation(&[3, 0, 6, 2, 5, 1, 4]).unwrap();
+    assert_kernels_match(&tied, &tied);
+    assert_kernels_match(&tied, &full);
+    assert_kernels_match(&full, &tied);
+}
+
+#[test]
+fn batch_matrix_equals_direct_double_loop_sequential_and_parallel() {
+    // The conformance requirement end to end: the prepared batch engine
+    // (sequential and parallel) agrees exactly with a per-pair direct
+    // evaluation, for every metric, on random profiles.
+    check(
+        "batch_matrix_equals_direct_double_loop_sequential_and_parallel",
+        gen::vec_of(gen::bucket_order(9, 3), 2..=7),
+        |profile| {
+            for metric in BatchMetric::ALL {
+                let naive = pairwise_matrix_with(profile, |a, b| metric.direct(a, b)).unwrap();
+                let seq = pairwise_matrix(profile, metric).unwrap();
+                assert_eq!(naive, seq, "{} sequential", metric.name());
+                for threads in [2usize, 3, 8] {
+                    let par = pairwise_matrix_parallel(profile, metric, threads).unwrap();
+                    assert_eq!(naive, par, "{} threads = {threads}", metric.name());
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn mismatched_domains_error_not_panic_from_every_entry_point() {
+    let a = BucketOrder::from_keys(&[1, 2, 2]);
+    let b = BucketOrder::from_keys(&[2, 1, 1, 2, 3]);
+    let pa = PreparedRanking::new(&a);
+    let pb = PreparedRanking::new(&b);
+    let expected = MetricsError::DomainMismatch { left: 3, right: 5 };
+    assert_eq!(pair_counts_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(kprof_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(kavg_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(fprof_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(khaus_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(khaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(fhaus_prepared(&pa, &pb).unwrap_err(), expected);
+    assert_eq!(fhaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    // The reversed direction reports the sizes in call order.
+    let flipped = MetricsError::DomainMismatch { left: 5, right: 3 };
+    assert_eq!(kprof_x2_prepared(&pb, &pa).unwrap_err(), flipped);
+    // Batch preparation rejects mixed-domain profiles up front…
+    let profile = vec![a.clone(), b.clone()];
+    assert!(prepare_all(&profile).is_err());
+    for metric in BatchMetric::ALL {
+        assert!(pairwise_matrix(&profile, metric).is_err());
+        assert!(pairwise_matrix_parallel(&profile, metric, 4).is_err());
+    }
+}
