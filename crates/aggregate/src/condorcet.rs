@@ -10,6 +10,7 @@
 //! aggregators (tested against [`crate::local::local_kemenize`]).
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
 
@@ -29,25 +30,28 @@ impl MajorityGraph {
     /// # Errors
     /// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
     pub fn build(inputs: &[BucketOrder]) -> Result<Self, AggregateError> {
-        let n = check_inputs(inputs)?;
+        check_inputs(inputs)?;
+        Ok(Self::from_tally(&ProfileTally::build(inputs)?))
+    }
+
+    /// Builds the majority digraph from a prebuilt pairwise tally: one
+    /// pass over the upper triangle fills **both** directions of each
+    /// pair from one margin read (the voter scan was already paid by
+    /// the tally build, once for all consumers).
+    pub fn from_tally(tally: &ProfileTally) -> Self {
+        let n = tally.len();
         let mut beats = vec![false; n * n];
         for a in 0..n as ElementId {
-            for b in 0..n as ElementId {
-                if a == b {
-                    continue;
+            for b in a + 1..n as ElementId {
+                let margin = tally.margin(a, b);
+                if margin > 0 {
+                    beats[a as usize * n + b as usize] = true;
+                } else if margin < 0 {
+                    beats[b as usize * n + a as usize] = true;
                 }
-                let mut pro = 0i64;
-                for s in inputs {
-                    if s.prefers(a, b) {
-                        pro += 1;
-                    } else if s.prefers(b, a) {
-                        pro -= 1;
-                    }
-                }
-                beats[a as usize * n + b as usize] = pro > 0;
             }
         }
-        Ok(MajorityGraph { n, beats })
+        MajorityGraph { n, beats }
     }
 
     /// Domain size.

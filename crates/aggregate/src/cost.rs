@@ -1,6 +1,7 @@
 //! Aggregation objectives: total distance from a candidate to the inputs.
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId, Pos};
 use bucketrank_metrics::batch::BatchMetric;
@@ -49,6 +50,36 @@ impl AggMetric {
             AggMetric::KHaus => (BatchMetric::KHaus, 2),
             AggMetric::FHaus => (BatchMetric::FHaus, 2),
         }
+    }
+
+    /// Whether this objective is a pure function of the profile's
+    /// pairwise tally (the Kendall profile family): if so,
+    /// [`total_cost_x2_tally`] evaluates it in `O(n²)` independent of
+    /// the number of voters. `Fprof` is position-based and the
+    /// Hausdorff metrics need per-voter pair statistics, so they are
+    /// not tally-expressible.
+    pub fn tally_expressible(self) -> bool {
+        matches!(self, AggMetric::KProf)
+    }
+}
+
+/// Tally-backed fast path for [`total_cost_x2`]: evaluates the
+/// objective from a prebuilt [`ProfileTally`] in `O(n²)`, independent
+/// of the number of voters. Returns `None` for metrics that are not
+/// [tally-expressible](AggMetric::tally_expressible) — callers fall
+/// back to the prepared per-voter path.
+///
+/// # Errors
+/// [`AggregateError::DomainMismatch`] if the candidate's domain differs
+/// from the tally's.
+pub fn total_cost_x2_tally(
+    metric: AggMetric,
+    candidate: &BucketOrder,
+    tally: &ProfileTally,
+) -> Option<Result<u64, AggregateError>> {
+    match metric {
+        AggMetric::KProf => Some(tally.kemeny_cost_x2(candidate)),
+        _ => None,
     }
 }
 

@@ -14,37 +14,40 @@
 //! inputs (ties counted half each way), recurse on both sides.
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
 
 /// Runs KwikSort with the given RNG seed, returning a full ranking.
 ///
+/// Builds the shared [`ProfileTally`] internally; callers that already
+/// hold one (or run several tally consumers over the same profile)
+/// should use [`kwiksort_with_tally`].
+///
 /// # Errors
 /// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
 pub fn kwiksort(inputs: &[BucketOrder], seed: u64) -> Result<BucketOrder, AggregateError> {
-    let n = check_inputs(inputs)?;
-    // w2[a][b] = 2·(weight preferring a ahead of b): 2 per input strictly
-    // preferring a, 1 per input tying the pair.
-    let mut w2 = vec![0u32; n * n];
-    for s in inputs {
-        for a in 0..n as ElementId {
-            for b in 0..n as ElementId {
-                if a == b {
-                    continue;
-                }
-                let cell = &mut w2[a as usize * n + b as usize];
-                if s.prefers(a, b) {
-                    *cell += 2;
-                } else if s.is_tied(a, b) {
-                    *cell += 1;
-                }
-            }
-        }
-    }
+    check_inputs(inputs)?;
+    let tally = ProfileTally::build(inputs)?;
+    kwiksort_with_tally(&tally, seed)
+}
+
+/// [`kwiksort`] over a prebuilt pairwise tally: the `O(m·n²)` weight
+/// build is amortized away and only the `O(n log n)` expected pivot
+/// recursion remains.
+///
+/// # Errors
+/// Infallible in practice; `Result` kept for signature symmetry with
+/// [`kwiksort`].
+pub fn kwiksort_with_tally(
+    tally: &ProfileTally,
+    seed: u64,
+) -> Result<BucketOrder, AggregateError> {
+    let n = tally.len();
     let mut rng = SplitMix64::new(seed);
     let mut items: Vec<ElementId> = (0..n as ElementId).collect();
     let mut out = Vec::with_capacity(n);
-    quick(&mut items, &w2, n, &mut rng, &mut out);
+    quick(&mut items, tally.weights_x2(), n, &mut rng, &mut out);
     BucketOrder::from_permutation(&out).map_err(Into::into)
 }
 
@@ -96,12 +99,15 @@ pub fn kwiksort_best_of(
     seed: u64,
     restarts: usize,
 ) -> Result<BucketOrder, AggregateError> {
-    use crate::cost::{total_cost_x2, AggMetric};
     check_inputs(inputs)?;
+    // One tally serves every restart: the pivot comparisons and the
+    // O(n²) Kprof scoring of each candidate, with no per-restart pass
+    // over the voters.
+    let tally = ProfileTally::build(inputs)?;
     let mut best: Option<(BucketOrder, u64)> = None;
     for i in 0..restarts.max(1) {
-        let cand = kwiksort(inputs, seed.wrapping_add(i as u64))?;
-        let c = total_cost_x2(AggMetric::KProf, &cand, inputs)?;
+        let cand = kwiksort_with_tally(&tally, seed.wrapping_add(i as u64))?;
+        let c = tally.kemeny_cost_x2(&cand)?;
         if best.as_ref().is_none_or(|&(_, bc)| c < bc) {
             best = Some((cand, c));
         }

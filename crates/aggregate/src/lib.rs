@@ -69,8 +69,10 @@ pub mod local;
 pub mod markov;
 pub mod median;
 pub mod schulze;
+pub mod tally;
 pub mod topk;
 pub mod strong;
 
 pub use error::AggregateError;
 pub use median::MedianPolicy;
+pub use tally::ProfileTally;

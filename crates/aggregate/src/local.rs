@@ -4,18 +4,23 @@
 //! baselines in the quality experiments.
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
-use bucketrank_core::{BucketOrder, ElementId};
+use bucketrank_core::BucketOrder;
 
 /// Repeatedly bubbles each element upward while a strict majority
 /// preference says the swap reduces `Σ_i Kprof(·, σ_i)`; terminates at a
-/// locally Kemeny-optimal full ranking. `O(n²·m)` worst case.
+/// locally Kemeny-optimal full ranking.
 ///
 /// Swapping adjacent `a` (ahead) and `b` changes the objective by
 /// `cost(b ahead of a) − cost(a ahead of b)`, where an input contributes
 /// `1` (×2 scale: `2`) when it strictly prefers the element placed
 /// behind, and `1/2` when it ties the pair. The swap is made when the
 /// change is strictly negative.
+///
+/// Builds the shared [`ProfileTally`] internally (`O(m·n²)` once), after
+/// which every adjacent-swap test is an `O(1)` delta read; callers that
+/// already hold a tally should use [`local_kemenize_with_tally`].
 ///
 /// # Errors
 /// [`AggregateError::NotFullRanking`] if `candidate` has ties;
@@ -24,7 +29,22 @@ pub fn local_kemenize(
     candidate: &BucketOrder,
     inputs: &[BucketOrder],
 ) -> Result<BucketOrder, AggregateError> {
-    let n = check_inputs(inputs)?;
+    check_inputs(inputs)?;
+    local_kemenize_with_tally(candidate, &ProfileTally::build(inputs)?)
+}
+
+/// [`local_kemenize`] over a prebuilt pairwise tally: `O(n²)` worst
+/// case, independent of the number of voters.
+///
+/// # Errors
+/// [`AggregateError::NotFullRanking`] if `candidate` has ties;
+/// [`AggregateError::DomainMismatch`] if the candidate's domain differs
+/// from the tally's.
+pub fn local_kemenize_with_tally(
+    candidate: &BucketOrder,
+    tally: &ProfileTally,
+) -> Result<BucketOrder, AggregateError> {
+    let n = tally.len();
     if candidate.len() != n {
         return Err(AggregateError::DomainMismatch {
             expected: n,
@@ -35,33 +55,14 @@ pub fn local_kemenize(
         .as_permutation()
         .ok_or(AggregateError::NotFullRanking)?;
 
-    // Hoist each input's element→bucket map out of the O(n²·m) swap
-    // loop: one contiguous slice per input, two indexed loads per
-    // comparison instead of `prefers`/`is_tied` method calls.
-    let input_buckets: Vec<&[u32]> = inputs.iter().map(|s| s.bucket_indices()).collect();
-
-    // cost_x2 of placing a strictly ahead of b, summed over inputs.
-    let pair_cost = |a: ElementId, b: ElementId| -> i64 {
-        let mut c = 0i64;
-        for bo in &input_buckets {
-            let (ba, bb) = (bo[a as usize], bo[b as usize]);
-            if bb < ba {
-                c += 2;
-            } else if ba == bb {
-                c += 1;
-            }
-        }
-        c
-    };
-
     // Insertion-sort style: bubble each element left while beneficial.
     for i in 1..n {
         let mut j = i;
         while j > 0 {
             let ahead = perm[j - 1];
             let here = perm[j];
-            // Swap if ordering (here, ahead) is strictly cheaper.
-            if pair_cost(here, ahead) < pair_cost(ahead, here) {
+            // Swap if the tally's adjacent-swap delta is negative.
+            if tally.swap_delta_x2(ahead, here) < 0 {
                 perm.swap(j - 1, j);
                 j -= 1;
             } else {

@@ -15,6 +15,7 @@
 //! stationary mass = better rank.
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
 
@@ -141,6 +142,15 @@ pub fn stationary_distribution(
 /// Builds the row-stochastic transition matrix of the chain.
 fn transition_matrix(inputs: &[BucketOrder], chain: MarkovChain, n: usize) -> Vec<f64> {
     let m = inputs.len() as f64;
+    // MC4's transition condition is a pure function of the pairwise
+    // tally; building it once replaces the O(m·n) `prefers()` scan the
+    // old code repeated per transition-row entry (O(m·n²) per state).
+    let tally = match chain {
+        MarkovChain::Mc4 => {
+            Some(ProfileTally::build(inputs).expect("inputs validated by caller"))
+        }
+        _ => None,
+    };
     let mut p = vec![0.0f64; n * n];
     for u in 0..n as ElementId {
         let row = &mut p[u as usize * n..(u as usize + 1) * n];
@@ -186,18 +196,21 @@ fn transition_matrix(inputs: &[BucketOrder], chain: MarkovChain, n: usize) -> Ve
                 row[u as usize] += 1.0 - moved;
             }
             MarkovChain::Mc4 => {
-                // Pick v uniformly; move iff a strict majority prefers v.
-                for v in 0..n as ElementId {
-                    if v == u {
-                        continue;
-                    }
-                    let pref = inputs.iter().filter(|s| s.prefers(v, u)).count() as f64;
-                    if pref > m / 2.0 {
-                        row[v as usize] += 1.0 / n as f64;
-                    }
+                // Pick v uniformly; move iff a strict majority prefers
+                // v — the whole column of majority tests comes from the
+                // tally's row-local query (sequential reads, not a
+                // stride-n walk down the strict matrix). Written
+                // branchless: the majority bit is data, not control, so
+                // the ~50% unpredictable branch per entry disappears.
+                let t = tally.as_ref().expect("tally built for MC4");
+                let inv = 1.0 / n as f64;
+                let mut moved = 0usize;
+                for (v, wins) in t.strict_majorities_against(u).enumerate() {
+                    let go = wins & (v != u as usize);
+                    row[v] = f64::from(go as u8) * inv;
+                    moved += go as usize;
                 }
-                let moved: f64 = row.iter().sum();
-                row[u as usize] += 1.0 - moved;
+                row[u as usize] = 1.0 - moved as f64 * inv;
             }
         }
     }

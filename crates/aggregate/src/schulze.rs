@@ -14,6 +14,7 @@
 //! winner first and respects the Smith set.
 
 use crate::error::check_inputs;
+use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
 
@@ -21,24 +22,31 @@ use bucketrank_core::{BucketOrder, ElementId};
 /// layers* of the beatpath order (repeatedly extract everything no
 /// remaining element beats), a canonical linear extension with ties.
 ///
+/// Builds the shared [`ProfileTally`] internally; callers that already
+/// hold one should use [`schulze_with_tally`].
+///
 /// # Errors
 /// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`].
 pub fn schulze(inputs: &[BucketOrder]) -> Result<BucketOrder, AggregateError> {
-    let n = check_inputs(inputs)?;
+    check_inputs(inputs)?;
+    schulze_with_tally(&ProfileTally::build(inputs)?)
+}
+
+/// [`schulze`] over a prebuilt pairwise tally: the support counts
+/// `w(a, b)` are the tally's strict-preference counts, so only the
+/// `O(n³)` widest-path computation remains.
+///
+/// # Errors
+/// Infallible in practice; `Result` kept for signature symmetry with
+/// [`schulze`].
+pub fn schulze_with_tally(tally: &ProfileTally) -> Result<BucketOrder, AggregateError> {
+    let n = tally.len();
     if n == 0 {
         return Ok(BucketOrder::trivial(0));
     }
-    // Pairwise support.
-    let mut w = vec![0u64; n * n];
-    for s in inputs {
-        for a in 0..n as ElementId {
-            for b in 0..n as ElementId {
-                if a != b && s.prefers(a, b) {
-                    w[a as usize * n + b as usize] += 1;
-                }
-            }
-        }
-    }
+    // Pairwise support, read straight off the shared tally.
+    let strict = tally.strict_counts();
+    let w: Vec<u64> = strict.iter().map(|&c| u64::from(c)).collect();
     // Widest paths (Floyd–Warshall on max-min).
     let mut p = vec![0u64; n * n];
     for a in 0..n {

@@ -1,0 +1,478 @@
+//! The shared pairwise-preference tally of a profile — the substrate
+//! every Kemeny-style aggregator in this crate consumes.
+//!
+//! Kemeny aggregation, the majority digraph, Schulze, MC4 and local
+//! Kemenization are all functions of the same `O(n²)` statistic: for
+//! each ordered pair `(a, b)`, how many voters strictly prefer `a` and
+//! how many tie the pair. Before this module each consumer rebuilt that
+//! statistic privately with per-pair `prefers()` loops — `O(m·n²)`
+//! method calls apiece, repeated per algorithm. [`ProfileTally`] builds
+//! it **once** per profile and hands every consumer `O(1)` reads:
+//!
+//! * [`kwiksort`](crate::kwiksort::kwiksort_with_tally) pivots on the
+//!   ×2 weights;
+//! * [`MajorityGraph`](crate::condorcet::MajorityGraph::from_tally)
+//!   reads majority margins;
+//! * [`schulze`](crate::schulze::schulze_with_tally) reads strict
+//!   support counts;
+//! * MC4 ([`crate::markov`]) reads strict-majority bits;
+//! * [`local_kemenize`](crate::local::local_kemenize_with_tally) reads
+//!   adjacent-swap deltas;
+//! * [`kemeny_cost_x2`](ProfileTally::kemeny_cost_x2) evaluates the
+//!   total `Kprof` objective of any candidate in `O(n²)` —
+//!   **independent of the number of voters** — where the direct path
+//!   pays `O(m·n log n)` per candidate.
+//!
+//! # Scaling convention
+//!
+//! The weight matrix is ×2-scaled so ties stay exact in integers:
+//! `weight_x2(a, b) = 2·#{voters strictly preferring a over b} +
+//! #{voters tying the pair}`. For every pair,
+//! `weight_x2(a, b) + weight_x2(b, a) = 2m`. Placing `a` strictly ahead
+//! of `b` in a candidate costs `weight_x2(b, a)` on the `Kprof` ×2
+//! scale (2 per voter preferring `b`, 1 per tying voter — the `p = ½`
+//! penalty of Section 3.1).
+//!
+//! # Build
+//!
+//! The build is one cache-friendly pass per voter over the voter's
+//! rank-sorted domain: for each bucket, every member gains one strict
+//! win over the contiguous suffix of later-bucket elements — sequential
+//! reads, row-local writes, no per-pair method calls. The parallel path
+//! ([`ProfileTally::build_parallel`]) splits voters into contiguous
+//! chunks, accumulates one partial tally per scoped thread, and merges
+//! — the same dependency-free `std::thread::scope` design as
+//! [`metrics::batch`](bucketrank_metrics::batch).
+
+use crate::error::check_inputs;
+use crate::AggregateError;
+use bucketrank_core::{BucketOrder, ElementId};
+
+/// The pairwise-preference tally of a profile; see the [module
+/// docs](self).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileTally {
+    n: usize,
+    m: usize,
+    /// `strict[a·n + b]` = number of voters strictly preferring `a`
+    /// over `b`.
+    strict: Vec<u32>,
+    /// `w2[a·n + b]` = `2·strict(a, b) + ties(a, b)` — the ×2-scaled
+    /// pairwise weight. Derived: `w2(a, b) = m + strict(a, b) −
+    /// strict(b, a)`.
+    w2: Vec<u32>,
+}
+
+/// Accumulate one voter into a strict-count matrix: every element of a
+/// bucket beats the contiguous run of later-bucket elements in
+/// `by_rank`. Row-local writes, sequential suffix reads.
+fn accumulate_voter(strict: &mut [u32], n: usize, by_rank: &mut Vec<ElementId>, voter: &BucketOrder) {
+    by_rank.clear();
+    for bucket in voter.buckets() {
+        by_rank.extend_from_slice(bucket);
+    }
+    let mut start = 0usize;
+    for bucket in voter.buckets() {
+        let end = start + bucket.len();
+        for &a in bucket {
+            let row = &mut strict[a as usize * n..a as usize * n + n];
+            for &b in &by_rank[end..] {
+                row[b as usize] += 1;
+            }
+        }
+        start = end;
+    }
+}
+
+impl ProfileTally {
+    /// Builds the tally sequentially: one pass per voter.
+    ///
+    /// # Errors
+    /// [`AggregateError::NoInputs`] /
+    /// [`AggregateError::DomainMismatch`].
+    ///
+    /// # Panics
+    /// Panics if the profile has more than `u32::MAX / 2` voters (the
+    /// ×2-scaled weights would overflow the `u32` cells).
+    pub fn build(inputs: &[BucketOrder]) -> Result<Self, AggregateError> {
+        Self::build_parallel(inputs, 1)
+    }
+
+    /// Builds the tally with up to `threads` scoped worker threads:
+    /// voters are split into contiguous chunks, each thread accumulates
+    /// a private partial tally, and the partials are summed.
+    /// `threads ≤ 1` (or a small profile) falls back to the sequential
+    /// pass.
+    ///
+    /// # Errors
+    /// [`AggregateError::NoInputs`] /
+    /// [`AggregateError::DomainMismatch`].
+    ///
+    /// # Panics
+    /// As [`ProfileTally::build`].
+    pub fn build_parallel(inputs: &[BucketOrder], threads: usize) -> Result<Self, AggregateError> {
+        let n = check_inputs(inputs)?;
+        let m = inputs.len();
+        assert!(
+            m <= (u32::MAX / 2) as usize,
+            "profile too large for u32 tally cells ({m} voters)"
+        );
+        let mut strict = vec![0u32; n * n];
+        let threads = threads.min(m);
+        if threads <= 1 || m < 4 {
+            let mut by_rank = Vec::with_capacity(n);
+            for voter in inputs {
+                accumulate_voter(&mut strict, n, &mut by_rank, voter);
+            }
+        } else {
+            let chunk = m.div_ceil(threads);
+            let mut partials: Vec<Vec<u32>> = Vec::with_capacity(threads);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = inputs
+                    .chunks(chunk)
+                    .map(|voters| {
+                        scope.spawn(move || {
+                            let mut partial = vec![0u32; n * n];
+                            let mut by_rank = Vec::with_capacity(n);
+                            for voter in voters {
+                                accumulate_voter(&mut partial, n, &mut by_rank, voter);
+                            }
+                            partial
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    partials.push(h.join().expect("tally worker panicked"));
+                }
+            });
+            for partial in partials {
+                for (cell, add) in strict.iter_mut().zip(partial) {
+                    *cell += add;
+                }
+            }
+        }
+        // Derive the ×2 weights in one pass over the upper triangle:
+        // w2(a, b) = 2·s(a, b) + ties = m + s(a, b) − s(b, a).
+        let mut w2 = vec![0u32; n * n];
+        let m32 = m as u32;
+        for a in 0..n {
+            for b in a + 1..n {
+                let sab = strict[a * n + b];
+                let sba = strict[b * n + a];
+                w2[a * n + b] = m32 + sab - sba;
+                w2[b * n + a] = m32 + sba - sab;
+            }
+        }
+        Ok(ProfileTally { n, m, strict, w2 })
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Number of voters tallied.
+    pub fn voters(&self) -> usize {
+        self.m
+    }
+
+    /// The ×2-scaled pairwise weight: `2·strict(a, b) + ties(a, b)`.
+    pub fn weight_x2(&self, a: ElementId, b: ElementId) -> u32 {
+        self.w2[a as usize * self.n + b as usize]
+    }
+
+    /// Number of voters strictly preferring `a` over `b`.
+    pub fn strict_count(&self, a: ElementId, b: ElementId) -> u32 {
+        self.strict[a as usize * self.n + b as usize]
+    }
+
+    /// Number of voters tying the pair (`a ≠ b`).
+    pub fn tie_count(&self, a: ElementId, b: ElementId) -> u32 {
+        self.m as u32
+            - self.strict[a as usize * self.n + b as usize]
+            - self.strict[b as usize * self.n + a as usize]
+    }
+
+    /// Signed majority margin `strict(a, b) − strict(b, a)`.
+    ///
+    /// A single load: `w2(a, b) = m + strict(a, b) − strict(b, a)`, so
+    /// the margin is `w2(a, b) − m` without touching the transposed
+    /// cell.
+    pub fn margin(&self, a: ElementId, b: ElementId) -> i64 {
+        i64::from(self.w2[a as usize * self.n + b as usize]) - self.m as i64
+    }
+
+    /// Whether strictly more voters prefer `a` over `b` than the
+    /// reverse (the majority-digraph edge; tying voters count for
+    /// neither side).
+    pub fn majority_prefers(&self, a: ElementId, b: ElementId) -> bool {
+        self.margin(a, b) > 0
+    }
+
+    /// Whether a strict majority of **all** voters prefers `a` over `b`
+    /// (`strict(a, b) > m/2`) — the MC4 transition condition, which is
+    /// stronger than [`ProfileTally::majority_prefers`] when voters tie
+    /// the pair.
+    pub fn strict_majority(&self, a: ElementId, b: ElementId) -> bool {
+        2 * u64::from(self.strict_count(a, b)) > self.m as u64
+    }
+
+    /// [`ProfileTally::strict_majority`]`(a, b)` for every `a` at once,
+    /// yielded in element order — the whole column of strict-majority
+    /// tests against a fixed `b`, computed from **row** `b` alone via
+    /// `strict(a, b) = m + strict(b, a) − w2(b, a)`. The naive column
+    /// walk strides by `n` per element (a cache miss each on profile
+    /// -scale matrices); this reads two sequential rows instead. The
+    /// MC4 transition rows are built from it.
+    ///
+    /// The diagonal entry (`a == b`) is meaningless and yielded as
+    /// `true` for any non-empty profile; callers skip it.
+    pub fn strict_majorities_against(
+        &self,
+        b: ElementId,
+    ) -> impl Iterator<Item = bool> + '_ {
+        let row_s = &self.strict[b as usize * self.n..(b as usize + 1) * self.n];
+        let row_w = &self.w2[b as usize * self.n..(b as usize + 1) * self.n];
+        let m = self.m as i64;
+        row_s
+            .iter()
+            .zip(row_w)
+            .map(move |(&s_ba, &w_ba)| 2 * (m + i64::from(s_ba) - i64::from(w_ba)) > m)
+    }
+
+    /// The ×2 `Kprof` cost of placing `ahead` strictly ahead of
+    /// `behind`: 2 per voter preferring `behind`, 1 per tying voter.
+    pub fn pair_cost_x2(&self, ahead: ElementId, behind: ElementId) -> u32 {
+        self.w2[behind as usize * self.n + ahead as usize]
+    }
+
+    /// The ×2 objective change from swapping an adjacent pair currently
+    /// ordered `(ahead, behind)` to `(behind, ahead)`; negative means
+    /// the swap improves the candidate.
+    pub fn swap_delta_x2(&self, ahead: ElementId, behind: ElementId) -> i64 {
+        i64::from(self.pair_cost_x2(behind, ahead)) - i64::from(self.pair_cost_x2(ahead, behind))
+    }
+
+    /// The flat ×2 weight matrix (`n × n`, row-major).
+    pub fn weights_x2(&self) -> &[u32] {
+        &self.w2
+    }
+
+    /// The flat strict-count matrix (`n × n`, row-major).
+    pub fn strict_counts(&self) -> &[u32] {
+        &self.strict
+    }
+
+    /// The total `Kprof` objective `2·Σ_i Kprof(candidate, σ_i)` of any
+    /// candidate bucket order, in `O(n²)` — independent of the number
+    /// of voters. Ties in the candidate are handled exactly: a pair the
+    /// candidate ties costs 1 (×2 scale) per voter ordering it either
+    /// way.
+    ///
+    /// Agrees exactly with summing
+    /// [`kendall::kprof_x2`](bucketrank_metrics::kendall::kprof_x2)
+    /// over the voters (enforced by `tests/tally_conformance.rs`).
+    ///
+    /// # Errors
+    /// [`AggregateError::DomainMismatch`] if the candidate's domain
+    /// size differs from the tally's.
+    pub fn kemeny_cost_x2(&self, candidate: &BucketOrder) -> Result<u64, AggregateError> {
+        let n = self.n;
+        if candidate.len() != n {
+            return Err(AggregateError::DomainMismatch {
+                expected: n,
+                found: candidate.len(),
+            });
+        }
+        let buckets = candidate.bucket_indices();
+        let mut total = 0u64;
+        // Row-contiguous scans: the pair (winner w, loser l) costs
+        // w2[l][w]; a candidate-tied pair (a, b) costs
+        // strict(a, b) + strict(b, a), split across both rows.
+        for l in 0..n {
+            let bl = buckets[l];
+            let row_w2 = &self.w2[l * n..(l + 1) * n];
+            let row_s = &self.strict[l * n..(l + 1) * n];
+            for w in 0..n {
+                let bw = buckets[w];
+                if bw < bl {
+                    total += u64::from(row_w2[w]);
+                } else if bw == bl && w != l {
+                    total += u64::from(row_s[w]);
+                }
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bucketrank_metrics::kendall;
+
+    fn keys(k: &[i64]) -> BucketOrder {
+        BucketOrder::from_keys(k)
+    }
+
+    fn naive_weights(inputs: &[BucketOrder]) -> Vec<u32> {
+        let n = inputs[0].len();
+        let mut w2 = vec![0u32; n * n];
+        for s in inputs {
+            for a in 0..n as ElementId {
+                for b in 0..n as ElementId {
+                    if a == b {
+                        continue;
+                    }
+                    let cell = &mut w2[a as usize * n + b as usize];
+                    if s.prefers(a, b) {
+                        *cell += 2;
+                    } else if s.is_tied(a, b) {
+                        *cell += 1;
+                    }
+                }
+            }
+        }
+        w2
+    }
+
+    #[test]
+    fn weights_match_naive_prefers_loop() {
+        let inputs = vec![
+            keys(&[1, 1, 2, 3, 2]),
+            keys(&[3, 2, 1, 1, 1]),
+            keys(&[2, 2, 2, 2, 2]),
+            BucketOrder::from_permutation(&[4, 2, 0, 3, 1]).unwrap(),
+        ];
+        let t = ProfileTally::build(&inputs).unwrap();
+        assert_eq!(t.weights_x2(), naive_weights(&inputs).as_slice());
+        assert_eq!(t.voters(), 4);
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn counts_and_queries_are_consistent() {
+        let inputs = vec![keys(&[1, 2, 2]), keys(&[2, 1, 1]), keys(&[1, 1, 2])];
+        let t = ProfileTally::build(&inputs).unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                if a == b {
+                    continue;
+                }
+                let strict = inputs.iter().filter(|s| s.prefers(a, b)).count() as u32;
+                let ties = inputs.iter().filter(|s| s.is_tied(a, b)).count() as u32;
+                assert_eq!(t.strict_count(a, b), strict);
+                assert_eq!(t.tie_count(a, b), ties);
+                assert_eq!(t.weight_x2(a, b), 2 * strict + ties);
+                assert_eq!(t.weight_x2(a, b) + t.weight_x2(b, a), 2 * 3);
+                assert_eq!(
+                    t.majority_prefers(a, b),
+                    t.strict_count(a, b) > t.strict_count(b, a)
+                );
+                assert_eq!(t.strict_majority(a, b), strict as usize * 2 > inputs.len());
+                assert_eq!(
+                    t.margin(a, b),
+                    t.strict_count(a, b) as i64 - t.strict_count(b, a) as i64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strict_majorities_against_matches_pointwise_query() {
+        let inputs = vec![
+            keys(&[1, 2, 2, 3]),
+            keys(&[2, 1, 1, 1]),
+            keys(&[3, 3, 1, 2]),
+            keys(&[1, 1, 2, 2]),
+        ];
+        let t = ProfileTally::build(&inputs).unwrap();
+        for b in 0..4 {
+            let col: Vec<bool> = t.strict_majorities_against(b).collect();
+            assert_eq!(col.len(), 4);
+            for a in 0..4 {
+                if a != b {
+                    assert_eq!(col[a as usize], t.strict_majority(a, b), "({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kemeny_cost_equals_kprof_sum() {
+        let inputs = vec![
+            keys(&[1, 2, 3, 4]),
+            keys(&[2, 1, 4, 3]),
+            keys(&[1, 1, 2, 2]),
+        ];
+        let t = ProfileTally::build(&inputs).unwrap();
+        for cand in [
+            BucketOrder::from_permutation(&[3, 1, 0, 2]).unwrap(),
+            keys(&[1, 2, 2, 1]),
+            BucketOrder::trivial(4),
+        ] {
+            let direct: u64 = inputs
+                .iter()
+                .map(|s| kendall::kprof_x2(&cand, s).unwrap())
+                .sum();
+            assert_eq!(t.kemeny_cost_x2(&cand).unwrap(), direct, "{cand:?}");
+        }
+    }
+
+    #[test]
+    fn swap_delta_matches_cost_difference() {
+        let inputs = vec![keys(&[1, 2, 3]), keys(&[3, 1, 2]), keys(&[2, 2, 1])];
+        let t = ProfileTally::build(&inputs).unwrap();
+        let perm = [2 as ElementId, 0, 1];
+        let base = t
+            .kemeny_cost_x2(&BucketOrder::from_permutation(&perm).unwrap())
+            .unwrap() as i64;
+        for i in 0..2 {
+            let mut sw = perm;
+            sw.swap(i, i + 1);
+            let after = t
+                .kemeny_cost_x2(&BucketOrder::from_permutation(&sw).unwrap())
+                .unwrap() as i64;
+            assert_eq!(after - base, t.swap_delta_x2(perm[i], perm[i + 1]));
+        }
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let inputs: Vec<BucketOrder> = (0..13)
+            .map(|i| {
+                let k: Vec<i64> = (0..9).map(|e| ((e * (i + 2) + i) % 4) as i64).collect();
+                keys(&k)
+            })
+            .collect();
+        let seq = ProfileTally::build(&inputs).unwrap();
+        for threads in [1usize, 2, 3, 8, 64] {
+            assert_eq!(
+                ProfileTally::build_parallel(&inputs, threads).unwrap(),
+                seq,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_domains_and_errors() {
+        let t = ProfileTally::build(&[BucketOrder::trivial(0)]).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.kemeny_cost_x2(&BucketOrder::trivial(0)).unwrap(), 0);
+        let t = ProfileTally::build(&[BucketOrder::trivial(1)]).unwrap();
+        assert_eq!(t.kemeny_cost_x2(&BucketOrder::trivial(1)).unwrap(), 0);
+        assert!(ProfileTally::build(&[]).is_err());
+        assert!(
+            ProfileTally::build(&[BucketOrder::trivial(2), BucketOrder::trivial(3)]).is_err()
+        );
+        let t = ProfileTally::build(&[BucketOrder::trivial(2)]).unwrap();
+        assert!(t.kemeny_cost_x2(&BucketOrder::trivial(3)).is_err());
+    }
+}

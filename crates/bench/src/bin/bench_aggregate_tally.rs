@@ -1,0 +1,275 @@
+//! The shared pairwise-preference tally (`aggregate::tally`) vs the
+//! direct per-voter paths it replaced, across profile shapes — the
+//! measurement backing the tally layer.
+//!
+//! Four comparisons per shape `(m voters × n elements)`:
+//!
+//! * **build**: the old per-pair `prefers()`/`is_tied()` double loop
+//!   (what kwiksort/Schulze/MC4/the majority digraph each used to pay
+//!   privately) vs [`ProfileTally::build`], sequential and parallel;
+//! * **mc4**: the MC4 transition-matrix build end to end — the old
+//!   per-entry voter filter (`O(m·n²)`) vs tally build + `O(1)`
+//!   strict-majority reads;
+//! * **local_kemenize**: the pre-tally per-swap voter scan vs the
+//!   tally-backed `O(1)`-delta pass;
+//! * **kemeny**: total `Kprof` cost of one candidate — the direct
+//!   prepared-kernel path (`O(m·n log n)` per candidate) vs the
+//!   tally-backed `O(n²)` evaluation (tally prebuilt, amortized). This
+//!   primitive has a genuine crossover: the tally read wins once
+//!   `m ≳ n / log n` and loses below it, which is why
+//!   `cost::total_cost_x2_tally` is an opt-in fast path rather than a
+//!   replacement. It is reported as a scaling trajectory, separate from
+//!   the aggregator regression check.
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin
+//! bench_aggregate_tally`. Results go to the perf trajectory file
+//! `BENCH_aggregate.json` (override with `BUCKETRANK_BENCH_OUT`);
+//! `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass on shrunken
+//! shapes.
+
+use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
+use bucketrank_aggregate::local::local_kemenize_with_tally;
+use bucketrank_aggregate::tally::ProfileTally;
+use bucketrank_bench::timing::{group, Measurement, Sampler};
+use bucketrank_core::{BucketOrder, ElementId};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, Rng, SeedableRng};
+
+/// The pre-tally weight build: one `prefers`/`is_tied` scan per ordered
+/// pair per voter (kwiksort's old private `w2` loop, and the same
+/// access pattern the majority digraph, Schulze and MC4 each repeated).
+fn naive_weights(inputs: &[BucketOrder]) -> Vec<u32> {
+    let n = inputs[0].len();
+    let mut w2 = vec![0u32; n * n];
+    for s in inputs {
+        for a in 0..n as ElementId {
+            for b in 0..n as ElementId {
+                if a == b {
+                    continue;
+                }
+                let cell = &mut w2[a as usize * n + b as usize];
+                if s.prefers(a, b) {
+                    *cell += 2;
+                } else if s.is_tied(a, b) {
+                    *cell += 1;
+                }
+            }
+        }
+    }
+    w2
+}
+
+/// The pre-tally MC4 transition rows: one voter filter-count per
+/// `(u, v)` entry, `O(m·n²)` per chain build.
+fn naive_mc4_matrix(inputs: &[BucketOrder], n: usize) -> Vec<f64> {
+    let m = inputs.len() as f64;
+    let mut p = vec![0.0f64; n * n];
+    for u in 0..n as ElementId {
+        let row = &mut p[u as usize * n..(u as usize + 1) * n];
+        for v in 0..n as ElementId {
+            if v != u {
+                let pref = inputs.iter().filter(|s| s.prefers(v, u)).count();
+                if pref as f64 > m / 2.0 {
+                    row[v as usize] += 1.0 / n as f64;
+                }
+            }
+        }
+        let moved: f64 = row.iter().sum();
+        row[u as usize] += 1.0 - moved;
+    }
+    p
+}
+
+/// The tally-backed MC4 transition rows as shipped in
+/// `markov::transition_matrix`: build the tally, then one
+/// `strict_majority` read per entry.
+fn tally_mc4_matrix(inputs: &[BucketOrder], n: usize) -> Vec<f64> {
+    let t = ProfileTally::build(inputs).unwrap();
+    let mut p = vec![0.0f64; n * n];
+    let inv = 1.0 / n as f64;
+    for u in 0..n as ElementId {
+        let row = &mut p[u as usize * n..(u as usize + 1) * n];
+        let mut moved = 0usize;
+        for (v, wins) in t.strict_majorities_against(u).enumerate() {
+            let go = wins & (v != u as usize);
+            row[v] = f64::from(go as u8) * inv;
+            moved += go as usize;
+        }
+        row[u as usize] = 1.0 - moved as f64 * inv;
+    }
+    p
+}
+
+/// The pre-tally `local_kemenize`: per-swap pair costs summed over the
+/// voters (hoisted bucket maps, as shipped before the tally layer).
+fn naive_local_kemenize(candidate: &BucketOrder, inputs: &[BucketOrder]) -> BucketOrder {
+    let mut perm = candidate.as_permutation().expect("full candidate");
+    let input_buckets: Vec<&[u32]> = inputs.iter().map(|s| s.bucket_indices()).collect();
+    let pair_cost = |a: ElementId, b: ElementId| -> i64 {
+        let mut c = 0i64;
+        for bo in &input_buckets {
+            let (ba, bb) = (bo[a as usize], bo[b as usize]);
+            if bb < ba {
+                c += 2;
+            } else if ba == bb {
+                c += 1;
+            }
+        }
+        c
+    };
+    for i in 1..perm.len() {
+        let mut j = i;
+        while j > 0 {
+            let (ahead, here) = (perm[j - 1], perm[j]);
+            if pair_cost(here, ahead) < pair_cost(ahead, here) {
+                perm.swap(j - 1, j);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+    BucketOrder::from_permutation(&perm).expect("permutation preserved")
+}
+
+fn random_full(rng: &mut Pcg32, n: usize) -> BucketOrder {
+    let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    BucketOrder::from_permutation(&ids).expect("shuffled permutation")
+}
+
+fn main() {
+    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    // Acceptance shapes: m ∈ {16, 256} voters × n ∈ {128, 512}
+    // elements. The smoke gate shrinks them so CI stays quick; the
+    // committed baseline uses the full grid.
+    let shapes: &[(usize, usize)] = if fast {
+        &[(8, 32), (16, 64)]
+    } else {
+        &[(16, 128), (16, 512), (256, 128), (256, 512)]
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(8);
+
+    let s = Sampler::default();
+    let mut all: Vec<Measurement> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for &(m, n) in shapes {
+        let mut rng = Pcg32::seed_from_u64(2004);
+        let profile: Vec<BucketOrder> =
+            (0..m).map(|_| random_few_valued(&mut rng, n, 8)).collect();
+        let candidate = random_full(&mut rng, n);
+        let start = candidate.reverse();
+        let tally = ProfileTally::build(&profile).unwrap();
+
+        group(&format!("tally ({m} voters × {n} elements)"));
+        let build_naive = s.bench(&format!("tally/build/naive/{m}x{n}"), || {
+            naive_weights(&profile)
+        });
+        let build_seq = s.bench(&format!("tally/build/seq/{m}x{n}"), || {
+            ProfileTally::build(&profile).unwrap()
+        });
+        let build_par = s.bench(&format!("tally/build/par{threads}/{m}x{n}"), || {
+            ProfileTally::build_parallel(&profile, threads).unwrap()
+        });
+
+        let mc4_naive = s.bench(&format!("mc4/naive/{m}x{n}"), || {
+            naive_mc4_matrix(&profile, n)
+        });
+        let mc4_tally = s.bench(&format!("mc4/tally/{m}x{n}"), || {
+            tally_mc4_matrix(&profile, n)
+        });
+
+        let lk_naive = s.bench(&format!("local_kemenize/naive/{m}x{n}"), || {
+            naive_local_kemenize(&start, &profile)
+        });
+        let lk_tally = s.bench(&format!("local_kemenize/tally/{m}x{n}"), || {
+            local_kemenize_with_tally(&start, &tally).unwrap()
+        });
+
+        let kemeny_direct = s.bench(&format!("kemeny/direct/{m}x{n}"), || {
+            total_cost_x2(AggMetric::KProf, &candidate, &profile).unwrap()
+        });
+        let kemeny_tally = s.bench(&format!("kemeny/tally/{m}x{n}"), || {
+            tally.kemeny_cost_x2(&candidate).unwrap()
+        });
+
+        let build_seq_speedup = build_naive.min_ns / build_seq.min_ns;
+        let build_par_speedup = build_naive.min_ns / build_par.min_ns;
+        let mc4_speedup = mc4_naive.min_ns / mc4_tally.min_ns;
+        let lk_speedup = lk_naive.min_ns / lk_tally.min_ns;
+        let kemeny_speedup = kemeny_direct.min_ns / kemeny_tally.min_ns;
+        println!(
+            "  speedups: build {build_seq_speedup:.2}x seq / {build_par_speedup:.2}x par, \
+             mc4 {mc4_speedup:.2}x, local_kemenize {lk_speedup:.2}x, \
+             kemeny candidate scan {kemeny_speedup:.2}x"
+        );
+        speedups.push((format!("tally/build/seq/{m}x{n}"), build_seq_speedup));
+        speedups.push((format!("tally/build/par{threads}/{m}x{n}"), build_par_speedup));
+        speedups.push((format!("mc4/{m}x{n}"), mc4_speedup));
+        speedups.push((format!("local_kemenize/{m}x{n}"), lk_speedup));
+        speedups.push((format!("kemeny/{m}x{n}"), kemeny_speedup));
+        all.extend([
+            build_naive,
+            build_seq,
+            build_par,
+            mc4_naive,
+            mc4_tally,
+            lk_naive,
+            lk_tally,
+            kemeny_direct,
+            kemeny_tally,
+        ]);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace): the shape grid,
+    // every measurement, and the headline speedup ratios.
+    let out = std::env::var("BUCKETRANK_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_aggregate.json".to_string());
+    let shape_list: Vec<String> = shapes
+        .iter()
+        .map(|&(m, n)| format!("{{\"m\":{m},\"n\":{n}}}"))
+        .collect();
+    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
+    let ratios: Vec<String> = speedups
+        .iter()
+        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_aggregate_tally\",\n  \"shapes\": [{}],\n  \
+         \"threads\": {threads},\n  \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
+         \"tally_speedups\": [\n{}\n  ]\n}}\n",
+        shape_list.join(", "),
+        measurements.join(",\n"),
+        ratios.join(",\n"),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    // The smoke gate doubles as a regression check: no rewired
+    // aggregator stage (build / MC4 / local Kemenization) may lose to
+    // the direct path it replaced. The kemeny candidate scan is the
+    // opt-in primitive with a deliberate m ≳ n/log n crossover, so it
+    // is reported as a trajectory rather than gated.
+    let worst = speedups
+        .iter()
+        .filter(|(name, _)| !name.starts_with("kemeny/"))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    println!("worst aggregator speedup: {:.2}x ({})", worst.1, worst.0);
+    let kemeny: Vec<String> = speedups
+        .iter()
+        .filter(|(name, _)| name.starts_with("kemeny/"))
+        .map(|(name, r)| format!("{}: {r:.2}x", &name["kemeny/".len()..]))
+        .collect();
+    println!(
+        "kemeny candidate-scan speedup by shape (mxn): {}",
+        kemeny.join(", ")
+    );
+}

@@ -505,6 +505,93 @@ impl Gen for OrderPairWithDegeneratesGen {
     }
 }
 
+/// A multi-voter profile: `m` bucket orders (with `m` drawn from
+/// `voters`) over one shared `n`-element domain, with heavy weight on
+/// the degenerate profiles tally-style aggregation code must get
+/// right: singleton domains, all-voters-tied profiles, unanimous full
+/// profiles, and per-voter mixes of all-tied / full / generic voters.
+/// Roughly a third of the stream is a profile-level degenerate class;
+/// the rest draws each voter independently (with its own chance of
+/// being all-tied or full).
+///
+/// Shrinking **preserves each voter's degeneracy class**: voter
+/// removal (down to `voters.start()`), element removal coordinated
+/// across all voters (both moves preserve every class), and bucket
+/// merges only on voters that are neither full nor all-tied — so a
+/// counterexample found on, say, a profile with an all-tied voter
+/// shrinks to the smallest such profile instead of drifting into a
+/// generic one.
+pub fn profile_with_degenerates(
+    voters: RangeInclusive<usize>,
+    n: usize,
+    levels: u8,
+) -> ProfileWithDegeneratesGen {
+    assert!(*voters.start() >= 1 && n >= 1 && levels >= 1);
+    ProfileWithDegeneratesGen { voters, n, levels }
+}
+
+/// See [`profile_with_degenerates`].
+pub struct ProfileWithDegeneratesGen {
+    voters: RangeInclusive<usize>,
+    n: usize,
+    levels: u8,
+}
+
+impl Gen for ProfileWithDegeneratesGen {
+    type Value = Vec<BucketOrder>;
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        let m = rng.gen_range(self.voters.clone());
+        match rng.gen_range(0..9u32) {
+            // Singleton domain: the smallest nonempty instance.
+            0 => vec![BucketOrder::trivial(1); m],
+            // Every voter all-tied: no pairwise information at all.
+            1 => vec![BucketOrder::trivial(self.n); m],
+            // Unanimous full profile: maximal agreement.
+            2 => vec![random_permutation(rng, self.n); m],
+            // Per-voter mix: each voter independently all-tied, full,
+            // or generic.
+            _ => (0..m)
+                .map(|_| match rng.gen_range(0..6u32) {
+                    0 => BucketOrder::trivial(self.n),
+                    1 => random_permutation(rng, self.n),
+                    _ => random_keys_order(rng, self.n, self.levels),
+                })
+                .collect(),
+        }
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Drop one voter at a time (dropping never changes any
+        // remaining voter's class).
+        if v.len() > *self.voters.start() {
+            for i in 0..v.len() {
+                let mut smaller = v.clone();
+                smaller.remove(i);
+                out.push(smaller);
+            }
+        }
+        // Coordinated element removal keeps the domains equal and
+        // preserves all-tied and full classes on every voter.
+        let refs: Vec<&BucketOrder> = v.iter().collect();
+        out.extend(all_removals_coordinated(&refs));
+        // Merges only on unconstrained voters: a full voter would
+        // leave its class, an all-tied voter has nothing to merge.
+        for (i, voter) in v.iter().enumerate() {
+            if voter.is_full() {
+                continue;
+            }
+            for b in 0..voter.num_buckets().saturating_sub(1) {
+                let mut copy = v.clone();
+                copy[i] = merge_adjacent(voter, b);
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
 /// A triple of independent bucket orders over the same domain, with
 /// the same coordinated shrinking as [`order_pair`].
 pub fn order_triple(n: usize, levels: u8) -> OrderTripleGen {
@@ -835,6 +922,63 @@ mod tests {
         for (a, b) in shrinks {
             assert!(a.is_full() && b.is_full(), "full side left its class");
         }
+    }
+
+    #[test]
+    fn profile_gen_hits_every_class_on_shared_domains() {
+        let g = profile_with_degenerates(2..=5, 7, 3);
+        let mut rng = Pcg32::seed_from_u64(7);
+        let (mut singleton, mut all_tied, mut unanimous_full, mut mixed) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let profile = g.generate(&mut rng);
+            assert!((2..=5).contains(&profile.len()));
+            let n = profile[0].len();
+            assert!(profile.iter().all(|v| v.len() == n), "domains must match");
+            if n == 1 {
+                singleton += 1;
+            } else if profile.iter().all(|v| v.num_buckets() == 1) {
+                all_tied += 1;
+            } else if profile.iter().all(|v| v.is_full()) && profile.windows(2).all(|w| w[0] == w[1])
+            {
+                unanimous_full += 1;
+            } else {
+                mixed += 1;
+            }
+        }
+        assert!(
+            singleton > 0 && all_tied > 0 && unanimous_full > 0 && mixed > 0,
+            "classes: {singleton} {all_tied} {unanimous_full} {mixed}"
+        );
+    }
+
+    #[test]
+    fn profile_shrinks_preserve_voter_classes_and_domains() {
+        let g = profile_with_degenerates(2..=6, 6, 3);
+        let v = vec![
+            BucketOrder::trivial(6),
+            BucketOrder::from_permutation(&[5, 0, 3, 1, 4, 2]).unwrap(),
+            BucketOrder::from_keys(&[2, 1, 3, 1, 2, 3]),
+        ];
+        let shrinks = g.shrink(&v);
+        assert!(!shrinks.is_empty());
+        for s in shrinks {
+            assert!(s.len() >= 2, "voter floor violated");
+            let n = s[0].len();
+            assert!(s.iter().all(|x| x.len() == n), "domains must stay equal");
+            // Class preservation applies to surviving voters: whenever
+            // the all-tied or full voter is still present (voter
+            // removal keeps order), it must still be in its class.
+            if s.len() == 3 {
+                assert_eq!(s[0].num_buckets(), 1, "all-tied voter left its class");
+                assert!(s[1].is_full(), "full voter left its class");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn profile_gen_rejects_empty_voter_range() {
+        let _ = profile_with_degenerates(0..=3, 5, 3);
     }
 
     #[test]

@@ -45,6 +45,9 @@ cargo test -q --workspace --offline
 echo "==> prepared-kernel conformance suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test prepared_vs_direct
 
+echo "==> tally conformance suite (256 cases per property)"
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test tally_conformance
+
 echo "==> bench_batch_prepared smoke gate"
 # Fast pass proves the prepared batch engine runs end to end and writes
 # its JSON report. The smoke numbers land in target/ so they never
@@ -56,6 +59,18 @@ BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$smoke_out" \
 if [ ! -f BENCH_metrics.json ]; then
   cp "$smoke_out" BENCH_metrics.json
   echo "seeded BENCH_metrics.json baseline from smoke run"
+fi
+
+echo "==> bench_aggregate_tally smoke gate"
+# Same pattern for the aggregation tally engine: the fast pass proves
+# the tally-vs-direct bench runs end to end (its worst-aggregator line
+# is the regression canary) and seeds the aggregate baseline if absent.
+agg_smoke_out="target/BENCH_aggregate.smoke.json"
+BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$agg_smoke_out" \
+  cargo run --release --offline -p bucketrank-bench --bin bench_aggregate_tally
+if [ ! -f BENCH_aggregate.json ]; then
+  cp "$agg_smoke_out" BENCH_aggregate.json
+  echo "seeded BENCH_aggregate.json baseline from smoke run"
 fi
 
 echo "==> cargo clippy (best effort)"

@@ -1,0 +1,258 @@
+//! Differential conformance suite for the shared pairwise-preference
+//! tally (`aggregate::tally::ProfileTally`): every tally-backed cost,
+//! count and majority query must return **exactly** the same integer as
+//! the naive per-pair `prefers()`/`is_tied()` loops it replaced, and the
+//! total Kemeny objective must equal the `kendall::kprof_x2` sum over
+//! the voters — on degenerate-heavy profiles (singleton domains,
+//! all-tied voters, unanimous full profiles). The parallel tally build
+//! is pinned to the sequential one, and the rewired aggregators
+//! (majority digraph, local Kemenization) are pinned to in-test copies
+//! of their pre-tally reference implementations.
+
+use bucketrank::aggregate::condorcet::MajorityGraph;
+use bucketrank::aggregate::cost::{self, AggMetric};
+use bucketrank::aggregate::local::{local_kemenize, local_kemenize_with_tally};
+use bucketrank::aggregate::tally::ProfileTally;
+use bucketrank::aggregate::AggregateError;
+use bucketrank::metrics::kendall;
+use bucketrank::{BucketOrder, ElementId};
+use bucketrank_testkit::prelude::*;
+
+/// The degenerate-heavy profile stream shared by every property.
+fn profiles() -> impl Gen<Value = Vec<BucketOrder>> {
+    gen::profile_with_degenerates(1..=7, 9, 3)
+}
+
+/// Naive strict-preference count, the loop the tally replaced.
+fn naive_strict(inputs: &[BucketOrder], a: ElementId, b: ElementId) -> u32 {
+    inputs.iter().filter(|s| s.prefers(a, b)).count() as u32
+}
+
+fn naive_ties(inputs: &[BucketOrder], a: ElementId, b: ElementId) -> u32 {
+    inputs.iter().filter(|s| s.is_tied(a, b)).count() as u32
+}
+
+#[test]
+fn tally_counts_match_naive_prefers_loops() {
+    check(
+        "tally_counts_match_naive_prefers_loops",
+        profiles(),
+        |profile| {
+            let t = ProfileTally::build(profile).unwrap();
+            let n = profile[0].len() as ElementId;
+            assert_eq!(t.voters(), profile.len());
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let strict = naive_strict(profile, a, b);
+                    let ties = naive_ties(profile, a, b);
+                    assert_eq!(t.strict_count(a, b), strict, "strict({a},{b})");
+                    assert_eq!(t.tie_count(a, b), ties, "ties({a},{b})");
+                    assert_eq!(t.weight_x2(a, b), 2 * strict + ties, "w2({a},{b})");
+                    assert_eq!(
+                        t.majority_prefers(a, b),
+                        strict > naive_strict(profile, b, a),
+                        "majority({a},{b})"
+                    );
+                    assert_eq!(
+                        t.strict_majority(a, b),
+                        2 * strict as usize > profile.len(),
+                        "strict_majority({a},{b})"
+                    );
+                    assert_eq!(
+                        t.pair_cost_x2(a, b),
+                        2 * naive_strict(profile, b, a) + ties,
+                        "pair_cost({a},{b})"
+                    );
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn kemeny_cost_matches_kprof_sum_and_fast_path() {
+    // The last voter doubles as the candidate: same domain guaranteed,
+    // and it ranges over the full degenerate spectrum (all-tied, full,
+    // generic) so the tied-candidate arm of the cost loop is exercised.
+    check(
+        "kemeny_cost_matches_kprof_sum_and_fast_path",
+        gen::profile_with_degenerates(2..=7, 8, 3),
+        |profile| {
+            let (cand, voters) = profile.split_last().unwrap();
+            let t = ProfileTally::build(voters).unwrap();
+            let direct: u64 = voters
+                .iter()
+                .map(|s| kendall::kprof_x2(cand, s).unwrap())
+                .sum();
+            assert_eq!(t.kemeny_cost_x2(cand).unwrap(), direct, "{cand:?}");
+            assert_eq!(
+                cost::total_cost_x2(AggMetric::KProf, cand, voters).unwrap(),
+                direct
+            );
+            // The tally fast path answers exactly for KProf and defers
+            // for every metric that needs per-voter structure.
+            assert_eq!(
+                cost::total_cost_x2_tally(AggMetric::KProf, cand, &t),
+                Some(Ok(direct))
+            );
+            for metric in [AggMetric::FProf, AggMetric::KHaus, AggMetric::FHaus] {
+                assert!(!metric.tally_expressible());
+                assert!(cost::total_cost_x2_tally(metric, cand, &t).is_none());
+            }
+        },
+    );
+}
+
+#[test]
+fn adjacent_swap_deltas_match_cost_differences() {
+    check(
+        "adjacent_swap_deltas_match_cost_differences",
+        profiles(),
+        |profile| {
+            let t = ProfileTally::build(profile).unwrap();
+            // A full candidate derived from the profile's first voter.
+            let perm = profile[0]
+                .arbitrary_full_refinement()
+                .as_permutation()
+                .unwrap();
+            let base = t
+                .kemeny_cost_x2(&BucketOrder::from_permutation(&perm).unwrap())
+                .unwrap() as i64;
+            for i in 0..perm.len().saturating_sub(1) {
+                let mut sw = perm.clone();
+                sw.swap(i, i + 1);
+                let after = t
+                    .kemeny_cost_x2(&BucketOrder::from_permutation(&sw).unwrap())
+                    .unwrap() as i64;
+                assert_eq!(
+                    after - base,
+                    t.swap_delta_x2(perm[i], perm[i + 1]),
+                    "swap at {i}"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn parallel_build_matches_sequential() {
+    check(
+        "parallel_build_matches_sequential",
+        gen::profile_with_degenerates(1..=12, 10, 4),
+        |profile| {
+            let seq = ProfileTally::build(profile).unwrap();
+            for threads in [2usize, 3, 5, 16] {
+                let par = ProfileTally::build_parallel(profile, threads).unwrap();
+                assert_eq!(par, seq, "threads = {threads}");
+            }
+        },
+    );
+}
+
+#[test]
+fn majority_graph_matches_naive_double_scan() {
+    check(
+        "majority_graph_matches_naive_double_scan",
+        profiles(),
+        |profile| {
+            let g = MajorityGraph::build(profile).unwrap();
+            let n = profile[0].len() as ElementId;
+            // The pre-tally reference: an independent voter scan per
+            // ordered pair (both directions recomputed).
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let mut pro = 0i64;
+                    for s in profile.iter() {
+                        if s.prefers(a, b) {
+                            pro += 1;
+                        } else if s.prefers(b, a) {
+                            pro -= 1;
+                        }
+                    }
+                    assert_eq!(g.beats(a, b), pro > 0, "beats({a},{b})");
+                }
+            }
+        },
+    );
+}
+
+/// The pre-tally `local_kemenize`: per-swap pair costs summed over the
+/// voters. Kept verbatim as the reference implementation.
+fn naive_local_kemenize(candidate: &BucketOrder, inputs: &[BucketOrder]) -> BucketOrder {
+    let mut perm = candidate.as_permutation().expect("full candidate");
+    let input_buckets: Vec<&[u32]> = inputs.iter().map(|s| s.bucket_indices()).collect();
+    let pair_cost = |a: ElementId, b: ElementId| -> i64 {
+        let mut c = 0i64;
+        for bo in &input_buckets {
+            let (ba, bb) = (bo[a as usize], bo[b as usize]);
+            if bb < ba {
+                c += 2;
+            } else if ba == bb {
+                c += 1;
+            }
+        }
+        c
+    };
+    for i in 1..perm.len() {
+        let mut j = i;
+        while j > 0 {
+            let (ahead, here) = (perm[j - 1], perm[j]);
+            if pair_cost(here, ahead) < pair_cost(ahead, here) {
+                perm.swap(j - 1, j);
+                j -= 1;
+            } else {
+                break;
+            }
+        }
+    }
+    BucketOrder::from_permutation(&perm).expect("permutation preserved")
+}
+
+#[test]
+fn local_kemenize_matches_naive_reference() {
+    check(
+        "local_kemenize_matches_naive_reference",
+        profiles(),
+        |profile| {
+            let start = profile[0].arbitrary_full_refinement().reverse();
+            let expected = naive_local_kemenize(&start, profile);
+            assert_eq!(local_kemenize(&start, profile).unwrap(), expected);
+            let t = ProfileTally::build(profile).unwrap();
+            assert_eq!(local_kemenize_with_tally(&start, &t).unwrap(), expected);
+        },
+    );
+}
+
+#[test]
+fn tally_errors_are_reported_not_panicked() {
+    assert_eq!(
+        ProfileTally::build(&[]).unwrap_err(),
+        AggregateError::NoInputs
+    );
+    assert!(matches!(
+        ProfileTally::build(&[BucketOrder::trivial(2), BucketOrder::trivial(5)]).unwrap_err(),
+        AggregateError::DomainMismatch { .. }
+    ));
+    let t = ProfileTally::build(&[BucketOrder::trivial(4)]).unwrap();
+    assert!(matches!(
+        t.kemeny_cost_x2(&BucketOrder::trivial(5)).unwrap_err(),
+        AggregateError::DomainMismatch { .. }
+    ));
+    assert!(matches!(
+        local_kemenize_with_tally(&BucketOrder::trivial(5), &t).unwrap_err(),
+        AggregateError::DomainMismatch { .. }
+    ));
+    // A tied candidate is rejected by local Kemenization but accepted
+    // (and exactly costed) by the Kemeny objective.
+    assert!(matches!(
+        local_kemenize_with_tally(&BucketOrder::trivial(4), &t).unwrap_err(),
+        AggregateError::NotFullRanking
+    ));
+    assert_eq!(t.kemeny_cost_x2(&BucketOrder::trivial(4)).unwrap(), 0);
+}
