@@ -297,12 +297,56 @@ pub fn certificate_depth(inputs: &[BucketOrder], k: usize) -> Result<u64, Access
     Ok(depth)
 }
 
+/// Serves a top-`k` list directly from a maintained median-rank vector
+/// — the streaming counterpart of [`medrank_top_k`]. Where MEDRANK pays
+/// sorted accesses per query to *discover* majority elements, an engine
+/// that already maintains every element's median under voter churn
+/// (`aggregate::dynamic::DynamicProfile`) answers here with a sort of
+/// `n` ids and **zero** accesses: the `k` elements with the smallest
+/// medians, ties broken by ascending element id — the same selection
+/// the batch `aggregate::median::aggregate_top_k` makes, so Theorem 9's
+/// factor-3 guarantee carries over unchanged.
+///
+/// # Errors
+/// [`AccessError::InvalidK`] if `k` exceeds the vector's length.
+pub fn top_k_from_medians(
+    medians: &[bucketrank_core::Pos],
+    k: usize,
+) -> Result<Vec<ElementId>, AccessError> {
+    let n = medians.len();
+    if k > n {
+        return Err(AccessError::InvalidK { k, domain_size: n });
+    }
+    let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+    ids.sort_unstable_by_key(|&e| (medians[e as usize], e));
+    ids.truncate(k);
+    Ok(ids)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn keys(k: &[i64]) -> BucketOrder {
         BucketOrder::from_keys(k)
+    }
+
+    #[test]
+    fn top_k_from_medians_selects_smallest_with_id_tiebreak() {
+        use bucketrank_core::Pos;
+        let medians = vec![
+            Pos::from_rank(3),
+            Pos::from_rank(1),
+            Pos::from_half_units(3), // 1.5, between ranks 1 and 2
+            Pos::from_rank(1),
+        ];
+        assert_eq!(top_k_from_medians(&medians, 0).unwrap(), vec![]);
+        assert_eq!(top_k_from_medians(&medians, 3).unwrap(), vec![1, 3, 2]);
+        assert_eq!(top_k_from_medians(&medians, 4).unwrap(), vec![1, 3, 2, 0]);
+        assert!(matches!(
+            top_k_from_medians(&medians, 5),
+            Err(AccessError::InvalidK { k: 5, domain_size: 4 })
+        ));
     }
 
     #[test]

@@ -40,6 +40,21 @@ pub enum AggregateError {
     },
     /// An algorithm restricted to full-ranking inputs received ties.
     NotFullRanking,
+    /// A voter id not present in a dynamic profile was removed or
+    /// replaced. Returned typed — never a wrapped panic — so streaming
+    /// callers can retry or drop the edit without tearing down the
+    /// engine (`remove_voter` on an absent id must not underflow any
+    /// tally cell).
+    UnknownVoter {
+        /// The id the caller presented.
+        id: u64,
+    },
+    /// A dynamic profile is at the voter-capacity limit of its `u32`
+    /// tally cells; the push was rejected with state unchanged.
+    TooManyVoters {
+        /// The maximum number of voters the tally cells can hold.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for AggregateError {
@@ -66,6 +81,12 @@ impl fmt::Display for AggregateError {
             ),
             AggregateError::NotFullRanking => {
                 write!(f, "algorithm requires full-ranking inputs (no ties)")
+            }
+            AggregateError::UnknownVoter { id } => {
+                write!(f, "voter {id} is not present in the dynamic profile")
+            }
+            AggregateError::TooManyVoters { limit } => {
+                write!(f, "dynamic profile is full ({limit} voters)")
             }
         }
     }
@@ -134,6 +155,12 @@ mod tests {
         assert!(AggregateError::DomainTooLarge { n: 12, max: 8 }
             .to_string()
             .contains("12"));
+        assert!(AggregateError::UnknownVoter { id: 7 }
+            .to_string()
+            .contains("voter 7"));
+        assert!(AggregateError::TooManyVoters { limit: 4 }
+            .to_string()
+            .contains('4'));
     }
 
     #[test]

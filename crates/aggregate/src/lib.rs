@@ -61,6 +61,7 @@ pub mod cluster;
 pub mod condorcet;
 pub mod cost;
 pub mod dp;
+pub mod dynamic;
 mod error;
 pub mod exact;
 pub mod hungarian;
@@ -73,6 +74,7 @@ pub mod tally;
 pub mod topk;
 pub mod strong;
 
+pub use dynamic::{DynamicProfile, DynamicSnapshot, VoterId};
 pub use error::AggregateError;
 pub use median::MedianPolicy;
 pub use tally::ProfileTally;

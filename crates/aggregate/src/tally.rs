@@ -166,6 +166,30 @@ impl ProfileTally {
         Ok(ProfileTally { n, m, strict, w2 })
     }
 
+    /// Assembles a tally from already-consistent matrices — the hook the
+    /// dynamic engine ([`crate::dynamic`]) uses to start from an empty
+    /// profile and to clone snapshots. Callers must uphold the build
+    /// invariants: both matrices are `n × n` row-major,
+    /// `w2(a, b) = m + strict(a, b) − strict(b, a)` off the diagonal,
+    /// and both diagonals are zero.
+    pub(crate) fn from_parts(n: usize, m: usize, strict: Vec<u32>, w2: Vec<u32>) -> Self {
+        debug_assert_eq!(strict.len(), n * n);
+        debug_assert_eq!(w2.len(), n * n);
+        ProfileTally { n, m, strict, w2 }
+    }
+
+    /// Mutable access to `(strict, w2)` for in-place incremental
+    /// maintenance by [`crate::dynamic`]; the caller must restore the
+    /// build invariants before any query runs.
+    pub(crate) fn parts_mut(&mut self) -> (&mut [u32], &mut [u32]) {
+        (&mut self.strict, &mut self.w2)
+    }
+
+    /// Sets the voter count after an incremental edit ([`crate::dynamic`]).
+    pub(crate) fn set_voters(&mut self, m: usize) {
+        self.m = m;
+    }
+
     /// Domain size.
     pub fn len(&self) -> usize {
         self.n

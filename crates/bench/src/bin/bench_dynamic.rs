@@ -1,0 +1,192 @@
+//! Update-then-query vs rebuild-then-query for the streaming profile
+//! engine (`aggregate::dynamic`) — the measurement backing the dynamic
+//! layer.
+//!
+//! Each shape `(m voters × n elements)` measures one single-voter edit
+//! followed immediately by a query, both ways:
+//!
+//! * **kemeny**: replace one voter, then evaluate one candidate's
+//!   Kemeny cost. Dynamic = `O(n²)` replace + `O(n²)` tally read;
+//!   rebuild = mutate the input list, `ProfileTally::build` (`O(m·n²)`)
+//!   + the same read.
+//! * **medians**: replace one voter, then read the full median-rank
+//!   vector. Dynamic = incremental multiset maintenance; rebuild =
+//!   `median_positions` over all `m` voters. This cycle has a genuine
+//!   crossover: a dynamic replace pays the `O(n²)` pairwise-tally
+//!   maintenance whether or not the query needs it, while the
+//!   median-only rebuild is `O(m·n log m)` — so rebuild wins when
+//!   `m ≲ n` and the engine wins above (and always wins when the
+//!   workload also queries the tally, which is what it exists for).
+//!   Reported as a scaling trajectory, separate from the regression
+//!   check.
+//! * **snapshot**: the cost of cloning a consistent read view off the
+//!   live engine (reported as a trajectory, not gated — it is the price
+//!   of isolation, paid only by consumers that hold views across
+//!   edits).
+//!
+//! The crossover: an update-then-query cycle saves a factor `Θ(m)`
+//! over rebuild-then-query, so the dynamic path wins whenever more
+//! than a handful of voters survive between queries and the batch
+//! build wins only when most of the profile churns per query (tiny
+//! `m`, or bulk reload — where `from_profile` is the same cost as
+//! `build`). The acceptance gate is ≥5× on the kemeny cycle at
+//! m=256 × n=512; measured headroom is far larger (≈ m/2).
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin
+//! bench_dynamic`. Results go to the perf trajectory file
+//! `BENCH_dynamic.json` (override with `BUCKETRANK_BENCH_OUT`);
+//! `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass on shrunken
+//! shapes.
+
+use bucketrank_aggregate::dynamic::DynamicProfile;
+use bucketrank_aggregate::median::median_positions;
+use bucketrank_aggregate::tally::ProfileTally;
+use bucketrank_aggregate::MedianPolicy;
+use bucketrank_bench::timing::{group, Measurement, Sampler};
+use bucketrank_core::{BucketOrder, ElementId};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, Rng, SeedableRng};
+
+fn random_full(rng: &mut Pcg32, n: usize) -> BucketOrder {
+    let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+    BucketOrder::from_permutation(&ids).expect("shuffled permutation")
+}
+
+fn main() {
+    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    // Acceptance shapes: m ∈ {16, 256} voters × n ∈ {128, 512}
+    // elements (the gate reads m=256 × n=512). The smoke gate shrinks
+    // them so CI stays quick; the committed baseline uses the full
+    // grid.
+    let shapes: &[(usize, usize)] = if fast {
+        &[(8, 32), (16, 64)]
+    } else {
+        &[(16, 128), (16, 512), (256, 128), (256, 512)]
+    };
+
+    let s = Sampler::default();
+    let mut all: Vec<Measurement> = Vec::new();
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+
+    for &(m, n) in shapes {
+        let mut rng = Pcg32::seed_from_u64(2004);
+        let mut profile: Vec<BucketOrder> =
+            (0..m).map(|_| random_few_valued(&mut rng, n, 8)).collect();
+        let candidate = random_full(&mut rng, n);
+        // A ring of replacement rankings so every iteration applies a
+        // genuinely different edit (no no-op replace fast paths).
+        let ring: Vec<BucketOrder> = (0..16)
+            .map(|_| random_few_valued(&mut rng, n, 8))
+            .collect();
+        let (mut dp, ids) =
+            DynamicProfile::from_profile(&profile, MedianPolicy::Lower).unwrap();
+
+        group(&format!("dynamic ({m} voters × {n} elements)"));
+
+        let mut i = 0usize;
+        let upd_kemeny_dyn = s.bench(&format!("update_kemeny/dynamic/{m}x{n}"), || {
+            i += 1;
+            dp.replace_voter(ids[i % m], ring[i % ring.len()].clone())
+                .unwrap();
+            dp.tally().kemeny_cost_x2(&candidate).unwrap()
+        });
+        let mut j = 0usize;
+        let upd_kemeny_rebuild = s.bench(&format!("update_kemeny/rebuild/{m}x{n}"), || {
+            j += 1;
+            profile[j % m] = ring[j % ring.len()].clone();
+            let tally = ProfileTally::build(&profile).unwrap();
+            tally.kemeny_cost_x2(&candidate).unwrap()
+        });
+
+        let mut i = 0usize;
+        let upd_med_dyn = s.bench(&format!("update_medians/dynamic/{m}x{n}"), || {
+            i += 1;
+            dp.replace_voter(ids[i % m], ring[i % ring.len()].clone())
+                .unwrap();
+            dp.median_positions().unwrap()
+        });
+        let mut j = 0usize;
+        let upd_med_rebuild = s.bench(&format!("update_medians/rebuild/{m}x{n}"), || {
+            j += 1;
+            profile[j % m] = ring[j % ring.len()].clone();
+            median_positions(&profile, MedianPolicy::Lower).unwrap()
+        });
+
+        let snapshot = s.bench(&format!("snapshot/clone/{m}x{n}"), || {
+            dp.snapshot().unwrap()
+        });
+
+        let kemeny_speedup = upd_kemeny_rebuild.min_ns / upd_kemeny_dyn.min_ns;
+        let medians_speedup = upd_med_rebuild.min_ns / upd_med_dyn.min_ns;
+        println!(
+            "  speedups: update+kemeny {kemeny_speedup:.2}x, \
+             update+medians {medians_speedup:.2}x"
+        );
+        speedups.push((format!("update_kemeny/{m}x{n}"), kemeny_speedup));
+        speedups.push((format!("update_medians/{m}x{n}"), medians_speedup));
+        all.extend([
+            upd_kemeny_dyn,
+            upd_kemeny_rebuild,
+            upd_med_dyn,
+            upd_med_rebuild,
+            snapshot,
+        ]);
+    }
+
+    // Hand-rolled JSON (no serde in the workspace): the shape grid,
+    // every measurement, and the headline speedup ratios.
+    let out = std::env::var("BUCKETRANK_BENCH_OUT")
+        .unwrap_or_else(|_| "BENCH_dynamic.json".to_string());
+    let shape_list: Vec<String> = shapes
+        .iter()
+        .map(|&(m, n)| format!("{{\"m\":{m},\"n\":{n}}}"))
+        .collect();
+    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
+    let ratios: Vec<String> = speedups
+        .iter()
+        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_dynamic\",\n  \"shapes\": [{}],\n  \
+         \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
+         \"dynamic_speedups\": [\n{}\n  ]\n}}\n",
+        shape_list.join(", "),
+        measurements.join(",\n"),
+        ratios.join(",\n"),
+    );
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("\nwrote {out}");
+
+    // The smoke gate doubles as a regression check: the kemeny cycle
+    // (whose rebuild arm pays the same O(m·n²) tally build the engine
+    // amortizes away) may not lose to rebuild-then-query at any
+    // measured shape; the acceptance bar is ≥5× at 256x512. The
+    // medians cycle is the primitive with the deliberate m ≲ n
+    // crossover, so it is reported as a trajectory rather than gated.
+    let worst = speedups
+        .iter()
+        .filter(|(name, _)| name.starts_with("update_kemeny/"))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    println!("worst update+kemeny speedup: {:.2}x ({})", worst.1, worst.0);
+    let medians: Vec<String> = speedups
+        .iter()
+        .filter(|(name, _)| name.starts_with("update_medians/"))
+        .map(|(name, r)| format!("{}: {r:.2}x", &name["update_medians/".len()..]))
+        .collect();
+    println!(
+        "update+medians speedup by shape (mxn): {}",
+        medians.join(", ")
+    );
+    if let Some((name, r)) = speedups
+        .iter()
+        .find(|(name, _)| name == "update_kemeny/256x512")
+    {
+        let verdict = if *r >= 5.0 { "PASS" } else { "FAIL" };
+        println!("acceptance gate {name} >= 5x: {r:.2}x [{verdict}]");
+    }
+}

@@ -49,6 +49,12 @@ pub enum CoreError {
         /// The domain size.
         domain_size: usize,
     },
+    /// A label outside a frozen domain was presented where the domain
+    /// may no longer grow (streaming intake over a finalized profile).
+    UnknownLabel {
+        /// The offending label.
+        label: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -84,6 +90,9 @@ impl fmt::Display for CoreError {
             CoreError::InvalidK { k, domain_size } => {
                 write!(f, "k = {k} exceeds the domain size {domain_size}")
             }
+            CoreError::UnknownLabel { ref label } => {
+                write!(f, "label {label:?} is not in the frozen domain")
+            }
         }
     }
 }
@@ -106,6 +115,11 @@ mod tests {
         let e = CoreError::DomainMismatch { left: 3, right: 5 };
         assert!(e.to_string().contains('3'));
         assert!(e.to_string().contains('5'));
+
+        let e = CoreError::UnknownLabel {
+            label: "sushi".to_string(),
+        };
+        assert!(e.to_string().contains("sushi"));
     }
 
     #[test]

@@ -60,6 +60,54 @@ impl Profile {
     pub fn into_parts(self) -> (Domain, Vec<BucketOrder>) {
         (self.domain, self.rankings)
     }
+
+    /// Finalizes one more labeled ranking over this profile's **frozen**
+    /// domain — the streaming intake path. After `finish`, continuously
+    /// arriving votes are completed one at a time against the existing
+    /// domain (e.g. to feed an incremental engine such as
+    /// `aggregate::dynamic::DynamicProfile`) without rebuilding the
+    /// profile. Unlike [`ProfileBuilder`], the domain does not grow: a
+    /// label outside it is an error, not a new element. The profile
+    /// itself is not modified.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownLabel`] for a label outside the domain;
+    /// [`CoreError::DuplicateElement`] if a label appears twice;
+    /// [`CoreError::MissingElement`] under [`MissingPolicy::Error`]
+    /// when the ranking does not cover the domain.
+    pub fn complete_ranking<S: AsRef<str>>(
+        &self,
+        buckets: &[&[S]],
+        missing: MissingPolicy,
+    ) -> Result<BucketOrder, CoreError> {
+        let n = self.domain.len();
+        let mut seen = vec![false; n];
+        let mut interned: Vec<Vec<ElementId>> = Vec::with_capacity(buckets.len());
+        for b in buckets {
+            let mut ids = Vec::with_capacity(b.len());
+            for l in *b {
+                let l = l.as_ref();
+                let e = self.domain.id(l).ok_or_else(|| CoreError::UnknownLabel {
+                    label: l.to_string(),
+                })?;
+                if seen[e as usize] {
+                    return Err(CoreError::DuplicateElement { element: e });
+                }
+                seen[e as usize] = true;
+                ids.push(e);
+            }
+            interned.push(ids);
+        }
+        if matches!(missing, MissingPolicy::BottomBucket) {
+            let rest: Vec<ElementId> = (0..n as ElementId)
+                .filter(|&e| !seen[e as usize])
+                .collect();
+            if !rest.is_empty() {
+                interned.push(rest);
+            }
+        }
+        BucketOrder::from_buckets(n, interned)
+    }
 }
 
 /// Collects labeled rankings; see the [module docs](self).
@@ -239,6 +287,49 @@ mod tests {
         let (domain, rankings) = p.into_parts();
         assert_eq!(domain.len(), 4);
         assert!(rankings.iter().all(|r| r.len() == 4));
+    }
+
+    #[test]
+    fn complete_ranking_streams_over_the_frozen_domain() {
+        let mut b = ProfileBuilder::new();
+        b.push_ranking(&[&["a"], &["b", "c"], &["d"]]);
+        let p = b.finish(MissingPolicy::BottomBucket).unwrap();
+
+        // A late vote mentioning a subset: the rest goes to the bottom.
+        let r = p
+            .complete_ranking(&[&["c"], &["a"]], MissingPolicy::BottomBucket)
+            .unwrap();
+        assert_eq!(r.len(), 4);
+        let (a, c, d) = (
+            p.domain().id("a").unwrap(),
+            p.domain().id("c").unwrap(),
+            p.domain().id("d").unwrap(),
+        );
+        assert!(r.prefers(c, a));
+        assert!(r.prefers(a, d));
+        // The domain is frozen: new labels are typed errors, not growth.
+        assert_eq!(
+            p.complete_ranking(&[&["z"]], MissingPolicy::BottomBucket),
+            Err(CoreError::UnknownLabel {
+                label: "z".to_string()
+            })
+        );
+        assert_eq!(p.domain().len(), 4);
+        // Duplicates and missing coverage keep the batch semantics.
+        assert!(matches!(
+            p.complete_ranking(&[&["a"], &["a"]], MissingPolicy::BottomBucket),
+            Err(CoreError::DuplicateElement { .. })
+        ));
+        assert!(matches!(
+            p.complete_ranking(&[&["a"]], MissingPolicy::Error),
+            Err(CoreError::MissingElement { .. })
+        ));
+        // Matches what the batch builder would have produced.
+        let mut b2 = ProfileBuilder::new();
+        b2.push_ranking(&[&["a"], &["b", "c"], &["d"]]);
+        b2.push_ranking(&[&["c"], &["a"]]);
+        let p2 = b2.finish(MissingPolicy::BottomBucket).unwrap();
+        assert_eq!(&p2.rankings()[1], &r);
     }
 
     #[test]

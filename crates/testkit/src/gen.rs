@@ -592,6 +592,217 @@ impl Gen for ProfileWithDegeneratesGen {
     }
 }
 
+/// One step of a streaming-profile edit script; see
+/// [`edit_script_with_degenerates`]. The driver resolves the index of
+/// `Remove` / `Replace` against its current live-voter list as
+/// `live[i % live.len()]`, and when the list is empty the op instead
+/// exercises the engine's typed unknown-voter error path — scripts
+/// include that case on purpose.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Push a new voter with this ranking.
+    Push(BucketOrder),
+    /// Remove the live voter at this wrapped index.
+    Remove(usize),
+    /// Replace the live voter at this wrapped index with this ranking.
+    Replace(usize, BucketOrder),
+}
+
+/// A random insert/remove/replace edit script over one shared
+/// `n`-element domain, for differential testing of incremental
+/// engines against from-scratch rebuilds. Script length is guided by
+/// `ops`; every script contains at least one `Push` (drivers read the
+/// domain size off the first pushed ranking). Heavy weight on the
+/// degenerate trajectories dynamic maintenance must get right:
+/// edits against an **empty** profile (typed-error path), a
+/// **single voter** churned in place by replaces, a profile drained to
+/// **all voters removed** and refilled, and **duplicate voters**
+/// (identical rankings pushed repeatedly, where a removal must retract
+/// exactly one copy). Individual rankings carry the usual mix of
+/// all-tied, full, and generic orders.
+///
+/// Shrinking **preserves the script's class**: dropping one op (never
+/// the last `Push`), element removal coordinated across *every*
+/// embedded ranking (domains stay equal, duplicates stay identical),
+/// coarsening one distinct ranking *value* applied to all ops carrying
+/// it (duplicates stay identical), and stepping target indices toward
+/// zero.
+pub fn edit_script_with_degenerates(
+    ops: RangeInclusive<usize>,
+    n: usize,
+    levels: u8,
+) -> EditScriptGen {
+    assert!(*ops.start() >= 1 && n >= 1 && levels >= 1);
+    EditScriptGen { ops, n, levels }
+}
+
+/// See [`edit_script_with_degenerates`].
+pub struct EditScriptGen {
+    ops: RangeInclusive<usize>,
+    n: usize,
+    levels: u8,
+}
+
+impl EditScriptGen {
+    fn rand_ranking(&self, rng: &mut Pcg32) -> BucketOrder {
+        match rng.gen_range(0..6u32) {
+            0 => BucketOrder::trivial(self.n),
+            1 => random_permutation(rng, self.n),
+            _ => random_keys_order(rng, self.n, self.levels),
+        }
+    }
+}
+
+impl Gen for EditScriptGen {
+    type Value = Vec<EditOp>;
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        let len = rng.gen_range(self.ops.clone());
+        let mut script: Vec<EditOp> = Vec::new();
+        match rng.gen_range(0..10u32) {
+            // Empty-profile class: edits against an engine with no
+            // voters first — the typed-error path — then a push so the
+            // script grows state.
+            0 => {
+                script.push(EditOp::Remove(rng.gen_range(0..4)));
+                script.push(EditOp::Push(self.rand_ranking(rng)));
+            }
+            // Single-voter class: one voter, churned in place.
+            1 => {
+                script.push(EditOp::Push(self.rand_ranking(rng)));
+                for _ in 0..len {
+                    script.push(EditOp::Replace(0, self.rand_ranking(rng)));
+                }
+            }
+            // All-voters-removed class: fill, drain completely, remove
+            // once more (typed error on empty), then repopulate.
+            2 => {
+                let k = rng.gen_range(1..=len.min(4));
+                for _ in 0..k {
+                    script.push(EditOp::Push(self.rand_ranking(rng)));
+                }
+                for _ in 0..k {
+                    script.push(EditOp::Remove(rng.gen_range(0..4)));
+                }
+                script.push(EditOp::Remove(0));
+                script.push(EditOp::Push(self.rand_ranking(rng)));
+            }
+            // Duplicate-voter class: identical rankings pushed
+            // repeatedly — a removal must retract exactly one copy.
+            3 => {
+                let r = self.rand_ranking(rng);
+                for _ in 0..rng.gen_range(2..=4u32) {
+                    script.push(EditOp::Push(r.clone()));
+                }
+            }
+            _ => {}
+        }
+        // Generic tail up to the drawn length, seeded with a push when
+        // the class produced none.
+        if script.is_empty() {
+            script.push(EditOp::Push(self.rand_ranking(rng)));
+        }
+        while script.len() < len {
+            script.push(match rng.gen_range(0..10u32) {
+                0..=4 => EditOp::Push(self.rand_ranking(rng)),
+                5..=7 => EditOp::Remove(rng.gen_range(0..8)),
+                _ => EditOp::Replace(rng.gen_range(0..8), self.rand_ranking(rng)),
+            });
+        }
+        script
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Drop one op at a time, keeping at least one push.
+        let pushes = v
+            .iter()
+            .filter(|op| matches!(op, EditOp::Push(_)))
+            .count();
+        for i in 0..v.len() {
+            if matches!(v[i], EditOp::Push(_)) && pushes <= 1 {
+                continue;
+            }
+            let mut smaller = v.clone();
+            smaller.remove(i);
+            out.push(smaller);
+        }
+        // Coordinated element removal across every embedded ranking:
+        // domains stay equal and duplicate rankings stay identical
+        // (removal is deterministic). The current domain size is read
+        // off the script itself — earlier shrinks may already have
+        // reduced it below the generator's `n`.
+        let n_cur = v.iter().find_map(|op| match op {
+            EditOp::Push(r) | EditOp::Replace(_, r) => Some(r.len()),
+            EditOp::Remove(_) => None,
+        });
+        if let Some(nc) = n_cur {
+            if nc > 1 {
+                for e in 0..nc as u32 {
+                    out.push(
+                        v.iter()
+                            .map(|op| match op {
+                                EditOp::Push(r) => EditOp::Push(remove_element(r, e)),
+                                EditOp::Remove(i) => EditOp::Remove(*i),
+                                EditOp::Replace(i, r) => {
+                                    EditOp::Replace(*i, remove_element(r, e))
+                                }
+                            })
+                            .collect(),
+                    );
+                }
+            }
+        }
+        // Coarsen one distinct ranking VALUE, applied to every op that
+        // carries it, so duplicate pushes stay identical (the
+        // duplicate-voter class survives shrinking). Full rankings are
+        // left alone, mirroring the class-preserving merge policy of
+        // the other generators.
+        let mut seen: Vec<&BucketOrder> = Vec::new();
+        for op in v {
+            let r = match op {
+                EditOp::Push(r) | EditOp::Replace(_, r) => r,
+                EditOp::Remove(_) => continue,
+            };
+            if seen.contains(&r) {
+                continue;
+            }
+            seen.push(r);
+            if r.is_full() {
+                continue;
+            }
+            for b in 0..r.num_buckets().saturating_sub(1) {
+                let merged = merge_adjacent(r, b);
+                out.push(
+                    v.iter()
+                        .map(|op| match op {
+                            EditOp::Push(x) if x == r => EditOp::Push(merged.clone()),
+                            EditOp::Replace(i, x) if x == r => {
+                                EditOp::Replace(*i, merged.clone())
+                            }
+                            other => other.clone(),
+                        })
+                        .collect(),
+                );
+            }
+        }
+        // Step target indices toward zero.
+        for i in 0..v.len() {
+            let stepped = match &v[i] {
+                EditOp::Remove(k) if *k > 0 => Some(EditOp::Remove(k / 2)),
+                EditOp::Replace(k, r) if *k > 0 => Some(EditOp::Replace(k / 2, r.clone())),
+                _ => None,
+            };
+            if let Some(op) = stepped {
+                let mut copy = v.clone();
+                copy[i] = op;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
 /// A triple of independent bucket orders over the same domain, with
 /// the same coordinated shrinking as [`order_pair`].
 pub fn order_triple(n: usize, levels: u8) -> OrderTripleGen {
@@ -973,6 +1184,126 @@ mod tests {
                 assert!(s[1].is_full(), "full voter left its class");
             }
         }
+    }
+
+    /// Simulates an edit script's live-voter count, reporting the
+    /// degenerate trajectories it exercises.
+    fn script_trajectory(script: &[EditOp]) -> (bool, bool, bool) {
+        let (mut live, mut peak) = (0usize, 0usize);
+        let (mut hits_empty_edit, mut drains_after_life) = (false, false);
+        for op in script {
+            match op {
+                EditOp::Push(_) => live += 1,
+                EditOp::Remove(_) => {
+                    if live == 0 {
+                        hits_empty_edit = true;
+                    } else {
+                        live -= 1;
+                        if live == 0 && peak > 0 {
+                            drains_after_life = true;
+                        }
+                    }
+                }
+                EditOp::Replace(_, _) => {
+                    if live == 0 {
+                        hits_empty_edit = true;
+                    }
+                }
+            }
+            peak = peak.max(live);
+        }
+        let has_duplicate_push = script.iter().enumerate().any(|(i, op)| match op {
+            EditOp::Push(r) => script[..i].iter().any(|p| p == &EditOp::Push(r.clone())),
+            _ => false,
+        });
+        (hits_empty_edit, drains_after_life, has_duplicate_push)
+    }
+
+    #[test]
+    fn edit_script_gen_hits_every_class() {
+        let g = edit_script_with_degenerates(3..=10, 6, 3);
+        let mut rng = Pcg32::seed_from_u64(8);
+        let (mut empty_edit, mut drained, mut duplicates, mut single_churn) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let script = g.generate(&mut rng);
+            assert!(
+                script.iter().any(|op| matches!(op, EditOp::Push(_))),
+                "every script must push at least once"
+            );
+            for op in &script {
+                if let EditOp::Push(r) | EditOp::Replace(_, r) = op {
+                    assert_eq!(r.len(), 6, "rankings must share the domain");
+                }
+            }
+            let (e, d, dup) = script_trajectory(&script);
+            empty_edit += e as u32;
+            drained += d as u32;
+            duplicates += dup as u32;
+            let pushes = script
+                .iter()
+                .filter(|op| matches!(op, EditOp::Push(_)))
+                .count();
+            let replaces = script
+                .iter()
+                .filter(|op| matches!(op, EditOp::Replace(_, _)))
+                .count();
+            single_churn += (pushes == 1 && replaces >= 2) as u32;
+        }
+        assert!(
+            empty_edit > 0 && drained > 0 && duplicates > 0 && single_churn > 0,
+            "classes: {empty_edit} {drained} {duplicates} {single_churn}"
+        );
+    }
+
+    #[test]
+    fn edit_script_shrinks_stay_in_support() {
+        let g = edit_script_with_degenerates(3..=10, 5, 3);
+        let dup = BucketOrder::from_keys(&[2, 1, 3, 1, 2]);
+        let v = vec![
+            EditOp::Push(dup.clone()),
+            EditOp::Push(dup.clone()),
+            EditOp::Remove(5),
+            EditOp::Replace(3, BucketOrder::from_keys(&[1, 2, 2, 1, 3])),
+        ];
+        let distinct = |s: &[EditOp]| {
+            let mut vals: Vec<&BucketOrder> = Vec::new();
+            for op in s {
+                if let EditOp::Push(r) | EditOp::Replace(_, r) = op {
+                    if !vals.contains(&r) {
+                        vals.push(r);
+                    }
+                }
+            }
+            vals.len()
+        };
+        let shrinks = g.shrink(&v);
+        assert!(!shrinks.is_empty());
+        for s in &shrinks {
+            assert!(
+                s.iter().any(|op| matches!(op, EditOp::Push(_))),
+                "shrinking must keep at least one push"
+            );
+            let mut domain = None;
+            for op in s {
+                if let EditOp::Push(r) | EditOp::Replace(_, r) = op {
+                    assert_eq!(*domain.get_or_insert(r.len()), r.len());
+                }
+            }
+            // Class preservation: coordinated removals and value-wide
+            // merges never split a duplicate pair into distinct values.
+            assert!(distinct(s) <= distinct(&v), "duplicate pushes diverged");
+        }
+        // A lone push never disappears.
+        let lone = vec![EditOp::Push(dup), EditOp::Remove(0)];
+        for s in g.shrink(&lone) {
+            assert!(s.iter().any(|op| matches!(op, EditOp::Push(_))));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn edit_script_gen_rejects_empty_op_range() {
+        let _ = edit_script_with_degenerates(0..=4, 5, 3);
     }
 
     #[test]

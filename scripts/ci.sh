@@ -48,6 +48,9 @@ BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test prepared_vs
 echo "==> tally conformance suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test tally_conformance
 
+echo "==> dynamic update-oracle suite (256 cases per property)"
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test dynamic_vs_rebuild
+
 echo "==> bench_batch_prepared smoke gate"
 # Fast pass proves the prepared batch engine runs end to end and writes
 # its JSON report. The smoke numbers land in target/ so they never
@@ -71,6 +74,19 @@ BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$agg_smoke_out" \
 if [ ! -f BENCH_aggregate.json ]; then
   cp "$agg_smoke_out" BENCH_aggregate.json
   echo "seeded BENCH_aggregate.json baseline from smoke run"
+fi
+
+echo "==> bench_dynamic smoke gate"
+# Same pattern for the streaming engine: the fast pass proves the
+# update-then-query-vs-rebuild bench runs end to end (its worst
+# update+kemeny line is the regression canary) and seeds the dynamic
+# baseline if absent.
+dyn_smoke_out="target/BENCH_dynamic.smoke.json"
+BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$dyn_smoke_out" \
+  cargo run --release --offline -p bucketrank-bench --bin bench_dynamic
+if [ ! -f BENCH_dynamic.json ]; then
+  cp "$dyn_smoke_out" BENCH_dynamic.json
+  echo "seeded BENCH_dynamic.json baseline from smoke run"
 fi
 
 echo "==> cargo clippy (best effort)"

@@ -1,0 +1,120 @@
+//! Snapshot-isolation regression tests for the streaming engine
+//! (alongside `tests/batch_parallel.rs`): held `DynamicProfile`
+//! snapshots are immutable owned views, so readers on other threads
+//! must never observe a partial update while the owning thread edits
+//! the engine — every invariant of a consistent epoch (complementary
+//! ×2 weights, weight/strict consistency, median vector frozen at the
+//! epoch) must hold on the view throughout, and the view must compare
+//! byte-identical to its capture before, during and after the churn.
+
+use bucketrank::aggregate::dynamic::{DynamicProfile, DynamicSnapshot};
+use bucketrank::aggregate::MedianPolicy;
+use bucketrank::BucketOrder;
+use std::thread;
+
+fn keys(k: &[i64]) -> BucketOrder {
+    BucketOrder::from_keys(k)
+}
+
+/// Every pair-invariant a consistent tally epoch satisfies; a torn
+/// read (a snapshot observing half an update) would violate one.
+fn assert_consistent_epoch(snap: &DynamicSnapshot) {
+    let t = snap.tally();
+    let n = t.len();
+    let m2 = 2 * t.voters() as u32;
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            if a == b {
+                continue;
+            }
+            assert_eq!(
+                t.weight_x2(a, b) + t.weight_x2(b, a),
+                m2,
+                "complementarity broken: pair ({a},{b})"
+            );
+            assert!(t.strict_count(a, b) + t.strict_count(b, a) <= t.voters() as u32);
+            assert_eq!(
+                t.weight_x2(a, b),
+                t.voters() as u32 + t.strict_count(a, b) - t.strict_count(b, a),
+                "w2/strict identity broken: pair ({a},{b})"
+            );
+        }
+    }
+    assert_eq!(snap.median_positions().len(), n);
+}
+
+#[test]
+fn held_snapshots_never_observe_concurrent_edits() {
+    let n = 6;
+    let mut dp = DynamicProfile::new(n, MedianPolicy::Upper);
+    let mut ids = Vec::new();
+    for i in 0..4i64 {
+        ids.push(dp.push_voter(keys(&[i, 2, 5 - i, 1, i % 3, 4])).unwrap());
+    }
+    let snap = dp.snapshot().unwrap();
+    let reference = snap.clone();
+    thread::scope(|s| {
+        let snap_ref = &snap;
+        let reference_ref = &reference;
+        let reader = s.spawn(move || {
+            // DynamicSnapshot is Sync: this closure borrows it across
+            // the thread boundary while the main thread keeps editing.
+            for _ in 0..500 {
+                assert_consistent_epoch(snap_ref);
+                assert_eq!(snap_ref, reference_ref, "held view changed under edits");
+                assert_eq!(snap_ref.tally().voters(), 4);
+            }
+        });
+        // Churn the engine hard while the reader holds the old epoch.
+        for round in 0..200i64 {
+            let id = dp.push_voter(keys(&[round % 5, 1, 2, 3, 4, round % 7])).unwrap();
+            dp.replace_voter(ids[(round % 4) as usize], keys(&[round % 3, round % 4, 1, 2, 3, 4]))
+                .unwrap();
+            dp.remove_voter(id).unwrap();
+        }
+        reader.join().unwrap();
+    });
+    // The held view is still the captured epoch, bit for bit.
+    assert_eq!(snap, reference);
+    assert_eq!(snap.tally().voters(), 4);
+    // The engine moved on: a fresh snapshot is a later generation.
+    let fresh = dp.snapshot().unwrap();
+    assert!(fresh.generation() > snap.generation());
+    assert_consistent_epoch(&fresh);
+}
+
+#[test]
+fn snapshots_can_move_to_other_threads() {
+    let mut dp = DynamicProfile::new(3, MedianPolicy::Lower);
+    dp.push_voter(keys(&[1, 2, 3])).unwrap();
+    let snap = dp.snapshot().unwrap();
+    let expected = snap.clone();
+    // DynamicSnapshot is Send: hand the owned view to another thread
+    // while the engine keeps editing here.
+    let handle = std::thread::spawn(move || {
+        assert_consistent_epoch(&snap);
+        snap
+    });
+    dp.push_voter(keys(&[3, 2, 1])).unwrap();
+    let returned = handle.join().unwrap();
+    assert_eq!(returned, expected);
+    assert_eq!(dp.voters(), 2);
+}
+
+#[test]
+fn generation_counts_every_successful_edit_exactly_once() {
+    let mut dp = DynamicProfile::new(3, MedianPolicy::Lower);
+    assert_eq!(dp.generation(), 0);
+    let a = dp.push_voter(keys(&[1, 2, 3])).unwrap();
+    let b = dp.push_voter(keys(&[2, 1, 3])).unwrap();
+    assert_eq!(dp.generation(), 2);
+    dp.replace_voter(a, keys(&[3, 2, 1])).unwrap();
+    assert_eq!(dp.generation(), 3);
+    dp.remove_voter(b).unwrap();
+    assert_eq!(dp.generation(), 4);
+    // Failed edits never advance the epoch.
+    assert!(dp.remove_voter(b).is_err());
+    assert!(dp.push_voter(BucketOrder::trivial(5)).is_err());
+    assert_eq!(dp.generation(), 4);
+    assert_eq!(dp.snapshot().unwrap().generation(), 4);
+}

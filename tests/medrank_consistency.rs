@@ -2,9 +2,10 @@
 //! access) against offline median aggregation, access-cost bounds, and
 //! the full fielded-search flow.
 
-use bucketrank::access::medrank::{medrank_top_k, medrank_winner};
+use bucketrank::access::medrank::{medrank_top_k, medrank_winner, top_k_from_medians};
 use bucketrank::access::query::PreferenceQuery;
 use bucketrank::access::RankingCursor;
+use bucketrank::aggregate::dynamic::DynamicProfile;
 use bucketrank::aggregate::median::{median_positions, MedianPolicy};
 use bucketrank::workloads::datasets::{flight_query_specs, flights, restaurant_query_specs, restaurants};
 use bucketrank::workloads::random::{random_few_valued, random_full_ranking};
@@ -16,12 +17,23 @@ use bucketrank_testkit::rng::{Rng, SeedableRng};
 /// its guarantees are therefore stated against the medians of those
 /// *refined* positions. A strict majority (`count > m/2`) corresponds to
 /// the **upper** median (for odd `m` the two medians coincide).
+/// Every property in this suite is simultaneously flushed through the
+/// streaming engine: the medians are computed both by the batch
+/// rebuild and by a `DynamicProfile` built from incremental pushes,
+/// and the two must agree exactly before either is used.
 fn refined_median_positions(inputs: &[BucketOrder]) -> Vec<Pos> {
     let refined: Vec<BucketOrder> = inputs
         .iter()
         .map(BucketOrder::arbitrary_full_refinement)
         .collect();
-    median_positions(&refined, MedianPolicy::Upper).unwrap()
+    let batch = median_positions(&refined, MedianPolicy::Upper).unwrap();
+    let (dp, _) = DynamicProfile::from_profile(&refined, MedianPolicy::Upper).unwrap();
+    assert_eq!(
+        dp.median_positions().unwrap(),
+        batch,
+        "incrementally maintained medians diverged from the batch rebuild"
+    );
+    batch
 }
 
 #[test]
@@ -98,6 +110,47 @@ fn top_k_winners_match_offline_median_set() {
         assert_eq!(got, want, "inputs {inputs:?} k {k}");
     }
     assert!(checked > 150, "too few unambiguous instances: {checked}");
+}
+
+#[test]
+fn dynamic_engine_serves_medrank_top_k_without_access() {
+    // A streaming engine that maintains medians under voter churn can
+    // answer MEDRANK's query with zero sorted accesses: wherever the
+    // k-th median is strictly separated, `top_k_from_medians` over the
+    // dynamic medians selects the same winner set as the online
+    // algorithm — including after in-place replace edits.
+    let mut rng = Pcg32::seed_from_u64(28);
+    let mut checked = 0;
+    for round in 0..200 {
+        let n = rng.gen_range(3..=9);
+        let m = rng.gen_range(1..=5usize) | 1;
+        let k = rng.gen_range(1..=n);
+        let mut inputs: Vec<BucketOrder> =
+            (0..m).map(|_| random_full_ranking(&mut rng, n)).collect();
+        let (mut dp, ids) =
+            DynamicProfile::from_profile(&inputs, MedianPolicy::Upper).unwrap();
+        // Churn: replace one voter in place every other round, so the
+        // served medians come from the incremental maintenance path.
+        if round % 2 == 0 {
+            let fresh = random_full_ranking(&mut rng, n);
+            dp.replace_voter(ids[round % m], fresh.clone()).unwrap();
+            inputs[round % m] = fresh;
+        }
+        let f = dp.median_positions().unwrap();
+        assert_eq!(f, refined_median_positions(&inputs));
+        let mut sorted = f.clone();
+        sorted.sort();
+        if k < n && sorted[k - 1] == sorted[k] {
+            continue; // boundary tie: either winner set is valid
+        }
+        checked += 1;
+        let mut served = top_k_from_medians(&f, k).unwrap();
+        served.sort_unstable();
+        let mut online = medrank_top_k(&inputs, k).unwrap().top;
+        online.sort_unstable();
+        assert_eq!(served, online, "inputs {inputs:?} k {k}");
+    }
+    assert!(checked > 100, "too few unambiguous instances: {checked}");
 }
 
 #[test]
