@@ -134,16 +134,20 @@ impl OrderSpec {
 
     /// Adds binning to a numeric spec.
     ///
-    /// # Panics
-    /// Panics if the spec is a text preference.
-    pub fn with_binning(mut self, b: Binning) -> Self {
+    /// # Errors
+    /// [`AccessError::NonNumericBinning`] if the spec ranks by text
+    /// preference — binning coarsens a numeric key and has no meaning
+    /// for categorical preference lists.
+    pub fn with_binning(mut self, b: Binning) -> Result<Self, AccessError> {
         match &mut self.rule {
             OrderRule::Numeric { binning, .. } => *binning = Some(b),
             OrderRule::TextPreference { .. } => {
-                panic!("binning applies to numeric specs only")
+                return Err(AccessError::NonNumericBinning {
+                    attribute: self.attribute,
+                })
             }
         }
-        self
+        Ok(self)
     }
 
     /// Text-preference spec: `preferred` categories in order, everything
@@ -423,7 +427,8 @@ mod tests {
     fn binned_float_ranking() {
         let t = restaurant_table();
         let spec = OrderSpec::numeric("distance", Direction::Asc)
-            .with_binning(Binning::Width(10.0));
+            .with_binning(Binning::Width(10.0))
+            .unwrap();
         let r = t.ranking(&spec).unwrap();
         // Distances 2.0, 9.0, 3.5 share the 0–10 bucket; 14.0 trails.
         assert_eq!(r.display(), "[0 1 3 | 2]");
@@ -542,15 +547,24 @@ mod tests {
         }
         let t = t.finish().unwrap();
         let spec = OrderSpec::numeric("connections", Direction::Asc)
-            .with_binning(Binning::Thresholds(vec![0.0, 1.0]));
+            .with_binning(Binning::Thresholds(vec![0.0, 1.0]))
+            .unwrap();
         let r = t.ranking(&spec).unwrap();
         // Nonstop | one stop | more.
         assert_eq!(r.display(), "[0 | 1 2 | 3 4]");
     }
 
     #[test]
-    #[should_panic(expected = "numeric specs only")]
-    fn binning_on_text_panics() {
-        let _ = OrderSpec::text_preference("cuisine", ["thai"]).with_binning(Binning::Width(1.0));
+    fn binning_on_text_is_a_typed_error() {
+        let err = OrderSpec::text_preference("cuisine", ["thai"])
+            .with_binning(Binning::Width(1.0))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            AccessError::NonNumericBinning {
+                attribute: "cuisine".into()
+            }
+        );
+        assert!(err.to_string().contains("numeric specs only"), "{err}");
     }
 }

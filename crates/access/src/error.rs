@@ -47,6 +47,11 @@ pub enum AccessError {
         /// The attribute involved.
         attribute: String,
     },
+    /// Binning was requested on a spec that does not rank numerically.
+    NonNumericBinning {
+        /// The attribute involved.
+        attribute: String,
+    },
 }
 
 impl fmt::Display for AccessError {
@@ -72,6 +77,12 @@ impl fmt::Display for AccessError {
             }
             AccessError::NonFiniteValue { attribute } => {
                 write!(f, "attribute {attribute:?} contains a non-finite float")
+            }
+            AccessError::NonNumericBinning { attribute } => {
+                write!(
+                    f,
+                    "binning applies to numeric specs only, but {attribute:?} ranks by text preference"
+                )
             }
         }
     }

@@ -222,7 +222,9 @@ mod tests {
     fn specs() -> Vec<OrderSpec> {
         vec![
             OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
-            OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+            OrderSpec::numeric("distance", Direction::Asc)
+                .with_binning(Binning::Width(10.0))
+                .unwrap(),
             OrderSpec::numeric("stars", Direction::Desc),
             OrderSpec::numeric("distance", Direction::Asc),
             OrderSpec::numeric("stars", Direction::Asc),
@@ -251,8 +253,12 @@ mod tests {
             for spec in [
                 OrderSpec::numeric("x", Direction::Asc),
                 OrderSpec::numeric("x", Direction::Desc),
-                OrderSpec::numeric("x", Direction::Asc).with_binning(Binning::Width(3.0)),
-                OrderSpec::numeric("y", Direction::Desc).with_binning(Binning::Width(10.0)),
+                OrderSpec::numeric("x", Direction::Asc)
+                    .with_binning(Binning::Width(3.0))
+                    .unwrap(),
+                OrderSpec::numeric("y", Direction::Desc)
+                    .with_binning(Binning::Width(10.0))
+                    .unwrap(),
                 OrderSpec::text_preference("tag", ["a", "c"]),
                 OrderSpec::text_preference("tag", ["zzz"]),
             ] {

@@ -22,7 +22,7 @@
 //!
 //! let query = PreferenceQuery::new(vec![
 //!     OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
-//!     OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+//!     OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)).unwrap(),
 //!     OrderSpec::numeric("stars", Direction::Desc),
 //! ])
 //! .with_k(1);

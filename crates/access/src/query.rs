@@ -116,7 +116,8 @@ mod tests {
     fn end_to_end_flight_search() {
         let q = PreferenceQuery::new(vec![
             OrderSpec::numeric("price", Direction::Asc)
-                .with_binning(Binning::Thresholds(vec![200.0, 300.0])),
+                .with_binning(Binning::Thresholds(vec![200.0, 300.0]))
+                .unwrap(),
             OrderSpec::numeric("stops", Direction::Asc),
             OrderSpec::text_preference("airline", ["blue"]),
         ])

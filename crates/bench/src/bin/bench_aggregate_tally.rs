@@ -30,6 +30,7 @@
 use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
 use bucketrank_aggregate::local::local_kemenize_with_tally;
 use bucketrank_aggregate::tally::ProfileTally;
+use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
 use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::{BucketOrder, ElementId};
 use bucketrank_workloads::random::random_few_valued;
@@ -142,7 +143,7 @@ fn random_full(rng: &mut Pcg32, n: usize) -> BucketOrder {
 }
 
 fn main() {
-    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    let fast = fast_mode();
     // Acceptance shapes: m ∈ {16, 256} voters × n ∈ {128, 512}
     // elements. The smoke gate shrinks them so CI stays quick; the
     // committed baseline uses the full grid.
@@ -228,29 +229,13 @@ fn main() {
         ]);
     }
 
-    // Hand-rolled JSON (no serde in the workspace): the shape grid,
-    // every measurement, and the headline speedup ratios.
-    let out = std::env::var("BUCKETRANK_BENCH_OUT")
-        .unwrap_or_else(|_| "BENCH_aggregate.json".to_string());
-    let shape_list: Vec<String> = shapes
-        .iter()
-        .map(|&(m, n)| format!("{{\"m\":{m},\"n\":{n}}}"))
-        .collect();
-    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
-    let ratios: Vec<String> = speedups
-        .iter()
-        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"bench_aggregate_tally\",\n  \"shapes\": [{}],\n  \
-         \"threads\": {threads},\n  \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
-         \"tally_speedups\": [\n{}\n  ]\n}}\n",
-        shape_list.join(", "),
-        measurements.join(",\n"),
-        ratios.join(",\n"),
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
-    println!("\nwrote {out}");
+    BenchReport::new("bench_aggregate_tally")
+        .shapes(shapes)
+        .field_usize("threads", threads)
+        .field_bool("fast", fast)
+        .measurements(&all)
+        .ratios("tally_speedups", &speedups)
+        .write(&out_path("BENCH_aggregate.json"));
 
     // The smoke gate doubles as a regression check: no rewired
     // aggregator stage (build / MC4 / local Kemenization) may lose to

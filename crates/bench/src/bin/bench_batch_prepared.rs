@@ -8,6 +8,7 @@
 //! `BUCKETRANK_BENCH_M` / `BUCKETRANK_BENCH_N` override the workload
 //! shape, and `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass.
 
+use bucketrank_bench::report::{env_usize, fast_mode, out_path, BenchReport};
 use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::batch::{
@@ -17,18 +18,8 @@ use bucketrank_metrics::batch::{
 use bucketrank_workloads::random::random_few_valued;
 use bucketrank_workloads::rng::{Pcg32, SeedableRng};
 
-fn env_usize(name: &str, default: usize) -> usize {
-    match std::env::var(name) {
-        Ok(s) => s
-            .trim()
-            .parse()
-            .unwrap_or_else(|_| panic!("{name} must be a usize, got {s:?}")),
-        Err(_) => default,
-    }
-}
-
 fn main() {
-    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    let fast = fast_mode();
     // Acceptance workload: m ≥ 64 rankings over n ≥ 512 elements. The
     // smoke gate shrinks it so CI stays quick; the committed baseline
     // uses the full shape.
@@ -76,24 +67,14 @@ fn main() {
         all.extend([direct_seq, prepared_seq, direct_par, prepared_par]);
     }
 
-    // Hand-rolled JSON (no serde in the workspace): one object with the
-    // workload shape, every measurement, and the headline ratios.
-    let out = std::env::var("BUCKETRANK_BENCH_OUT")
-        .unwrap_or_else(|_| "BENCH_metrics.json".to_string());
-    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
-    let ratios: Vec<String> = speedups
-        .iter()
-        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"bench_batch_prepared\",\n  \"m\": {m},\n  \"n\": {n},\n  \
-         \"threads\": {threads},\n  \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
-         \"prepared_speedups\": [\n{}\n  ]\n}}\n",
-        measurements.join(",\n"),
-        ratios.join(",\n"),
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
-    println!("\nwrote {out}");
+    BenchReport::new("bench_batch_prepared")
+        .field_usize("m", m)
+        .field_usize("n", n)
+        .field_usize("threads", threads)
+        .field_bool("fast", fast)
+        .measurements(&all)
+        .ratios("prepared_speedups", &speedups)
+        .write(&out_path("BENCH_metrics.json"));
 
     // The smoke gate doubles as a regression check: the prepared path
     // must not lose to the direct path on the matrix workload.

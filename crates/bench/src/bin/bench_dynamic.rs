@@ -42,6 +42,7 @@ use bucketrank_aggregate::dynamic::DynamicProfile;
 use bucketrank_aggregate::median::median_positions;
 use bucketrank_aggregate::tally::ProfileTally;
 use bucketrank_aggregate::MedianPolicy;
+use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
 use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::{BucketOrder, ElementId};
 use bucketrank_workloads::random::random_few_valued;
@@ -57,7 +58,7 @@ fn random_full(rng: &mut Pcg32, n: usize) -> BucketOrder {
 }
 
 fn main() {
-    let fast = std::env::var_os("BUCKETRANK_BENCH_FAST").is_some();
+    let fast = fast_mode();
     // Acceptance shapes: m ∈ {16, 256} voters × n ∈ {128, 512}
     // elements (the gate reads m=256 × n=512). The smoke gate shrinks
     // them so CI stays quick; the committed baseline uses the full
@@ -137,29 +138,12 @@ fn main() {
         ]);
     }
 
-    // Hand-rolled JSON (no serde in the workspace): the shape grid,
-    // every measurement, and the headline speedup ratios.
-    let out = std::env::var("BUCKETRANK_BENCH_OUT")
-        .unwrap_or_else(|_| "BENCH_dynamic.json".to_string());
-    let shape_list: Vec<String> = shapes
-        .iter()
-        .map(|&(m, n)| format!("{{\"m\":{m},\"n\":{n}}}"))
-        .collect();
-    let measurements: Vec<String> = all.iter().map(|m| format!("    {}", m.json())).collect();
-    let ratios: Vec<String> = speedups
-        .iter()
-        .map(|(name, r)| format!("    {{\"name\":\"{name}\",\"speedup\":{r:.3}}}"))
-        .collect();
-    let json = format!(
-        "{{\n  \"bench\": \"bench_dynamic\",\n  \"shapes\": [{}],\n  \
-         \"fast\": {fast},\n  \"measurements\": [\n{}\n  ],\n  \
-         \"dynamic_speedups\": [\n{}\n  ]\n}}\n",
-        shape_list.join(", "),
-        measurements.join(",\n"),
-        ratios.join(",\n"),
-    );
-    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
-    println!("\nwrote {out}");
+    BenchReport::new("bench_dynamic")
+        .shapes(shapes)
+        .field_bool("fast", fast)
+        .measurements(&all)
+        .ratios("dynamic_speedups", &speedups)
+        .write(&out_path("BENCH_dynamic.json"));
 
     // The smoke gate doubles as a regression check: the kemeny cycle
     // (whose rebuild arm pays the same O(m·n²) tally build the engine

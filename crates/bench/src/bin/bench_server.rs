@@ -1,0 +1,213 @@
+//! Loopback throughput and latency for the TCP ranking service
+//! (`bucketrank-server`) — the measurement backing the server layer.
+//!
+//! One in-process server on an ephemeral port, then two request mixes
+//! driven by concurrent blocking clients (one connection each):
+//!
+//! * **edit_heavy**: 80% voter edits (replace), 20% snapshot reads —
+//!   the streaming-ingest regime, serialized per session by the edit
+//!   mutex;
+//! * **read_heavy**: 5% edits, 95% reads (median order, top-k, Kemeny
+//!   cost, pairwise prepared metrics) — the query-fanout regime the
+//!   snapshot-publish read path exists for.
+//!
+//! Each client works its own session so the mixes measure service
+//! throughput rather than single-mutex contention. Per-request wall
+//! latencies feed p50/p99; the acceptance gate is ≥10k requests/s on
+//! the read-heavy mix.
+//!
+//! Before the mixes, one client exercises every request type once
+//! (the same round-trip set the CI smoke gate drives), and the run
+//! ends with a wire `Shutdown` followed by a drained `Server::shutdown`
+//! — so a hung drain fails the benchmark rather than the test suite.
+//!
+//! Run with `cargo run --release -p bucketrank-bench --bin
+//! bench_server`. Results go to the perf trajectory file
+//! `BENCH_server.json` (override with `BUCKETRANK_BENCH_OUT`);
+//! `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass on a shrunken
+//! request budget.
+
+use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
+use bucketrank_server::{Client, MetricKind, Server, ServerConfig, WirePolicy};
+use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::rng::{Pcg32, Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::time::Instant;
+
+/// p-th percentile (0..=100) of an unsorted latency sample, in ns.
+fn percentile_ns(latencies: &mut [u64], p: f64) -> u64 {
+    assert!(!latencies.is_empty());
+    latencies.sort_unstable();
+    let rank = ((p / 100.0) * (latencies.len() - 1) as f64).round() as usize;
+    latencies[rank]
+}
+
+/// One round trip of every request type — the smoke pass. Returns the
+/// number of requests issued.
+fn smoke_all_request_types(addr: SocketAddr, n: usize) -> u64 {
+    let mut rng = Pcg32::seed_from_u64(7);
+    let mut c = Client::connect(addr).expect("connect");
+    let r1 = random_few_valued(&mut rng, n, 4);
+    let r2 = random_few_valued(&mut rng, n, 4);
+    let mut count = 0u64;
+
+    c.ping().expect("ping");
+    c.create_session("smoke", n, WirePolicy::Lower).expect("create");
+    let a = c.push_voter("smoke", &r1).expect("push");
+    let b = c.push_voter("smoke", &r2).expect("push");
+    c.replace_voter("smoke", a, &r2).expect("replace");
+    c.median_order("smoke").expect("median");
+    c.top_k("smoke", 2.min(n)).expect("top_k");
+    c.kemeny_cost_x2("smoke", &r1).expect("kemeny");
+    count += 8;
+    for metric in MetricKind::ALL {
+        c.pair_metric_x2("smoke", metric, a, b).expect("pair metric");
+        count += 1;
+    }
+    c.remove_voter("smoke", b).expect("remove");
+    c.drop_session("smoke").expect("drop");
+    count + 2
+}
+
+/// Drives one mix and returns `(elapsed_seconds, latencies_ns)`.
+fn run_mix(
+    addr: SocketAddr,
+    name: &str,
+    clients: usize,
+    per_client: usize,
+    edit_pct: u32,
+    n: usize,
+) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let session = format!("{name}-{ci}");
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut rng = Pcg32::seed_from_u64(0x5e7 + ci as u64);
+                let mut c = Client::connect(addr).expect("connect");
+                c.create_session(&session, n, WirePolicy::Lower)
+                    .expect("create");
+                // Seed a handful of voters so reads have a profile.
+                let voters: Vec<u64> = (0..4)
+                    .map(|_| {
+                        let r = random_few_valued(&mut rng, n, 4);
+                        c.push_voter(&session, &r).expect("seed push")
+                    })
+                    .collect();
+                let candidate = random_few_valued(&mut rng, n, 4);
+
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let t0 = Instant::now();
+                    if rng.gen_range(0..100) < edit_pct {
+                        let v = voters[i % voters.len()];
+                        let r = random_few_valued(&mut rng, n, 4);
+                        c.replace_voter(&session, v, &r)
+                            .unwrap_or_else(|e| panic!("replace: {e}"));
+                    } else {
+                        match i % 4 {
+                            0 => {
+                                c.median_order(&session).expect("median");
+                            }
+                            1 => {
+                                c.top_k(&session, 1 + i % n).expect("top_k");
+                            }
+                            2 => {
+                                c.kemeny_cost_x2(&session, &candidate).expect("kemeny");
+                            }
+                            _ => {
+                                let m = MetricKind::ALL[i % 4];
+                                c.pair_metric_x2(&session, m, voters[0], voters[1])
+                                    .expect("pair");
+                            }
+                        }
+                    }
+                    latencies.push(t0.elapsed().as_nanos() as u64);
+                }
+                c.drop_session(&session).expect("drop");
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies = Vec::with_capacity(clients * per_client);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    (start.elapsed().as_secs_f64(), latencies)
+}
+
+fn main() {
+    let fast = fast_mode();
+    // Acceptance shape: 32-element sessions, 4 clients, 4000 requests
+    // each per mix. The smoke gate shrinks the budget so CI stays
+    // quick.
+    let n = 32;
+    let clients = if fast { 2 } else { 4 };
+    let per_client = if fast { 400 } else { 4000 };
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: clients.max(2),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    println!("bench_server on {addr} ({clients} clients × {per_client} requests per mix)");
+
+    let smoke_requests = smoke_all_request_types(addr, n);
+    println!("  smoke: every request type round-tripped ({smoke_requests} requests)");
+
+    let mixes = [("edit_heavy", 80u32), ("read_heavy", 5u32)];
+    let mut mix_rows: Vec<String> = Vec::new();
+    let mut read_heavy_rps = 0.0f64;
+    for (name, edit_pct) in mixes {
+        let (elapsed, mut latencies) = run_mix(addr, name, clients, per_client, edit_pct, n);
+        let requests = latencies.len() as u64;
+        let rps = requests as f64 / elapsed;
+        let p50_us = percentile_ns(&mut latencies, 50.0) as f64 / 1e3;
+        let p99_us = percentile_ns(&mut latencies, 99.0) as f64 / 1e3;
+        println!(
+            "  {name}: {rps:.0} req/s over {requests} requests \
+             (p50 {p50_us:.1}µs, p99 {p99_us:.1}µs)"
+        );
+        mix_rows.push(format!(
+            "{{\"name\":\"{name}\",\"edit_pct\":{edit_pct},\"clients\":{clients},\
+             \"requests\":{requests},\"elapsed_s\":{elapsed:.4},\
+             \"throughput_rps\":{rps:.1},\"p50_us\":{p50_us:.2},\"p99_us\":{p99_us:.2}}}"
+        ));
+        if name == "read_heavy" {
+            read_heavy_rps = rps;
+        }
+    }
+
+    // Graceful shutdown: wire request, then a drained join. A hang
+    // here (leaked connection thread, stuck worker) blocks the
+    // benchmark and fails CI by timeout rather than hiding.
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    c.shutdown_server().expect("wire shutdown");
+    let stats = server.shutdown();
+    assert!(
+        stats.requests >= smoke_requests + 2 * (clients * per_client) as u64,
+        "drained stats undercount: {stats:?}"
+    );
+    println!(
+        "  shutdown drained: {} requests over {} connections \
+         ({} busy rejections, {} protocol errors)",
+        stats.requests, stats.connections, stats.rejected_busy, stats.protocol_errors
+    );
+
+    BenchReport::new("bench_server")
+        .field_usize("n", n)
+        .field_usize("clients", clients)
+        .field_usize("per_client", per_client)
+        .field_bool("fast", fast)
+        .field_usize("total_requests", stats.requests as usize)
+        .array("mixes", &mix_rows)
+        .write(&out_path("BENCH_server.json"));
+
+    let verdict = if read_heavy_rps >= 10_000.0 { "PASS" } else { "FAIL" };
+    println!("acceptance gate read_heavy >= 10000 req/s: {read_heavy_rps:.0} [{verdict}]");
+}

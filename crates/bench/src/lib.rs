@@ -7,9 +7,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod report;
 pub mod table;
 pub mod timing;
 
+pub use report::BenchReport;
 pub use table::Table;
 pub use timing::{Measurement, Sampler};
 

@@ -1,0 +1,197 @@
+//! Shared plumbing for the `bench_*` binaries: environment knobs and
+//! the hand-rolled `BENCH_*.json` trajectory files.
+//!
+//! Every benchmark binary honours the same contract — `BUCKETRANK_BENCH_FAST`
+//! selects the shrunken smoke-gate shapes, `BUCKETRANK_BENCH_OUT`
+//! overrides the output path, `BUCKETRANK_BENCH_M`/`_N` override
+//! workload shapes where meaningful — and emits one JSON object with
+//! the workload description, every [`Measurement`], and the headline
+//! ratio arrays. This module is that contract in one place, so the
+//! binaries hold only their workload logic.
+
+use crate::timing::Measurement;
+use std::fmt::Write as _;
+
+/// True when `BUCKETRANK_BENCH_FAST` is set: run the shrunken
+/// smoke-gate pass instead of the committed-baseline shapes.
+#[must_use]
+pub fn fast_mode() -> bool {
+    std::env::var_os("BUCKETRANK_BENCH_FAST").is_some()
+}
+
+/// Reads a `usize` knob from the environment, falling back to
+/// `default` when unset.
+///
+/// # Panics
+/// When the variable is set but does not parse — a misconfigured
+/// benchmark run should fail loudly, not silently measure the wrong
+/// shape.
+#[must_use]
+pub fn env_usize(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(s) => s
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} must be a usize, got {s:?}")),
+        Err(_) => default,
+    }
+}
+
+/// The output path: `BUCKETRANK_BENCH_OUT`, or the binary's default
+/// trajectory file.
+#[must_use]
+pub fn out_path(default: &str) -> String {
+    std::env::var("BUCKETRANK_BENCH_OUT").unwrap_or_else(|_| default.to_string())
+}
+
+/// Builder for one `BENCH_*.json` object (the workspace has no serde;
+/// the format is hand-rolled but uniform across binaries).
+///
+/// Sections render in insertion order after the leading `"bench"`
+/// name, so reports stay diffable run over run.
+#[derive(Debug)]
+pub struct BenchReport {
+    bench: String,
+    sections: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// Starts a report for the named benchmark binary.
+    #[must_use]
+    pub fn new(bench: &str) -> Self {
+        BenchReport {
+            bench: bench.to_string(),
+            sections: Vec::new(),
+        }
+    }
+
+    /// Adds a scalar field holding any pre-rendered JSON value.
+    #[must_use]
+    pub fn field_raw(mut self, name: &str, json_value: impl Into<String>) -> Self {
+        self.sections.push((name.to_string(), json_value.into()));
+        self
+    }
+
+    /// Adds a numeric field.
+    #[must_use]
+    pub fn field_usize(self, name: &str, value: usize) -> Self {
+        self.field_raw(name, value.to_string())
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn field_bool(self, name: &str, value: bool) -> Self {
+        self.field_raw(name, value.to_string())
+    }
+
+    /// Adds the `(m voters × n elements)` shape grid.
+    #[must_use]
+    pub fn shapes(self, shapes: &[(usize, usize)]) -> Self {
+        let list: Vec<String> = shapes
+            .iter()
+            .map(|&(m, n)| format!("{{\"m\":{m},\"n\":{n}}}"))
+            .collect();
+        self.field_raw("shapes", format!("[{}]", list.join(", ")))
+    }
+
+    /// Adds an array of pre-rendered JSON objects as a multi-line
+    /// section.
+    #[must_use]
+    pub fn array(mut self, name: &str, items: &[String]) -> Self {
+        let mut body = String::from("[\n");
+        for (i, item) in items.iter().enumerate() {
+            let sep = if i + 1 < items.len() { "," } else { "" };
+            let _ = writeln!(body, "    {item}{sep}");
+        }
+        body.push_str("  ]");
+        self.sections.push((name.to_string(), body));
+        self
+    }
+
+    /// Adds the `"measurements"` section.
+    #[must_use]
+    pub fn measurements(self, all: &[Measurement]) -> Self {
+        let items: Vec<String> = all.iter().map(Measurement::json).collect();
+        self.array("measurements", &items)
+    }
+
+    /// Adds a named `{"name": …, "speedup": …}` ratio array — the
+    /// headline numbers the CI gates read.
+    #[must_use]
+    pub fn ratios(self, name: &str, ratios: &[(String, f64)]) -> Self {
+        let items: Vec<String> = ratios
+            .iter()
+            .map(|(n, r)| format!("{{\"name\":\"{n}\",\"speedup\":{r:.3}}}"))
+            .collect();
+        self.array(name, &items)
+    }
+
+    /// Renders the report as a JSON object.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!("{{\n  \"bench\": \"{}\"", self.bench);
+        for (name, value) in &self.sections {
+            let _ = write!(out, ",\n  \"{name}\": {value}");
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Writes the report to `out` and echoes the path.
+    ///
+    /// # Panics
+    /// When the file cannot be written — a benchmark that cannot record
+    /// its trajectory must not look like a pass.
+    pub fn write(&self, out: &str) {
+        std::fs::write(out, self.render()).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+        println!("\nwrote {out}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_read_and_default() {
+        assert_eq!(env_usize("BUCKETRANK_BENCH_NO_SUCH_KNOB", 7), 7);
+        assert_eq!(out_path("BENCH_x.json"), {
+            std::env::var("BUCKETRANK_BENCH_OUT").unwrap_or_else(|_| "BENCH_x.json".into())
+        });
+    }
+
+    #[test]
+    fn report_renders_sections_in_order() {
+        let json = BenchReport::new("bench_demo")
+            .field_usize("m", 8)
+            .field_bool("fast", true)
+            .shapes(&[(2, 3), (4, 5)])
+            .ratios("speedups", &[("a/b".to_string(), 2.0)])
+            .render();
+        assert!(json.starts_with("{\n  \"bench\": \"bench_demo\""), "{json}");
+        assert!(json.contains("\"m\": 8"), "{json}");
+        assert!(json.contains("\"fast\": true"), "{json}");
+        assert!(json.contains("{\"m\":2,\"n\":3}"), "{json}");
+        assert!(json.contains("{\"name\":\"a/b\",\"speedup\":2.000}"), "{json}");
+        // Balanced braces + trailing newline: parses as one object.
+        assert!(json.ends_with("}\n"), "{json}");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        // Insertion order.
+        let m_at = json.find("\"m\"").unwrap();
+        let fast_at = json.find("\"fast\"").unwrap();
+        let shapes_at = json.find("\"shapes\"").unwrap();
+        assert!(m_at < fast_at && fast_at < shapes_at);
+    }
+
+    #[test]
+    fn empty_array_renders() {
+        let json = BenchReport::new("bench_demo")
+            .array("items", &[])
+            .render();
+        assert!(json.contains("\"items\": [\n  ]"), "{json}");
+    }
+}

@@ -399,7 +399,9 @@ pub fn cmd_query(
                         .and_then(|v| v.parse::<f64>().ok())
                         .filter(|w| *w > 0.0)
                         .ok_or_else(|| CliError(format!("bad binning in {p:?}")))?;
-                    s = s.with_binning(Binning::Width(w));
+                    s = s
+                        .with_binning(Binning::Width(w))
+                        .map_err(|e| CliError(e.to_string()))?;
                 }
                 s
             }
@@ -441,13 +443,60 @@ pub fn cmd_query(
     Ok(out)
 }
 
+/// `serve`: host ranking sessions over TCP until a client sends the
+/// wire `Shutdown` request, then drain and report traffic counters.
+///
+/// `addr_file`, when given, receives the bound address once listening —
+/// the handshake scripts and tests use it with `--addr 127.0.0.1:0` to
+/// discover the ephemeral port.
+///
+/// # Errors
+/// [`CliError`] on nonsensical parameters or bind/write failures.
+pub fn cmd_serve(
+    addr: &str,
+    workers: Option<usize>,
+    queue_depth: Option<usize>,
+    max_conns: Option<usize>,
+    addr_file: Option<&str>,
+) -> Result<String, CliError> {
+    use bucketrank_server::{Server, ServerConfig};
+
+    let mut config = ServerConfig::default();
+    if let Some(w) = workers {
+        config.workers = w;
+    }
+    if let Some(d) = queue_depth {
+        config.queue_depth = d;
+    }
+    if let Some(c) = max_conns {
+        config.max_connections = c;
+    }
+    if config.workers == 0 || config.queue_depth == 0 || config.max_connections == 0 {
+        return err("serve needs --workers, --queue-depth, and --max-conns ≥ 1");
+    }
+    let server =
+        Server::bind(addr, config).map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
+    let local = server.local_addr();
+    eprintln!("bucketrank serving on {local}");
+    if let Some(path) = addr_file {
+        std::fs::write(path, local.to_string())
+            .map_err(|e| CliError(format!("cannot write {path}: {e}")))?;
+    }
+    server.wait_shutdown_requested();
+    let stats = server.shutdown();
+    Ok(format!(
+        "served {} requests over {} connections ({} busy rejections, {} protocol errors)\n",
+        stats.requests, stats.connections, stats.rejected_busy, stats.protocol_errors
+    ))
+}
+
 /// Entry point shared by `main` and the tests: parses the argument list
 /// (without the program name) and returns the command's stdout text.
 ///
 /// # Errors
 /// [`CliError`] with a usage or failure message.
 pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<String, CliError> {
-    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]";
+    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]\n  bucketrank serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-conns N] [--addr-file PATH]";
     let mut it = args.iter();
     let cmd = match it.next() {
         Some(c) => c.as_str(),
@@ -542,6 +591,24 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>
                 None => None,
             };
             cmd_generate(n, m, seed, theta, top)
+        }
+        "serve" => {
+            let parse_opt = |name: &str| -> Result<Option<usize>, CliError> {
+                match flag(name) {
+                    Some(v) => v
+                        .parse()
+                        .map(Some)
+                        .map_err(|_| CliError(format!("bad {name}"))),
+                    None => Ok(None),
+                }
+            };
+            cmd_serve(
+                flag("--addr").unwrap_or("127.0.0.1:7131"),
+                parse_opt("--workers")?,
+                parse_opt("--queue-depth")?,
+                parse_opt("--max-conns")?,
+                flag("--addr-file"),
+            )
         }
         "--help" | "-h" | "help" => Ok(usage.to_owned()),
         other => err(format!("unknown command {other:?}\n{usage}")),
@@ -709,6 +776,54 @@ pizza,3.5,4
         let out = run(&args, reader).unwrap();
         assert!(out.contains("1. row"), "{out}");
         assert!(out.lines().count() >= 3);
+    }
+
+    #[test]
+    fn serve_runs_until_wire_shutdown() {
+        use bucketrank_server::Client;
+        use std::time::Duration;
+
+        let addr_file = std::env::temp_dir().join(format!(
+            "bucketrank-cli-serve-{}.addr",
+            std::process::id()
+        ));
+        let addr_file_str = addr_file.to_string_lossy().into_owned();
+        let args: Vec<String> = [
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--addr-file",
+            &addr_file_str,
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let handle = std::thread::spawn(move || run(&args, no_fs));
+
+        // Wait for the addr file to appear, then drive a round trip.
+        let mut addr = None;
+        for _ in 0..200 {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if let Ok(a) = text.trim().parse() {
+                    addr = Some(a);
+                    break;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let addr = addr.expect("server never published its address");
+        let mut client = Client::connect(addr).unwrap();
+        client.ping().unwrap();
+        client.shutdown_server().unwrap();
+
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("served"), "{out}");
+        let _ = std::fs::remove_file(&addr_file);
+
+        // Parameter validation is immediate, not deferred to bind.
+        assert!(cmd_serve("127.0.0.1:0", Some(0), None, None, None).is_err());
     }
 
     #[test]

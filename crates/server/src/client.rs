@@ -1,0 +1,344 @@
+//! A blocking, dependency-free client for the wire protocol — the
+//! reference consumer used by the integration tests, the CI smoke
+//! gate, and the `bench_server` loopback driver.
+//!
+//! One [`Client`] owns one connection and issues one request at a
+//! time (matching the server's one-in-flight-per-connection model);
+//! open several clients for concurrency. Every method decodes the
+//! reply into a typed result: server-side failures arrive as
+//! [`ClientError::Server`] with the wire [`ErrorCode`], backpressure
+//! as [`ClientError::Busy`].
+
+use crate::proto::{
+    read_frame, write_frame, ErrorCode, FrameError, MetricKind, ProtoError, Request, Response,
+    WirePolicy, DEFAULT_MAX_FRAME,
+};
+use bucketrank_core::BucketOrder;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A client-side failure.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// Transport failure (includes timeouts and the peer dying).
+    Io(io::Error),
+    /// The server closed the connection (e.g. after a protocol
+    /// violation we produced, or a drained shutdown).
+    Closed,
+    /// The reply could not be decoded.
+    Proto(ProtoError),
+    /// The server answered with a typed error.
+    Server {
+        /// The wire failure class.
+        code: ErrorCode,
+        /// Human-readable detail from the server.
+        message: String,
+    },
+    /// The server rejected the request for backpressure; retry later.
+    Busy,
+    /// The reply decoded but was not the kind this call expects.
+    Unexpected {
+        /// A short description of the reply that arrived.
+        got: &'static str,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Proto(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code:?}): {message}")
+            }
+            ClientError::Busy => write!(f, "server is busy"),
+            ClientError::Unexpected { got } => write!(f, "unexpected reply kind: {got}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Closed => ClientError::Closed,
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Proto(e) => ClientError::Proto(e),
+        }
+    }
+}
+
+fn resp_kind(resp: &Response) -> &'static str {
+    match resp {
+        Response::Pong => "Pong",
+        Response::SessionCreated => "SessionCreated",
+        Response::SessionDropped => "SessionDropped",
+        Response::VoterPushed { .. } => "VoterPushed",
+        Response::VoterRemoved => "VoterRemoved",
+        Response::VoterReplaced => "VoterReplaced",
+        Response::Ranking { .. } => "Ranking",
+        Response::CostX2 { .. } => "CostX2",
+        Response::Busy => "Busy",
+        Response::Error { .. } => "Error",
+        Response::ShutdownAck => "ShutdownAck",
+    }
+}
+
+/// The blocking connection handle; see the [module docs](self).
+pub struct Client {
+    stream: TcpStream,
+    max_frame: usize,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    /// The underlying [`io::Error`].
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            stream,
+            max_frame: DEFAULT_MAX_FRAME,
+        })
+    }
+
+    /// Sets both socket timeouts (None = block forever).
+    ///
+    /// # Errors
+    /// The underlying [`io::Error`].
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
+    }
+
+    /// Issues one request and returns the **raw reply body** — the
+    /// exact bytes the server framed. The differential suite compares
+    /// these against locally-encoded expected responses, so the
+    /// byte-identical acceptance bar is checked without interpretation.
+    ///
+    /// # Errors
+    /// [`ClientError::Io`] / [`ClientError::Closed`].
+    pub fn call_raw(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, &req.encode(), self.max_frame)?;
+        Ok(read_frame(&mut self.stream, self.max_frame)?)
+    }
+
+    /// Issues one request and decodes the typed reply.
+    ///
+    /// # Errors
+    /// Any [`ClientError`] except `Server`/`Busy` (those are values
+    /// here; the convenience wrappers turn them into errors).
+    pub fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let body = self.call_raw(req)?;
+        Response::decode(&body).map_err(ClientError::Proto)
+    }
+
+    fn expect(&mut self, req: &Request) -> Result<Response, ClientError> {
+        match self.call(req)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            Response::Busy => Err(ClientError::Busy),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport failure or a non-`Pong` reply.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Creates a named session over an `n`-element domain.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::SessionExists`] /
+    /// [`ErrorCode::BadRequest`], or a transport failure.
+    pub fn create_session(
+        &mut self,
+        name: &str,
+        n: usize,
+        policy: WirePolicy,
+    ) -> Result<(), ClientError> {
+        let req = Request::CreateSession {
+            name: name.to_owned(),
+            n: n as u32,
+            policy,
+        };
+        match self.expect(&req)? {
+            Response::SessionCreated => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Drops a session.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownSession`], or a
+    /// transport failure.
+    pub fn drop_session(&mut self, name: &str) -> Result<(), ClientError> {
+        let req = Request::DropSession {
+            name: name.to_owned(),
+        };
+        match self.expect(&req)? {
+            Response::SessionDropped => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Pushes a voter; returns the issued raw voter id.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] mirroring the engine's typed errors, or
+    /// a transport failure.
+    pub fn push_voter(&mut self, session: &str, ranking: &BucketOrder) -> Result<u64, ClientError> {
+        let req = Request::PushVoter {
+            session: session.to_owned(),
+            ranking: ranking.clone(),
+        };
+        match self.expect(&req)? {
+            Response::VoterPushed { voter } => Ok(voter),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Removes a live voter.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownVoter`], or a
+    /// transport failure.
+    pub fn remove_voter(&mut self, session: &str, voter: u64) -> Result<(), ClientError> {
+        let req = Request::RemoveVoter {
+            session: session.to_owned(),
+            voter,
+        };
+        match self.expect(&req)? {
+            Response::VoterRemoved => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Replaces a live voter's ranking.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] mirroring the engine's typed errors, or
+    /// a transport failure.
+    pub fn replace_voter(
+        &mut self,
+        session: &str,
+        voter: u64,
+        ranking: &BucketOrder,
+    ) -> Result<(), ClientError> {
+        let req = Request::ReplaceVoter {
+            session: session.to_owned(),
+            voter,
+            ranking: ranking.clone(),
+        };
+        match self.expect(&req)? {
+            Response::VoterReplaced => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// The session's median order.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::NoVoters`] /
+    /// [`ErrorCode::UnknownSession`], or a transport failure.
+    pub fn median_order(&mut self, session: &str) -> Result<BucketOrder, ClientError> {
+        let req = Request::MedianOrder {
+            session: session.to_owned(),
+        };
+        match self.expect(&req)? {
+            Response::Ranking { order } => Ok(order),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// The session's median top-`k`.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::InvalidK`] and
+    /// friends, or a transport failure.
+    pub fn top_k(&mut self, session: &str, k: usize) -> Result<BucketOrder, ClientError> {
+        let req = Request::TopK {
+            session: session.to_owned(),
+            k: k as u32,
+        };
+        match self.expect(&req)? {
+            Response::Ranking { order } => Ok(order),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Kemeny cost (×2) of a candidate against the session's profile.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] mirroring the tally's typed errors, or a
+    /// transport failure.
+    pub fn kemeny_cost_x2(
+        &mut self,
+        session: &str,
+        candidate: &BucketOrder,
+    ) -> Result<u64, ClientError> {
+        let req = Request::KemenyCost {
+            session: session.to_owned(),
+            candidate: candidate.clone(),
+        };
+        match self.expect(&req)? {
+            Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// A pairwise metric (×2 scale) between two stored voter rankings.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownVoter`] and
+    /// friends, or a transport failure.
+    pub fn pair_metric_x2(
+        &mut self,
+        session: &str,
+        metric: MetricKind,
+        voter_a: u64,
+        voter_b: u64,
+    ) -> Result<u64, ClientError> {
+        let req = Request::PairMetric {
+            session: session.to_owned(),
+            metric,
+            voter_a,
+            voter_b,
+        };
+        match self.expect(&req)? {
+            Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Asks the server to shut down gracefully; returns once the
+    /// acknowledgement arrives (the drain proceeds server-side).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport failure or an unexpected reply.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        match self.expect(&Request::Shutdown)? {
+            Response::ShutdownAck => Ok(()),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! A dependency-free TCP service for rankings with ties.
+//!
+//! This crate hosts named [`DynamicProfile`](bucketrank_aggregate::DynamicProfile)
+//! sessions behind a small length-prefixed binary protocol, so the
+//! streaming aggregation engine and the prepared metric kernels can be
+//! driven over a socket instead of in-process. It is built entirely on
+//! `std` — no async runtime, no serialization framework — in keeping
+//! with the workspace's hermetic, path-only dependency policy.
+//!
+//! The layers, bottom to top:
+//!
+//! - [`proto`] — the wire format: framed, versioned, bounded requests
+//!   and responses with typed decode errors. Malformed or oversized
+//!   input fails the *connection*, never the process.
+//! - [`service`] — transport-agnostic request handling: a session map
+//!   where edits go through a per-session `DynamicProfile` under a
+//!   mutex, and reads go through immutable published
+//!   [`DynamicSnapshot`](bucketrank_aggregate::DynamicSnapshot)s so
+//!   they never block writers.
+//! - [`server`] — the TCP front: an accept loop, per-connection reader
+//!   threads, and a fixed worker pool behind a bounded job queue with
+//!   explicit backpressure ([`Response::Busy`]) and graceful,
+//!   drain-the-in-flight shutdown.
+//! - [`client`] — a blocking loopback client used by the integration
+//!   tests, the CI smoke gate, and `bench_server`.
+//!
+//! # Quickstart (loopback)
+//!
+//! ```
+//! use bucketrank_server::{Client, Server, ServerConfig, WirePolicy};
+//! use bucketrank_core::BucketOrder;
+//!
+//! let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//!
+//! client.create_session("demo", 3, WirePolicy::Lower).unwrap();
+//! client.push_voter("demo", &BucketOrder::from_keys(&[0, 1, 1])).unwrap();
+//! client.push_voter("demo", &BucketOrder::from_keys(&[0, 1, 2])).unwrap();
+//! let median = client.median_order("demo").unwrap();
+//! assert_eq!(median.len(), 3);
+//!
+//! let stats = server.shutdown();
+//! assert!(stats.requests >= 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod service;
+
+pub use client::{Client, ClientError};
+pub use proto::{
+    ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, WirePolicy,
+    DEFAULT_MAX_FRAME, PROTO_VERSION,
+};
+pub use server::{Server, ServerConfig, ServerStats};
+pub use service::Service;

@@ -1,0 +1,1042 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! # Framing
+//!
+//! Every message — request or response — travels as one *frame*:
+//!
+//! ```text
+//! ┌────────────────┬───────────────────────────────────────────┐
+//! │ u32 BE length  │ body (`length` bytes)                     │
+//! └────────────────┴───────────────────────────────────────────┘
+//! body = [ u8 version | u8 opcode | payload… ]
+//! ```
+//!
+//! The length counts the body only and is bounded by the transport's
+//! `max_frame` (default [`DEFAULT_MAX_FRAME`]); a declared length above
+//! the bound is a typed [`ProtoError::FrameTooLarge`] **before** any
+//! allocation, so a hostile peer cannot make the server reserve memory
+//! it never sends. Integers are big-endian throughout. Strings are
+//! `u8 length + UTF-8 bytes` (session names are short); rankings are
+//! `u32 n + n × u32` bucket indices (the element→bucket map of a
+//! [`BucketOrder`], decoded with [`BucketOrder::from_keys`], which
+//! accepts any key vector). A body that decodes but has bytes left
+//! over is [`ProtoError::TrailingBytes`] — lengths are exact, never
+//! advisory.
+//!
+//! # Error posture
+//!
+//! Decoding **never panics**. Every malformed input — truncated
+//! payload, unknown opcode, bad UTF-8, oversized declared length —
+//! returns a typed [`ProtoError`]. The server's connection loop treats
+//! any such error as fatal *for that connection only*: it fails the
+//! connection cleanly and keeps serving others (`tests/proto_fuzz.rs`
+//! drives random, truncated and oversized byte streams through both
+//! the decoder and a live socket to pin this down).
+
+use bucketrank_core::BucketOrder;
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame body.
+pub const PROTO_VERSION: u8 = 1;
+
+/// Default upper bound on a frame body, requests and responses alike.
+pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on a session-name length (encoded with a `u8` length).
+pub const MAX_NAME: usize = 255;
+
+/// Upper bound on a ranking's domain size accepted off the wire; keeps
+/// a single decoded request's allocation proportional to the frame
+/// bound.
+pub const MAX_ELEMENTS: usize = 1 << 20;
+
+/// A typed wire-protocol failure. Fatal for the connection that
+/// produced it, harmless for the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtoError {
+    /// The body ended before the announced structure was complete.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes that were left.
+        have: usize,
+    },
+    /// A frame declared a body longer than the negotiated bound.
+    FrameTooLarge {
+        /// The declared body length.
+        len: usize,
+        /// The enforced bound.
+        max: usize,
+    },
+    /// The version byte is not [`PROTO_VERSION`].
+    UnsupportedVersion {
+        /// The version byte received.
+        found: u8,
+    },
+    /// The opcode byte names no known message.
+    UnknownOpcode {
+        /// The opcode received.
+        opcode: u8,
+    },
+    /// The body decoded completely but bytes were left over.
+    TrailingBytes {
+        /// How many bytes remained.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+    /// A session name exceeded [`MAX_NAME`].
+    NameTooLong {
+        /// The declared length.
+        len: usize,
+    },
+    /// A ranking declared more elements than [`MAX_ELEMENTS`].
+    RankingTooLarge {
+        /// The declared element count.
+        len: usize,
+    },
+    /// A field carried a value outside its enumeration (metric code,
+    /// median policy, error code).
+    BadValue {
+        /// Which field was out of range.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ProtoError::Truncated { needed, have } => {
+                write!(f, "truncated body: needed {needed} more bytes, had {have}")
+            }
+            ProtoError::FrameTooLarge { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte bound")
+            }
+            ProtoError::UnsupportedVersion { found } => {
+                write!(f, "unsupported protocol version {found} (expected {PROTO_VERSION})")
+            }
+            ProtoError::UnknownOpcode { opcode } => write!(f, "unknown opcode {opcode:#04x}"),
+            ProtoError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after a complete body")
+            }
+            ProtoError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            ProtoError::NameTooLong { len } => {
+                write!(f, "session name of {len} bytes exceeds {MAX_NAME}")
+            }
+            ProtoError::RankingTooLarge { len } => {
+                write!(f, "ranking of {len} elements exceeds {MAX_ELEMENTS}")
+            }
+            ProtoError::BadValue { what } => write!(f, "out-of-range value for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Which pairwise metric a [`Request::PairMetric`] asks for, on the
+/// exact `_x2` integer scale of the prepared kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// `2·Kprof` — [`bucketrank_metrics::prepared::kprof_x2_prepared`].
+    KprofX2,
+    /// `2·Fprof` — [`bucketrank_metrics::prepared::fprof_x2_prepared`].
+    FprofX2,
+    /// `2·KHaus` — [`bucketrank_metrics::prepared::khaus_x2_prepared`].
+    KhausX2,
+    /// `2·FHaus` — [`bucketrank_metrics::prepared::fhaus_x2_prepared`].
+    FhausX2,
+}
+
+impl MetricKind {
+    /// All metric kinds, in wire-code order.
+    pub const ALL: [MetricKind; 4] = [
+        MetricKind::KprofX2,
+        MetricKind::FprofX2,
+        MetricKind::KhausX2,
+        MetricKind::FhausX2,
+    ];
+
+    fn code(self) -> u8 {
+        match self {
+            MetricKind::KprofX2 => 0,
+            MetricKind::FprofX2 => 1,
+            MetricKind::KhausX2 => 2,
+            MetricKind::FhausX2 => 3,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, ProtoError> {
+        match c {
+            0 => Ok(MetricKind::KprofX2),
+            1 => Ok(MetricKind::FprofX2),
+            2 => Ok(MetricKind::KhausX2),
+            3 => Ok(MetricKind::FhausX2),
+            _ => Err(ProtoError::BadValue { what: "metric kind" }),
+        }
+    }
+}
+
+/// Median policy on the wire (mirrors
+/// [`bucketrank_aggregate::MedianPolicy`] without a dependency edge in
+/// the encoding layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WirePolicy {
+    /// Lower median.
+    Lower,
+    /// Upper median.
+    Upper,
+}
+
+impl WirePolicy {
+    fn code(self) -> u8 {
+        match self {
+            WirePolicy::Lower => 0,
+            WirePolicy::Upper => 1,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, ProtoError> {
+        match c {
+            0 => Ok(WirePolicy::Lower),
+            1 => Ok(WirePolicy::Upper),
+            _ => Err(ProtoError::BadValue { what: "median policy" }),
+        }
+    }
+}
+
+/// A client→server message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Create a named empty session over an `n`-element domain.
+    CreateSession {
+        /// Session name (≤ [`MAX_NAME`] bytes).
+        name: String,
+        /// Domain size.
+        n: u32,
+        /// Median policy of the maintained median vector.
+        policy: WirePolicy,
+    },
+    /// Drop a session and every voter in it.
+    DropSession {
+        /// Session name.
+        name: String,
+    },
+    /// Push a voter into a session; answered with the issued id.
+    PushVoter {
+        /// Session name.
+        session: String,
+        /// The voter's ranking as bucket indices.
+        ranking: BucketOrder,
+    },
+    /// Remove a live voter.
+    RemoveVoter {
+        /// Session name.
+        session: String,
+        /// The raw voter id issued at push.
+        voter: u64,
+    },
+    /// Replace a live voter's ranking in place.
+    ReplaceVoter {
+        /// Session name.
+        session: String,
+        /// The raw voter id issued at push.
+        voter: u64,
+        /// The replacement ranking.
+        ranking: BucketOrder,
+    },
+    /// Read the session's median order (served from a snapshot).
+    MedianOrder {
+        /// Session name.
+        session: String,
+    },
+    /// Read the session's median top-`k` (served from a snapshot).
+    TopK {
+        /// Session name.
+        session: String,
+        /// How many leading elements to keep.
+        k: u32,
+    },
+    /// Kemeny cost (×2) of a candidate against the session's live
+    /// profile (served from a snapshot's tally).
+    KemenyCost {
+        /// Session name.
+        session: String,
+        /// The candidate ranking.
+        candidate: BucketOrder,
+    },
+    /// A pairwise metric between two **stored** voter rankings,
+    /// evaluated with the prepared kernels.
+    PairMetric {
+        /// Session name.
+        session: String,
+        /// Which metric.
+        metric: MetricKind,
+        /// First stored voter.
+        voter_a: u64,
+        /// Second stored voter.
+        voter_b: u64,
+    },
+    /// Ask the server to shut down gracefully (drain in-flight
+    /// requests, then stop). Answered with [`Response::ShutdownAck`]
+    /// before the drain begins.
+    Shutdown,
+}
+
+/// The server's typed failure codes, carried in [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// No session has the requested name.
+    UnknownSession,
+    /// A session with the requested name already exists.
+    SessionExists,
+    /// The voter id is not live in the session.
+    UnknownVoter,
+    /// A ranking's domain size differs from the session's.
+    DomainMismatch,
+    /// `k` exceeds the domain size.
+    InvalidK,
+    /// The session is at its voter-capacity limit.
+    TooManyVoters,
+    /// A read was issued against a session with no live voters.
+    NoVoters,
+    /// The request was structurally valid but semantically rejected
+    /// (bad name, domain bound, server at session capacity).
+    BadRequest,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl ErrorCode {
+    fn code(self) -> u8 {
+        match self {
+            ErrorCode::UnknownSession => 1,
+            ErrorCode::SessionExists => 2,
+            ErrorCode::UnknownVoter => 3,
+            ErrorCode::DomainMismatch => 4,
+            ErrorCode::InvalidK => 5,
+            ErrorCode::TooManyVoters => 6,
+            ErrorCode::NoVoters => 7,
+            ErrorCode::BadRequest => 8,
+            ErrorCode::ShuttingDown => 9,
+        }
+    }
+
+    fn from_code(c: u8) -> Result<Self, ProtoError> {
+        Ok(match c {
+            1 => ErrorCode::UnknownSession,
+            2 => ErrorCode::SessionExists,
+            3 => ErrorCode::UnknownVoter,
+            4 => ErrorCode::DomainMismatch,
+            5 => ErrorCode::InvalidK,
+            6 => ErrorCode::TooManyVoters,
+            7 => ErrorCode::NoVoters,
+            8 => ErrorCode::BadRequest,
+            9 => ErrorCode::ShuttingDown,
+            _ => return Err(ProtoError::BadValue { what: "error code" }),
+        })
+    }
+}
+
+/// A server→client message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// The session was created.
+    SessionCreated,
+    /// The session was dropped.
+    SessionDropped,
+    /// The voter was pushed; carries the issued raw id.
+    VoterPushed {
+        /// The issued raw voter id.
+        voter: u64,
+    },
+    /// The voter was removed.
+    VoterRemoved,
+    /// The voter was replaced.
+    VoterReplaced,
+    /// A ranking result (median order, top-`k`).
+    Ranking {
+        /// The ranking as bucket indices.
+        order: BucketOrder,
+    },
+    /// An exact integer cost on the `_x2` scale.
+    CostX2 {
+        /// The cost value.
+        value: u64,
+    },
+    /// The request was rejected for backpressure: the job queue or the
+    /// connection table is full. Retry later.
+    Busy,
+    /// A typed failure.
+    Error {
+        /// The failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Graceful-shutdown acknowledgement.
+    ShutdownAck,
+}
+
+// ---------------------------------------------------------------------
+// Opcodes.
+
+const OP_PING: u8 = 0x01;
+const OP_CREATE: u8 = 0x02;
+const OP_DROP: u8 = 0x03;
+const OP_PUSH: u8 = 0x04;
+const OP_REMOVE: u8 = 0x05;
+const OP_REPLACE: u8 = 0x06;
+const OP_MEDIAN: u8 = 0x07;
+const OP_TOPK: u8 = 0x08;
+const OP_KEMENY: u8 = 0x09;
+const OP_PAIR: u8 = 0x0a;
+const OP_SHUTDOWN: u8 = 0x0b;
+
+const OP_PONG: u8 = 0x81;
+const OP_CREATED: u8 = 0x82;
+const OP_DROPPED: u8 = 0x83;
+const OP_PUSHED: u8 = 0x84;
+const OP_REMOVED: u8 = 0x85;
+const OP_REPLACED: u8 = 0x86;
+const OP_RANKING: u8 = 0x87;
+const OP_COST: u8 = 0x88;
+const OP_BUSY: u8 = 0x89;
+const OP_ERROR: u8 = 0x8a;
+const OP_SHUTDOWN_ACK: u8 = 0x8b;
+
+// ---------------------------------------------------------------------
+// Primitive encoding.
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_name(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(s.len() <= MAX_NAME);
+    out.push(s.len() as u8);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_text(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    let len = bytes.len().min(u16::MAX as usize);
+    put_u16(out, len as u16);
+    out.extend_from_slice(&bytes[..len]);
+}
+
+fn put_ranking(out: &mut Vec<u8>, r: &BucketOrder) {
+    put_u32(out, r.len() as u32);
+    for &b in r.bucket_indices() {
+        put_u32(out, b);
+    }
+}
+
+/// A bounds-checked read cursor over one frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        let have = self.buf.len() - self.at;
+        if have < n {
+            return Err(ProtoError::Truncated { needed: n, have });
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtoError> {
+        Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn name(&mut self) -> Result<String, ProtoError> {
+        let len = self.u8()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn text(&mut self) -> Result<String, ProtoError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map(str::to_owned)
+            .map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn ranking(&mut self) -> Result<BucketOrder, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMENTS {
+            return Err(ProtoError::RankingTooLarge { len: n });
+        }
+        // Bound the reservation by what the body can actually hold.
+        let have = (self.buf.len() - self.at) / 4;
+        let mut keys = Vec::with_capacity(n.min(have));
+        for _ in 0..n {
+            keys.push(self.u32()?);
+        }
+        Ok(BucketOrder::from_keys(&keys))
+    }
+
+    fn finish(self) -> Result<(), ProtoError> {
+        let extra = self.buf.len() - self.at;
+        if extra != 0 {
+            return Err(ProtoError::TrailingBytes { extra });
+        }
+        Ok(())
+    }
+}
+
+fn header(opcode: u8) -> Vec<u8> {
+    vec![PROTO_VERSION, opcode]
+}
+
+fn check_header(c: &mut Cursor<'_>) -> Result<u8, ProtoError> {
+    let version = c.u8()?;
+    if version != PROTO_VERSION {
+        return Err(ProtoError::UnsupportedVersion { found: version });
+    }
+    c.u8()
+}
+
+impl Request {
+    /// Encodes the request into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Request::Ping => header(OP_PING),
+            Request::CreateSession { name, n, policy } => {
+                let mut out = header(OP_CREATE);
+                put_name(&mut out, name);
+                put_u32(&mut out, *n);
+                out.push(policy.code());
+                out
+            }
+            Request::DropSession { name } => {
+                let mut out = header(OP_DROP);
+                put_name(&mut out, name);
+                out
+            }
+            Request::PushVoter { session, ranking } => {
+                let mut out = header(OP_PUSH);
+                put_name(&mut out, session);
+                put_ranking(&mut out, ranking);
+                out
+            }
+            Request::RemoveVoter { session, voter } => {
+                let mut out = header(OP_REMOVE);
+                put_name(&mut out, session);
+                put_u64(&mut out, *voter);
+                out
+            }
+            Request::ReplaceVoter {
+                session,
+                voter,
+                ranking,
+            } => {
+                let mut out = header(OP_REPLACE);
+                put_name(&mut out, session);
+                put_u64(&mut out, *voter);
+                put_ranking(&mut out, ranking);
+                out
+            }
+            Request::MedianOrder { session } => {
+                let mut out = header(OP_MEDIAN);
+                put_name(&mut out, session);
+                out
+            }
+            Request::TopK { session, k } => {
+                let mut out = header(OP_TOPK);
+                put_name(&mut out, session);
+                put_u32(&mut out, *k);
+                out
+            }
+            Request::KemenyCost { session, candidate } => {
+                let mut out = header(OP_KEMENY);
+                put_name(&mut out, session);
+                put_ranking(&mut out, candidate);
+                out
+            }
+            Request::PairMetric {
+                session,
+                metric,
+                voter_a,
+                voter_b,
+            } => {
+                let mut out = header(OP_PAIR);
+                put_name(&mut out, session);
+                out.push(metric.code());
+                put_u64(&mut out, *voter_a);
+                put_u64(&mut out, *voter_b);
+                out
+            }
+            Request::Shutdown => header(OP_SHUTDOWN),
+        }
+    }
+
+    /// Decodes a frame body into a request. Never panics.
+    ///
+    /// # Errors
+    /// A typed [`ProtoError`] on any malformed input.
+    pub fn decode(body: &[u8]) -> Result<Request, ProtoError> {
+        let mut c = Cursor::new(body);
+        let opcode = check_header(&mut c)?;
+        let req = match opcode {
+            OP_PING => Request::Ping,
+            OP_CREATE => {
+                let name = c.name()?;
+                let n = c.u32()?;
+                let policy = WirePolicy::from_code(c.u8()?)?;
+                Request::CreateSession { name, n, policy }
+            }
+            OP_DROP => Request::DropSession { name: c.name()? },
+            OP_PUSH => {
+                let session = c.name()?;
+                let ranking = c.ranking()?;
+                Request::PushVoter { session, ranking }
+            }
+            OP_REMOVE => {
+                let session = c.name()?;
+                let voter = c.u64()?;
+                Request::RemoveVoter { session, voter }
+            }
+            OP_REPLACE => {
+                let session = c.name()?;
+                let voter = c.u64()?;
+                let ranking = c.ranking()?;
+                Request::ReplaceVoter {
+                    session,
+                    voter,
+                    ranking,
+                }
+            }
+            OP_MEDIAN => Request::MedianOrder { session: c.name()? },
+            OP_TOPK => {
+                let session = c.name()?;
+                let k = c.u32()?;
+                Request::TopK { session, k }
+            }
+            OP_KEMENY => {
+                let session = c.name()?;
+                let candidate = c.ranking()?;
+                Request::KemenyCost { session, candidate }
+            }
+            OP_PAIR => {
+                let session = c.name()?;
+                let metric = MetricKind::from_code(c.u8()?)?;
+                let voter_a = c.u64()?;
+                let voter_b = c.u64()?;
+                Request::PairMetric {
+                    session,
+                    metric,
+                    voter_a,
+                    voter_b,
+                }
+            }
+            OP_SHUTDOWN => Request::Shutdown,
+            other => return Err(ProtoError::UnknownOpcode { opcode: other }),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Encodes the response into a frame body.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Response::Pong => header(OP_PONG),
+            Response::SessionCreated => header(OP_CREATED),
+            Response::SessionDropped => header(OP_DROPPED),
+            Response::VoterPushed { voter } => {
+                let mut out = header(OP_PUSHED);
+                put_u64(&mut out, *voter);
+                out
+            }
+            Response::VoterRemoved => header(OP_REMOVED),
+            Response::VoterReplaced => header(OP_REPLACED),
+            Response::Ranking { order } => {
+                let mut out = header(OP_RANKING);
+                put_ranking(&mut out, order);
+                out
+            }
+            Response::CostX2 { value } => {
+                let mut out = header(OP_COST);
+                put_u64(&mut out, *value);
+                out
+            }
+            Response::Busy => header(OP_BUSY),
+            Response::Error { code, message } => {
+                let mut out = header(OP_ERROR);
+                out.push(code.code());
+                put_text(&mut out, message);
+                out
+            }
+            Response::ShutdownAck => header(OP_SHUTDOWN_ACK),
+        }
+    }
+
+    /// Decodes a frame body into a response. Never panics.
+    ///
+    /// # Errors
+    /// A typed [`ProtoError`] on any malformed input.
+    pub fn decode(body: &[u8]) -> Result<Response, ProtoError> {
+        let mut c = Cursor::new(body);
+        let opcode = check_header(&mut c)?;
+        let resp = match opcode {
+            OP_PONG => Response::Pong,
+            OP_CREATED => Response::SessionCreated,
+            OP_DROPPED => Response::SessionDropped,
+            OP_PUSHED => Response::VoterPushed { voter: c.u64()? },
+            OP_REMOVED => Response::VoterRemoved,
+            OP_REPLACED => Response::VoterReplaced,
+            OP_RANKING => Response::Ranking { order: c.ranking()? },
+            OP_COST => Response::CostX2 { value: c.u64()? },
+            OP_BUSY => Response::Busy,
+            OP_ERROR => {
+                let code = ErrorCode::from_code(c.u8()?)?;
+                let message = c.text()?;
+                Response::Error { code, message }
+            }
+            OP_SHUTDOWN_ACK => Response::ShutdownAck,
+            other => return Err(ProtoError::UnknownOpcode { opcode: other }),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Framed transport.
+
+/// Why reading a frame off a stream stopped.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+    /// A transport failure (includes read timeouts).
+    Io(io::Error),
+    /// The frame header violated the protocol (declared length beyond
+    /// the bound).
+    Proto(ProtoError),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "peer closed the connection"),
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+            FrameError::Proto(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Reads one length-prefixed frame body. A declared length above
+/// `max_frame` is rejected **before** allocating; EOF exactly between
+/// frames is the clean [`FrameError::Closed`], EOF mid-frame is an
+/// [`io::ErrorKind::UnexpectedEof`] transport error.
+///
+/// # Errors
+/// [`FrameError`] as described above.
+pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean close (no bytes at all) from a torn header.
+    let mut got = 0usize;
+    while got < 4 {
+        match r.read(&mut len_buf[got..]) {
+            Ok(0) => {
+                if got == 0 {
+                    return Err(FrameError::Closed);
+                }
+                return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
+            Ok(k) => got += k,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > max_frame {
+        return Err(FrameError::Proto(ProtoError::FrameTooLarge { len, max: max_frame }));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(body)
+}
+
+/// Writes one length-prefixed frame.
+///
+/// # Errors
+/// The underlying [`io::Error`]; [`io::ErrorKind::InvalidInput`] if the
+/// body exceeds `max_frame` (the writer refuses to emit a frame its
+/// peer must reject).
+pub fn write_frame(w: &mut impl Write, body: &[u8], max_frame: usize) -> io::Result<()> {
+    if body.len() > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds the {max_frame}-byte bound", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_be_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        let r = BucketOrder::from_keys(&[1, 2, 2, 3]);
+        vec![
+            Request::Ping,
+            Request::CreateSession {
+                name: "s".into(),
+                n: 4,
+                policy: WirePolicy::Lower,
+            },
+            Request::CreateSession {
+                name: "t".into(),
+                n: 9,
+                policy: WirePolicy::Upper,
+            },
+            Request::DropSession { name: "s".into() },
+            Request::PushVoter {
+                session: "s".into(),
+                ranking: r.clone(),
+            },
+            Request::RemoveVoter {
+                session: "s".into(),
+                voter: 7,
+            },
+            Request::ReplaceVoter {
+                session: "s".into(),
+                voter: 7,
+                ranking: r.clone(),
+            },
+            Request::MedianOrder { session: "s".into() },
+            Request::TopK {
+                session: "s".into(),
+                k: 2,
+            },
+            Request::KemenyCost {
+                session: "s".into(),
+                candidate: r.clone(),
+            },
+            Request::PairMetric {
+                session: "s".into(),
+                metric: MetricKind::FhausX2,
+                voter_a: 0,
+                voter_b: 1,
+            },
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::SessionCreated,
+            Response::SessionDropped,
+            Response::VoterPushed { voter: u64::MAX },
+            Response::VoterRemoved,
+            Response::VoterReplaced,
+            Response::Ranking {
+                order: BucketOrder::from_keys(&[3, 1, 1]),
+            },
+            Response::CostX2 { value: 12345 },
+            Response::Busy,
+            Response::Error {
+                code: ErrorCode::UnknownVoter,
+                message: "voter#9 is not live".into(),
+            },
+            Response::ShutdownAck,
+        ]
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        for req in sample_requests() {
+            let body = req.encode();
+            assert_eq!(Request::decode(&body).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for resp in sample_responses() {
+            let body = resp.encode();
+            assert_eq!(Response::decode(&body).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn every_strict_prefix_is_truncated() {
+        for req in sample_requests() {
+            let body = req.encode();
+            for cut in 0..body.len() {
+                assert!(
+                    Request::decode(&body[..cut]).is_err(),
+                    "{req:?} prefix {cut} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        for req in sample_requests() {
+            let mut body = req.encode();
+            body.push(0);
+            assert_eq!(
+                Request::decode(&body),
+                Err(ProtoError::TrailingBytes { extra: 1 }),
+                "{req:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_version_and_opcode() {
+        assert_eq!(
+            Request::decode(&[9, OP_PING]),
+            Err(ProtoError::UnsupportedVersion { found: 9 })
+        );
+        assert_eq!(
+            Request::decode(&[PROTO_VERSION, 0x7f]),
+            Err(ProtoError::UnknownOpcode { opcode: 0x7f })
+        );
+        assert_eq!(
+            Response::decode(&[PROTO_VERSION, 0x02]),
+            Err(ProtoError::UnknownOpcode { opcode: 0x02 })
+        );
+        assert!(Request::decode(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_values_are_typed() {
+        // Policy code 7.
+        let mut body = header(OP_CREATE);
+        put_name(&mut body, "s");
+        put_u32(&mut body, 3);
+        body.push(7);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::BadValue { what: "median policy" })
+        );
+        // Metric code 9.
+        let mut body = header(OP_PAIR);
+        put_name(&mut body, "s");
+        body.push(9);
+        put_u64(&mut body, 0);
+        put_u64(&mut body, 1);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::BadValue { what: "metric kind" })
+        );
+        // Bad UTF-8 name.
+        let body = vec![PROTO_VERSION, OP_DROP, 2, 0xff, 0xfe];
+        assert_eq!(Request::decode(&body), Err(ProtoError::BadUtf8));
+        // Oversized ranking claim cannot force an allocation.
+        let mut body = header(OP_PUSH);
+        put_name(&mut body, "s");
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::RankingTooLarge { len: u32::MAX as usize })
+        );
+    }
+
+    #[test]
+    fn ranking_wire_form_is_canonical() {
+        // Non-contiguous keys decode to the same order as their
+        // canonical bucket indices, so encode∘decode is idempotent.
+        let mut body = header(OP_PUSH);
+        put_name(&mut body, "s");
+        put_u32(&mut body, 3);
+        for k in [7u32, 1000, 7] {
+            put_u32(&mut body, k);
+        }
+        let Request::PushVoter { ranking, .. } = Request::decode(&body).unwrap() else {
+            panic!("wrong request")
+        };
+        assert_eq!(ranking, BucketOrder::from_keys(&[0, 1, 0]));
+        let re = Request::PushVoter {
+            session: "s".into(),
+            ranking,
+        }
+        .encode();
+        assert_eq!(Request::decode(&re).unwrap(), Request::decode(&re).unwrap());
+    }
+
+    #[test]
+    fn frame_roundtrip_and_bounds() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello", 64).unwrap();
+        let mut cur = &buf[..];
+        assert_eq!(read_frame(&mut cur, 64).unwrap(), b"hello");
+        assert!(matches!(read_frame(&mut cur, 64), Err(FrameError::Closed)));
+
+        // Oversized declared length: typed, no allocation attempted.
+        let huge = (u32::MAX).to_be_bytes();
+        assert!(matches!(
+            read_frame(&mut &huge[..], 1024),
+            Err(FrameError::Proto(ProtoError::FrameTooLarge { .. }))
+        ));
+        // Torn header and torn body are transport errors, not panics.
+        assert!(matches!(
+            read_frame(&mut &buf[..2], 64),
+            Err(FrameError::Io(_))
+        ));
+        assert!(matches!(
+            read_frame(&mut &buf[..6], 64),
+            Err(FrameError::Io(_))
+        ));
+        // The writer refuses bodies beyond the bound.
+        let mut sink = Vec::new();
+        assert!(write_frame(&mut sink, &[0u8; 100], 64).is_err());
+    }
+}

@@ -1,0 +1,532 @@
+//! The TCP transport: accept loop, worker pool, backpressure, and
+//! graceful shutdown.
+//!
+//! # Threading model
+//!
+//! One **accept thread** takes connections off the listener. Each
+//! accepted connection gets a **connection thread** that reads frames,
+//! decodes requests, and submits jobs to a **bounded queue** drained by
+//! a fixed pool of **worker threads** (the only threads that touch
+//! [`Service`] state). The connection thread blocks on a rendezvous
+//! channel for its response, then writes the reply frame — so a
+//! connection has at most one request in flight and the queue depth
+//! bounds the server's total outstanding work.
+//!
+//! # Backpressure, caps and timeouts
+//!
+//! * Queue full → the connection replies [`Response::Busy`]
+//!   immediately; nothing queues unboundedly.
+//! * Connection table full → the acceptor writes one `Busy` frame and
+//!   closes the socket without spawning anything.
+//! * Idle connections are closed after `read_timeout` (polled at a
+//!   short interval so shutdown never waits on an idle peer); writes
+//!   are bounded by `write_timeout` at the socket.
+//!
+//! # Failure posture
+//!
+//! A malformed, oversized, or truncated frame kills **that
+//! connection** — after a best-effort typed error reply — and nothing
+//! else. Worker and accept threads never see raw bytes, so a hostile
+//! peer cannot reach a panic path (`tests/proto_fuzz.rs`).
+//!
+//! # Graceful shutdown
+//!
+//! [`Server::shutdown`] (or a wire [`Request::Shutdown`], which
+//! acknowledges first and then triggers the same path) stops the
+//! acceptor, closes the queue, lets the workers drain every queued
+//! job, answers in-flight waits, and joins every thread before
+//! returning its final [`ServerStats`].
+
+use crate::proto::{
+    read_frame, write_frame, FrameError, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
+};
+use crate::service::Service;
+use crate::ErrorCode;
+use std::collections::VecDeque;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::bind`]; `Default` suits tests and small
+/// deployments.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing requests.
+    pub workers: usize,
+    /// Bounded job-queue depth; a full queue answers `Busy`.
+    pub queue_depth: usize,
+    /// Maximum simultaneously served connections; excess connections
+    /// receive one `Busy` frame and are closed.
+    pub max_connections: usize,
+    /// Idle time after which a connection is closed.
+    pub read_timeout: Duration,
+    /// Socket write timeout for response frames.
+    pub write_timeout: Duration,
+    /// Maximum frame-body size accepted or produced.
+    pub max_frame: usize,
+    /// Maximum live sessions in the service registry.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            max_connections: 64,
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(10),
+            max_frame: DEFAULT_MAX_FRAME,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// Counters accumulated over a server's lifetime, returned by
+/// [`Server::shutdown`] and readable live via [`Server::stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted and served.
+    pub connections: u64,
+    /// Requests executed to completion (any response, including typed
+    /// errors).
+    pub requests: u64,
+    /// Requests or connections rejected with `Busy` for backpressure.
+    pub rejected_busy: u64,
+    /// Connections dropped for a protocol violation.
+    pub protocol_errors: u64,
+}
+
+/// Granularity at which blocking socket reads wake up to re-check the
+/// shutdown flag and the idle deadline.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+type Job = Box<dyn FnOnce() + Send>;
+
+/// The bounded MPMC job queue: `try_push` refuses instead of waiting,
+/// which is what turns overload into `Busy` replies.
+struct JobQueue {
+    inner: Mutex<JobQueueInner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct JobQueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Why a job was not enqueued.
+enum PushRefused {
+    Full,
+    Closed,
+}
+
+impl JobQueue {
+    fn new(capacity: usize) -> Self {
+        JobQueue {
+            inner: Mutex::new(JobQueueInner {
+                jobs: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    fn try_push(&self, job: Job) -> Result<(), PushRefused> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        if inner.closed {
+            return Err(PushRefused::Closed);
+        }
+        if inner.jobs.len() >= self.capacity {
+            return Err(PushRefused::Full);
+        }
+        inner.jobs.push_back(job);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed *and*
+    /// drained, so closing still lets every accepted job run.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().expect("queue lock");
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.ready.wait(inner).expect("queue lock");
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+}
+
+/// State shared by every thread of one server.
+struct Shared {
+    service: Service,
+    queue: JobQueue,
+    config: ServerConfig,
+    shutting_down: AtomicBool,
+    shutdown_signal: Mutex<bool>,
+    shutdown_cv: Condvar,
+    live_connections: AtomicUsize,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    rejected_busy: AtomicU64,
+    protocol_errors: AtomicU64,
+}
+
+impl Shared {
+    fn request_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+        *self.shutdown_signal.lock().expect("shutdown lock") = true;
+        self.shutdown_cv.notify_all();
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server; dropping it shuts it down. See the
+/// [module docs](self).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    finished: bool,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and worker pool.
+    ///
+    /// # Errors
+    /// The underlying [`io::Error`] from bind.
+    pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            service: Service::new(config.max_sessions),
+            queue: JobQueue::new(config.queue_depth.max(1)),
+            config: config.clone(),
+            shutting_down: AtomicBool::new(false),
+            shutdown_signal: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            live_connections: AtomicUsize::new(0),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+        });
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("bucketrank-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = shared.queue.pop() {
+                            job();
+                        }
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::Builder::new()
+                .name("bucketrank-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+            conn_threads,
+            finished: false,
+        })
+    }
+
+    /// The bound address (the OS-chosen port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// Flags the server for shutdown without blocking (also triggered
+    /// by a wire [`Request::Shutdown`]). Pair with
+    /// [`wait_shutdown_requested`](Server::wait_shutdown_requested) /
+    /// [`shutdown`](Server::shutdown).
+    pub fn request_shutdown(&self) {
+        self.shared.request_shutdown();
+        self.wake_acceptor();
+    }
+
+    /// Blocks until someone — a wire request or
+    /// [`request_shutdown`](Server::request_shutdown) — asks the
+    /// server to stop.
+    pub fn wait_shutdown_requested(&self) {
+        let mut flagged = self.shared.shutdown_signal.lock().expect("shutdown lock");
+        while !*flagged {
+            flagged = self.shared.shutdown_cv.wait(flagged).expect("shutdown lock");
+        }
+    }
+
+    /// Unblocks the accept loop by poking our own listening socket.
+    fn wake_acceptor(&self) {
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued and
+    /// in-flight request, join every thread, and return the final
+    /// counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> ServerStats {
+        if self.finished {
+            return self.shared.stats();
+        }
+        self.finished = true;
+        self.shared.request_shutdown();
+        self.wake_acceptor();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        // Connection threads notice the flag within one poll interval
+        // and finish their in-flight request first.
+        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn list"));
+        for t in conns {
+            let _ = t.join();
+        }
+        // Close the queue only after the producers are gone: every
+        // accepted job still runs before the workers exit.
+        self.shared.queue.close();
+        for t in self.workers.drain(..) {
+            let _ = t.join();
+        }
+        self.shared.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        if shared.live_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
+            // Over the cap: one Busy frame, then close. No thread is
+            // spawned, so a connection flood cannot exhaust threads.
+            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+            let _ = write_frame(
+                &mut stream,
+                &Response::Busy.encode(),
+                shared.config.max_frame,
+            );
+            continue;
+        }
+        shared.live_connections.fetch_add(1, Ordering::SeqCst);
+        shared.connections.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name("bucketrank-conn".to_owned())
+            .spawn(move || {
+                connection_loop(stream, &shared);
+                shared.live_connections.fetch_sub(1, Ordering::SeqCst);
+            })
+            .expect("spawn connection thread");
+        conn_threads.lock().expect("conn list").push(handle);
+    }
+}
+
+/// Serves one connection until the peer closes, the idle deadline
+/// passes, a protocol violation occurs, or the server drains.
+fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let cfg = &shared.config;
+    // Short socket timeout + explicit idle deadline: the thread wakes
+    // at poll granularity, so shutdown and the idle limit are both
+    // honored without a long blocking read.
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL.min(cfg.read_timeout)));
+    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
+    let _ = stream.set_nodelay(true);
+    let max_frame = cfg.max_frame;
+    let mut idle_since = Instant::now();
+
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let body = match read_frame(&mut stream, max_frame) {
+            Ok(body) => body,
+            Err(FrameError::Closed) => return,
+            Err(FrameError::Io(e))
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if idle_since.elapsed() >= cfg.read_timeout {
+                    return; // idle limit: close quietly
+                }
+                continue;
+            }
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Proto(e)) => {
+                // Oversized frame: typed reply, then fail the
+                // connection (we cannot resynchronize the stream).
+                fail_connection(&mut stream, shared, &e);
+                return;
+            }
+        };
+        idle_since = Instant::now();
+        let request = match Request::decode(&body) {
+            Ok(req) => req,
+            Err(e) => {
+                fail_connection(&mut stream, shared, &e);
+                return;
+            }
+        };
+
+        let is_shutdown = matches!(request, Request::Shutdown);
+        // Rendezvous with the worker that runs our job.
+        let (tx, rx) = mpsc::sync_channel::<Response>(1);
+        let job_shared = Arc::clone(shared);
+        let job: Job = Box::new(move || {
+            let resp = job_shared.service.handle(request);
+            job_shared.requests.fetch_add(1, Ordering::Relaxed);
+            let _ = tx.send(resp);
+        });
+        let response = match shared.queue.try_push(job) {
+            Ok(()) => match rx.recv() {
+                Ok(resp) => resp,
+                Err(_) => return, // worker pool tore down mid-request
+            },
+            Err(PushRefused::Full) => {
+                shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                Response::Busy
+            }
+            Err(PushRefused::Closed) => Response::Error {
+                code: ErrorCode::ShuttingDown,
+                message: "server is shutting down".to_owned(),
+            },
+        };
+        if write_frame(&mut stream, &response.encode(), max_frame).is_err() {
+            return;
+        }
+        if is_shutdown && matches!(response, Response::ShutdownAck) {
+            // Acknowledged on the wire; now trigger the real drain.
+            shared.request_shutdown();
+            let _ = TcpStream::connect_timeout(
+                &stream.local_addr().expect("local addr"),
+                Duration::from_millis(200),
+            );
+            return;
+        }
+    }
+}
+
+/// Best-effort typed error reply, then the connection is abandoned.
+fn fail_connection(stream: &mut TcpStream, shared: &Arc<Shared>, e: &ProtoError) {
+    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    let resp = Response::Error {
+        code: ErrorCode::BadRequest,
+        message: format!("protocol error: {e}"),
+    };
+    let _ = write_frame(stream, &resp.encode(), shared.config.max_frame);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn job_queue_bounds_and_drains() {
+        let q = JobQueue::new(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let mk = |ran: &Arc<AtomicUsize>| -> Job {
+            let ran = Arc::clone(ran);
+            Box::new(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        assert!(q.try_push(mk(&ran)).is_ok());
+        assert!(q.try_push(mk(&ran)).is_ok());
+        assert!(matches!(q.try_push(mk(&ran)), Err(PushRefused::Full)));
+        q.close();
+        assert!(matches!(q.try_push(mk(&ran)), Err(PushRefused::Closed)));
+        // Closed but not drained: both accepted jobs still pop and run.
+        while let Some(job) = q.pop() {
+            job();
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn queue_pop_blocks_until_push() {
+        let q = Arc::new(JobQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop().is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        q.try_push(Box::new(|| {})).map_err(|_| "full").unwrap();
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn bind_on_ephemeral_port_and_idle_shutdown() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr();
+        assert_ne!(addr.port(), 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 0);
+    }
+}

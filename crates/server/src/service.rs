@@ -1,0 +1,546 @@
+//! Request handlers over named [`DynamicProfile`] sessions.
+//!
+//! A [`Service`] owns a registry of sessions. Each session pairs the
+//! live streaming engine with the **latest snapshot**, refreshed after
+//! every successful edit:
+//!
+//! * edits (`push_voter` / `remove_voter` / `replace_voter`) take the
+//!   session's edit mutex, apply the `O(n²)` incremental update, and
+//!   publish a fresh [`DynamicSnapshot`] behind an `RwLock<Arc<…>>`;
+//! * reads (`median_order`, `top_k`, `kemeny_cost`) clone the `Arc`
+//!   under a momentary read lock and compute entirely on the owned
+//!   snapshot — a read **never holds the edit mutex**, so a slow or
+//!   numerous read mix cannot block writers (DESIGN.md §3.3d);
+//! * pairwise metrics between stored voter rankings clone the two
+//!   `O(n)` rankings under the edit mutex, then run the zero-alloc
+//!   [`PreparedRanking`] kernels outside it.
+//!
+//! Every handler is total: each failure maps to a typed
+//! [`ErrorCode`]-carrying [`Response::Error`] — a malformed or
+//! unlucky request can never poison a session or the process.
+
+use crate::proto::{ErrorCode, MetricKind, Request, Response, WirePolicy, MAX_ELEMENTS, MAX_NAME};
+use bucketrank_aggregate::dynamic::{DynamicProfile, DynamicSnapshot, VoterId};
+use bucketrank_aggregate::{AggregateError, MedianPolicy};
+use bucketrank_core::BucketOrder;
+use bucketrank_metrics::prepared::{
+    fhaus_x2_prepared, fprof_x2_prepared, khaus_x2_prepared, kprof_x2_prepared, PreparedRanking,
+};
+use bucketrank_metrics::MetricsError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One named session: the live engine plus its published read view.
+struct Session {
+    /// Edit path: owned exclusively by one writer at a time.
+    profile: Mutex<DynamicProfile>,
+    /// Read path: the snapshot at the last successful edit (`None`
+    /// while the session has no live voters).
+    snap: RwLock<Option<Arc<DynamicSnapshot>>>,
+}
+
+impl Session {
+    fn new(n: usize, policy: MedianPolicy) -> Self {
+        Session {
+            profile: Mutex::new(DynamicProfile::new(n, policy)),
+            snap: RwLock::new(None),
+        }
+    }
+
+    /// Republishes the snapshot after an edit (called with the edit
+    /// mutex held, so publications are ordered with the edits).
+    fn publish(&self, dp: &DynamicProfile) {
+        let fresh = dp.snapshot().ok().map(Arc::new);
+        *self.snap.write().expect("snapshot lock") = fresh;
+    }
+
+    /// The published read view, if any voter is live.
+    fn read_view(&self) -> Option<Arc<DynamicSnapshot>> {
+        self.snap.read().expect("snapshot lock").clone()
+    }
+}
+
+/// The shared, thread-safe handler state; see the [module docs](self).
+pub struct Service {
+    sessions: RwLock<HashMap<String, Arc<Session>>>,
+    max_sessions: usize,
+}
+
+fn agg_error(e: &AggregateError) -> Response {
+    let code = match e {
+        AggregateError::NoInputs => ErrorCode::NoVoters,
+        AggregateError::DomainMismatch { .. } => ErrorCode::DomainMismatch,
+        AggregateError::InvalidK { .. } => ErrorCode::InvalidK,
+        AggregateError::UnknownVoter { .. } => ErrorCode::UnknownVoter,
+        AggregateError::TooManyVoters { .. } => ErrorCode::TooManyVoters,
+        _ => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn metrics_error(e: &MetricsError) -> Response {
+    let code = match e {
+        MetricsError::DomainMismatch { .. } => ErrorCode::DomainMismatch,
+        _ => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+    Response::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+impl Service {
+    /// An empty registry holding at most `max_sessions` sessions.
+    pub fn new(max_sessions: usize) -> Self {
+        Service {
+            sessions: RwLock::new(HashMap::new()),
+            max_sessions,
+        }
+    }
+
+    /// Number of live sessions.
+    pub fn sessions(&self) -> usize {
+        self.sessions.read().expect("session lock").len()
+    }
+
+    fn get(&self, name: &str) -> Result<Arc<Session>, Response> {
+        self.sessions
+            .read()
+            .expect("session lock")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| error(ErrorCode::UnknownSession, format!("no session named {name:?}")))
+    }
+
+    /// Handles one request to completion. Total: every outcome is a
+    /// [`Response`], including [`Request::Shutdown`] (acknowledged
+    /// here; the transport layer performs the actual drain).
+    pub fn handle(&self, req: Request) -> Response {
+        match req {
+            Request::Ping => Response::Pong,
+            Request::Shutdown => Response::ShutdownAck,
+            Request::CreateSession { name, n, policy } => self.create(&name, n as usize, policy),
+            Request::DropSession { name } => self.drop_session(&name),
+            Request::PushVoter { session, ranking } => self.edit(&session, |dp| {
+                dp.push_voter(ranking)
+                    .map(|id| Response::VoterPushed { voter: id.raw() })
+            }),
+            Request::RemoveVoter { session, voter } => self.edit(&session, |dp| {
+                dp.remove_voter(VoterId::from_raw(voter))
+                    .map(|_| Response::VoterRemoved)
+            }),
+            Request::ReplaceVoter {
+                session,
+                voter,
+                ranking,
+            } => self.edit(&session, |dp| {
+                dp.replace_voter(VoterId::from_raw(voter), ranking)
+                    .map(|_| Response::VoterReplaced)
+            }),
+            Request::MedianOrder { session } => {
+                self.read(&session, |snap| Ok(Response::Ranking {
+                    order: snap.median_order(),
+                }))
+            }
+            Request::TopK { session, k } => self.read(&session, |snap| {
+                snap.top_k(k as usize)
+                    .map(|order| Response::Ranking { order })
+            }),
+            Request::KemenyCost { session, candidate } => self.read(&session, |snap| {
+                snap.tally()
+                    .kemeny_cost_x2(&candidate)
+                    .map(|value| Response::CostX2 { value })
+            }),
+            Request::PairMetric {
+                session,
+                metric,
+                voter_a,
+                voter_b,
+            } => self.pair_metric(&session, metric, voter_a, voter_b),
+        }
+    }
+
+    fn create(&self, name: &str, n: usize, policy: WirePolicy) -> Response {
+        if name.is_empty() || name.len() > MAX_NAME {
+            return error(
+                ErrorCode::BadRequest,
+                format!("session names must be 1..={MAX_NAME} bytes"),
+            );
+        }
+        if n > MAX_ELEMENTS {
+            return error(
+                ErrorCode::BadRequest,
+                format!("domain of {n} elements exceeds {MAX_ELEMENTS}"),
+            );
+        }
+        let policy = match policy {
+            WirePolicy::Lower => MedianPolicy::Lower,
+            WirePolicy::Upper => MedianPolicy::Upper,
+        };
+        let mut sessions = self.sessions.write().expect("session lock");
+        if sessions.contains_key(name) {
+            return error(
+                ErrorCode::SessionExists,
+                format!("session {name:?} already exists"),
+            );
+        }
+        if sessions.len() >= self.max_sessions {
+            return error(
+                ErrorCode::BadRequest,
+                format!("server is at its {}-session capacity", self.max_sessions),
+            );
+        }
+        sessions.insert(name.to_owned(), Arc::new(Session::new(n, policy)));
+        Response::SessionCreated
+    }
+
+    fn drop_session(&self, name: &str) -> Response {
+        match self.sessions.write().expect("session lock").remove(name) {
+            Some(_) => Response::SessionDropped,
+            None => error(ErrorCode::UnknownSession, format!("no session named {name:?}")),
+        }
+    }
+
+    /// Runs one edit under the session's edit mutex and republishes
+    /// the snapshot on success; failed edits leave both the engine and
+    /// the published view untouched (the engine's own guarantee).
+    fn edit(
+        &self,
+        name: &str,
+        op: impl FnOnce(&mut DynamicProfile) -> Result<Response, AggregateError>,
+    ) -> Response {
+        let session = match self.get(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let mut dp = session.profile.lock().expect("edit lock");
+        match op(&mut dp) {
+            Ok(resp) => {
+                session.publish(&dp);
+                resp
+            }
+            Err(e) => agg_error(&e),
+        }
+    }
+
+    /// Serves one read from the published snapshot — the edit mutex is
+    /// never taken, so reads cannot block writers.
+    fn read(
+        &self,
+        name: &str,
+        op: impl FnOnce(&DynamicSnapshot) -> Result<Response, AggregateError>,
+    ) -> Response {
+        let session = match self.get(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        match session.read_view() {
+            Some(snap) => match op(&snap) {
+                Ok(resp) => resp,
+                Err(e) => agg_error(&e),
+            },
+            None => error(
+                ErrorCode::NoVoters,
+                format!("session {name:?} has no live voters"),
+            ),
+        }
+    }
+
+    fn pair_metric(&self, name: &str, metric: MetricKind, voter_a: u64, voter_b: u64) -> Response {
+        let session = match self.get(name) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        // Clone the two stored rankings under the edit mutex (O(n)),
+        // then evaluate the prepared kernels outside it.
+        let (a, b): (BucketOrder, BucketOrder) = {
+            let dp = session.profile.lock().expect("edit lock");
+            let fetch = |raw: u64| -> Result<BucketOrder, Response> {
+                dp.get_voter(VoterId::from_raw(raw)).cloned().ok_or_else(|| {
+                    agg_error(&AggregateError::UnknownVoter { id: raw })
+                })
+            };
+            match (fetch(voter_a), fetch(voter_b)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(resp), _) | (_, Err(resp)) => return resp,
+            }
+        };
+        let pa = PreparedRanking::new(&a);
+        let pb = PreparedRanking::new(&b);
+        let value = match metric {
+            MetricKind::KprofX2 => kprof_x2_prepared(&pa, &pb),
+            MetricKind::FprofX2 => fprof_x2_prepared(&pa, &pb),
+            MetricKind::KhausX2 => khaus_x2_prepared(&pa, &pb),
+            MetricKind::FhausX2 => fhaus_x2_prepared(&pa, &pb),
+        };
+        match value {
+            Ok(value) => Response::CostX2 { value },
+            Err(e) => metrics_error(&e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(k: &[i64]) -> BucketOrder {
+        BucketOrder::from_keys(k)
+    }
+
+    fn with_session(n: u32) -> Service {
+        let svc = Service::new(8);
+        assert_eq!(
+            svc.handle(Request::CreateSession {
+                name: "s".into(),
+                n,
+                policy: WirePolicy::Lower,
+            }),
+            Response::SessionCreated
+        );
+        svc
+    }
+
+    fn push(svc: &Service, r: BucketOrder) -> u64 {
+        match svc.handle(Request::PushVoter {
+            session: "s".into(),
+            ranking: r,
+        }) {
+            Response::VoterPushed { voter } => voter,
+            other => panic!("push failed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_and_reads_match_in_process() {
+        let svc = with_session(4);
+        let v0 = push(&svc, keys(&[1, 2, 3, 4]));
+        let v1 = push(&svc, keys(&[2, 2, 1, 1]));
+        assert_ne!(v0, v1);
+
+        let inputs = [keys(&[1, 2, 3, 4]), keys(&[2, 2, 1, 1])];
+        let (dp, _) = DynamicProfile::from_profile(&inputs, MedianPolicy::Lower).unwrap();
+        let snap = dp.snapshot().unwrap();
+
+        assert_eq!(
+            svc.handle(Request::MedianOrder { session: "s".into() }),
+            Response::Ranking {
+                order: snap.median_order()
+            }
+        );
+        assert_eq!(
+            svc.handle(Request::TopK {
+                session: "s".into(),
+                k: 2
+            }),
+            Response::Ranking {
+                order: snap.top_k(2).unwrap()
+            }
+        );
+        let cand = keys(&[4, 3, 2, 1]);
+        assert_eq!(
+            svc.handle(Request::KemenyCost {
+                session: "s".into(),
+                candidate: cand.clone()
+            }),
+            Response::CostX2 {
+                value: snap.tally().kemeny_cost_x2(&cand).unwrap()
+            }
+        );
+
+        // Pairwise metrics between the stored rankings.
+        let pa = PreparedRanking::new(&inputs[0]);
+        let pb = PreparedRanking::new(&inputs[1]);
+        for metric in MetricKind::ALL {
+            let expect = match metric {
+                MetricKind::KprofX2 => kprof_x2_prepared(&pa, &pb),
+                MetricKind::FprofX2 => fprof_x2_prepared(&pa, &pb),
+                MetricKind::KhausX2 => khaus_x2_prepared(&pa, &pb),
+                MetricKind::FhausX2 => fhaus_x2_prepared(&pa, &pb),
+            }
+            .unwrap();
+            assert_eq!(
+                svc.handle(Request::PairMetric {
+                    session: "s".into(),
+                    metric,
+                    voter_a: v0,
+                    voter_b: v1,
+                }),
+                Response::CostX2 { value: expect },
+                "{metric:?}"
+            );
+        }
+
+        assert_eq!(
+            svc.handle(Request::RemoveVoter {
+                session: "s".into(),
+                voter: v0
+            }),
+            Response::VoterRemoved
+        );
+        assert_eq!(
+            svc.handle(Request::ReplaceVoter {
+                session: "s".into(),
+                voter: v1,
+                ranking: keys(&[1, 1, 1, 2]),
+            }),
+            Response::VoterReplaced
+        );
+        assert_eq!(
+            svc.handle(Request::DropSession { name: "s".into() }),
+            Response::SessionDropped
+        );
+        assert_eq!(svc.sessions(), 0);
+    }
+
+    #[test]
+    fn typed_errors_cover_every_failure() {
+        let svc = with_session(3);
+        let err_code = |resp: Response| match resp {
+            Response::Error { code, .. } => code,
+            other => panic!("expected error, got {other:?}"),
+        };
+        // Duplicate create, unknown session, capacity.
+        assert_eq!(
+            err_code(svc.handle(Request::CreateSession {
+                name: "s".into(),
+                n: 3,
+                policy: WirePolicy::Upper,
+            })),
+            ErrorCode::SessionExists
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::MedianOrder { session: "nope".into() })),
+            ErrorCode::UnknownSession
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::DropSession { name: "nope".into() })),
+            ErrorCode::UnknownSession
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::CreateSession {
+                name: "".into(),
+                n: 3,
+                policy: WirePolicy::Lower,
+            })),
+            ErrorCode::BadRequest
+        );
+        // Reads on an empty session.
+        assert_eq!(
+            err_code(svc.handle(Request::MedianOrder { session: "s".into() })),
+            ErrorCode::NoVoters
+        );
+        // Domain mismatch on push; unknown voter on remove/pair.
+        assert_eq!(
+            err_code(svc.handle(Request::PushVoter {
+                session: "s".into(),
+                ranking: keys(&[1, 2]),
+            })),
+            ErrorCode::DomainMismatch
+        );
+        let v = push(&svc, keys(&[1, 2, 3]));
+        assert_eq!(
+            err_code(svc.handle(Request::RemoveVoter {
+                session: "s".into(),
+                voter: v + 100,
+            })),
+            ErrorCode::UnknownVoter
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::PairMetric {
+                session: "s".into(),
+                metric: MetricKind::KprofX2,
+                voter_a: v,
+                voter_b: v + 100,
+            })),
+            ErrorCode::UnknownVoter
+        );
+        // Invalid k.
+        assert_eq!(
+            err_code(svc.handle(Request::TopK {
+                session: "s".into(),
+                k: 99,
+            })),
+            ErrorCode::InvalidK
+        );
+        // The failed edits left the session serving.
+        assert!(matches!(
+            svc.handle(Request::MedianOrder { session: "s".into() }),
+            Response::Ranking { .. }
+        ));
+    }
+
+    #[test]
+    fn session_capacity_is_enforced() {
+        let svc = Service::new(1);
+        assert_eq!(
+            svc.handle(Request::CreateSession {
+                name: "a".into(),
+                n: 2,
+                policy: WirePolicy::Lower,
+            }),
+            Response::SessionCreated
+        );
+        assert!(matches!(
+            svc.handle(Request::CreateSession {
+                name: "b".into(),
+                n: 2,
+                policy: WirePolicy::Lower,
+            }),
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reads_track_the_latest_edit() {
+        let svc = with_session(3);
+        let v = push(&svc, keys(&[1, 2, 3]));
+        let before = svc.handle(Request::MedianOrder { session: "s".into() });
+        svc.handle(Request::ReplaceVoter {
+            session: "s".into(),
+            voter: v,
+            ranking: keys(&[3, 2, 1]),
+        });
+        let after = svc.handle(Request::MedianOrder { session: "s".into() });
+        assert_ne!(before, after);
+        assert_eq!(
+            after,
+            Response::Ranking {
+                order: keys(&[3, 2, 1])
+            }
+        );
+        // Draining the last voter returns reads to the typed empty
+        // state.
+        svc.handle(Request::RemoveVoter {
+            session: "s".into(),
+            voter: v,
+        });
+        assert!(matches!(
+            svc.handle(Request::MedianOrder { session: "s".into() }),
+            Response::Error {
+                code: ErrorCode::NoVoters,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ping_and_shutdown_are_pure_acks() {
+        let svc = Service::new(1);
+        assert_eq!(svc.handle(Request::Ping), Response::Pong);
+        assert_eq!(svc.handle(Request::Shutdown), Response::ShutdownAck);
+    }
+}

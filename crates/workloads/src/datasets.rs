@@ -9,6 +9,7 @@
 use bucketrank_access::db::{
     AttrKind, AttrValue, Binning, Direction, OrderSpec, Table, TableBuilder,
 };
+use bucketrank_access::AccessError;
 use bucketrank_testkit::rng::Rng;
 
 /// Cuisines used by [`restaurants`].
@@ -47,7 +48,9 @@ pub fn restaurants<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Table {
 pub fn restaurant_query_specs() -> Vec<OrderSpec> {
     vec![
         OrderSpec::text_preference("cuisine", ["thai", "sushi"]),
-        OrderSpec::numeric("distance", Direction::Asc).with_binning(Binning::Width(10.0)),
+        OrderSpec::numeric("distance", Direction::Asc)
+            .with_binning(Binning::Width(10.0))
+            .expect("distance ranks numerically"),
         OrderSpec::numeric("price", Direction::Asc),
         OrderSpec::numeric("stars", Direction::Desc),
     ]
@@ -88,11 +91,35 @@ pub fn flights<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Table {
 /// shortest duration in hour bands, preferred airline.
 pub fn flight_query_specs() -> Vec<OrderSpec> {
     vec![
-        OrderSpec::numeric("price", Direction::Asc).with_binning(Binning::Width(100.0)),
+        OrderSpec::numeric("price", Direction::Asc)
+            .with_binning(Binning::Width(100.0))
+            .expect("price ranks numerically"),
         OrderSpec::numeric("stops", Direction::Asc),
-        OrderSpec::numeric("duration", Direction::Asc).with_binning(Binning::Width(60.0)),
+        OrderSpec::numeric("duration", Direction::Asc)
+            .with_binning(Binning::Width(60.0))
+            .expect("duration ranks numerically"),
         OrderSpec::text_preference("airline", ["blue", "red"]),
     ]
+}
+
+/// Reads an `Int` cell from a catalog, with typed failures instead of
+/// panics — validation sweeps over generated tables (and the tests
+/// here) use this rather than pattern-matching [`AttrValue`] by hand.
+///
+/// # Errors
+/// [`AccessError::UnknownAttribute`] for a bad name or out-of-range
+/// row; [`AccessError::TypeMismatch`] when the cell is not an `Int`.
+pub fn int_value(table: &Table, row: usize, attribute: &str) -> Result<i64, AccessError> {
+    match table.value(row, attribute) {
+        Some(&AttrValue::Int(v)) => Ok(v),
+        Some(_) => Err(AccessError::TypeMismatch {
+            attribute: attribute.to_owned(),
+            expected: "Int",
+        }),
+        None => Err(AccessError::UnknownAttribute {
+            name: attribute.to_owned(),
+        }),
+    }
 }
 
 #[cfg(test)]
@@ -148,10 +175,29 @@ mod tests {
         let mut rng = Pcg32::seed_from_u64(5);
         let t = restaurants(&mut rng, 300);
         for i in 0..t.len() {
-            let Some(&AttrValue::Int(s)) = t.value(i, "stars") else {
-                panic!("stars must be Int")
-            };
+            let s = int_value(&t, i, "stars").expect("stars column is Int");
             assert!((1..=5).contains(&s));
         }
+    }
+
+    #[test]
+    fn int_value_failures_are_typed() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let t = restaurants(&mut rng, 3);
+        assert_eq!(
+            int_value(&t, 0, "cuisine"),
+            Err(AccessError::TypeMismatch {
+                attribute: "cuisine".into(),
+                expected: "Int",
+            })
+        );
+        assert_eq!(
+            int_value(&t, 0, "zip"),
+            Err(AccessError::UnknownAttribute { name: "zip".into() })
+        );
+        assert!(matches!(
+            int_value(&t, 99, "stars"),
+            Err(AccessError::UnknownAttribute { .. })
+        ));
     }
 }

@@ -43,10 +43,12 @@ fn main() {
     // --- rank + aggregate over the filtered view ----------------------
     let query = PreferenceQuery::new(vec![
         OrderSpec::numeric("price", Direction::Asc)
-            .with_binning(bucketrank::access::db::Binning::Width(50.0)),
+            .with_binning(bucketrank::access::db::Binning::Width(50.0))
+            .expect("price ranks numerically"),
         OrderSpec::numeric("stops", Direction::Asc),
         OrderSpec::numeric("duration", Direction::Asc)
-            .with_binning(bucketrank::access::db::Binning::Width(45.0)),
+            .with_binning(bucketrank::access::db::Binning::Width(45.0))
+            .expect("duration ranks numerically"),
     ])
     .with_k(3);
     let rankings = query.plan(&sub).unwrap();

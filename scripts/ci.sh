@@ -51,6 +51,15 @@ BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test tally_confo
 echo "==> dynamic update-oracle suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test dynamic_vs_rebuild
 
+echo "==> wire-protocol fuzz suite (256 cases per property)"
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test proto_fuzz
+
+echo "==> server loopback smoke (per-request-type round trips + graceful shutdown)"
+# The loopback suite binds an ephemeral port, exercises every request
+# type over a real socket (byte-compared against the in-process
+# engine) and requires a fully drained shutdown.
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_loopback
+
 echo "==> bench_batch_prepared smoke gate"
 # Fast pass proves the prepared batch engine runs end to end and writes
 # its JSON report. The smoke numbers land in target/ so they never
@@ -87,6 +96,19 @@ BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$dyn_smoke_out" \
 if [ ! -f BENCH_dynamic.json ]; then
   cp "$dyn_smoke_out" BENCH_dynamic.json
   echo "seeded BENCH_dynamic.json baseline from smoke run"
+fi
+
+echo "==> bench_server smoke gate"
+# Same pattern for the TCP service: the fast pass proves the server,
+# client and both request mixes run end to end over loopback (its
+# read-heavy throughput line is the acceptance canary) and seeds the
+# server baseline if absent.
+srv_smoke_out="target/BENCH_server.smoke.json"
+BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$srv_smoke_out" \
+  cargo run --release --offline -p bucketrank-bench --bin bench_server
+if [ ! -f BENCH_server.json ]; then
+  cp "$srv_smoke_out" BENCH_server.json
+  echo "seeded BENCH_server.json baseline from smoke run"
 fi
 
 echo "==> cargo clippy (best effort)"

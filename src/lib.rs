@@ -16,6 +16,8 @@
 //! * [`access`] — sorted-access cursors, MEDRANK, the Threshold
 //!   Algorithm, and an in-memory fielded-search substrate.
 //! * [`workloads`] — random/Mallows generators and synthetic catalogs.
+//! * [`server`] — a dependency-free TCP service hosting streaming
+//!   profile sessions behind a framed binary protocol.
 //!
 //! The most common items are also re-exported at the top level.
 //!
@@ -47,6 +49,7 @@ pub use bucketrank_access as access;
 pub use bucketrank_aggregate as aggregate;
 pub use bucketrank_core as core;
 pub use bucketrank_metrics as metrics;
+pub use bucketrank_server as server;
 pub use bucketrank_workloads as workloads;
 
 pub use bucketrank_aggregate::cost::AggMetric;

@@ -1,0 +1,242 @@
+//! Testkit-driven fuzz suite for the wire protocol (`server::proto`)
+//! and its transport: random byte bodies must decode to typed errors
+//! or valid values — never a panic — every strict prefix of a valid
+//! encoding must be a typed error, trailing bytes must be rejected,
+//! and over a live socket a malformed stream must kill only the
+//! offending **connection** while the server keeps serving.
+
+use bucketrank::server::proto::{
+    read_frame, write_frame, FrameError, ProtoError, Request, Response, WirePolicy,
+    DEFAULT_MAX_FRAME,
+};
+use bucketrank::server::{Client, ErrorCode, Server, ServerConfig};
+use bucketrank_testkit::prelude::*;
+use std::io::Write as _;
+use std::net::TcpStream;
+
+/// Random request-ish bodies: raw bytes, plus mutations that keep a
+/// valid opcode so decoding reaches the payload readers.
+fn bodies() -> impl Gen<Value = Vec<u8>> {
+    gen::from_fn(|rng| {
+        let len = rng.gen_range(0..=96usize);
+        let mut body: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+        // Half the time, steer onto the parsers behind valid headers.
+        if rng.gen_range(0..2u32) == 0 && body.len() >= 2 {
+            body[0] = 1; // PROTO_VERSION
+            body[1] = rng.gen_range(0x01..=0x0cu32) as u8; // opcodes + one invalid
+        }
+        body
+    })
+}
+
+#[test]
+fn decoders_are_total_and_reencoding_is_stable() {
+    check("decoders_are_total_and_reencoding_is_stable", bodies(), |body| {
+        // Decoding random bytes must return, not panic. Anything that
+        // decodes must re-encode to a stable canonical form.
+        if let Ok(req) = Request::decode(body) {
+            let wire = req.encode();
+            let again = Request::decode(&wire).expect("canonical encoding must decode");
+            assert_eq!(again, req);
+            assert_eq!(again.encode(), wire);
+        }
+        if let Ok(resp) = Response::decode(body) {
+            let wire = resp.encode();
+            let again = Response::decode(&wire).expect("canonical encoding must decode");
+            assert_eq!(again, resp);
+            assert_eq!(again.encode(), wire);
+        }
+    });
+}
+
+/// A grab-bag of requests covering every payload reader, built from a
+/// generated ranking and name.
+fn sample_requests() -> impl Gen<Value = Vec<Request>> {
+    gen::from_fn(|rng| {
+        let n = rng.gen_range(1..=9usize);
+        let ranking = gen::bucket_order(n, 3).generate(rng);
+        let name = gen::printable_string(1..=12).generate(rng);
+        vec![
+            Request::Ping,
+            Request::CreateSession {
+                name: name.clone(),
+                n: n as u32,
+                policy: WirePolicy::Upper,
+            },
+            Request::PushVoter {
+                session: name.clone(),
+                ranking: ranking.clone(),
+            },
+            Request::ReplaceVoter {
+                session: name.clone(),
+                voter: rng.gen_range(0..u64::MAX),
+                ranking,
+            },
+            Request::TopK {
+                session: name,
+                k: rng.gen_range(0..=64u32),
+            },
+            Request::Shutdown,
+        ]
+    })
+}
+
+#[test]
+fn every_strict_prefix_and_trailing_byte_is_a_typed_error() {
+    check(
+        "every_strict_prefix_and_trailing_byte_is_a_typed_error",
+        sample_requests(),
+        |reqs| {
+            for req in reqs {
+                let wire = req.encode();
+                assert_eq!(&Request::decode(&wire).unwrap(), req);
+                for cut in 0..wire.len() {
+                    assert!(
+                        Request::decode(&wire[..cut]).is_err(),
+                        "prefix of {req:?} at {cut} decoded"
+                    );
+                }
+                let mut extra = wire.clone();
+                extra.push(0);
+                assert!(
+                    matches!(
+                        Request::decode(&extra),
+                        Err(ProtoError::TrailingBytes { .. })
+                    ),
+                    "trailing byte after {req:?} accepted"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn frames_reject_oversized_and_torn_input_without_allocating() {
+    check(
+        "frames_reject_oversized_and_torn_input_without_allocating",
+        sample_requests(),
+        |reqs| {
+            for req in reqs {
+                let body = req.encode();
+                // Round trip through a full frame.
+                let mut wire = Vec::new();
+                write_frame(&mut wire, &body, DEFAULT_MAX_FRAME).unwrap();
+                let mut r = &wire[..];
+                assert_eq!(read_frame(&mut r, DEFAULT_MAX_FRAME).unwrap(), body);
+                // A torn frame (header promises more than the stream
+                // holds) is an I/O error, not a hang or panic.
+                for cut in 5..wire.len() {
+                    let mut torn = &wire[..cut];
+                    assert!(matches!(
+                        read_frame(&mut torn, DEFAULT_MAX_FRAME),
+                        Err(FrameError::Io(_))
+                    ));
+                }
+                // An oversized declared length is rejected from the
+                // 4-byte header alone — even when the declared size
+                // (here 4 GiB) could never be allocated.
+                let mut huge = u32::MAX.to_be_bytes().to_vec();
+                huge.extend_from_slice(&body);
+                let mut r = &huge[..];
+                assert!(matches!(
+                    read_frame(&mut r, DEFAULT_MAX_FRAME),
+                    Err(FrameError::Proto(ProtoError::FrameTooLarge { .. }))
+                ));
+            }
+        },
+    );
+}
+
+#[test]
+fn malformed_streams_fail_the_connection_not_the_server() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    check(
+        "malformed_streams_fail_the_connection_not_the_server",
+        bodies(),
+        |body| {
+            // A random body inside a well-formed frame: the server
+            // either answers a decoded request, or replies with one
+            // typed protocol error and closes this connection.
+            match Request::decode(body) {
+                Ok(Request::Shutdown) => {} // don't stop the shared server
+                Ok(_) => {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    write_frame(&mut s, body, DEFAULT_MAX_FRAME).unwrap();
+                    let reply = read_frame(&mut s, DEFAULT_MAX_FRAME).expect("reply");
+                    Response::decode(&reply).expect("server replies are well-formed");
+                }
+                Err(_) => {
+                    let mut s = TcpStream::connect(addr).unwrap();
+                    write_frame(&mut s, body, DEFAULT_MAX_FRAME).unwrap();
+                    match read_frame(&mut s, DEFAULT_MAX_FRAME) {
+                        Ok(reply) => {
+                            let resp =
+                                Response::decode(&reply).expect("server replies are well-formed");
+                            assert!(
+                                matches!(
+                                    resp,
+                                    Response::Error {
+                                        code: ErrorCode::BadRequest,
+                                        ..
+                                    }
+                                ),
+                                "undecodable body answered with {resp:?}"
+                            );
+                            // ... and then the connection dies.
+                            assert!(matches!(
+                                read_frame(&mut s, DEFAULT_MAX_FRAME),
+                                Err(FrameError::Closed)
+                            ));
+                        }
+                        // Best-effort error reply may be skipped; the
+                        // close itself is the contract.
+                        Err(FrameError::Closed) => {}
+                        Err(e) => panic!("unexpected transport failure: {e:?}"),
+                    }
+                }
+            }
+
+            // Raw unframed garbage, then a hangup: the server must
+            // shrug the connection off.
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(body).unwrap();
+            drop(s);
+
+            // The server is still serving fresh connections.
+            let mut probe = Client::connect(addr).unwrap();
+            probe.ping().expect("server must survive malformed peers");
+        },
+    );
+
+    // An oversized declared frame length kills that connection too.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    s.flush().unwrap();
+    match read_frame(&mut s, DEFAULT_MAX_FRAME) {
+        Ok(reply) => {
+            assert!(matches!(
+                Response::decode(&reply).expect("well-formed reply"),
+                Response::Error { .. }
+            ));
+        }
+        Err(FrameError::Closed) => {}
+        Err(e) => panic!("unexpected transport failure: {e:?}"),
+    }
+
+    let mut probe = Client::connect(addr).unwrap();
+    probe.ping().expect("server must survive an oversized frame");
+    let stats = server.shutdown();
+    assert!(
+        stats.protocol_errors > 0,
+        "the fuzz run should have tripped the protocol-error counter: {stats:?}"
+    );
+}
