@@ -129,8 +129,12 @@ impl Client {
     /// byte-identical acceptance bar is checked without interpretation.
     ///
     /// # Errors
-    /// [`ClientError::Io`] / [`ClientError::Closed`].
+    /// [`ClientError::Proto`] if the request violates an encoding bound
+    /// ([`Request::validate`], e.g. an over-long session name that
+    /// `encode` would otherwise truncate); [`ClientError::Io`] /
+    /// [`ClientError::Closed`] on transport failure.
     pub fn call_raw(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        req.validate().map_err(ClientError::Proto)?;
         write_frame(&mut self.stream, &req.encode(), self.max_frame)?;
         Ok(read_frame(&mut self.stream, self.max_frame)?)
     }

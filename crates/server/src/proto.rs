@@ -428,9 +428,17 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 fn put_name(out: &mut Vec<u8>, s: &str) {
-    debug_assert!(s.len() <= MAX_NAME);
-    out.push(s.len() as u8);
-    out.extend_from_slice(s.as_bytes());
+    // Encoding is infallible, so a name beyond MAX_NAME is truncated at
+    // a char boundary: the length prefix always matches the bytes
+    // written and the frame stays well-formed. Callers that want a
+    // typed rejection instead check `Request::validate` first (the
+    // in-crate `Client` does).
+    let mut len = s.len().min(MAX_NAME);
+    while !s.is_char_boundary(len) {
+        len -= 1;
+    }
+    out.push(len as u8);
+    out.extend_from_slice(&s.as_bytes()[..len]);
 }
 
 fn put_text(out: &mut Vec<u8>, s: &str) {
@@ -536,6 +544,39 @@ fn check_header(c: &mut Cursor<'_>) -> Result<u8, ProtoError> {
 }
 
 impl Request {
+    /// Checks the bounds that [`encode`](Request::encode) cannot carry
+    /// exactly — a session name beyond [`MAX_NAME`] (which `encode`
+    /// would truncate) or a ranking beyond [`MAX_ELEMENTS`] (which the
+    /// server would reject at decode). The in-crate
+    /// [`Client`](crate::Client) runs this before every send so an
+    /// over-long name fails with a typed error instead of silently
+    /// naming a different session.
+    ///
+    /// # Errors
+    /// [`ProtoError::NameTooLong`] / [`ProtoError::RankingTooLarge`].
+    pub fn validate(&self) -> Result<(), ProtoError> {
+        let (name, ranking) = match self {
+            Request::Ping | Request::Shutdown => return Ok(()),
+            Request::CreateSession { name, .. } | Request::DropSession { name } => (name, None),
+            Request::PushVoter { session, ranking }
+            | Request::ReplaceVoter { session, ranking, .. } => (session, Some(ranking)),
+            Request::KemenyCost { session, candidate } => (session, Some(candidate)),
+            Request::RemoveVoter { session, .. }
+            | Request::MedianOrder { session }
+            | Request::TopK { session, .. }
+            | Request::PairMetric { session, .. } => (session, None),
+        };
+        if name.len() > MAX_NAME {
+            return Err(ProtoError::NameTooLong { len: name.len() });
+        }
+        if let Some(r) = ranking {
+            if r.len() > MAX_ELEMENTS {
+                return Err(ProtoError::RankingTooLarge { len: r.len() });
+            }
+        }
+        Ok(())
+    }
+
     /// Encodes the request into a frame body.
     pub fn encode(&self) -> Vec<u8> {
         match self {
@@ -774,37 +815,102 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Reads one length-prefixed frame body. A declared length above
-/// `max_frame` is rejected **before** allocating; EOF exactly between
-/// frames is the clean [`FrameError::Closed`], EOF mid-frame is an
-/// [`io::ErrorKind::UnexpectedEof`] transport error.
+/// A resumable frame reader: bytes already consumed from the current
+/// frame survive a transient read failure (`WouldBlock` / `TimedOut`
+/// from a socket read timeout), so a frame that spans several poll
+/// intervals is reassembled instead of silently desyncing the stream.
+///
+/// Call [`read_frame`](FrameReader::read_frame) repeatedly with the
+/// same reader; each successful call yields one body and resets the
+/// state for the next frame. [`mid_frame`](FrameReader::mid_frame)
+/// tells a caller whether a transient error interrupted a frame in
+/// progress (not idle) or landed between frames (idle).
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    header: [u8; 4],
+    header_got: usize,
+    body: Option<Vec<u8>>,
+    body_got: usize,
+}
+
+impl FrameReader {
+    /// A reader positioned between frames.
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// True when part of the current frame (header or body) has been
+    /// consumed but the frame is not yet complete.
+    pub fn mid_frame(&self) -> bool {
+        self.header_got > 0 || self.body.is_some()
+    }
+
+    /// Reads (or resumes reading) one length-prefixed frame body. A
+    /// declared length above `max_frame` is rejected **before**
+    /// allocating; EOF exactly between frames is the clean
+    /// [`FrameError::Closed`], EOF mid-frame is an
+    /// [`io::ErrorKind::UnexpectedEof`] transport error. On a
+    /// transient [`FrameError::Io`] (e.g. a read timeout) the partial
+    /// frame stays buffered and the next call picks up where this one
+    /// stopped.
+    ///
+    /// # Errors
+    /// [`FrameError`] as described above.
+    pub fn read_frame(&mut self, r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, FrameError> {
+        while self.body.is_none() {
+            match r.read(&mut self.header[self.header_got..]) {
+                Ok(0) => {
+                    if self.header_got == 0 {
+                        return Err(FrameError::Closed);
+                    }
+                    return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
+                }
+                Ok(k) => {
+                    self.header_got += k;
+                    if self.header_got == 4 {
+                        let len = u32::from_be_bytes(self.header) as usize;
+                        if len > max_frame {
+                            return Err(FrameError::Proto(ProtoError::FrameTooLarge {
+                                len,
+                                max: max_frame,
+                            }));
+                        }
+                        self.body = Some(vec![0u8; len]);
+                        self.body_got = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        loop {
+            let body = self.body.as_mut().expect("body allocated above");
+            if self.body_got == body.len() {
+                break;
+            }
+            match r.read(&mut body[self.body_got..]) {
+                Ok(0) => return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into())),
+                Ok(k) => self.body_got += k,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(FrameError::Io(e)),
+            }
+        }
+        self.header_got = 0;
+        self.body_got = 0;
+        Ok(self.body.take().expect("body allocated above"))
+    }
+}
+
+/// One-shot [`FrameReader::read_frame`] for blocking streams where a
+/// transient failure mid-frame is fatal anyway (the client, tests).
+/// Transports that poll with a read timeout must hold a [`FrameReader`]
+/// across calls instead, or a timeout mid-frame loses the bytes already
+/// consumed.
 ///
 /// # Errors
-/// [`FrameError`] as described above.
+/// [`FrameError`] as on [`FrameReader::read_frame`].
 pub fn read_frame(r: &mut impl Read, max_frame: usize) -> Result<Vec<u8>, FrameError> {
-    let mut len_buf = [0u8; 4];
-    // Distinguish clean close (no bytes at all) from a torn header.
-    let mut got = 0usize;
-    while got < 4 {
-        match r.read(&mut len_buf[got..]) {
-            Ok(0) => {
-                if got == 0 {
-                    return Err(FrameError::Closed);
-                }
-                return Err(FrameError::Io(io::ErrorKind::UnexpectedEof.into()));
-            }
-            Ok(k) => got += k,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(FrameError::Io(e)),
-        }
-    }
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > max_frame {
-        return Err(FrameError::Proto(ProtoError::FrameTooLarge { len, max: max_frame }));
-    }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    Ok(body)
+    FrameReader::new().read_frame(r, max_frame)
 }
 
 /// Writes one length-prefixed frame.
@@ -1010,6 +1116,90 @@ mod tests {
         }
         .encode();
         assert_eq!(Request::decode(&re).unwrap(), Request::decode(&re).unwrap());
+    }
+
+    /// A `Read` that replays a script of chunks and transient errors,
+    /// standing in for a socket whose read timeout fires mid-frame.
+    struct ScriptedRead {
+        script: std::collections::VecDeque<Result<Vec<u8>, io::ErrorKind>>,
+    }
+
+    impl Read for ScriptedRead {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            match self.script.pop_front() {
+                Some(Ok(chunk)) => {
+                    assert!(chunk.len() <= buf.len(), "scripted chunk too large");
+                    buf[..chunk.len()].copy_from_slice(&chunk);
+                    Ok(chunk.len())
+                }
+                Some(Err(kind)) => Err(kind.into()),
+                None => Ok(0),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_resumes_across_timeouts() {
+        // One frame delivered as: 2 header bytes, timeout, 2 header
+        // bytes, timeout, half the body, timeout, the rest. Every
+        // consumed byte must survive each timeout.
+        let mut frame = Vec::new();
+        write_frame(&mut frame, b"resumable", 64).unwrap();
+        let mut r = ScriptedRead {
+            script: [
+                Ok(frame[..2].to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Ok(frame[2..4].to_vec()),
+                Err(io::ErrorKind::TimedOut),
+                Ok(frame[4..8].to_vec()),
+                Err(io::ErrorKind::WouldBlock),
+                Ok(frame[8..].to_vec()),
+            ]
+            .into_iter()
+            .collect(),
+        };
+        let mut reader = FrameReader::new();
+        assert!(!reader.mid_frame());
+        let mut timeouts = 0;
+        let body = loop {
+            match reader.read_frame(&mut r, 64) {
+                Ok(body) => break body,
+                Err(FrameError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    assert!(reader.mid_frame());
+                    timeouts += 1;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(body, b"resumable");
+        assert_eq!(timeouts, 3);
+        assert!(!reader.mid_frame(), "state resets after a full frame");
+    }
+
+    #[test]
+    fn long_names_validate_and_encode_well_formed() {
+        // 'é' is 2 bytes; 130 of them exceed MAX_NAME by 5 bytes and
+        // put a char boundary astride the 255-byte cut.
+        let long: String = "é".repeat(130);
+        assert_eq!(long.len(), 260);
+        let req = Request::DropSession { name: long.clone() };
+        assert_eq!(req.validate(), Err(ProtoError::NameTooLong { len: 260 }));
+        // Unvalidated encode still yields a well-formed frame: the
+        // length prefix matches the bytes written, truncated at a char
+        // boundary, so the stream cannot desync.
+        let decoded = Request::decode(&req.encode()).unwrap();
+        let Request::DropSession { name } = decoded else {
+            panic!("wrong request")
+        };
+        assert_eq!(name.len(), 254);
+        assert!(long.starts_with(&name));
+        // In-bounds names pass and round-trip untouched.
+        let ok = Request::DropSession { name: "x".repeat(MAX_NAME) };
+        assert_eq!(ok.validate(), Ok(()));
+        assert_eq!(Request::decode(&ok.encode()).unwrap(), ok);
     }
 
     #[test]

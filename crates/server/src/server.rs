@@ -19,8 +19,10 @@
 //! * Connection table full → the acceptor writes one `Busy` frame and
 //!   closes the socket without spawning anything.
 //! * Idle connections are closed after `read_timeout` (polled at a
-//!   short interval so shutdown never waits on an idle peer); writes
-//!   are bounded by `write_timeout` at the socket.
+//!   short interval so shutdown never waits on an idle peer; a
+//!   per-connection [`FrameReader`] carries partial-frame bytes across
+//!   poll ticks, so slow frames are reassembled, never desynced);
+//!   writes are bounded by `write_timeout` at the socket.
 //!
 //! # Failure posture
 //!
@@ -38,7 +40,7 @@
 //! returning its final [`ServerStats`].
 
 use crate::proto::{
-    read_frame, write_frame, FrameError, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
+    write_frame, FrameError, FrameReader, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
 };
 use crate::service::Service;
 use crate::ErrorCode;
@@ -357,6 +359,9 @@ fn accept_loop(
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     return;
                 }
+                // Accept errors can persist (EMFILE under connection
+                // pressure); back off briefly instead of spinning hot.
+                std::thread::sleep(Duration::from_millis(5));
                 continue;
             }
         };
@@ -386,7 +391,18 @@ fn accept_loop(
                 shared.live_connections.fetch_sub(1, Ordering::SeqCst);
             })
             .expect("spawn connection thread");
-        conn_threads.lock().expect("conn list").push(handle);
+        let mut handles = conn_threads.lock().expect("conn list");
+        // Reap finished connection threads so the handle list tracks
+        // live connections, not every connection ever served.
+        let mut i = 0;
+        while i < handles.len() {
+            if handles[i].is_finished() {
+                let _ = handles.swap_remove(i).join();
+            } else {
+                i += 1;
+            }
+        }
+        handles.push(handle);
     }
 }
 
@@ -402,17 +418,26 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
     let _ = stream.set_nodelay(true);
     let max_frame = cfg.max_frame;
     let mut idle_since = Instant::now();
+    // The reader holds partial-frame state across poll timeouts: a
+    // frame whose bytes straddle a >POLL_INTERVAL network gap resumes
+    // where it stopped instead of losing the consumed prefix and
+    // desyncing the stream.
+    let mut reader = FrameReader::new();
 
     loop {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let body = match read_frame(&mut stream, max_frame) {
+        let body = match reader.read_frame(&mut stream, max_frame) {
             Ok(body) => body,
             Err(FrameError::Closed) => return,
             Err(FrameError::Io(e))
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
+                // Poll tick. Mid-frame the consumed bytes stay buffered
+                // in `reader`; either way the idle deadline (measured
+                // from the last complete frame) bounds how long a
+                // silent or trickling peer holds the thread.
                 if idle_since.elapsed() >= cfg.read_timeout {
                     return; // idle limit: close quietly
                 }
@@ -463,11 +488,13 @@ fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
         }
         if is_shutdown && matches!(response, Response::ShutdownAck) {
             // Acknowledged on the wire; now trigger the real drain.
+            // Waking the acceptor here is best-effort — if the socket
+            // can no longer report its address, Server::shutdown's own
+            // wake still unblocks it.
             shared.request_shutdown();
-            let _ = TcpStream::connect_timeout(
-                &stream.local_addr().expect("local addr"),
-                Duration::from_millis(200),
-            );
+            if let Ok(addr) = stream.local_addr() {
+                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+            }
             return;
         }
     }

@@ -304,6 +304,45 @@ fn replies_are_byte_identical_to_the_in_process_mirror() {
     assert!(stats.requests > 0);
 }
 
+/// A legitimate client whose frame bytes straddle a network gap longer
+/// than the server's internal read-poll interval must still be served:
+/// the connection loop's resumable reader may not drop the bytes read
+/// before the poll timeout fired (that desync would parse the frame's
+/// tail as a fresh header).
+#[test]
+fn slow_frames_spanning_poll_timeouts_are_reassembled() {
+    use std::io::Write;
+
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
+    let addr = server.local_addr();
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+
+    // Three pings, each dribbled in three writes with pauses well past
+    // the server's 50ms poll interval: mid-header, then mid-body.
+    let body = Request::Ping.encode();
+    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+    frame.extend_from_slice(&body);
+    for _ in 0..3 {
+        for chunk in [&frame[..2], &frame[2..5], &frame[5..]] {
+            stream.write_all(chunk).expect("write chunk");
+            stream.flush().expect("flush");
+            std::thread::sleep(std::time::Duration::from_millis(120));
+        }
+        let reply = bucketrank::server::proto::read_frame(
+            &mut stream,
+            bucketrank::server::proto::DEFAULT_MAX_FRAME,
+        )
+        .expect("read reply");
+        assert_eq!(Response::decode(&reply).expect("decode"), Response::Pong);
+    }
+    drop(stream);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 3, "{stats:?}");
+    assert_eq!(stats.protocol_errors, 0, "every dribbled frame reassembled: {stats:?}");
+}
+
 #[test]
 fn smoke_every_request_type_and_graceful_shutdown() {
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).expect("bind loopback");
