@@ -6,7 +6,8 @@
 //!
 //! * **build**: the old per-pair `prefers()`/`is_tied()` double loop
 //!   (what kwiksort/Schulze/MC4/the majority digraph each used to pay
-//!   privately) vs [`ProfileTally::build`], sequential and parallel;
+//!   privately) vs [`ProfileTally::build`], sequential and parallel at
+//!   fixed widths 2/4/8 so the trajectory records a scaling curve;
 //! * **mc4**: the MC4 transition-matrix build end to end — the old
 //!   per-entry voter filter (`O(m·n²)`) vs tally build + `O(1)`
 //!   strict-majority reads;
@@ -152,14 +153,15 @@ fn main() {
     } else {
         &[(16, 128), (16, 512), (256, 128), (256, 512)]
     };
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8);
+    // The parallel build is measured at fixed widths 2/4/8 at every
+    // shape (not just whatever this box has), so the trajectory file
+    // records a scaling curve that is comparable across machines.
+    let par_widths: [usize; 3] = [2, 4, 8];
 
     let s = Sampler::default();
     let mut all: Vec<Measurement> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut par_scaling: Vec<(String, f64)> = Vec::new();
 
     for &(m, n) in shapes {
         let mut rng = Pcg32::seed_from_u64(2004);
@@ -176,9 +178,14 @@ fn main() {
         let build_seq = s.bench(&format!("tally/build/seq/{m}x{n}"), || {
             ProfileTally::build(&profile).unwrap()
         });
-        let build_par = s.bench(&format!("tally/build/par{threads}/{m}x{n}"), || {
-            ProfileTally::build_parallel(&profile, threads).unwrap()
-        });
+        let build_par: Vec<Measurement> = par_widths
+            .iter()
+            .map(|&t| {
+                s.bench(&format!("tally/build/par{t}/{m}x{n}"), || {
+                    ProfileTally::build_parallel(&profile, t).unwrap()
+                })
+            })
+            .collect();
 
         let mc4_naive = s.bench(&format!("mc4/naive/{m}x{n}"), || {
             naive_mc4_matrix(&profile, n)
@@ -202,24 +209,31 @@ fn main() {
         });
 
         let build_seq_speedup = build_naive.min_ns / build_seq.min_ns;
-        let build_par_speedup = build_naive.min_ns / build_par.min_ns;
         let mc4_speedup = mc4_naive.min_ns / mc4_tally.min_ns;
         let lk_speedup = lk_naive.min_ns / lk_tally.min_ns;
         let kemeny_speedup = kemeny_direct.min_ns / kemeny_tally.min_ns;
+        let par_line: Vec<String> = par_widths
+            .iter()
+            .zip(&build_par)
+            .map(|(&t, meas)| {
+                let vs_seq = build_seq.min_ns / meas.min_ns;
+                par_scaling.push((format!("tally/build/par{t}_vs_seq/{m}x{n}"), vs_seq));
+                format!("par{t} {vs_seq:.2}x")
+            })
+            .collect();
         println!(
-            "  speedups: build {build_seq_speedup:.2}x seq / {build_par_speedup:.2}x par, \
+            "  speedups: build {build_seq_speedup:.2}x seq (vs seq: {}), \
              mc4 {mc4_speedup:.2}x, local_kemenize {lk_speedup:.2}x, \
-             kemeny candidate scan {kemeny_speedup:.2}x"
+             kemeny candidate scan {kemeny_speedup:.2}x",
+            par_line.join(" ")
         );
         speedups.push((format!("tally/build/seq/{m}x{n}"), build_seq_speedup));
-        speedups.push((format!("tally/build/par{threads}/{m}x{n}"), build_par_speedup));
         speedups.push((format!("mc4/{m}x{n}"), mc4_speedup));
         speedups.push((format!("local_kemenize/{m}x{n}"), lk_speedup));
         speedups.push((format!("kemeny/{m}x{n}"), kemeny_speedup));
+        all.extend([build_naive, build_seq]);
+        all.extend(build_par);
         all.extend([
-            build_naive,
-            build_seq,
-            build_par,
             mc4_naive,
             mc4_tally,
             lk_naive,
@@ -231,10 +245,10 @@ fn main() {
 
     BenchReport::new("bench_aggregate_tally")
         .shapes(shapes)
-        .field_usize("threads", threads)
         .field_bool("fast", fast)
         .measurements(&all)
         .ratios("tally_speedups", &speedups)
+        .ratios("tally_par_scaling", &par_scaling)
         .write(&out_path("BENCH_aggregate.json"));
 
     // The smoke gate doubles as a regression check: no rewired
@@ -257,4 +271,43 @@ fn main() {
         "kemeny candidate-scan speedup by shape (mxn): {}",
         kemeny.join(", ")
     );
+
+    // Hard parallel-scaling gate at the acceptance shape: the 8-thread
+    // tally build must beat the sequential build by ≥1.5× at 256×512.
+    // It runs in both modes (the fast grid omits the shape, so the
+    // profile is built here), but only on hardware with at least 8
+    // cores — oversubscribed threads cannot scale, so fewer cores
+    // SKIPs the gate rather than failing it.
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    if cores < 8 {
+        println!("par8 gate (256x512, par8 >= 1.5x seq): SKIP ({cores} cores < 8)");
+        return;
+    }
+    let (gm, gn) = (256usize, 512usize);
+    let mut rng = Pcg32::seed_from_u64(2004);
+    let profile: Vec<BucketOrder> = (0..gm)
+        .map(|_| random_few_valued(&mut rng, gn, 8))
+        .collect();
+    let mut seq_s = f64::INFINITY;
+    let mut par_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(ProfileTally::build(&profile).unwrap());
+        seq_s = seq_s.min(t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(ProfileTally::build_parallel(&profile, 8).unwrap());
+        par_s = par_s.min(t0.elapsed().as_secs_f64());
+    }
+    let ratio = seq_s / par_s;
+    let verdict = if ratio >= 1.5 { "PASS" } else { "FAIL" };
+    println!(
+        "par8 gate (256x512, par8 >= 1.5x seq): seq {:.2}ms vs par8 {:.2}ms = {ratio:.2}x [{verdict}]",
+        seq_s * 1e3,
+        par_s * 1e3
+    );
+    if ratio < 1.5 {
+        std::process::exit(1);
+    }
 }

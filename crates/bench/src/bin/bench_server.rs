@@ -16,6 +16,14 @@
 //! latencies feed p50/p99; the acceptance gate is ≥10k requests/s on
 //! the read-heavy mix.
 //!
+//! Protocol v2 regimes then rerun the read-heavy op distribution:
+//! **read_heavy_pipelined** (32 outstanding v1 frames per connection),
+//! **read_heavy_batched** (8 outstanding `Batch` frames of 16 ops), and
+//! **read_heavy_batched_idleflood** (the batched mix with hundreds of
+//! idle connections parked in the readiness loop). The hard v2 gate:
+//! the best no-flood pipelined/batched throughput must be ≥ 2× the
+//! single-outstanding read-heavy throughput from the *same run*.
+//!
 //! Before the mixes, one client exercises every request type once
 //! (the same round-trip set the CI smoke gate drives), and the run
 //! ends with a wire `Shutdown` followed by a drained `Server::shutdown`
@@ -28,10 +36,10 @@
 //! request budget.
 
 use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
-use bucketrank_server::{Client, MetricKind, Server, ServerConfig, WirePolicy};
+use bucketrank_server::{Client, MetricKind, Request, Server, ServerConfig, WirePolicy};
 use bucketrank_workloads::random::random_few_valued;
 use bucketrank_workloads::rng::{Pcg32, Rng, SeedableRng};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 /// p-th percentile (0..=100) of an unsorted latency sample, in ns.
@@ -137,6 +145,119 @@ fn run_mix(
     (start.elapsed().as_secs_f64(), latencies)
 }
 
+/// Builds the i-th request of the read-heavy mix — the same op
+/// distribution `run_mix` drives synchronously, as a value so it can
+/// be pipelined or batched.
+fn mix_request(
+    rng: &mut Pcg32,
+    session: &str,
+    voters: &[u64],
+    candidate: &bucketrank_core::BucketOrder,
+    edit_pct: u32,
+    n: usize,
+    i: usize,
+) -> Request {
+    if rng.gen_range(0..100) < edit_pct {
+        Request::ReplaceVoter {
+            session: session.to_owned(),
+            voter: voters[i % voters.len()],
+            ranking: random_few_valued(rng, n, 4),
+        }
+    } else {
+        match i % 4 {
+            0 => Request::MedianOrder {
+                session: session.to_owned(),
+            },
+            1 => Request::TopK {
+                session: session.to_owned(),
+                k: (1 + i % n) as u32,
+            },
+            2 => Request::KemenyCost {
+                session: session.to_owned(),
+                candidate: candidate.clone(),
+            },
+            _ => Request::PairMetric {
+                session: session.to_owned(),
+                metric: MetricKind::ALL[i % 4],
+                voter_a: voters[0],
+                voter_b: voters[1],
+            },
+        }
+    }
+}
+
+/// Drives one **pipelined** mix: `depth` outstanding frames per
+/// connection, each frame carrying `batch` ops (1 → v1 single frames).
+/// Returns `(elapsed_seconds, total_ops)`.
+fn run_pipelined_mix(
+    addr: SocketAddr,
+    name: &str,
+    clients: usize,
+    per_client: usize,
+    edit_pct: u32,
+    n: usize,
+    (depth, batch): (usize, usize),
+) -> (f64, u64) {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            let session = format!("{name}-{ci}");
+            std::thread::spawn(move || -> u64 {
+                let mut rng = Pcg32::seed_from_u64(0x9e77 + ci as u64);
+                let mut c = Client::connect(addr).expect("connect");
+                c.create_session(&session, n, WirePolicy::Lower)
+                    .expect("create");
+                let voters: Vec<u64> = (0..4)
+                    .map(|_| {
+                        let r = random_few_valued(&mut rng, n, 4);
+                        c.push_voter(&session, &r).expect("seed push")
+                    })
+                    .collect();
+                let candidate = random_few_valued(&mut rng, n, 4);
+
+                let mut pipe = c.pipeline(depth);
+                let mut sent_frames = 0u64;
+                let mut answered = 0u64;
+                let mut i = 0usize;
+                while i < per_client {
+                    let take = batch.min(per_client - i);
+                    let reply = if take == 1 {
+                        let req =
+                            mix_request(&mut rng, &session, &voters, &candidate, edit_pct, n, i);
+                        pipe.send(&req).expect("pipelined send")
+                    } else {
+                        let reqs: Vec<Request> = (0..take)
+                            .map(|j| {
+                                mix_request(
+                                    &mut rng, &session, &voters, &candidate, edit_pct, n,
+                                    i + j,
+                                )
+                            })
+                            .collect();
+                        pipe.send_batch(&reqs).expect("pipelined batch send")
+                    };
+                    sent_frames += 1;
+                    if reply.is_some() {
+                        answered += 1;
+                    }
+                    i += take;
+                }
+                answered += pipe.drain().expect("drain").len() as u64;
+                assert_eq!(answered, sent_frames, "every frame answered in order");
+                drop(pipe);
+                c.drop_session(&session).expect("drop");
+                per_client as u64
+            })
+        })
+        .collect();
+
+    let mut ops = 0u64;
+    for h in handles {
+        ops += h.join().expect("client thread");
+    }
+    (start.elapsed().as_secs_f64(), ops)
+}
+
 fn main() {
     let fast = fast_mode();
     // Acceptance shape: 32-element sessions, 4 clients, 4000 requests
@@ -146,10 +267,17 @@ fn main() {
     let clients = if fast { 2 } else { 4 };
     let per_client = if fast { 400 } else { 4000 };
 
+    // Pipelined mixes run a larger budget: per-op cost is far lower, so
+    // more ops are needed for a stable elapsed time.
+    let per_client_pipelined = if fast { per_client } else { per_client * 4 };
+    let idle_conns = if fast { 64 } else { 512 };
+
     let server = Server::bind(
         "127.0.0.1:0",
         ServerConfig {
             workers: clients.max(2),
+            // Room for the idle-flood mix on top of the working clients.
+            max_connections: idle_conns + 64,
             ..ServerConfig::default()
         },
     )
@@ -183,6 +311,42 @@ fn main() {
         }
     }
 
+    // Protocol v2 regimes over the same read-heavy op distribution:
+    // K-outstanding pipelining of v1 singles, batch frames, and the
+    // batched mix again while hundreds of idle connections sit in the
+    // readiness loop's cold tier.
+    let mut idle_flood: Vec<TcpStream> = Vec::new();
+    let pipelined_mixes: [(&str, usize, usize, usize); 3] = [
+        ("read_heavy_pipelined", 32, 1, 0),
+        ("read_heavy_batched", 8, 16, 0),
+        ("read_heavy_batched_idleflood", 8, 16, idle_conns),
+    ];
+    let mut pipelined_best = 0.0f64;
+    for (name, depth, batch, idle) in pipelined_mixes {
+        while idle_flood.len() < idle {
+            let stream = TcpStream::connect(addr).expect("idle connect");
+            stream.set_nodelay(true).expect("nodelay");
+            idle_flood.push(stream);
+        }
+        let (elapsed, ops) =
+            run_pipelined_mix(addr, name, clients, per_client_pipelined, 5, n, (depth, batch));
+        let rps = ops as f64 / elapsed;
+        println!(
+            "  {name}: {rps:.0} op/s over {ops} ops \
+             (depth {depth}, batch {batch}, {idle} idle conns)"
+        );
+        mix_rows.push(format!(
+            "{{\"name\":\"{name}\",\"edit_pct\":5,\"clients\":{clients},\
+             \"depth\":{depth},\"batch\":{batch},\"idle_conns\":{idle},\
+             \"requests\":{ops},\"elapsed_s\":{elapsed:.4},\
+             \"throughput_rps\":{rps:.1}}}"
+        ));
+        if idle == 0 {
+            pipelined_best = pipelined_best.max(rps);
+        }
+    }
+    drop(idle_flood);
+
     // Graceful shutdown: wire request, then a drained join. A hang
     // here (leaked connection thread, stuck worker) blocks the
     // benchmark and fails CI by timeout rather than hiding.
@@ -190,7 +354,10 @@ fn main() {
     c.shutdown_server().expect("wire shutdown");
     let stats = server.shutdown();
     assert!(
-        stats.requests >= smoke_requests + 2 * (clients * per_client) as u64,
+        stats.requests
+            >= smoke_requests
+                + 2 * (clients * per_client) as u64
+                + 3 * (clients * per_client_pipelined) as u64,
         "drained stats undercount: {stats:?}"
     );
     println!(
@@ -203,6 +370,7 @@ fn main() {
         .field_usize("n", n)
         .field_usize("clients", clients)
         .field_usize("per_client", per_client)
+        .field_usize("per_client_pipelined", per_client_pipelined)
         .field_bool("fast", fast)
         .field_usize("total_requests", stats.requests as usize)
         .array("mixes", &mix_rows)
@@ -210,4 +378,18 @@ fn main() {
 
     let verdict = if read_heavy_rps >= 10_000.0 { "PASS" } else { "FAIL" };
     println!("acceptance gate read_heavy >= 10000 req/s: {read_heavy_rps:.0} [{verdict}]");
+
+    // Protocol v2 acceptance: pipelining/batching must at least double
+    // the single-outstanding read-heavy throughput measured in the
+    // *same run* (not against a stale baseline). This one is a hard
+    // gate — CI runs the fast pass under `set -e`.
+    let speedup = pipelined_best / read_heavy_rps;
+    let v2_verdict = if speedup >= 2.0 { "PASS" } else { "FAIL" };
+    println!(
+        "acceptance gate pipelined/batched read_heavy >= 2x single-outstanding: \
+         {pipelined_best:.0} vs {read_heavy_rps:.0} ({speedup:.2}x) [{v2_verdict}]"
+    );
+    if speedup < 2.0 {
+        std::process::exit(1);
+    }
 }

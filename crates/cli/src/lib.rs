@@ -457,6 +457,8 @@ pub fn cmd_serve(
     workers: Option<usize>,
     queue_depth: Option<usize>,
     max_conns: Option<usize>,
+    max_frame: Option<usize>,
+    pipeline_depth: Option<usize>,
     addr_file: Option<&str>,
 ) -> Result<String, CliError> {
     use bucketrank_server::{Server, ServerConfig};
@@ -471,8 +473,20 @@ pub fn cmd_serve(
     if let Some(c) = max_conns {
         config.max_connections = c;
     }
+    if let Some(f) = max_frame {
+        config.max_frame = f;
+    }
+    if let Some(p) = pipeline_depth {
+        config.pipeline_depth = p;
+    }
     if config.workers == 0 || config.queue_depth == 0 || config.max_connections == 0 {
         return err("serve needs --workers, --queue-depth, and --max-conns ≥ 1");
+    }
+    // A frame smaller than the length prefix + version/opcode header,
+    // or a connection that may never have an op in flight, can serve
+    // no request at all.
+    if config.max_frame < 16 || config.pipeline_depth == 0 {
+        return err("serve needs --max-frame ≥ 16 and --pipeline-depth ≥ 1");
     }
     let server =
         Server::bind(addr, config).map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
@@ -496,7 +510,7 @@ pub fn cmd_serve(
 /// # Errors
 /// [`CliError`] with a usage or failure message.
 pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<String, CliError> {
-    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]\n  bucketrank serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-conns N] [--addr-file PATH]";
+    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]\n  bucketrank serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-conns N] [--max-frame BYTES] [--pipeline-depth N] [--addr-file PATH]";
     let mut it = args.iter();
     let cmd = match it.next() {
         Some(c) => c.as_str(),
@@ -607,6 +621,8 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>
                 parse_opt("--workers")?,
                 parse_opt("--queue-depth")?,
                 parse_opt("--max-conns")?,
+                parse_opt("--max-frame")?,
+                parse_opt("--pipeline-depth")?,
                 flag("--addr-file"),
             )
         }
@@ -823,7 +839,9 @@ pizza,3.5,4
         let _ = std::fs::remove_file(&addr_file);
 
         // Parameter validation is immediate, not deferred to bind.
-        assert!(cmd_serve("127.0.0.1:0", Some(0), None, None, None).is_err());
+        assert!(cmd_serve("127.0.0.1:0", Some(0), None, None, None, None, None).is_err());
+        assert!(cmd_serve("127.0.0.1:0", None, None, None, Some(4), None, None).is_err());
+        assert!(cmd_serve("127.0.0.1:0", None, None, None, None, Some(0), None).is_err());
     }
 
     #[test]

@@ -2,18 +2,21 @@
 //! reference consumer used by the integration tests, the CI smoke
 //! gate, and the `bench_server` loopback driver.
 //!
-//! One [`Client`] owns one connection and issues one request at a
-//! time (matching the server's one-in-flight-per-connection model);
-//! open several clients for concurrency. Every method decodes the
-//! reply into a typed result: server-side failures arrive as
-//! [`ClientError::Server`] with the wire [`ErrorCode`], backpressure
-//! as [`ClientError::Busy`].
+//! One [`Client`] owns one connection. The typed convenience methods
+//! issue one request at a time; for throughput, [`Client::call_batch`]
+//! packs many sub-requests into a single v2 `Batch` frame, and
+//! [`Client::pipeline`] keeps up to K frames outstanding with strict
+//! in-order reply matching (the server guarantees replies in arrival
+//! order). Every method decodes the reply into a typed result:
+//! server-side failures arrive as [`ClientError::Server`] with the
+//! wire [`ErrorCode`], backpressure as [`ClientError::Busy`].
 
 use crate::proto::{
-    read_frame, write_frame, ErrorCode, FrameError, MetricKind, ProtoError, Request, Response,
-    WirePolicy, DEFAULT_MAX_FRAME,
+    decode_batch_reply, encode_batch, read_frame, validate_batch, write_frame, ErrorCode,
+    FrameError, MetricKind, ProtoError, Request, Response, WirePolicy, DEFAULT_MAX_FRAME,
 };
 use bucketrank_core::BucketOrder;
+use std::collections::VecDeque;
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
@@ -343,6 +346,190 @@ impl Client {
         match self.expect(&Request::Shutdown)? {
             Response::ShutdownAck => Ok(()),
             other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Issues one v2 `Batch` frame and returns the **raw sub-reply
+    /// bodies** in request order — the exact bytes the server framed,
+    /// for the differential suite's byte-identical comparisons.
+    ///
+    /// # Errors
+    /// [`ClientError::Proto`] if the batch violates an encoding bound
+    /// (empty, over [`crate::proto::MAX_BATCH`], or a sub-request that
+    /// fails [`Request::validate`]); transport failures as on
+    /// [`call_raw`](Client::call_raw). A server answering the whole
+    /// frame with a single v1 `Busy`/`Error` (queue backpressure or an
+    /// oversized reply) surfaces as [`ClientError::Busy`] /
+    /// [`ClientError::Server`].
+    pub fn call_batch_raw(&mut self, reqs: &[Request]) -> Result<Vec<Vec<u8>>, ClientError> {
+        validate_batch(reqs).map_err(ClientError::Proto)?;
+        write_frame(&mut self.stream, &encode_batch(reqs), self.max_frame)?;
+        let reply = read_frame(&mut self.stream, self.max_frame)?;
+        split_batch_reply(&reply)
+    }
+
+    /// Issues one v2 `Batch` frame and decodes every per-op reply, in
+    /// request order. Per-op failures are **values** here (typed
+    /// [`Response::Error`] / [`Response::Busy`] entries), not errors —
+    /// a failure mid-batch never hides the replies after it.
+    ///
+    /// # Errors
+    /// As on [`call_batch_raw`](Client::call_batch_raw).
+    pub fn call_batch(&mut self, reqs: &[Request]) -> Result<Vec<Response>, ClientError> {
+        self.call_batch_raw(reqs)?
+            .iter()
+            .map(|body| Response::decode(body).map_err(ClientError::Proto))
+            .collect()
+    }
+
+    /// Starts a pipelined exchange with up to `depth` frames
+    /// outstanding (clamped to at least 1). The pipeline borrows the
+    /// client exclusively, so unmatched replies cannot leak into later
+    /// plain calls: drop it only once [`Pipeline::outstanding`] is 0
+    /// (use [`Pipeline::drain`]).
+    pub fn pipeline(&mut self, depth: usize) -> Pipeline<'_> {
+        Pipeline {
+            client: self,
+            depth: depth.max(1),
+            outstanding: VecDeque::new(),
+        }
+    }
+}
+
+/// Splits a reply frame body into per-op raw bodies: a v2 `BatchReply`
+/// yields its sub-bodies; a v1 `Busy` or `Error` body (the server's
+/// whole-frame degradations) is surfaced as the matching error.
+fn split_batch_reply(reply: &[u8]) -> Result<Vec<Vec<u8>>, ClientError> {
+    match decode_batch_reply(reply) {
+        Ok(bodies) => Ok(bodies),
+        Err(batch_err) => match Response::decode(reply) {
+            Ok(Response::Busy) => Err(ClientError::Busy),
+            Ok(Response::Error { code, message }) => Err(ClientError::Server { code, message }),
+            _ => Err(ClientError::Proto(batch_err)),
+        },
+    }
+}
+
+/// What one pipelined send is owed on the wire.
+enum Expect {
+    /// A v1 frame: one raw reply body.
+    Single,
+    /// A v2 `Batch` frame: a `BatchReply` carrying this many bodies.
+    Batch(usize),
+}
+
+/// One in-order reply to a pipelined send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineReply {
+    /// Raw reply body to a [`Pipeline::send`].
+    Single(Vec<u8>),
+    /// Raw per-op reply bodies to a [`Pipeline::send_batch`], in
+    /// request order.
+    Batch(Vec<Vec<u8>>),
+}
+
+/// A pipelined exchange over one connection: up to `depth` frames
+/// outstanding, replies matched strictly **in send order** (FIFO).
+/// Built by [`Client::pipeline`]; see the [module docs](self).
+pub struct Pipeline<'a> {
+    client: &'a mut Client,
+    depth: usize,
+    outstanding: VecDeque<Expect>,
+}
+
+impl Pipeline<'_> {
+    /// Frames currently awaiting replies.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The configured outstanding-frame bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Sends one v1 request frame. If the pipeline is at depth, the
+    /// oldest reply is received first and returned, so the bound holds
+    /// without a separate wait call.
+    ///
+    /// # Errors
+    /// Validation and transport failures as on
+    /// [`Client::call_raw`]; any received reply's failures as on
+    /// [`recv`](Pipeline::recv).
+    pub fn send(&mut self, req: &Request) -> Result<Option<PipelineReply>, ClientError> {
+        req.validate().map_err(ClientError::Proto)?;
+        let evicted = self.make_room()?;
+        write_frame(
+            &mut self.client.stream,
+            &req.encode(),
+            self.client.max_frame,
+        )?;
+        self.outstanding.push_back(Expect::Single);
+        Ok(evicted)
+    }
+
+    /// Sends one v2 `Batch` frame (counted as a single outstanding
+    /// frame). If the pipeline is at depth, the oldest reply is
+    /// received first and returned.
+    ///
+    /// # Errors
+    /// As on [`Client::call_batch_raw`] plus any received reply's
+    /// failures as on [`recv`](Pipeline::recv).
+    pub fn send_batch(&mut self, reqs: &[Request]) -> Result<Option<PipelineReply>, ClientError> {
+        validate_batch(reqs).map_err(ClientError::Proto)?;
+        let evicted = self.make_room()?;
+        write_frame(
+            &mut self.client.stream,
+            &encode_batch(reqs),
+            self.client.max_frame,
+        )?;
+        self.outstanding.push_back(Expect::Batch(reqs.len()));
+        Ok(evicted)
+    }
+
+    /// Receives the oldest outstanding reply; `None` when nothing is
+    /// outstanding.
+    ///
+    /// # Errors
+    /// Transport failures; [`ClientError::Proto`] if a batch reply does
+    /// not carry exactly the sub-replies its request promised.
+    pub fn recv(&mut self) -> Result<Option<PipelineReply>, ClientError> {
+        let Some(expect) = self.outstanding.pop_front() else {
+            return Ok(None);
+        };
+        let reply = read_frame(&mut self.client.stream, self.client.max_frame)?;
+        match expect {
+            Expect::Single => Ok(Some(PipelineReply::Single(reply))),
+            Expect::Batch(count) => {
+                let bodies = split_batch_reply(&reply)?;
+                if bodies.len() != count {
+                    return Err(ClientError::Proto(ProtoError::Truncated {
+                        needed: count,
+                        have: bodies.len(),
+                    }));
+                }
+                Ok(Some(PipelineReply::Batch(bodies)))
+            }
+        }
+    }
+
+    /// Receives every outstanding reply, oldest first.
+    ///
+    /// # Errors
+    /// As on [`recv`](Pipeline::recv).
+    pub fn drain(&mut self) -> Result<Vec<PipelineReply>, ClientError> {
+        let mut replies = Vec::with_capacity(self.outstanding.len());
+        while let Some(reply) = self.recv()? {
+            replies.push(reply);
+        }
+        Ok(replies)
+    }
+
+    fn make_room(&mut self) -> Result<Option<PipelineReply>, ClientError> {
+        if self.outstanding.len() >= self.depth {
+            self.recv()
+        } else {
+            Ok(None)
         }
     }
 }

@@ -10,19 +10,24 @@
 //! The layers, bottom to top:
 //!
 //! - [`proto`] — the wire format: framed, versioned, bounded requests
-//!   and responses with typed decode errors. Malformed or oversized
-//!   input fails the *connection*, never the process.
+//!   and responses with typed decode errors, including the protocol v2
+//!   `Batch`/`BatchReply` frames that carry many ops per round trip.
+//!   Malformed or oversized input fails the *connection*, never the
+//!   process.
 //! - [`service`] — transport-agnostic request handling: a session map
 //!   where edits go through a per-session `DynamicProfile` under a
 //!   mutex, and reads go through immutable published
 //!   [`DynamicSnapshot`](bucketrank_aggregate::DynamicSnapshot)s so
-//!   they never block writers.
-//! - [`server`] — the TCP front: an accept loop, per-connection reader
-//!   threads, and a fixed worker pool behind a bounded job queue with
-//!   explicit backpressure ([`Response::Busy`]) and graceful,
-//!   drain-the-in-flight shutdown.
+//!   they never block writers. Batches dispatch through
+//!   [`Service::handle_batch`], which amortizes the session lookup.
+//! - [`server`] — the TCP front: a single readiness-based event thread
+//!   owning every nonblocking connection (no thread per connection)
+//!   and a fixed worker pool behind a bounded job queue with explicit
+//!   backpressure ([`Response::Busy`]), per-connection pipelining with
+//!   in-order replies, and graceful, drain-the-in-flight shutdown.
 //! - [`client`] — a blocking loopback client used by the integration
-//!   tests, the CI smoke gate, and `bench_server`.
+//!   tests, the CI smoke gate, and `bench_server`; supports batch
+//!   calls and K-outstanding pipelining ([`Client::pipeline`]).
 //!
 //! # Quickstart (loopback)
 //!
@@ -51,10 +56,10 @@ pub mod proto;
 pub mod server;
 pub mod service;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, Pipeline, PipelineReply};
 pub use proto::{
-    ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, WirePolicy,
-    DEFAULT_MAX_FRAME, PROTO_VERSION,
+    ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, WirePolicy, WireRequest,
+    DEFAULT_MAX_FRAME, MAX_BATCH, PROTO_VERSION, PROTO_VERSION_2,
 };
 pub use server::{Server, ServerConfig, ServerStats};
 pub use service::Service;

@@ -11,6 +11,17 @@
 //! body = [ u8 version | u8 opcode | payload… ]
 //! ```
 //!
+//! Two versions share the framing. A **v1** body carries one request
+//! (or one response). A **v2** body is a *batch*: `[2 | 0x20 |
+//! u16 count | count × (u32 len | v1 request body)]`, answered by
+//! exactly one batch reply `[2 | 0xa0 | u16 count | count × (u32 len |
+//! v1 response body)]` whose sub-replies preserve request order —
+//! per-op failures travel as typed `Error` sub-replies, not connection
+//! faults. v1 and v2 frames interleave freely on one connection
+//! ([`WireRequest::decode`] dispatches on the version byte), and the
+//! batch count is bounded by [`MAX_BATCH`] before any per-request
+//! allocation, mirroring the frame-length bound.
+//!
 //! The length counts the body only and is bounded by the transport's
 //! `max_frame` (default [`DEFAULT_MAX_FRAME`]); a declared length above
 //! the bound is a typed [`ProtoError::FrameTooLarge`] **before** any
@@ -36,11 +47,23 @@
 use bucketrank_core::BucketOrder;
 use std::io::{self, Read, Write};
 
-/// Protocol version carried in every frame body.
+/// Protocol version carried in every single-request frame body.
 pub const PROTO_VERSION: u8 = 1;
+
+/// Protocol version of the multi-op batch frames ([`encode_batch`] /
+/// [`decode_batch`]). A v2 frame carries N complete v1 request bodies
+/// and is answered by exactly one batch-reply frame carrying N v1
+/// response bodies in the same order; v1 and v2 frames may be freely
+/// interleaved on one connection.
+pub const PROTO_VERSION_2: u8 = 2;
 
 /// Default upper bound on a frame body, requests and responses alike.
 pub const DEFAULT_MAX_FRAME: usize = 1 << 20;
+
+/// Upper bound on the number of sub-requests in one batch frame. The
+/// count is validated against this bound **before** any per-request
+/// allocation, like the frame length itself.
+pub const MAX_BATCH: usize = 1024;
 
 /// Upper bound on a session-name length (encoded with a `u8` length).
 pub const MAX_NAME: usize = 255;
@@ -102,6 +125,13 @@ pub enum ProtoError {
         /// Which field was out of range.
         what: &'static str,
     },
+    /// A batch frame declared zero sub-requests.
+    EmptyBatch,
+    /// A batch frame declared more sub-requests than [`MAX_BATCH`].
+    BatchTooLarge {
+        /// The declared sub-request count.
+        len: usize,
+    },
 }
 
 impl std::fmt::Display for ProtoError {
@@ -128,6 +158,10 @@ impl std::fmt::Display for ProtoError {
                 write!(f, "ranking of {len} elements exceeds {MAX_ELEMENTS}")
             }
             ProtoError::BadValue { what } => write!(f, "out-of-range value for {what}"),
+            ProtoError::EmptyBatch => write!(f, "batch frame with zero sub-requests"),
+            ProtoError::BatchTooLarge { len } => {
+                write!(f, "batch of {len} sub-requests exceeds {MAX_BATCH}")
+            }
         }
     }
 }
@@ -399,6 +433,11 @@ const OP_TOPK: u8 = 0x08;
 const OP_KEMENY: u8 = 0x09;
 const OP_PAIR: u8 = 0x0a;
 const OP_SHUTDOWN: u8 = 0x0b;
+
+// v2 opcodes: one request kind (a batch of v1 sub-requests) and its
+// one reply kind (the matching sub-replies, in order).
+const OP_BATCH: u8 = 0x20;
+const OP_BATCH_REPLY: u8 = 0xa0;
 
 const OP_PONG: u8 = 0x81;
 const OP_CREATED: u8 = 0x82;
@@ -779,6 +818,177 @@ impl Response {
         };
         c.finish()?;
         Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Protocol v2: batch frames.
+
+/// Encodes up to [`MAX_BATCH`] requests into one v2 batch-frame body:
+/// `[2 | 0x20 | u16 count | count × (u32 len | v1 request body)]`.
+///
+/// Encoding is infallible, so a slice beyond [`MAX_BATCH`] is truncated
+/// to the bound (the frame stays well-formed); callers that want a
+/// typed rejection instead check [`validate_batch`] first (the in-crate
+/// [`Client`](crate::Client) does).
+pub fn encode_batch(reqs: &[Request]) -> Vec<u8> {
+    let reqs = &reqs[..reqs.len().min(MAX_BATCH)];
+    let mut out = vec![PROTO_VERSION_2, OP_BATCH];
+    put_u16(&mut out, reqs.len() as u16);
+    for req in reqs {
+        let sub = req.encode();
+        put_u32(&mut out, sub.len() as u32);
+        out.extend_from_slice(&sub);
+    }
+    out
+}
+
+/// The bounds [`encode_batch`] cannot carry exactly: a non-empty batch
+/// within [`MAX_BATCH`], every sub-request passing
+/// [`Request::validate`].
+///
+/// # Errors
+/// [`ProtoError::EmptyBatch`] / [`ProtoError::BatchTooLarge`] /
+/// whatever a sub-request's `validate` reports.
+pub fn validate_batch(reqs: &[Request]) -> Result<(), ProtoError> {
+    if reqs.is_empty() {
+        return Err(ProtoError::EmptyBatch);
+    }
+    if reqs.len() > MAX_BATCH {
+        return Err(ProtoError::BatchTooLarge { len: reqs.len() });
+    }
+    reqs.iter().try_for_each(Request::validate)
+}
+
+/// Decodes a v2 batch-frame body into its sub-requests. Total, like
+/// every decoder here: the count is bounded **before** any
+/// per-request allocation, each sub-request must be a complete v1
+/// request body (a nested v2 frame is a typed
+/// [`ProtoError::UnsupportedVersion`]), and the outer body must be
+/// exact to the byte.
+///
+/// # Errors
+/// A typed [`ProtoError`] on any malformed input.
+pub fn decode_batch(body: &[u8]) -> Result<Vec<Request>, ProtoError> {
+    let mut c = Cursor::new(body);
+    let version = c.u8()?;
+    if version != PROTO_VERSION_2 {
+        return Err(ProtoError::UnsupportedVersion { found: version });
+    }
+    let opcode = c.u8()?;
+    if opcode != OP_BATCH {
+        return Err(ProtoError::UnknownOpcode { opcode });
+    }
+    let count = c.u16()? as usize;
+    if count == 0 {
+        return Err(ProtoError::EmptyBatch);
+    }
+    if count > MAX_BATCH {
+        return Err(ProtoError::BatchTooLarge { len: count });
+    }
+    // Bound the reservation by what the body can actually hold: each
+    // sub-request costs at least 4 length bytes + a 2-byte header.
+    let have = (body.len() - 4) / 6;
+    let mut reqs = Vec::with_capacity(count.min(have));
+    for _ in 0..count {
+        let len = c.u32()? as usize;
+        let sub = c.take(len)?;
+        reqs.push(Request::decode(sub)?);
+    }
+    c.finish()?;
+    Ok(reqs)
+}
+
+/// Encodes already-encoded v1 response bodies into one v2 batch-reply
+/// body: `[2 | 0xa0 | u16 count | count × (u32 len | v1 response
+/// body)]`. The server's workers call this with the per-op replies
+/// they just produced, in request order.
+pub fn encode_batch_reply_bodies(bodies: &[Vec<u8>]) -> Vec<u8> {
+    let bodies = &bodies[..bodies.len().min(MAX_BATCH)];
+    let total: usize = 4 + bodies.iter().map(|b| 4 + b.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.push(PROTO_VERSION_2);
+    out.push(OP_BATCH_REPLY);
+    put_u16(&mut out, bodies.len() as u16);
+    for body in bodies {
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(body);
+    }
+    out
+}
+
+/// [`encode_batch_reply_bodies`] over typed responses.
+pub fn encode_batch_reply(resps: &[Response]) -> Vec<u8> {
+    let bodies: Vec<Vec<u8>> = resps.iter().map(Response::encode).collect();
+    encode_batch_reply_bodies(&bodies)
+}
+
+/// Decodes a v2 batch-reply body into the **raw sub-reply bodies**, in
+/// order. Raw so the differential suites can compare the exact bytes;
+/// decode each with [`Response::decode`] for the typed view.
+///
+/// # Errors
+/// A typed [`ProtoError`] on any malformed input.
+pub fn decode_batch_reply(body: &[u8]) -> Result<Vec<Vec<u8>>, ProtoError> {
+    let mut c = Cursor::new(body);
+    let version = c.u8()?;
+    if version != PROTO_VERSION_2 {
+        return Err(ProtoError::UnsupportedVersion { found: version });
+    }
+    let opcode = c.u8()?;
+    if opcode != OP_BATCH_REPLY {
+        return Err(ProtoError::UnknownOpcode { opcode });
+    }
+    let count = c.u16()? as usize;
+    if count == 0 {
+        return Err(ProtoError::EmptyBatch);
+    }
+    if count > MAX_BATCH {
+        return Err(ProtoError::BatchTooLarge { len: count });
+    }
+    let have = (body.len() - 4) / 6;
+    let mut bodies = Vec::with_capacity(count.min(have));
+    for _ in 0..count {
+        let len = c.u32()? as usize;
+        bodies.push(c.take(len)?.to_vec());
+    }
+    c.finish()?;
+    Ok(bodies)
+}
+
+/// One decoded request frame of either protocol version — what the
+/// server's connection loop dispatches on after reading a frame body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireRequest {
+    /// A v1 frame: one request, answered by one response frame.
+    Single(Request),
+    /// A v2 batch frame: N sub-requests, answered by one batch-reply
+    /// frame carrying N sub-replies in the same order.
+    Batch(Vec<Request>),
+}
+
+impl WireRequest {
+    /// Version-dispatched decode of one frame body. Never panics.
+    ///
+    /// # Errors
+    /// A typed [`ProtoError`] on any malformed input of either version,
+    /// or [`ProtoError::UnsupportedVersion`] for versions this build
+    /// does not speak.
+    pub fn decode(body: &[u8]) -> Result<WireRequest, ProtoError> {
+        match body.first() {
+            None => Err(ProtoError::Truncated { needed: 2, have: 0 }),
+            Some(&PROTO_VERSION) => Request::decode(body).map(WireRequest::Single),
+            Some(&PROTO_VERSION_2) => decode_batch(body).map(WireRequest::Batch),
+            Some(&found) => Err(ProtoError::UnsupportedVersion { found }),
+        }
+    }
+
+    /// Number of operations this frame carries.
+    pub fn ops(&self) -> usize {
+        match self {
+            WireRequest::Single(_) => 1,
+            WireRequest::Batch(reqs) => reqs.len(),
+        }
     }
 }
 
@@ -1200,6 +1410,110 @@ mod tests {
         let ok = Request::DropSession { name: "x".repeat(MAX_NAME) };
         assert_eq!(ok.validate(), Ok(()));
         assert_eq!(Request::decode(&ok.encode()).unwrap(), ok);
+    }
+
+    #[test]
+    fn batch_roundtrip_and_dispatch() {
+        let reqs = sample_requests();
+        let body = encode_batch(&reqs);
+        assert_eq!(decode_batch(&body).unwrap(), reqs);
+        match WireRequest::decode(&body).unwrap() {
+            WireRequest::Batch(got) => assert_eq!(got, reqs),
+            other => panic!("batch dispatched as {other:?}"),
+        }
+        assert_eq!(WireRequest::decode(&body).unwrap().ops(), reqs.len());
+        // v1 bodies dispatch to Single through the same entry point.
+        for req in &reqs {
+            assert_eq!(
+                WireRequest::decode(&req.encode()).unwrap(),
+                WireRequest::Single(req.clone())
+            );
+        }
+        // Unknown versions are typed.
+        assert_eq!(
+            WireRequest::decode(&[7, OP_PING]),
+            Err(ProtoError::UnsupportedVersion { found: 7 })
+        );
+        assert_eq!(
+            WireRequest::decode(&[]),
+            Err(ProtoError::Truncated { needed: 2, have: 0 })
+        );
+    }
+
+    #[test]
+    fn batch_reply_roundtrip_is_byte_exact() {
+        let resps = sample_responses();
+        let body = encode_batch_reply(&resps);
+        let bodies = decode_batch_reply(&body).unwrap();
+        assert_eq!(bodies.len(), resps.len());
+        for (raw, resp) in bodies.iter().zip(&resps) {
+            assert_eq!(raw, &resp.encode());
+            assert_eq!(&Response::decode(raw).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn batch_bounds_are_typed_and_checked_before_allocation() {
+        // Empty batches are rejected.
+        assert_eq!(
+            decode_batch(&[PROTO_VERSION_2, OP_BATCH, 0, 0]),
+            Err(ProtoError::EmptyBatch)
+        );
+        assert_eq!(validate_batch(&[]), Err(ProtoError::EmptyBatch));
+        // A count beyond MAX_BATCH is rejected from the 4-byte prefix
+        // alone — no sub-request is parsed or allocated.
+        let mut huge = vec![PROTO_VERSION_2, OP_BATCH];
+        put_u16(&mut huge, u16::MAX);
+        assert_eq!(
+            decode_batch(&huge),
+            Err(ProtoError::BatchTooLarge { len: u16::MAX as usize })
+        );
+        let many = vec![Request::Ping; MAX_BATCH + 1];
+        assert_eq!(
+            validate_batch(&many),
+            Err(ProtoError::BatchTooLarge { len: MAX_BATCH + 1 })
+        );
+        // Encode stays well-formed even unvalidated: truncated to the
+        // bound, the count prefix matching the bodies written.
+        let wire = encode_batch(&many);
+        assert_eq!(decode_batch(&wire).unwrap().len(), MAX_BATCH);
+        // A sub-length pointing past the body is a typed truncation.
+        let mut torn = vec![PROTO_VERSION_2, OP_BATCH];
+        put_u16(&mut torn, 1);
+        put_u32(&mut torn, 99);
+        torn.extend_from_slice(&Request::Ping.encode());
+        assert!(matches!(
+            decode_batch(&torn),
+            Err(ProtoError::Truncated { .. })
+        ));
+        // Every strict prefix of a valid batch is a typed error.
+        let body = encode_batch(&sample_requests());
+        for cut in 0..body.len() {
+            assert!(decode_batch(&body[..cut]).is_err(), "prefix {cut} decoded");
+        }
+        // Trailing bytes are rejected.
+        let mut extra = body.clone();
+        extra.push(0);
+        assert_eq!(
+            decode_batch(&extra),
+            Err(ProtoError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn nested_batches_are_rejected() {
+        // A batch whose sub-body is itself a v2 batch: the sub-decoder
+        // speaks v1 only, so the version byte is a typed error — there
+        // is no recursive descent for an attacker to wind up.
+        let inner = encode_batch(&[Request::Ping]);
+        let mut outer = vec![PROTO_VERSION_2, OP_BATCH];
+        put_u16(&mut outer, 1);
+        put_u32(&mut outer, inner.len() as u32);
+        outer.extend_from_slice(&inner);
+        assert_eq!(
+            decode_batch(&outer),
+            Err(ProtoError::UnsupportedVersion { found: PROTO_VERSION_2 })
+        );
     }
 
     #[test]

@@ -1,54 +1,76 @@
-//! The TCP transport: accept loop, worker pool, backpressure, and
-//! graceful shutdown.
+//! The TCP transport: a readiness-based connection loop, worker pool,
+//! backpressure, and graceful shutdown.
 //!
-//! # Threading model
+//! # Threading model (protocol v2)
 //!
-//! One **accept thread** takes connections off the listener. Each
-//! accepted connection gets a **connection thread** that reads frames,
-//! decodes requests, and submits jobs to a **bounded queue** drained by
-//! a fixed pool of **worker threads** (the only threads that touch
-//! [`Service`] state). The connection thread blocks on a rendezvous
-//! channel for its response, then writes the reply frame — so a
-//! connection has at most one request in flight and the queue depth
-//! bounds the server's total outstanding work.
+//! One **event thread** owns a nonblocking listener and every
+//! connection. It accepts, reads, parses, dispatches, and writes —
+//! no thread is ever spawned per connection, so thousands of idle
+//! connections cost a socket and a small state machine each, not a
+//! stack. A fixed pool of **worker threads** (the only threads that
+//! touch [`Service`] state) drains a **bounded queue** of jobs and
+//! hands finished reply bytes back through a completion queue that
+//! doubles as the event thread's wakeup.
+//!
+//! Readiness without `epoll` (std-only, no `libc`): sockets are
+//! nonblocking and the event thread keeps a **ready queue** of hot
+//! connections — anything that produced bytes recently — swept every
+//! iteration, while cold connections are swept at a coarse interval.
+//! A [`FrameReader`] per connection carries partial frames across
+//! sweeps, so a frame that trickles in over many poll intervals is
+//! reassembled, never desynced. The loop's sleep is adaptive: it
+//! spins near 50µs under load (and is woken instantly by completions)
+//! and backs off to a few milliseconds when every connection is idle.
+//!
+//! # Pipelining and ordering
+//!
+//! A connection may have many frames outstanding (`pipeline_depth`
+//! bounds the parsed-but-unanswered ops; beyond it the loop simply
+//! stops reading that socket, turning the bound into TCP
+//! backpressure). At most **one job per connection** is in flight at
+//! a time, and a job takes the connection's entire pending frame
+//! queue and executes it in order — so replies are written in exactly
+//! the order the requests arrived, byte-identical to serving them one
+//! at a time (`tests/server_pipeline.rs`), and a batch of edits pays
+//! one session lookup, not N.
 //!
 //! # Backpressure, caps and timeouts
 //!
-//! * Queue full → the connection replies [`Response::Busy`]
-//!   immediately; nothing queues unboundedly.
+//! * Job queue full → every pending frame on that connection is
+//!   answered [`Response::Busy`] (a `Batch` frame gets a `BatchReply`
+//!   of per-op Busy); nothing queues unboundedly.
 //! * Connection table full → the acceptor writes one `Busy` frame and
-//!   closes the socket without spawning anything.
-//! * Idle connections are closed after `read_timeout` (polled at a
-//!   short interval so shutdown never waits on an idle peer; a
-//!   per-connection [`FrameReader`] carries partial-frame bytes across
-//!   poll ticks, so slow frames are reassembled, never desynced);
-//!   writes are bounded by `write_timeout` at the socket.
+//!   closes the socket without registering anything.
+//! * Idle connections are closed after `read_timeout` (measured from
+//!   the last complete frame); a peer that stalls our writes longer
+//!   than `write_timeout` is dropped.
 //!
 //! # Failure posture
 //!
 //! A malformed, oversized, or truncated frame kills **that
-//! connection** — after a best-effort typed error reply — and nothing
-//! else. Worker and accept threads never see raw bytes, so a hostile
-//! peer cannot reach a panic path (`tests/proto_fuzz.rs`).
+//! connection** — after every already-parsed frame is answered and a
+//! best-effort typed error reply is flushed — and nothing else.
+//! Workers never see raw bytes, so a hostile peer cannot reach a
+//! panic path (`tests/proto_fuzz.rs`).
 //!
 //! # Graceful shutdown
 //!
-//! [`Server::shutdown`] (or a wire [`Request::Shutdown`], which
-//! acknowledges first and then triggers the same path) stops the
-//! acceptor, closes the queue, lets the workers drain every queued
-//! job, answers in-flight waits, and joins every thread before
-//! returning its final [`ServerStats`].
+//! [`Server::shutdown`] (or a wire [`Request::Shutdown`], which is
+//! acknowledged in-order like any reply and then triggers the same
+//! path) stops accepting, stops reading, serves every already-parsed
+//! frame, flushes every write buffer, closes every connection, and
+//! joins every thread before returning the final [`ServerStats`].
 
 use crate::proto::{
-    write_frame, FrameError, FrameReader, ProtoError, Request, Response, DEFAULT_MAX_FRAME,
+    encode_batch_reply, write_frame, FrameError, FrameReader, ProtoError, Request, Response,
+    WireRequest, DEFAULT_MAX_FRAME,
 };
 use crate::service::Service;
 use crate::ErrorCode;
 use std::collections::VecDeque;
-use std::io;
+use std::io::{self, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -66,12 +88,17 @@ pub struct ServerConfig {
     pub max_connections: usize,
     /// Idle time after which a connection is closed.
     pub read_timeout: Duration,
-    /// Socket write timeout for response frames.
+    /// How long a peer may stall our reply writes before the
+    /// connection is dropped.
     pub write_timeout: Duration,
     /// Maximum frame-body size accepted or produced.
     pub max_frame: usize,
     /// Maximum live sessions in the service registry.
     pub max_sessions: usize,
+    /// Per-connection bound on parsed-but-unanswered ops; past it the
+    /// event loop stops reading that socket (TCP backpressure) until
+    /// replies drain.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +111,7 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             max_frame: DEFAULT_MAX_FRAME,
             max_sessions: 1024,
+            pipeline_depth: 128,
         }
     }
 }
@@ -95,7 +123,7 @@ pub struct ServerStats {
     /// Connections accepted and served.
     pub connections: u64,
     /// Requests executed to completion (any response, including typed
-    /// errors).
+    /// errors); each op inside a `Batch` frame counts once.
     pub requests: u64,
     /// Requests or connections rejected with `Busy` for backpressure.
     pub rejected_busy: u64,
@@ -103,9 +131,18 @@ pub struct ServerStats {
     pub protocol_errors: u64,
 }
 
-/// Granularity at which blocking socket reads wake up to re-check the
-/// shutdown flag and the idle deadline.
-const POLL_INTERVAL: Duration = Duration::from_millis(50);
+/// Shortest event-loop sleep: the poll cadence under active load.
+const SLEEP_MIN: Duration = Duration::from_micros(50);
+/// Sleep cap while any connection is hot (recently produced bytes).
+const SLEEP_HOT_CAP: Duration = Duration::from_micros(500);
+/// Sleep cap when every connection is cold.
+const SLEEP_COLD_CAP: Duration = Duration::from_millis(10);
+/// Cold connections are swept for readability at this interval; a
+/// request on a long-idle connection waits at most about this long
+/// before the loop notices it.
+const COLD_SWEEP_INTERVAL: Duration = Duration::from_millis(20);
+/// A hot connection with no bytes for this long goes cold.
+const HOT_IDLE: Duration = Duration::from_millis(100);
 
 type Job = Box<dyn FnOnce() + Send>;
 
@@ -138,6 +175,14 @@ impl JobQueue {
             ready: Condvar::new(),
             capacity,
         }
+    }
+
+    /// True while a `try_push` would be accepted. The event thread is
+    /// the only producer, so space observed here cannot be stolen
+    /// before its push (workers only ever free space).
+    fn has_capacity(&self) -> bool {
+        let inner = self.inner.lock().expect("queue lock");
+        !inner.closed && inner.jobs.len() < self.capacity
     }
 
     fn try_push(&self, job: Job) -> Result<(), PushRefused> {
@@ -174,15 +219,57 @@ impl JobQueue {
     }
 }
 
+/// A finished job's reply bytes, addressed by slab token. Stale
+/// generations (the connection died while the job ran) are dropped.
+struct Done {
+    idx: usize,
+    gen: u64,
+    bytes: Vec<u8>,
+    shutdown: bool,
+}
+
+/// Worker → event-thread channel; the condvar doubles as the event
+/// loop's wakeup, so a completed job never waits on a poll tick.
+#[derive(Default)]
+struct Completions {
+    inner: Mutex<Vec<Done>>,
+    cv: Condvar,
+}
+
+impl Completions {
+    fn push(&self, done: Done) {
+        self.inner.lock().expect("completion lock").push(done);
+        self.cv.notify_one();
+    }
+
+    fn drain(&self) -> Vec<Done> {
+        std::mem::take(&mut *self.inner.lock().expect("completion lock"))
+    }
+
+    /// Wakes the event loop without delivering anything (shutdown).
+    fn notify(&self) {
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until a completion lands, `notify` is called, or
+    /// `timeout` passes — the event loop's only blocking point.
+    fn wait(&self, timeout: Duration) {
+        let guard = self.inner.lock().expect("completion lock");
+        if guard.is_empty() {
+            let _ = self.cv.wait_timeout(guard, timeout).expect("completion lock");
+        }
+    }
+}
+
 /// State shared by every thread of one server.
 struct Shared {
     service: Service,
     queue: JobQueue,
+    completions: Completions,
     config: ServerConfig,
     shutting_down: AtomicBool,
     shutdown_signal: Mutex<bool>,
     shutdown_cv: Condvar,
-    live_connections: AtomicUsize,
     connections: AtomicU64,
     requests: AtomicU64,
     rejected_busy: AtomicU64,
@@ -194,6 +281,8 @@ impl Shared {
         self.shutting_down.store(true, Ordering::SeqCst);
         *self.shutdown_signal.lock().expect("shutdown lock") = true;
         self.shutdown_cv.notify_all();
+        // The event loop may be mid-sleep; kick it.
+        self.completions.notify();
     }
 
     fn stats(&self) -> ServerStats {
@@ -211,29 +300,29 @@ impl Shared {
 pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_thread: Option<JoinHandle<()>>,
+    event_thread: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
     finished: bool,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and worker pool.
+    /// event loop and worker pool.
     ///
     /// # Errors
     /// The underlying [`io::Error`] from bind.
     pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
         let shared = Arc::new(Shared {
             service: Service::new(config.max_sessions),
             queue: JobQueue::new(config.queue_depth.max(1)),
+            completions: Completions::default(),
             config: config.clone(),
             shutting_down: AtomicBool::new(false),
             shutdown_signal: Mutex::new(false),
             shutdown_cv: Condvar::new(),
-            live_connections: AtomicUsize::new(0),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             rejected_busy: AtomicU64::new(0),
@@ -254,22 +343,19 @@ impl Server {
             })
             .collect();
 
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
+        let event_thread = {
             let shared = Arc::clone(&shared);
-            let conn_threads = Arc::clone(&conn_threads);
             std::thread::Builder::new()
-                .name("bucketrank-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &shared, &conn_threads))
-                .expect("spawn acceptor")
+                .name("bucketrank-event".to_owned())
+                .spawn(move || EventLoop::new(listener, shared).run())
+                .expect("spawn event loop")
         };
 
         Ok(Server {
             addr,
             shared,
-            accept_thread: Some(accept_thread),
+            event_thread: Some(event_thread),
             workers,
-            conn_threads,
             finished: false,
         })
     }
@@ -290,7 +376,6 @@ impl Server {
     /// [`shutdown`](Server::shutdown).
     pub fn request_shutdown(&self) {
         self.shared.request_shutdown();
-        self.wake_acceptor();
     }
 
     /// Blocks until someone — a wire request or
@@ -303,14 +388,9 @@ impl Server {
         }
     }
 
-    /// Unblocks the accept loop by poking our own listening socket.
-    fn wake_acceptor(&self) {
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
-    }
-
-    /// Graceful shutdown: stop accepting, drain every queued and
-    /// in-flight request, join every thread, and return the final
-    /// counters.
+    /// Graceful shutdown: stop accepting, drain every parsed and
+    /// in-flight request, flush and close every connection, join every
+    /// thread, and return the final counters.
     pub fn shutdown(mut self) -> ServerStats {
         self.finish()
     }
@@ -321,17 +401,12 @@ impl Server {
         }
         self.finished = true;
         self.shared.request_shutdown();
-        self.wake_acceptor();
-        if let Some(t) = self.accept_thread.take() {
+        // The event loop drains in-flight work (the workers are still
+        // alive to finish it), flushes, closes, and exits.
+        if let Some(t) = self.event_thread.take() {
             let _ = t.join();
         }
-        // Connection threads notice the flag within one poll interval
-        // and finish their in-flight request first.
-        let conns = std::mem::take(&mut *self.conn_threads.lock().expect("conn list"));
-        for t in conns {
-            let _ = t.join();
-        }
-        // Close the queue only after the producers are gone: every
+        // Close the queue only after the producer is gone: every
         // accepted job still runs before the workers exit.
         self.shared.queue.close();
         for t in self.workers.drain(..) {
@@ -347,168 +422,522 @@ impl Drop for Server {
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    shared: &Arc<Shared>,
-    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        let stream = match listener.accept() {
-            Ok((stream, _)) => stream,
-            Err(_) => {
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    return;
+/// Per-connection state machine owned by the event thread.
+struct Conn {
+    stream: TcpStream,
+    /// Carries partial frames across sweeps.
+    reader: FrameReader,
+    /// Parsed frames not yet handed to a worker.
+    pending: VecDeque<WireRequest>,
+    /// Ops represented by `pending` (a batch counts its sub-requests).
+    pending_ops: usize,
+    /// At most one worker job per connection keeps replies in order.
+    in_flight: bool,
+    /// Unwritten reply bytes (`wpos` marks the flushed prefix).
+    wbuf: Vec<u8>,
+    wpos: usize,
+    /// Set when a write would block with bytes still unflushed.
+    write_stalled: Option<Instant>,
+    /// Last complete frame (the idle-timeout clock).
+    idle_since: Instant,
+    /// Last byte seen (the hot/cold clock).
+    last_data: Instant,
+    /// On the ready queue?
+    hot: bool,
+    /// Peer closed its write side; serve what we have, then drop.
+    read_closed: bool,
+    /// Close once `wbuf` flushes (shutdown ack or protocol error sent).
+    closing: bool,
+    /// First protocol violation; reported after pending work drains.
+    broken: Option<ProtoError>,
+    /// Unrecoverable socket error; reaped immediately.
+    dead: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        let now = Instant::now();
+        Conn {
+            stream,
+            reader: FrameReader::new(),
+            pending: VecDeque::new(),
+            pending_ops: 0,
+            in_flight: false,
+            wbuf: Vec::new(),
+            wpos: 0,
+            write_stalled: None,
+            idle_since: now,
+            last_data: now,
+            hot: false,
+            read_closed: false,
+            closing: false,
+            broken: None,
+            dead: false,
+        }
+    }
+
+    /// Nothing queued, running, or unflushed.
+    fn drained(&self) -> bool {
+        !self.in_flight && self.pending.is_empty() && self.wpos >= self.wbuf.len()
+    }
+}
+
+/// Generation-tagged connection slab: indices are reused, tokens are
+/// not, so a completion for a dead connection can never reach its
+/// replacement.
+#[derive(Default)]
+struct Slab {
+    slots: Vec<(u64, Option<Conn>)>,
+    free: Vec<usize>,
+    live: usize,
+}
+
+impl Slab {
+    fn insert(&mut self, conn: Conn) -> usize {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx].1 = Some(conn);
+            idx
+        } else {
+            self.slots.push((0, Some(conn)));
+            self.slots.len() - 1
+        }
+    }
+
+    fn generation(&self, idx: usize) -> u64 {
+        self.slots[idx].0
+    }
+
+    fn get_mut(&mut self, idx: usize, gen: u64) -> Option<&mut Conn> {
+        match self.slots.get_mut(idx) {
+            Some((g, conn)) if *g == gen => conn.as_mut(),
+            _ => None,
+        }
+    }
+
+    fn conn_mut(&mut self, idx: usize) -> Option<&mut Conn> {
+        self.slots.get_mut(idx).and_then(|(_, c)| c.as_mut())
+    }
+
+    fn remove(&mut self, idx: usize) {
+        if self.slots[idx].1.take().is_some() {
+            self.slots[idx].0 += 1;
+            self.free.push(idx);
+            self.live -= 1;
+        }
+    }
+
+    /// Indices of live connections (allocation-light snapshot).
+    fn indices(&self) -> Vec<usize> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (_, c))| c.as_ref().map(|_| i))
+            .collect()
+    }
+}
+
+/// Appends one framed reply to `out`; a body that exceeds `max_frame`
+/// degrades to a typed error frame instead of a torn stream.
+fn append_frame(out: &mut Vec<u8>, body: &[u8], max_frame: usize) {
+    if write_frame(out, body, max_frame).is_err() {
+        let fallback = Response::Error {
+            code: ErrorCode::BadRequest,
+            message: "reply exceeds the maximum frame size".to_owned(),
+        }
+        .encode();
+        let _ = write_frame(out, &fallback, max_frame);
+    }
+}
+
+/// Executes one connection's pending frames **in order** on a worker
+/// and posts the concatenated reply frames back to the event thread.
+fn run_frames(shared: &Arc<Shared>, idx: usize, gen: u64, frames: Vec<WireRequest>) {
+    let max_frame = shared.config.max_frame;
+    let mut bytes = Vec::new();
+    let mut shutdown = false;
+    let mut ops = 0u64;
+    for frame in frames {
+        match frame {
+            WireRequest::Single(req) => {
+                let is_shutdown = matches!(req, Request::Shutdown);
+                let resp = shared.service.handle(req);
+                ops += 1;
+                if is_shutdown && matches!(resp, Response::ShutdownAck) {
+                    shutdown = true;
                 }
-                // Accept errors can persist (EMFILE under connection
-                // pressure); back off briefly instead of spinning hot.
-                std::thread::sleep(Duration::from_millis(5));
+                append_frame(&mut bytes, &resp.encode(), max_frame);
+            }
+            WireRequest::Batch(reqs) => {
+                ops += reqs.len() as u64;
+                let replies = shared.service.handle_batch(reqs);
+                append_frame(&mut bytes, &encode_batch_reply(&replies), max_frame);
+            }
+        }
+    }
+    shared.requests.fetch_add(ops, Ordering::Relaxed);
+    if shutdown {
+        // Unblock `wait_shutdown_requested` immediately; the event
+        // loop flushes the in-order ack before closing the connection.
+        shared.request_shutdown();
+    }
+    shared.completions.push(Done {
+        idx,
+        gen,
+        bytes,
+        shutdown,
+    });
+}
+
+/// The event thread: owns the listener and every connection.
+struct EventLoop {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    slab: Slab,
+    /// The ready queue: connections swept every iteration.
+    ready: Vec<usize>,
+    last_cold_sweep: Instant,
+    sleep: Duration,
+}
+
+impl EventLoop {
+    fn new(listener: TcpListener, shared: Arc<Shared>) -> Self {
+        EventLoop {
+            listener,
+            shared,
+            slab: Slab::default(),
+            ready: Vec::new(),
+            last_cold_sweep: Instant::now(),
+            sleep: SLEEP_MIN,
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            let mut worked = self.drain_completions();
+            let shutting = self.shared.shutting_down.load(Ordering::SeqCst);
+            if !shutting {
+                worked |= self.accept_new();
+                worked |= self.sweep_reads();
+            }
+            worked |= self.dispatch();
+            worked |= self.flush_writes();
+            self.reap(shutting);
+            if shutting && self.slab.live == 0 {
+                return;
+            }
+            if worked {
+                self.sleep = SLEEP_MIN;
                 continue;
             }
-        };
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        if shared.live_connections.load(Ordering::SeqCst) >= shared.config.max_connections {
-            // Over the cap: one Busy frame, then close. No thread is
-            // spawned, so a connection flood cannot exhaust threads.
-            shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
-            let _ = write_frame(
-                &mut stream,
-                &Response::Busy.encode(),
-                shared.config.max_frame,
-            );
-            continue;
-        }
-        shared.live_connections.fetch_add(1, Ordering::SeqCst);
-        shared.connections.fetch_add(1, Ordering::Relaxed);
-        let shared = Arc::clone(shared);
-        let handle = std::thread::Builder::new()
-            .name("bucketrank-conn".to_owned())
-            .spawn(move || {
-                connection_loop(stream, &shared);
-                shared.live_connections.fetch_sub(1, Ordering::SeqCst);
-            })
-            .expect("spawn connection thread");
-        let mut handles = conn_threads.lock().expect("conn list");
-        // Reap finished connection threads so the handle list tracks
-        // live connections, not every connection ever served.
-        let mut i = 0;
-        while i < handles.len() {
-            if handles[i].is_finished() {
-                let _ = handles.swap_remove(i).join();
+            let cap = if self.ready.is_empty() {
+                SLEEP_COLD_CAP
             } else {
-                i += 1;
+                SLEEP_HOT_CAP
+            };
+            self.shared.completions.wait(self.sleep.min(cap));
+            self.sleep = (self.sleep * 2).min(cap);
+        }
+    }
+
+    /// Moves finished reply bytes into their connections' write
+    /// buffers; stale tokens (connection already reaped) are dropped.
+    fn drain_completions(&mut self) -> bool {
+        let done = self.shared.completions.drain();
+        let worked = !done.is_empty();
+        for d in done {
+            if let Some(conn) = self.slab.get_mut(d.idx, d.gen) {
+                conn.in_flight = false;
+                if conn.wpos >= conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wpos = 0;
+                }
+                conn.wbuf.extend_from_slice(&d.bytes);
+                if d.shutdown {
+                    conn.closing = true;
+                }
+                self.promote(d.idx);
             }
         }
-        handles.push(handle);
+        worked
     }
-}
 
-/// Serves one connection until the peer closes, the idle deadline
-/// passes, a protocol violation occurs, or the server drains.
-fn connection_loop(mut stream: TcpStream, shared: &Arc<Shared>) {
-    let cfg = &shared.config;
-    // Short socket timeout + explicit idle deadline: the thread wakes
-    // at poll granularity, so shutdown and the idle limit are both
-    // honored without a long blocking read.
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL.min(cfg.read_timeout)));
-    let _ = stream.set_write_timeout(Some(cfg.write_timeout));
-    let _ = stream.set_nodelay(true);
-    let max_frame = cfg.max_frame;
-    let mut idle_since = Instant::now();
-    // The reader holds partial-frame state across poll timeouts: a
-    // frame whose bytes straddle a >POLL_INTERVAL network gap resumes
-    // where it stopped instead of losing the consumed prefix and
-    // desyncing the stream.
-    let mut reader = FrameReader::new();
-
-    loop {
-        if shared.shutting_down.load(Ordering::SeqCst) {
-            return;
-        }
-        let body = match reader.read_frame(&mut stream, max_frame) {
-            Ok(body) => body,
-            Err(FrameError::Closed) => return,
-            Err(FrameError::Io(e))
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                // Poll tick. Mid-frame the consumed bytes stay buffered
-                // in `reader`; either way the idle deadline (measured
-                // from the last complete frame) bounds how long a
-                // silent or trickling peer holds the thread.
-                if idle_since.elapsed() >= cfg.read_timeout {
-                    return; // idle limit: close quietly
+    fn accept_new(&mut self) -> bool {
+        let mut worked = false;
+        loop {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    worked = true;
+                    if self.slab.live >= self.shared.config.max_connections {
+                        // Over the cap: one best-effort Busy frame,
+                        // then close. Nothing is registered, so a
+                        // connection flood cannot exhaust the slab.
+                        self.shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(self.shared.config.write_timeout));
+                        let _ = write_frame(
+                            &mut stream,
+                            &Response::Busy.encode(),
+                            self.shared.config.max_frame,
+                        );
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
+                    let idx = self.slab.insert(Conn::new(stream));
+                    self.promote(idx);
                 }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Accept errors can persist (EMFILE under connection
+                // pressure); the adaptive sleep bounds the retry rate.
+                Err(_) => break,
+            }
+        }
+        worked
+    }
+
+    /// Reads every hot connection each iteration and every cold one at
+    /// [`COLD_SWEEP_INTERVAL`]; demotes hot connections that went
+    /// quiet.
+    fn sweep_reads(&mut self) -> bool {
+        let mut worked = false;
+        for idx in std::mem::take(&mut self.ready) {
+            worked |= self.read_conn(idx);
+        }
+        if self.last_cold_sweep.elapsed() >= COLD_SWEEP_INTERVAL {
+            self.last_cold_sweep = Instant::now();
+            for idx in self.slab.indices() {
+                let already_hot = self.slab.conn_mut(idx).is_some_and(|c| c.hot);
+                if !already_hot {
+                    worked |= self.read_conn(idx);
+                }
+            }
+        }
+        // Rebuild the ready queue: keep connections with recent bytes
+        // or outstanding work.
+        let now = Instant::now();
+        for idx in self.slab.indices() {
+            let Some(conn) = self.slab.conn_mut(idx) else { continue };
+            let keep = !conn.dead
+                && (now.duration_since(conn.last_data) < HOT_IDLE
+                    || conn.in_flight
+                    || !conn.pending.is_empty()
+                    || conn.wpos < conn.wbuf.len()
+                    || conn.reader.mid_frame());
+            conn.hot = keep;
+            if keep {
+                self.ready.push(idx);
+            }
+        }
+        worked
+    }
+
+    /// Drains one socket: parses complete frames into `pending` until
+    /// the socket would block or the pipeline bound is hit.
+    fn read_conn(&mut self, idx: usize) -> bool {
+        let max_frame = self.shared.config.max_frame;
+        let depth = self.shared.config.pipeline_depth.max(1);
+        let Some(conn) = self.slab.conn_mut(idx) else {
+            return false;
+        };
+        if conn.read_closed || conn.dead || conn.broken.is_some() {
+            return false;
+        }
+        let mut got = false;
+        loop {
+            if conn.pending_ops >= depth {
+                break; // backpressure: let TCP push back on the peer
+            }
+            match conn.reader.read_frame(&mut conn.stream, max_frame) {
+                Ok(body) => {
+                    got = true;
+                    let now = Instant::now();
+                    conn.idle_since = now;
+                    conn.last_data = now;
+                    match WireRequest::decode(&body) {
+                        Ok(w) => {
+                            conn.pending_ops += w.ops();
+                            conn.pending.push_back(w);
+                        }
+                        Err(e) => {
+                            conn.broken = Some(e);
+                            break;
+                        }
+                    }
+                }
+                Err(FrameError::Io(e))
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if conn.reader.mid_frame() {
+                        // A partial frame is trickling in; keep the
+                        // connection hot so it is re-polled promptly.
+                        conn.last_data = Instant::now();
+                    }
+                    break;
+                }
+                Err(FrameError::Closed) => {
+                    conn.read_closed = true;
+                    break;
+                }
+                Err(FrameError::Io(_)) => {
+                    conn.dead = true;
+                    break;
+                }
+                Err(FrameError::Proto(e)) => {
+                    conn.broken = Some(e);
+                    break;
+                }
+            }
+        }
+        got
+    }
+
+    /// Hands each connection's pending frames to a worker (one job per
+    /// connection, executing all of them in order), or answers Busy
+    /// when the queue is full; reports protocol violations once all
+    /// prior work has drained.
+    fn dispatch(&mut self) -> bool {
+        let mut worked = false;
+        let max_frame = self.shared.config.max_frame;
+        for idx in self.slab.indices() {
+            let gen = self.slab.generation(idx);
+            let has_space = self.shared.queue.has_capacity();
+            let shared = Arc::clone(&self.shared);
+            let Some(conn) = self.slab.conn_mut(idx) else {
+                continue;
+            };
+            if conn.dead {
                 continue;
             }
-            Err(FrameError::Io(_)) => return,
-            Err(FrameError::Proto(e)) => {
-                // Oversized frame: typed reply, then fail the
-                // connection (we cannot resynchronize the stream).
-                fail_connection(&mut stream, shared, &e);
-                return;
+            if !conn.in_flight && !conn.pending.is_empty() {
+                worked = true;
+                if has_space {
+                    let frames: Vec<WireRequest> = conn.pending.drain(..).collect();
+                    conn.pending_ops = 0;
+                    conn.in_flight = true;
+                    let job: Job = Box::new(move || run_frames(&shared, idx, gen, frames));
+                    if self.shared.queue.try_push(job).is_err() {
+                        // Only reachable if the queue closed under us;
+                        // nothing will answer, so fail the connection.
+                        let Some(conn) = self.slab.conn_mut(idx) else {
+                            continue;
+                        };
+                        conn.in_flight = false;
+                        conn.dead = true;
+                    }
+                    continue;
+                }
+                // Queue full: answer Busy per wire frame, in order. A
+                // batch frame still gets its shape-preserving reply so
+                // a pipelined client never desyncs.
+                let refused = conn.pending.len() as u64;
+                for w in conn.pending.drain(..) {
+                    let body = match w {
+                        WireRequest::Single(_) => Response::Busy.encode(),
+                        WireRequest::Batch(reqs) => {
+                            encode_batch_reply(&vec![Response::Busy; reqs.len()])
+                        }
+                    };
+                    append_frame(&mut conn.wbuf, &body, max_frame);
+                }
+                conn.pending_ops = 0;
+                self.shared.rejected_busy.fetch_add(refused, Ordering::Relaxed);
+                continue;
             }
-        };
-        idle_since = Instant::now();
-        let request = match Request::decode(&body) {
-            Ok(req) => req,
-            Err(e) => {
-                fail_connection(&mut stream, shared, &e);
-                return;
+            if !conn.in_flight && conn.pending.is_empty() && conn.wpos >= conn.wbuf.len() {
+                if let Some(e) = conn.broken.take() {
+                    // Every earlier reply has flushed: now the typed
+                    // error, then close (the stream cannot resync).
+                    worked = true;
+                    self.shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest,
+                        message: format!("protocol error: {e}"),
+                    };
+                    append_frame(&mut conn.wbuf, &resp.encode(), max_frame);
+                    conn.closing = true;
+                }
             }
-        };
-
-        let is_shutdown = matches!(request, Request::Shutdown);
-        // Rendezvous with the worker that runs our job.
-        let (tx, rx) = mpsc::sync_channel::<Response>(1);
-        let job_shared = Arc::clone(shared);
-        let job: Job = Box::new(move || {
-            let resp = job_shared.service.handle(request);
-            job_shared.requests.fetch_add(1, Ordering::Relaxed);
-            let _ = tx.send(resp);
-        });
-        let response = match shared.queue.try_push(job) {
-            Ok(()) => match rx.recv() {
-                Ok(resp) => resp,
-                Err(_) => return, // worker pool tore down mid-request
-            },
-            Err(PushRefused::Full) => {
-                shared.rejected_busy.fetch_add(1, Ordering::Relaxed);
-                Response::Busy
-            }
-            Err(PushRefused::Closed) => Response::Error {
-                code: ErrorCode::ShuttingDown,
-                message: "server is shutting down".to_owned(),
-            },
-        };
-        if write_frame(&mut stream, &response.encode(), max_frame).is_err() {
-            return;
         }
-        if is_shutdown && matches!(response, Response::ShutdownAck) {
-            // Acknowledged on the wire; now trigger the real drain.
-            // Waking the acceptor here is best-effort — if the socket
-            // can no longer report its address, Server::shutdown's own
-            // wake still unblocks it.
-            shared.request_shutdown();
-            if let Ok(addr) = stream.local_addr() {
-                let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+        worked
+    }
+
+    /// Flushes write buffers as far as each socket will take them.
+    fn flush_writes(&mut self) -> bool {
+        let mut worked = false;
+        for idx in self.slab.indices() {
+            let Some(conn) = self.slab.conn_mut(idx) else {
+                continue;
+            };
+            if conn.dead || conn.wpos >= conn.wbuf.len() {
+                continue;
             }
-            return;
+            loop {
+                match conn.stream.write(&conn.wbuf[conn.wpos..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(k) => {
+                        worked = true;
+                        conn.wpos += k;
+                        conn.write_stalled = None;
+                        if conn.wpos >= conn.wbuf.len() {
+                            conn.wbuf.clear();
+                            conn.wpos = 0;
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        if conn.write_stalled.is_none() {
+                            conn.write_stalled = Some(Instant::now());
+                        }
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+        }
+        worked
+    }
+
+    /// Closes connections that are finished, idle past the deadline,
+    /// stalled past the write timeout, or drained during shutdown.
+    fn reap(&mut self, shutting: bool) {
+        let read_timeout = self.shared.config.read_timeout;
+        let write_timeout = self.shared.config.write_timeout;
+        for idx in self.slab.indices() {
+            let Some(conn) = self.slab.conn_mut(idx) else {
+                continue;
+            };
+            let drained = conn.drained();
+            let remove = conn.dead
+                || (drained && (conn.closing || conn.read_closed || shutting))
+                || (drained && conn.broken.is_none() && conn.idle_since.elapsed() >= read_timeout)
+                || conn
+                    .write_stalled
+                    .is_some_and(|t| t.elapsed() >= write_timeout);
+            if remove {
+                self.slab.remove(idx);
+            }
         }
     }
-}
 
-/// Best-effort typed error reply, then the connection is abandoned.
-fn fail_connection(stream: &mut TcpStream, shared: &Arc<Shared>, e: &ProtoError) {
-    shared.protocol_errors.fetch_add(1, Ordering::Relaxed);
-    let resp = Response::Error {
-        code: ErrorCode::BadRequest,
-        message: format!("protocol error: {e}"),
-    };
-    let _ = write_frame(stream, &resp.encode(), shared.config.max_frame);
-    let _ = stream.shutdown(std::net::Shutdown::Both);
+    fn promote(&mut self, idx: usize) {
+        if let Some(conn) = self.slab.conn_mut(idx) {
+            if !conn.hot && !conn.dead {
+                conn.hot = true;
+                self.ready.push(idx);
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -526,10 +955,13 @@ mod tests {
                 ran.fetch_add(1, Ordering::SeqCst);
             })
         };
+        assert!(q.has_capacity());
         assert!(q.try_push(mk(&ran)).is_ok());
         assert!(q.try_push(mk(&ran)).is_ok());
+        assert!(!q.has_capacity());
         assert!(matches!(q.try_push(mk(&ran)), Err(PushRefused::Full)));
         q.close();
+        assert!(!q.has_capacity());
         assert!(matches!(q.try_push(mk(&ran)), Err(PushRefused::Closed)));
         // Closed but not drained: both accepted jobs still pop and run.
         while let Some(job) = q.pop() {
@@ -546,6 +978,28 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.try_push(Box::new(|| {})).map_err(|_| "full").unwrap();
         assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn slab_tokens_do_not_alias_across_reuse() {
+        let mut slab = Slab::default();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let s1 = TcpStream::connect(addr).unwrap();
+        let s2 = TcpStream::connect(addr).unwrap();
+        let idx = slab.insert(Conn::new(s1));
+        let gen = slab.generation(idx);
+        assert!(slab.get_mut(idx, gen).is_some());
+        slab.remove(idx);
+        assert!(slab.get_mut(idx, gen).is_none());
+        let idx2 = slab.insert(Conn::new(s2));
+        assert_eq!(idx2, idx, "slot is reused");
+        assert!(
+            slab.get_mut(idx, gen).is_none(),
+            "a stale token must not reach the new connection"
+        );
+        assert!(slab.get_mut(idx2, slab.generation(idx2)).is_some());
+        assert_eq!(slab.live, 1);
     }
 
     #[test]

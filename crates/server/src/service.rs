@@ -126,16 +126,56 @@ impl Service {
     /// [`Response`], including [`Request::Shutdown`] (acknowledged
     /// here; the transport layer performs the actual drain).
     pub fn handle(&self, req: Request) -> Response {
+        let mut cache = None;
+        self.handle_cached(req, &mut cache)
+    }
+
+    /// Handles a batch of requests in order, answering each with its
+    /// own typed [`Response`] — one sub-reply per sub-request, a
+    /// failure mid-batch never aborts the ops after it. The session
+    /// lookup is amortized across consecutive ops on the same session
+    /// (the common case for pipelined edit streams), so a batch of K
+    /// edits pays one registry read, not K.
+    ///
+    /// [`Request::Shutdown`] is **not** a batch operation: inside a
+    /// batch it answers a typed [`ErrorCode::BadRequest`] error and
+    /// does not trigger a drain — shutdown must arrive as a v1 frame
+    /// where the transport can sequence the acknowledgement against
+    /// the connection's remaining traffic.
+    pub fn handle_batch(&self, reqs: Vec<Request>) -> Vec<Response> {
+        let mut cache = None;
+        reqs.into_iter()
+            .map(|req| match req {
+                Request::Shutdown => error(
+                    ErrorCode::BadRequest,
+                    "shutdown is not valid inside a batch; send it as a v1 frame",
+                ),
+                req => self.handle_cached(req, &mut cache),
+            })
+            .collect()
+    }
+
+    /// One request against a one-slot session cache. The cache maps a
+    /// session name to its resolved [`Session`] and is invalidated by
+    /// the lifecycle ops (create/drop), so a cached hit always serves
+    /// exactly what an uncached registry read would.
+    fn handle_cached(&self, req: Request, cache: &mut Option<(String, Arc<Session>)>) -> Response {
         match req {
             Request::Ping => Response::Pong,
             Request::Shutdown => Response::ShutdownAck,
-            Request::CreateSession { name, n, policy } => self.create(&name, n as usize, policy),
-            Request::DropSession { name } => self.drop_session(&name),
-            Request::PushVoter { session, ranking } => self.edit(&session, |dp| {
+            Request::CreateSession { name, n, policy } => {
+                *cache = None;
+                self.create(&name, n as usize, policy)
+            }
+            Request::DropSession { name } => {
+                *cache = None;
+                self.drop_session(&name)
+            }
+            Request::PushVoter { session, ranking } => self.edit(&session, cache, |dp| {
                 dp.push_voter(ranking)
                     .map(|id| Response::VoterPushed { voter: id.raw() })
             }),
-            Request::RemoveVoter { session, voter } => self.edit(&session, |dp| {
+            Request::RemoveVoter { session, voter } => self.edit(&session, cache, |dp| {
                 dp.remove_voter(VoterId::from_raw(voter))
                     .map(|_| Response::VoterRemoved)
             }),
@@ -143,20 +183,20 @@ impl Service {
                 session,
                 voter,
                 ranking,
-            } => self.edit(&session, |dp| {
+            } => self.edit(&session, cache, |dp| {
                 dp.replace_voter(VoterId::from_raw(voter), ranking)
                     .map(|_| Response::VoterReplaced)
             }),
             Request::MedianOrder { session } => {
-                self.read(&session, |snap| Ok(Response::Ranking {
+                self.read(&session, cache, |snap| Ok(Response::Ranking {
                     order: snap.median_order(),
                 }))
             }
-            Request::TopK { session, k } => self.read(&session, |snap| {
+            Request::TopK { session, k } => self.read(&session, cache, |snap| {
                 snap.top_k(k as usize)
                     .map(|order| Response::Ranking { order })
             }),
-            Request::KemenyCost { session, candidate } => self.read(&session, |snap| {
+            Request::KemenyCost { session, candidate } => self.read(&session, cache, |snap| {
                 snap.tally()
                     .kemeny_cost_x2(&candidate)
                     .map(|value| Response::CostX2 { value })
@@ -166,8 +206,25 @@ impl Service {
                 metric,
                 voter_a,
                 voter_b,
-            } => self.pair_metric(&session, metric, voter_a, voter_b),
+            } => self.pair_metric(&session, cache, metric, voter_a, voter_b),
         }
+    }
+
+    /// Resolves a session through the one-slot cache, filling it on
+    /// miss.
+    fn resolve(
+        &self,
+        name: &str,
+        cache: &mut Option<(String, Arc<Session>)>,
+    ) -> Result<Arc<Session>, Response> {
+        if let Some((cached, session)) = cache {
+            if cached == name {
+                return Ok(Arc::clone(session));
+            }
+        }
+        let session = self.get(name)?;
+        *cache = Some((name.to_owned(), Arc::clone(&session)));
+        Ok(session)
     }
 
     fn create(&self, name: &str, n: usize, policy: WirePolicy) -> Response {
@@ -217,9 +274,10 @@ impl Service {
     fn edit(
         &self,
         name: &str,
+        cache: &mut Option<(String, Arc<Session>)>,
         op: impl FnOnce(&mut DynamicProfile) -> Result<Response, AggregateError>,
     ) -> Response {
-        let session = match self.get(name) {
+        let session = match self.resolve(name, cache) {
             Ok(s) => s,
             Err(resp) => return resp,
         };
@@ -238,9 +296,10 @@ impl Service {
     fn read(
         &self,
         name: &str,
+        cache: &mut Option<(String, Arc<Session>)>,
         op: impl FnOnce(&DynamicSnapshot) -> Result<Response, AggregateError>,
     ) -> Response {
-        let session = match self.get(name) {
+        let session = match self.resolve(name, cache) {
             Ok(s) => s,
             Err(resp) => return resp,
         };
@@ -256,8 +315,15 @@ impl Service {
         }
     }
 
-    fn pair_metric(&self, name: &str, metric: MetricKind, voter_a: u64, voter_b: u64) -> Response {
-        let session = match self.get(name) {
+    fn pair_metric(
+        &self,
+        name: &str,
+        cache: &mut Option<(String, Arc<Session>)>,
+        metric: MetricKind,
+        voter_a: u64,
+        voter_b: u64,
+    ) -> Response {
+        let session = match self.resolve(name, cache) {
             Ok(s) => s,
             Err(resp) => return resp,
         };
@@ -542,5 +608,71 @@ mod tests {
         let svc = Service::new(1);
         assert_eq!(svc.handle(Request::Ping), Response::Pong);
         assert_eq!(svc.handle(Request::Shutdown), Response::ShutdownAck);
+    }
+
+    /// A mixed batch (with the session cache hot and invalidated
+    /// mid-stream by create/drop) must answer exactly what a fresh
+    /// `Service` replaying the same ops one `handle` at a time would.
+    #[test]
+    fn handle_batch_matches_per_op_handle() {
+        let script = vec![
+            Request::Ping,
+            Request::CreateSession {
+                name: "a".into(),
+                n: 3,
+                policy: WirePolicy::Lower,
+            },
+            Request::PushVoter {
+                session: "a".into(),
+                ranking: keys(&[1, 2, 3]),
+            },
+            Request::PushVoter {
+                session: "a".into(),
+                ranking: keys(&[3, 1, 2]),
+            },
+            Request::MedianOrder { session: "a".into() },
+            Request::PushVoter {
+                session: "a".into(),
+                ranking: keys(&[1, 2]), // domain mismatch mid-batch
+            },
+            Request::TopK {
+                session: "a".into(),
+                k: 2,
+            },
+            Request::DropSession { name: "a".into() },
+            Request::MedianOrder { session: "a".into() }, // now unknown
+            Request::CreateSession {
+                name: "a".into(),
+                n: 2,
+                policy: WirePolicy::Upper,
+            },
+            Request::PushVoter {
+                session: "a".into(),
+                ranking: keys(&[2, 1]),
+            },
+            Request::MedianOrder { session: "a".into() },
+        ];
+        let batched = Service::new(4).handle_batch(script.clone());
+        let mirror = Service::new(4);
+        let sequential: Vec<Response> = script.into_iter().map(|r| mirror.handle(r)).collect();
+        assert_eq!(batched, sequential);
+        // Errors mid-batch did not abort the ops after them.
+        assert!(matches!(batched.last(), Some(Response::Ranking { .. })));
+    }
+
+    #[test]
+    fn shutdown_inside_a_batch_is_a_typed_error() {
+        let svc = Service::new(1);
+        let replies = svc.handle_batch(vec![Request::Ping, Request::Shutdown, Request::Ping]);
+        assert_eq!(replies.len(), 3);
+        assert_eq!(replies[0], Response::Pong);
+        assert!(matches!(
+            &replies[1],
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ));
+        assert_eq!(replies[2], Response::Pong);
     }
 }

@@ -51,7 +51,7 @@ BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test tally_confo
 echo "==> dynamic update-oracle suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test dynamic_vs_rebuild
 
-echo "==> wire-protocol fuzz suite (256 cases per property)"
+echo "==> wire-protocol fuzz suite, v1 + v2 batch frames (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test proto_fuzz
 
 echo "==> server loopback smoke (per-request-type round trips + graceful shutdown)"
@@ -59,6 +59,23 @@ echo "==> server loopback smoke (per-request-type round trips + graceful shutdow
 # type over a real socket (byte-compared against the in-process
 # engine) and requires a fully drained shutdown.
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_loopback
+
+echo "==> protocol v2 pipelining conformance (256 cases per property)"
+# Differential suite: pipelined and batched replays of the loopback
+# edit scripts must be byte-identical to the in-process mirror, in
+# order, at every tested depth.
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_pipeline
+
+# The soak (thousands of mostly-idle connections against the readiness
+# loop, bounded-thread and clean-drain assertions) is ignored by
+# default; opt in with BUCKETRANK_CI_HEAVY=1. Size it with
+# BUCKETRANK_SOAK_CONNS (default 5000 — needs `ulimit -n` headroom).
+if [ "${BUCKETRANK_CI_HEAVY:-0}" = "1" ]; then
+  echo "==> readiness-loop soak (heavy lane, BUCKETRANK_SOAK_CONNS=${BUCKETRANK_SOAK_CONNS:-5000})"
+  cargo test -q --release --offline -p bucketrank --test server_soak -- --ignored
+else
+  echo "==> readiness-loop soak: skipped (set BUCKETRANK_CI_HEAVY=1 to run)"
+fi
 
 echo "==> bench_batch_prepared smoke gate"
 # Fast pass proves the prepared batch engine runs end to end and writes
@@ -77,6 +94,8 @@ echo "==> bench_aggregate_tally smoke gate"
 # Same pattern for the aggregation tally engine: the fast pass proves
 # the tally-vs-direct bench runs end to end (its worst-aggregator line
 # is the regression canary) and seeds the aggregate baseline if absent.
+# The pass ends with the parallel-build gate: par8 ≥ 1.5× seq at
+# 256×512, asserted only on machines with ≥ 8 cores (SKIP otherwise).
 agg_smoke_out="target/BENCH_aggregate.smoke.json"
 BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$agg_smoke_out" \
   cargo run --release --offline -p bucketrank-bench --bin bench_aggregate_tally
@@ -102,7 +121,9 @@ echo "==> bench_server smoke gate"
 # Same pattern for the TCP service: the fast pass proves the server,
 # client and both request mixes run end to end over loopback (its
 # read-heavy throughput line is the acceptance canary) and seeds the
-# server baseline if absent.
+# server baseline if absent. The fast pass also runs the protocol v2
+# mixes and exits nonzero unless pipelined/batched read-heavy
+# throughput is ≥ 2× the single-outstanding rate from the same run.
 srv_smoke_out="target/BENCH_server.smoke.json"
 BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$srv_smoke_out" \
   cargo run --release --offline -p bucketrank-bench --bin bench_server

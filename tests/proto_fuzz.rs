@@ -6,8 +6,8 @@
 //! offending **connection** while the server keeps serving.
 
 use bucketrank::server::proto::{
-    read_frame, write_frame, FrameError, ProtoError, Request, Response, WirePolicy,
-    DEFAULT_MAX_FRAME,
+    decode_batch, decode_batch_reply, encode_batch, read_frame, write_frame, FrameError,
+    ProtoError, Request, Response, WirePolicy, WireRequest, DEFAULT_MAX_FRAME, MAX_BATCH,
 };
 use bucketrank::server::{Client, ErrorCode, Server, ServerConfig};
 use bucketrank_testkit::prelude::*;
@@ -15,15 +15,22 @@ use std::io::Write as _;
 use std::net::TcpStream;
 
 /// Random request-ish bodies: raw bytes, plus mutations that keep a
-/// valid opcode so decoding reaches the payload readers.
+/// valid opcode so decoding reaches the payload readers. A third of
+/// the steered bodies wear the v2 batch header so the batch decoder's
+/// count and sub-length readers get fuzzed too.
 fn bodies() -> impl Gen<Value = Vec<u8>> {
     gen::from_fn(|rng| {
         let len = rng.gen_range(0..=96usize);
         let mut body: Vec<u8> = (0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect();
         // Half the time, steer onto the parsers behind valid headers.
         if rng.gen_range(0..2u32) == 0 && body.len() >= 2 {
-            body[0] = 1; // PROTO_VERSION
-            body[1] = rng.gen_range(0x01..=0x0cu32) as u8; // opcodes + one invalid
+            if rng.gen_range(0..3u32) == 0 {
+                body[0] = 2; // PROTO_VERSION_2
+                body[1] = 0x20; // OP_BATCH
+            } else {
+                body[0] = 1; // PROTO_VERSION
+                body[1] = rng.gen_range(0x01..=0x0cu32) as u8; // opcodes + one invalid
+            }
         }
         body
     })
@@ -45,6 +52,18 @@ fn decoders_are_total_and_reencoding_is_stable() {
             let again = Response::decode(&wire).expect("canonical encoding must decode");
             assert_eq!(again, resp);
             assert_eq!(again.encode(), wire);
+        }
+        // The v2 surfaces are total too, and anything that decodes as
+        // a batch is already in canonical form (length-prefixed
+        // canonical v1 sub-bodies), so re-encoding is the identity.
+        let _ = WireRequest::decode(body);
+        let _ = decode_batch_reply(body);
+        if let Ok(reqs) = decode_batch(body) {
+            assert_eq!(&encode_batch(&reqs), body);
+            match WireRequest::decode(body).expect("batch dispatches") {
+                WireRequest::Batch(again) => assert_eq!(again, reqs),
+                WireRequest::Single(_) => panic!("v2 body dispatched as v1"),
+            }
         }
     });
 }
@@ -144,6 +163,219 @@ fn frames_reject_oversized_and_torn_input_without_allocating() {
                 ));
             }
         },
+    );
+}
+
+/// Structured batch abuse: every strict prefix of a valid batch, every
+/// degenerate shape (empty, oversized count, nested v2 sub-body,
+/// lying sub-lengths), must be a **typed** error — and the count is
+/// checked before any allocation sized from it.
+#[test]
+fn batch_bounds_are_typed_and_torn_batches_never_decode() {
+    check(
+        "batch_bounds_are_typed_and_torn_batches_never_decode",
+        sample_requests(),
+        |reqs| {
+            let wire = encode_batch(reqs);
+            assert_eq!(&decode_batch(&wire).unwrap(), reqs);
+            // Torn batches: every strict prefix fails typed.
+            for cut in 0..wire.len() {
+                assert!(
+                    decode_batch(&wire[..cut]).is_err(),
+                    "batch prefix at {cut} decoded"
+                );
+            }
+            // Trailing garbage is rejected.
+            let mut extra = wire.clone();
+            extra.push(0);
+            assert!(decode_batch(&extra).is_err(), "trailing byte accepted");
+
+            // Empty batch: typed.
+            assert!(matches!(
+                decode_batch(&[2, 0x20, 0, 0]),
+                Err(ProtoError::EmptyBatch)
+            ));
+
+            // A count beyond MAX_BATCH is refused from the 4-byte
+            // header alone — before any count-sized allocation.
+            let huge = [2u8, 0x20, 0xff, 0xff];
+            match decode_batch(&huge) {
+                Err(ProtoError::BatchTooLarge { len }) => assert_eq!(len, 0xffff),
+                other => panic!("oversized count not typed: {other:?}"),
+            }
+
+            // A sub-length lying past the body is a typed truncation,
+            // not an allocation or a panic.
+            let mut lying = vec![2, 0x20, 0, 1];
+            lying.extend_from_slice(&u32::MAX.to_be_bytes());
+            assert!(decode_batch(&lying).is_err());
+
+            // Nested batches are rejected: a v2 sub-body inside a
+            // batch is an unsupported version at the sub-decode.
+            let inner = encode_batch(&[Request::Ping]);
+            let mut nested = vec![2, 0x20, 0, 1];
+            nested.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+            nested.extend_from_slice(&inner);
+            match decode_batch(&nested) {
+                Err(ProtoError::UnsupportedVersion { found }) => assert_eq!(found, 2),
+                other => panic!("nested batch not rejected: {other:?}"),
+            }
+
+            // Oversize-by-construction: more than MAX_BATCH valid
+            // sub-requests refuse to decode even though each sub-body
+            // is individually fine.
+            if reqs.len() > 1 {
+                let mut many = vec![2, 0x20];
+                let count = MAX_BATCH + 1;
+                many.extend_from_slice(&(count as u16).to_be_bytes());
+                let ping = Request::Ping.encode();
+                for _ in 0..count {
+                    many.extend_from_slice(&(ping.len() as u32).to_be_bytes());
+                    many.extend_from_slice(&ping);
+                }
+                assert!(matches!(
+                    decode_batch(&many),
+                    Err(ProtoError::BatchTooLarge { .. })
+                ));
+            }
+        },
+    );
+}
+
+/// Random v1/v2 frame interleavings on one live connection: every
+/// well-formed frame is answered with a reply of the matching shape
+/// (v1 response / batch reply with one sub-reply per op), and a
+/// malformed tail kills **only that connection** with a typed error —
+/// never a desync or a panic — while the server keeps serving.
+#[test]
+fn v1_and_v2_interleavings_share_a_connection_and_die_typed() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    /// One fuzzed exchange: frames to send and the per-frame op count
+    /// (0 marks a v1 single frame), plus a malformed tail body.
+    fn exchanges() -> impl Gen<Value = (Vec<(Vec<u8>, usize)>, Vec<u8>)> {
+        gen::from_fn(|rng| {
+            let n = rng.gen_range(1..=6usize);
+            let ranking = gen::bucket_order(n, 3).generate(rng);
+            let name = gen::printable_string(1..=8).generate(rng);
+            let pool = [
+                Request::Ping,
+                Request::CreateSession {
+                    name: name.clone(),
+                    n: n as u32,
+                    policy: WirePolicy::Lower,
+                },
+                Request::PushVoter {
+                    session: name.clone(),
+                    ranking,
+                },
+                Request::MedianOrder {
+                    session: name.clone(),
+                },
+                Request::TopK {
+                    session: name,
+                    k: rng.gen_range(0..=8u32),
+                },
+            ];
+            let mut frames = Vec::new();
+            for _ in 0..rng.gen_range(1..=8usize) {
+                if rng.gen_range(0..2u32) == 0 {
+                    let req = &pool[rng.gen_range(0..pool.len() as u32) as usize];
+                    frames.push((req.encode(), 0));
+                } else {
+                    let count = rng.gen_range(1..=5usize);
+                    let batch: Vec<Request> = (0..count)
+                        .map(|_| pool[rng.gen_range(0..pool.len() as u32) as usize].clone())
+                        .collect();
+                    frames.push((encode_batch(&batch), count));
+                }
+            }
+            // The malformed tail: rotate through the batch-specific
+            // poison shapes plus plain junk.
+            let tail = match rng.gen_range(0..4u32) {
+                0 => vec![2, 0x20, 0, 0],          // empty batch
+                1 => vec![2, 0x20, 0xff, 0xff],    // count over MAX_BATCH
+                2 => {
+                    let inner = encode_batch(&[Request::Ping]);
+                    let mut nested = vec![2, 0x20, 0, 1];
+                    nested.extend_from_slice(&(inner.len() as u32).to_be_bytes());
+                    nested.extend_from_slice(&inner);
+                    nested                          // nested batch
+                }
+                _ => vec![rng.gen_range(3..=255u32) as u8, 0x20, 9], // junk version
+            };
+            (frames, tail)
+        })
+    }
+
+    check(
+        "v1_and_v2_interleavings_share_a_connection_and_die_typed",
+        exchanges(),
+        |(frames, tail)| {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_nodelay(true).expect("nodelay");
+            // Pipeline the whole interleaving, then the poison tail.
+            for (body, _) in frames {
+                write_frame(&mut s, body, DEFAULT_MAX_FRAME).expect("write frame");
+            }
+            write_frame(&mut s, tail, DEFAULT_MAX_FRAME).expect("write tail");
+
+            // Every well-formed frame is answered in order with the
+            // matching reply shape.
+            for (at, (_, ops)) in frames.iter().enumerate() {
+                let reply = read_frame(&mut s, DEFAULT_MAX_FRAME)
+                    .unwrap_or_else(|e| panic!("reply {at} missing: {e:?}"));
+                if *ops == 0 {
+                    Response::decode(&reply).expect("well-formed v1 reply");
+                } else {
+                    let bodies = decode_batch_reply(&reply).expect("well-formed batch reply");
+                    assert_eq!(bodies.len(), *ops, "reply shape mismatch at {at}");
+                    for body in &bodies {
+                        Response::decode(body).expect("well-formed sub-reply");
+                    }
+                }
+            }
+            // Then the typed error (best-effort) and the close.
+            match read_frame(&mut s, DEFAULT_MAX_FRAME) {
+                Ok(reply) => {
+                    let resp = Response::decode(&reply).expect("server replies are well-formed");
+                    assert!(
+                        matches!(
+                            resp,
+                            Response::Error {
+                                code: ErrorCode::BadRequest,
+                                ..
+                            }
+                        ),
+                        "malformed tail answered with {resp:?}"
+                    );
+                    assert!(matches!(
+                        read_frame(&mut s, DEFAULT_MAX_FRAME),
+                        Err(FrameError::Closed)
+                    ));
+                }
+                Err(FrameError::Closed) => {}
+                Err(e) => panic!("unexpected transport failure: {e:?}"),
+            }
+
+            // The server is still serving fresh connections.
+            let mut probe = Client::connect(addr).unwrap();
+            probe.ping().expect("server must survive poisoned pipelines");
+        },
+    );
+
+    let stats = server.shutdown();
+    assert!(
+        stats.protocol_errors > 0,
+        "every poison tail trips the protocol-error counter: {stats:?}"
     );
 }
 

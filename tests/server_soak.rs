@@ -1,0 +1,180 @@
+//! Readiness-loop soak (ignored by default; run via the CI heavy lane
+//! or `cargo test --test server_soak -- --ignored`): thousands of
+//! mostly-idle connections plus slow-dribble writers whose frames
+//! straddle the event loop's poll intervals. Asserts zero protocol
+//! errors, a **bounded thread count** (the worker pool and the event
+//! thread only — no thread per connection), and a clean drain shutdown
+//! that flushes and closes every connection.
+//!
+//! Size via `BUCKETRANK_SOAK_CONNS` (default 5000).
+
+use bucketrank::server::proto::{read_frame, write_frame, Request, Response, DEFAULT_MAX_FRAME};
+use bucketrank::server::{Client, Server, ServerConfig};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn soak_conns() -> usize {
+    std::env::var("BUCKETRANK_SOAK_CONNS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5000)
+}
+
+/// Live threads in this process (Linux procfs; `None` elsewhere, which
+/// skips the bounded-thread assertion but not the rest of the soak).
+fn thread_count() -> Option<usize> {
+    std::fs::read_dir("/proc/self/task")
+        .ok()
+        .map(|dir| dir.count())
+}
+
+/// One blocking ping round trip over a raw stream.
+fn ping_roundtrip(stream: &mut TcpStream) {
+    write_frame(stream, &Request::Ping.encode(), DEFAULT_MAX_FRAME).expect("write ping");
+    let reply = read_frame(stream, DEFAULT_MAX_FRAME).expect("read pong");
+    assert_eq!(Response::decode(&reply).expect("decode"), Response::Pong);
+}
+
+#[test]
+#[ignore = "soak: thousands of sockets; run in the CI heavy lane"]
+fn idle_flood_and_dribblers_hold_with_bounded_threads() {
+    let conns = soak_conns();
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            queue_depth: 128,
+            max_connections: conns + 64,
+            // The flood stays open for the whole test; don't let the
+            // idle reaper race it.
+            read_timeout: Duration::from_secs(300),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Thread baseline once the server is fully staffed: event thread +
+    // workers. Nothing below may add a server-side thread.
+    let baseline = thread_count();
+
+    // --- the mostly-idle flood -----------------------------------
+    let mut flood: Vec<TcpStream> = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| panic!("connect {i} of {conns} failed: {e}"));
+        stream.set_nodelay(true).expect("nodelay");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        flood.push(stream);
+    }
+    // Spot-check liveness across the flood: sparse pings prove idle
+    // connections are still registered and readable.
+    for i in (0..conns).step_by((conns / 16).max(1)) {
+        ping_roundtrip(&mut flood[i]);
+    }
+
+    // --- slow-dribble writers straddling poll intervals ----------
+    // Each dribbler splits every ping frame into three writes with
+    // pauses longer than any event-loop sleep or cold-sweep interval,
+    // so partial frames must survive many sweeps un-desynced.
+    let dribblers: Vec<std::thread::JoinHandle<()>> = (0..8)
+        .map(|i| {
+            let mut stream = TcpStream::connect(addr).expect("dribbler connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(30)))
+                .expect("read timeout");
+            std::thread::Builder::new()
+                .name(format!("soak-dribbler-{i}"))
+                .spawn(move || {
+                    let body = Request::Ping.encode();
+                    let mut frame = (body.len() as u32).to_be_bytes().to_vec();
+                    frame.extend_from_slice(&body);
+                    for _ in 0..3 {
+                        for chunk in [&frame[..2], &frame[2..5], &frame[5..]] {
+                            stream.write_all(chunk).expect("dribble chunk");
+                            stream.flush().expect("flush");
+                            std::thread::sleep(Duration::from_millis(40));
+                        }
+                        let reply =
+                            read_frame(&mut stream, DEFAULT_MAX_FRAME).expect("dribbled reply");
+                        assert_eq!(
+                            Response::decode(&reply).expect("decode"),
+                            Response::Pong,
+                            "dribbled frame desynced"
+                        );
+                    }
+                })
+                .expect("spawn dribbler")
+        })
+        .collect();
+
+    // --- real pipelined work while the flood sits idle -----------
+    let mut client = Client::connect(addr).expect("connect worker client");
+    client
+        .create_session("soak", 8, bucketrank::server::WirePolicy::Lower)
+        .expect("create");
+    let ranking = bucketrank::BucketOrder::from_keys(&[1, 2, 3, 4, 4, 3, 2, 1]);
+    let mut pipe = client.pipeline(32);
+    let mut answered = 0usize;
+    for i in 0..500 {
+        let sent = if i % 5 == 0 {
+            pipe.send_batch(&[
+                Request::PushVoter {
+                    session: "soak".into(),
+                    ranking: ranking.clone(),
+                },
+                Request::MedianOrder {
+                    session: "soak".into(),
+                },
+            ])
+            .expect("batch send")
+        } else {
+            pipe.send(&Request::MedianOrder {
+                session: "soak".into(),
+            })
+            .expect("send")
+        };
+        if sent.is_some() {
+            answered += 1;
+        }
+    }
+    answered += pipe.drain().expect("drain").len();
+    assert_eq!(answered, 500, "every pipelined frame answered in order");
+
+    for d in dribblers {
+        d.join().expect("dribbler finished clean");
+    }
+
+    // --- bounded threads -----------------------------------------
+    // All test-side threads are joined; the server must not have grown
+    // by even one thread while holding `conns` live connections.
+    if let (Some(before), Some(now)) = (baseline, thread_count()) {
+        assert!(
+            now <= before,
+            "server grew threads under the flood: {before} -> {now}"
+        );
+    }
+
+    // --- clean drain with every connection flushed ---------------
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+    assert!(
+        stats.connections >= (conns + 8) as u64,
+        "flood + dribblers all accepted: {stats:?}"
+    );
+    // The drain closed every idle connection cleanly: reading yields
+    // EOF (a clean close), never a torn frame or a hang.
+    for (i, mut stream) in flood.into_iter().enumerate() {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("read timeout");
+        match read_frame(&mut stream, DEFAULT_MAX_FRAME) {
+            Err(bucketrank::server::FrameError::Closed) => {}
+            other => panic!("connection {i} not cleanly closed on drain: {other:?}"),
+        }
+    }
+}
