@@ -359,6 +359,47 @@ impl DynamicProfile {
         Ok((dp, ids))
     }
 
+    /// Rebuilds an engine from stored `(raw id, ranking)` pairs plus
+    /// the id counter to resume from — the restore path for durability
+    /// layers that checkpoint a profile and fault it back in. Ids are
+    /// preserved exactly (a voter keeps its pre-checkpoint handle) and
+    /// the next push is assigned `next_id`, so a restored engine is
+    /// indistinguishable from one that never left memory.
+    ///
+    /// The generation counter restarts at the number of restored
+    /// voters, matching an engine built by pushing them in order.
+    ///
+    /// # Errors
+    /// [`AggregateError::DomainMismatch`] /
+    /// [`AggregateError::TooManyVoters`] as for pushes;
+    /// [`AggregateError::InvalidVoterId`] on a duplicate id or an id
+    /// not strictly below `next_id` (either means the stored state is
+    /// corrupt — restoring it would double-count a voter or let a
+    /// future push collide with a live id).
+    pub fn from_voters<I>(
+        n: usize,
+        policy: MedianPolicy,
+        voters: I,
+        next_id: u64,
+    ) -> Result<Self, AggregateError>
+    where
+        I: IntoIterator<Item = (u64, BucketOrder)>,
+    {
+        let mut dp = DynamicProfile::new(n, policy);
+        for (id, ranking) in voters {
+            if id >= next_id || dp.voters.contains_key(&id) {
+                return Err(AggregateError::InvalidVoterId { id });
+            }
+            // push_voter assigns `next_id` and bumps it; steering the
+            // counter per voter reuses the whole validated edit path
+            // (domain check, capacity check, tally + median updates).
+            dp.next_id = id;
+            dp.push_voter(ranking)?;
+        }
+        dp.next_id = next_id;
+        Ok(dp)
+    }
+
     /// Domain size.
     pub fn len(&self) -> usize {
         self.tally.len()
@@ -390,6 +431,13 @@ impl DynamicProfile {
     /// The stored ranking of a live voter.
     pub fn get_voter(&self, id: VoterId) -> Option<&BucketOrder> {
         self.voters.get(&id.0)
+    }
+
+    /// The raw id the next successful push will be assigned. Durability
+    /// layers use this to write the push's log record *before* applying
+    /// it (write-ahead order) with the exact id the reply will carry.
+    pub fn next_push_id(&self) -> u64 {
+        self.next_id
     }
 
     /// The live voter ids, ascending (insertion order — ids are never
@@ -881,6 +929,48 @@ mod tests {
         assert!(matches!(
             DynamicProfile::from_profile(&bad, MedianPolicy::Lower),
             Err(AggregateError::DomainMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_voters_restores_state_and_ids() {
+        // Build an engine with a gap in the id space (remove the middle
+        // voter), restore from its stored pairs, and demand the restored
+        // engine is indistinguishable: same tally, medians, ids, and the
+        // same id assigned to the next push.
+        let mut dp = DynamicProfile::new(3, MedianPolicy::Upper);
+        let _a = dp.push_voter(keys(&[1, 2, 3])).unwrap();
+        let b = dp.push_voter(keys(&[3, 2, 1])).unwrap();
+        let _c = dp.push_voter(keys(&[2, 2, 2])).unwrap();
+        dp.remove_voter(b).unwrap();
+        let pairs: Vec<(u64, BucketOrder)> = dp
+            .voter_ids()
+            .into_iter()
+            .map(|id| (id.raw(), dp.get_voter(id).unwrap().clone()))
+            .collect();
+        let mut restored =
+            DynamicProfile::from_voters(3, MedianPolicy::Upper, pairs.clone(), 3).unwrap();
+        assert_eq!(restored.tally(), dp.tally());
+        assert_eq!(
+            restored.median_positions().unwrap(),
+            dp.median_positions().unwrap()
+        );
+        assert_eq!(restored.voter_ids(), dp.voter_ids());
+        assert_eq!(
+            restored.push_voter(keys(&[1, 1, 1])).unwrap(),
+            dp.push_voter(keys(&[1, 1, 1])).unwrap()
+        );
+        assert_matches_rebuild(&restored);
+
+        // Duplicate id and id ≥ next_id are typed corruption.
+        let dup = vec![pairs[0].clone(), pairs[0].clone()];
+        assert!(matches!(
+            DynamicProfile::from_voters(3, MedianPolicy::Upper, dup, 3),
+            Err(AggregateError::InvalidVoterId { id: 0 })
+        ));
+        assert!(matches!(
+            DynamicProfile::from_voters(3, MedianPolicy::Upper, pairs, 2),
+            Err(AggregateError::InvalidVoterId { id: 2 })
         ));
     }
 

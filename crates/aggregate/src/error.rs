@@ -55,6 +55,15 @@ pub enum AggregateError {
         /// The maximum number of voters the tally cells can hold.
         limit: usize,
     },
+    /// A restore ([`crate::dynamic::DynamicProfile::from_voters`])
+    /// presented the same voter id twice, or an id not strictly below
+    /// the declared `next_id`. Checkpoint decoders surface this as
+    /// corruption rather than silently double-counting a voter or
+    /// letting a future push collide with a restored id.
+    InvalidVoterId {
+        /// The offending id.
+        id: u64,
+    },
 }
 
 impl fmt::Display for AggregateError {
@@ -87,6 +96,9 @@ impl fmt::Display for AggregateError {
             }
             AggregateError::TooManyVoters { limit } => {
                 write!(f, "dynamic profile is full ({limit} voters)")
+            }
+            AggregateError::InvalidVoterId { id } => {
+                write!(f, "voter id {id} is invalid for restore (duplicate or ≥ next_id)")
             }
         }
     }

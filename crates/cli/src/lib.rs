@@ -452,6 +452,7 @@ pub fn cmd_query(
 ///
 /// # Errors
 /// [`CliError`] on nonsensical parameters or bind/write failures.
+#[allow(clippy::too_many_arguments)]
 pub fn cmd_serve(
     addr: &str,
     workers: Option<usize>,
@@ -460,8 +461,12 @@ pub fn cmd_serve(
     max_frame: Option<usize>,
     pipeline_depth: Option<usize>,
     addr_file: Option<&str>,
+    shards: Option<usize>,
+    max_sessions: Option<usize>,
+    data_dir: Option<&str>,
+    checkpoint_every: Option<u64>,
 ) -> Result<String, CliError> {
-    use bucketrank_server::{Server, ServerConfig};
+    use bucketrank_server::{Server, ServerConfig, MAX_SHARDS};
 
     let mut config = ServerConfig::default();
     if let Some(w) = workers {
@@ -479,6 +484,16 @@ pub fn cmd_serve(
     if let Some(p) = pipeline_depth {
         config.pipeline_depth = p;
     }
+    if let Some(s) = shards {
+        config.shards = s;
+    }
+    if let Some(m) = max_sessions {
+        config.max_sessions = m;
+    }
+    if let Some(c) = checkpoint_every {
+        config.checkpoint_every = c;
+    }
+    config.data_dir = data_dir.map(std::path::PathBuf::from);
     if config.workers == 0 || config.queue_depth == 0 || config.max_connections == 0 {
         return err("serve needs --workers, --queue-depth, and --max-conns ≥ 1");
     }
@@ -487,6 +502,12 @@ pub fn cmd_serve(
     // no request at all.
     if config.max_frame < 16 || config.pipeline_depth == 0 {
         return err("serve needs --max-frame ≥ 16 and --pipeline-depth ≥ 1");
+    }
+    if config.shards == 0 || config.shards > MAX_SHARDS {
+        return err(format!("serve needs --shards in 1..={MAX_SHARDS}"));
+    }
+    if config.max_sessions == 0 || config.checkpoint_every == 0 {
+        return err("serve needs --max-sessions and --checkpoint-every ≥ 1");
     }
     let server =
         Server::bind(addr, config).map_err(|e| CliError(format!("cannot bind {addr}: {e}")))?;
@@ -510,7 +531,7 @@ pub fn cmd_serve(
 /// # Errors
 /// [`CliError`] with a usage or failure message.
 pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>) -> Result<String, CliError> {
-    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]\n  bucketrank serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-conns N] [--max-frame BYTES] [--pipeline-depth N] [--addr-file PATH]";
+    let usage = "usage:\n  bucketrank compare <file> [--metric kprof|fprof|khaus|fhaus|all]\n  bucketrank aggregate <file> [--method median|fdagger|borda|mc4|kwiksort|schulze] [--top K]\n  bucketrank medrank <file> --top K\n  bucketrank analyze <file>\n  bucketrank query <data.csv> --schema a:int,b:text,… --prefer attr:asc[:bin=W] [--prefer attr:in=x;y]… [--top K] [--no-header]\n  bucketrank generate --n N --m M [--seed S] [--mallows THETA] [--top K]\n  bucketrank serve [--addr HOST:PORT] [--workers N] [--queue-depth N] [--max-conns N] [--max-frame BYTES] [--pipeline-depth N] [--addr-file PATH] [--shards N] [--max-sessions N] [--data-dir PATH] [--checkpoint-every N]";
     let mut it = args.iter();
     let cmd = match it.next() {
         Some(c) => c.as_str(),
@@ -616,6 +637,13 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>
                     None => Ok(None),
                 }
             };
+            let checkpoint_every = match flag("--checkpoint-every") {
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| CliError("bad --checkpoint-every".into()))?,
+                ),
+                None => None,
+            };
             cmd_serve(
                 flag("--addr").unwrap_or("127.0.0.1:7131"),
                 parse_opt("--workers")?,
@@ -624,6 +652,10 @@ pub fn run(args: &[String], read_file: impl Fn(&str) -> Result<String, CliError>
                 parse_opt("--max-frame")?,
                 parse_opt("--pipeline-depth")?,
                 flag("--addr-file"),
+                parse_opt("--shards")?,
+                parse_opt("--max-sessions")?,
+                flag("--data-dir"),
+                checkpoint_every,
             )
         }
         "--help" | "-h" | "help" => Ok(usage.to_owned()),
@@ -839,9 +871,28 @@ pizza,3.5,4
         let _ = std::fs::remove_file(&addr_file);
 
         // Parameter validation is immediate, not deferred to bind.
-        assert!(cmd_serve("127.0.0.1:0", Some(0), None, None, None, None, None).is_err());
-        assert!(cmd_serve("127.0.0.1:0", None, None, None, Some(4), None, None).is_err());
-        assert!(cmd_serve("127.0.0.1:0", None, None, None, None, Some(0), None).is_err());
+        let serve = |workers, max_frame, pipeline, shards, sessions, ckpt| {
+            cmd_serve(
+                "127.0.0.1:0",
+                workers,
+                None,
+                None,
+                max_frame,
+                pipeline,
+                None,
+                shards,
+                sessions,
+                None,
+                ckpt,
+            )
+        };
+        assert!(serve(Some(0), None, None, None, None, None).is_err());
+        assert!(serve(None, Some(4), None, None, None, None).is_err());
+        assert!(serve(None, None, Some(0), None, None, None).is_err());
+        assert!(serve(None, None, None, Some(0), None, None).is_err());
+        assert!(serve(None, None, None, Some(100_000), None, None).is_err());
+        assert!(serve(None, None, None, None, Some(0), None).is_err());
+        assert!(serve(None, None, None, None, None, Some(0)).is_err());
     }
 
     #[test]

@@ -93,6 +93,7 @@ fn resp_kind(resp: &Response) -> &'static str {
         Response::CostX2 { .. } => "CostX2",
         Response::Busy => "Busy",
         Response::Error { .. } => "Error",
+        Response::Stats { .. } => "Stats",
         Response::ShutdownAck => "ShutdownAck",
     }
 }
@@ -333,6 +334,18 @@ impl Client {
         };
         match self.expect(&req)? {
             Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Per-shard service counters (sessions, WAL bytes, checkpoints,
+    /// evictions, recoveries), one row per shard.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport failure or an unexpected reply.
+    pub fn stats(&mut self) -> Result<Vec<crate::proto::ShardStats>, ClientError> {
+        match self.expect(&Request::Stats)? {
+            Response::Stats { shards } => Ok(shards),
             other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
         }
     }

@@ -14,12 +14,21 @@
 //!   `Batch`/`BatchReply` frames that carry many ops per round trip.
 //!   Malformed or oversized input fails the *connection*, never the
 //!   process.
-//! - [`service`] — transport-agnostic request handling: a session map
-//!   where edits go through a per-session `DynamicProfile` under a
-//!   mutex, and reads go through immutable published
+//! - [`wal`] — the durability substrate: an append-only write-ahead
+//!   log of CRC-framed edit records plus atomic session checkpoints,
+//!   with total decoders in the [`proto`] style (torn tails and
+//!   corrupt records are typed errors that truncate, never panics).
+//! - [`service`] — transport-agnostic request handling: sessions
+//!   sharded by a stable name hash, where edits go through a
+//!   per-session `DynamicProfile` under the owning shard's lock (and
+//!   onto its WAL before acknowledgement when a data directory is
+//!   configured), and reads go through immutable published
 //!   [`DynamicSnapshot`](bucketrank_aggregate::DynamicSnapshot)s so
 //!   they never block writers. Batches dispatch through
 //!   [`Service::handle_batch`], which amortizes the session lookup.
+//!   Restarting over the same data directory replays every
+//!   acknowledged edit; sessions beyond the resident cap park on disk
+//!   and fault back in on touch.
 //! - [`server`] — the TCP front: a single readiness-based event thread
 //!   owning every nonblocking connection (no thread per connection)
 //!   and a fixed worker pool behind a bounded job queue with explicit
@@ -55,11 +64,14 @@ pub mod client;
 pub mod proto;
 pub mod server;
 pub mod service;
+mod shard;
+pub mod wal;
 
 pub use client::{Client, ClientError, Pipeline, PipelineReply};
 pub use proto::{
-    ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, WirePolicy, WireRequest,
-    DEFAULT_MAX_FRAME, MAX_BATCH, PROTO_VERSION, PROTO_VERSION_2,
+    ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, ShardStats, WirePolicy,
+    WireRequest, DEFAULT_MAX_FRAME, MAX_BATCH, MAX_SHARDS, PROTO_VERSION, PROTO_VERSION_2,
 };
 pub use server::{Server, ServerConfig, ServerStats};
-pub use service::Service;
+pub use service::{Service, ServiceConfig, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARDS};
+pub use wal::{WalError, WalOp, WalRecord};

@@ -73,6 +73,11 @@ pub const MAX_NAME: usize = 255;
 /// bound.
 pub const MAX_ELEMENTS: usize = 1 << 20;
 
+/// Upper bound on the shard count a service may be configured with,
+/// and on the per-shard rows a [`Response::Stats`] decoder accepts
+/// before allocating.
+pub const MAX_SHARDS: usize = 1024;
+
 /// A typed wire-protocol failure. Fatal for the connection that
 /// produced it, harmless for the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,14 +228,14 @@ pub enum WirePolicy {
 }
 
 impl WirePolicy {
-    fn code(self) -> u8 {
+    pub(crate) fn code(self) -> u8 {
         match self {
             WirePolicy::Lower => 0,
             WirePolicy::Upper => 1,
         }
     }
 
-    fn from_code(c: u8) -> Result<Self, ProtoError> {
+    pub(crate) fn from_code(c: u8) -> Result<Self, ProtoError> {
         match c {
             0 => Ok(WirePolicy::Lower),
             1 => Ok(WirePolicy::Upper),
@@ -314,10 +319,33 @@ pub enum Request {
         /// Second stored voter.
         voter_b: u64,
     },
+    /// Read the per-shard durability and occupancy counters; answered
+    /// with [`Response::Stats`].
+    Stats,
     /// Ask the server to shut down gracefully (drain in-flight
     /// requests, then stop). Answered with [`Response::ShutdownAck`]
     /// before the drain begins.
     Shutdown,
+}
+
+/// One shard's counters, as carried in [`Response::Stats`]. All values
+/// are monotonic except the two occupancy gauges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Sessions resident in memory right now (gauge).
+    pub sessions: u64,
+    /// Sessions evicted to disk, faultable on next touch (gauge).
+    pub evicted: u64,
+    /// WAL records appended since startup.
+    pub wal_records: u64,
+    /// WAL bytes appended since startup.
+    pub wal_bytes: u64,
+    /// Checkpoints written (compaction, eviction and recovery).
+    pub checkpoints: u64,
+    /// Sessions evicted by the LRU cap.
+    pub evictions: u64,
+    /// Sessions recovered — replayed at startup or faulted back in.
+    pub recoveries: u64,
 }
 
 /// The server's typed failure codes, carried in [`Response::Error`].
@@ -415,6 +443,11 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// Per-shard counters, one row per shard in shard order.
+    Stats {
+        /// One row per shard.
+        shards: Vec<ShardStats>,
+    },
     /// Graceful-shutdown acknowledgement.
     ShutdownAck,
 }
@@ -433,6 +466,7 @@ const OP_TOPK: u8 = 0x08;
 const OP_KEMENY: u8 = 0x09;
 const OP_PAIR: u8 = 0x0a;
 const OP_SHUTDOWN: u8 = 0x0b;
+const OP_STATS: u8 = 0x0c;
 
 // v2 opcodes: one request kind (a batch of v1 sub-requests) and its
 // one reply kind (the matching sub-replies, in order).
@@ -450,23 +484,24 @@ const OP_COST: u8 = 0x88;
 const OP_BUSY: u8 = 0x89;
 const OP_ERROR: u8 = 0x8a;
 const OP_SHUTDOWN_ACK: u8 = 0x8b;
+const OP_STATS_REPLY: u8 = 0x8c;
 
 // ---------------------------------------------------------------------
 // Primitive encoding.
 
-fn put_u16(out: &mut Vec<u8>, v: u16) {
+pub(crate) fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_be_bytes());
 }
 
-fn put_name(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_name(out: &mut Vec<u8>, s: &str) {
     // Encoding is infallible, so a name beyond MAX_NAME is truncated at
     // a char boundary: the length prefix always matches the bytes
     // written and the frame stays well-formed. Callers that want a
@@ -480,14 +515,14 @@ fn put_name(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(&s.as_bytes()[..len]);
 }
 
-fn put_text(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_text(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     let len = bytes.len().min(u16::MAX as usize);
     put_u16(out, len as u16);
     out.extend_from_slice(&bytes[..len]);
 }
 
-fn put_ranking(out: &mut Vec<u8>, r: &BucketOrder) {
+pub(crate) fn put_ranking(out: &mut Vec<u8>, r: &BucketOrder) {
     put_u32(out, r.len() as u32);
     for &b in r.bucket_indices() {
         put_u32(out, b);
@@ -495,17 +530,17 @@ fn put_ranking(out: &mut Vec<u8>, r: &BucketOrder) {
 }
 
 /// A bounds-checked read cursor over one frame body.
-struct Cursor<'a> {
+pub(crate) struct Cursor<'a> {
     buf: &'a [u8],
     at: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
         Cursor { buf, at: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
         let have = self.buf.len() - self.at;
         if have < n {
             return Err(ProtoError::Truncated { needed: n, have });
@@ -515,23 +550,23 @@ impl<'a> Cursor<'a> {
         Ok(s)
     }
 
-    fn u8(&mut self) -> Result<u8, ProtoError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, ProtoError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, ProtoError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, ProtoError> {
         Ok(u16::from_be_bytes(self.take(2)?.try_into().expect("2 bytes")))
     }
 
-    fn u32(&mut self) -> Result<u32, ProtoError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, ProtoError> {
         Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
     }
 
-    fn u64(&mut self) -> Result<u64, ProtoError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, ProtoError> {
         Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
 
-    fn name(&mut self) -> Result<String, ProtoError> {
+    pub(crate) fn name(&mut self) -> Result<String, ProtoError> {
         let len = self.u8()? as usize;
         let bytes = self.take(len)?;
         std::str::from_utf8(bytes)
@@ -539,7 +574,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| ProtoError::BadUtf8)
     }
 
-    fn text(&mut self) -> Result<String, ProtoError> {
+    pub(crate) fn text(&mut self) -> Result<String, ProtoError> {
         let len = self.u16()? as usize;
         let bytes = self.take(len)?;
         std::str::from_utf8(bytes)
@@ -547,7 +582,7 @@ impl<'a> Cursor<'a> {
             .map_err(|_| ProtoError::BadUtf8)
     }
 
-    fn ranking(&mut self) -> Result<BucketOrder, ProtoError> {
+    pub(crate) fn ranking(&mut self) -> Result<BucketOrder, ProtoError> {
         let n = self.u32()? as usize;
         if n > MAX_ELEMENTS {
             return Err(ProtoError::RankingTooLarge { len: n });
@@ -561,7 +596,7 @@ impl<'a> Cursor<'a> {
         Ok(BucketOrder::from_keys(&keys))
     }
 
-    fn finish(self) -> Result<(), ProtoError> {
+    pub(crate) fn finish(self) -> Result<(), ProtoError> {
         let extra = self.buf.len() - self.at;
         if extra != 0 {
             return Err(ProtoError::TrailingBytes { extra });
@@ -595,7 +630,7 @@ impl Request {
     /// [`ProtoError::NameTooLong`] / [`ProtoError::RankingTooLarge`].
     pub fn validate(&self) -> Result<(), ProtoError> {
         let (name, ranking) = match self {
-            Request::Ping | Request::Shutdown => return Ok(()),
+            Request::Ping | Request::Stats | Request::Shutdown => return Ok(()),
             Request::CreateSession { name, .. } | Request::DropSession { name } => (name, None),
             Request::PushVoter { session, ranking }
             | Request::ReplaceVoter { session, ranking, .. } => (session, Some(ranking)),
@@ -685,6 +720,7 @@ impl Request {
                 put_u64(&mut out, *voter_b);
                 out
             }
+            Request::Stats => header(OP_STATS),
             Request::Shutdown => header(OP_SHUTDOWN),
         }
     }
@@ -748,6 +784,7 @@ impl Request {
                     voter_b,
                 }
             }
+            OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::UnknownOpcode { opcode: other }),
         };
@@ -787,6 +824,25 @@ impl Response {
                 put_text(&mut out, message);
                 out
             }
+            Response::Stats { shards } => {
+                // Encoding is infallible, so a row vector beyond
+                // MAX_SHARDS is truncated to the bound (a live service
+                // can never produce one — ServiceConfig validates the
+                // shard count at construction).
+                let shards = &shards[..shards.len().min(MAX_SHARDS)];
+                let mut out = header(OP_STATS_REPLY);
+                put_u16(&mut out, shards.len() as u16);
+                for s in shards {
+                    put_u64(&mut out, s.sessions);
+                    put_u64(&mut out, s.evicted);
+                    put_u64(&mut out, s.wal_records);
+                    put_u64(&mut out, s.wal_bytes);
+                    put_u64(&mut out, s.checkpoints);
+                    put_u64(&mut out, s.evictions);
+                    put_u64(&mut out, s.recoveries);
+                }
+                out
+            }
             Response::ShutdownAck => header(OP_SHUTDOWN_ACK),
         }
     }
@@ -812,6 +868,28 @@ impl Response {
                 let code = ErrorCode::from_code(c.u8()?)?;
                 let message = c.text()?;
                 Response::Error { code, message }
+            }
+            OP_STATS_REPLY => {
+                let count = c.u16()? as usize;
+                if count > MAX_SHARDS {
+                    return Err(ProtoError::BadValue { what: "shard count" });
+                }
+                // Bound the reservation by what the body can hold: each
+                // row is 7 × 8 bytes.
+                let have = (body.len() - 2) / 56;
+                let mut shards = Vec::with_capacity(count.min(have));
+                for _ in 0..count {
+                    shards.push(ShardStats {
+                        sessions: c.u64()?,
+                        evicted: c.u64()?,
+                        wal_records: c.u64()?,
+                        wal_bytes: c.u64()?,
+                        checkpoints: c.u64()?,
+                        evictions: c.u64()?,
+                        recoveries: c.u64()?,
+                    });
+                }
+                Response::Stats { shards }
             }
             OP_SHUTDOWN_ACK => Response::ShutdownAck,
             other => return Err(ProtoError::UnknownOpcode { opcode: other }),
@@ -1188,6 +1266,7 @@ mod tests {
                 voter_a: 0,
                 voter_b: 1,
             },
+            Request::Stats,
             Request::Shutdown,
         ]
     }
@@ -1208,6 +1287,21 @@ mod tests {
             Response::Error {
                 code: ErrorCode::UnknownVoter,
                 message: "voter#9 is not live".into(),
+            },
+            Response::Stats { shards: vec![] },
+            Response::Stats {
+                shards: vec![
+                    ShardStats {
+                        sessions: 3,
+                        evicted: 1,
+                        wal_records: 40,
+                        wal_bytes: 2048,
+                        checkpoints: 2,
+                        evictions: 1,
+                        recoveries: 4,
+                    },
+                    ShardStats::default(),
+                ],
             },
             Response::ShutdownAck,
         ]

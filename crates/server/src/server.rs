@@ -99,6 +99,17 @@ pub struct ServerConfig {
     /// event loop stops reading that socket (TCP backpressure) until
     /// replies drain.
     pub pipeline_depth: usize,
+    /// Session-registry shards (`1..=`[`crate::proto::MAX_SHARDS`]);
+    /// edits on different shards never contend.
+    pub shards: usize,
+    /// Durable state root; `None` runs memory-only. With a directory
+    /// set, every acknowledged edit is on its shard's WAL before the
+    /// reply, and a rebind over the same directory (with the same
+    /// shard count) recovers every acknowledged edit.
+    pub data_dir: Option<std::path::PathBuf>,
+    /// WAL records a shard accumulates before checkpointing its
+    /// sessions and truncating the log.
+    pub checkpoint_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -112,6 +123,9 @@ impl Default for ServerConfig {
             max_frame: DEFAULT_MAX_FRAME,
             max_sessions: 1024,
             pipeline_depth: 128,
+            shards: crate::service::DEFAULT_SHARDS,
+            data_dir: None,
+            checkpoint_every: crate::service::DEFAULT_CHECKPOINT_EVERY,
         }
     }
 }
@@ -310,13 +324,21 @@ impl Server {
     /// event loop and worker pool.
     ///
     /// # Errors
-    /// The underlying [`io::Error`] from bind.
+    /// The underlying [`io::Error`] from bind, or a service
+    /// construction failure (invalid shard/session configuration, or
+    /// an I/O failure opening/recovering the data directory).
     pub fn bind(addr: &str, config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        let service = Service::with_config(crate::service::ServiceConfig {
+            shards: config.shards,
+            max_sessions: config.max_sessions,
+            data_dir: config.data_dir.clone(),
+            checkpoint_every: config.checkpoint_every,
+        })?;
         let shared = Arc::new(Shared {
-            service: Service::new(config.max_sessions),
+            service,
             queue: JobQueue::new(config.queue_depth.max(1)),
             completions: Completions::default(),
             config: config.clone(),

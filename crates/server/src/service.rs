@@ -1,85 +1,96 @@
 //! Request handlers over named [`DynamicProfile`] sessions.
 //!
-//! A [`Service`] owns a registry of sessions. Each session pairs the
-//! live streaming engine with the **latest snapshot**, refreshed after
-//! every successful edit:
+//! A [`Service`] routes every request to one of N [`shard`]s by a
+//! stable hash of the session name; each shard owns its sessions'
+//! edit locks, WAL and checkpoint files, so edits on different shards
+//! never contend (DESIGN.md §3.3e). Within a session the shape is
+//! unchanged from the unsharded service:
 //!
 //! * edits (`push_voter` / `remove_voter` / `replace_voter`) take the
-//!   session's edit mutex, apply the `O(n²)` incremental update, and
-//!   publish a fresh [`DynamicSnapshot`] behind an `RwLock<Arc<…>>`;
-//! * reads (`median_order`, `top_k`, `kemeny_cost`) clone the `Arc`
-//!   under a momentary read lock and compute entirely on the owned
-//!   snapshot — a read **never holds the edit mutex**, so a slow or
-//!   numerous read mix cannot block writers (DESIGN.md §3.3d);
+//!   shard mutex to resolve the session, log a write-ahead record when
+//!   durability is on, apply the `O(n²)` incremental update under the
+//!   session's edit mutex, and publish a fresh [`DynamicSnapshot`];
+//! * reads (`median_order`, `top_k`, `kemeny_cost`) clone the
+//!   published `Arc` and compute entirely on the owned snapshot — a
+//!   read **never holds the edit mutex**, so a slow or numerous read
+//!   mix cannot block writers (DESIGN.md §3.3d);
 //! * pairwise metrics between stored voter rankings clone the two
 //!   `O(n)` rankings under the edit mutex, then run the zero-alloc
 //!   [`PreparedRanking`] kernels outside it.
 //!
 //! Every handler is total: each failure maps to a typed
 //! [`ErrorCode`]-carrying [`Response::Error`] — a malformed or
-//! unlucky request can never poison a session or the process.
+//! unlucky request can never poison a session or the process. With a
+//! data directory configured ([`ServiceConfig::data_dir`]), every
+//! acknowledged lifecycle or edit op is on disk before its reply is
+//! produced, and [`Service::with_config`] replays whatever a prior
+//! process left behind.
 
-use crate::proto::{ErrorCode, MetricKind, Request, Response, WirePolicy, MAX_ELEMENTS, MAX_NAME};
-use bucketrank_aggregate::dynamic::{DynamicProfile, DynamicSnapshot, VoterId};
-use bucketrank_aggregate::{AggregateError, MedianPolicy};
+use crate::proto::{
+    ErrorCode, MetricKind, Request, Response, ShardStats, WirePolicy, MAX_ELEMENTS, MAX_NAME,
+    MAX_SHARDS,
+};
+use crate::shard::{agg_error, error, shard_index, Edit, Session, Shard};
+use bucketrank_aggregate::dynamic::{DynamicSnapshot, VoterId};
+use bucketrank_aggregate::AggregateError;
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::prepared::{
     fhaus_x2_prepared, fprof_x2_prepared, khaus_x2_prepared, kprof_x2_prepared, PreparedRanking,
 };
 use bucketrank_metrics::MetricsError;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::io;
+use std::path::PathBuf;
+use std::sync::Arc;
 
-/// One named session: the live engine plus its published read view.
-struct Session {
-    /// Edit path: owned exclusively by one writer at a time.
-    profile: Mutex<DynamicProfile>,
-    /// Read path: the snapshot at the last successful edit (`None`
-    /// while the session has no live voters).
-    snap: RwLock<Option<Arc<DynamicSnapshot>>>,
+/// Default shard count when none is configured.
+pub const DEFAULT_SHARDS: usize = 4;
+
+/// Default compaction threshold: WAL records appended to a shard
+/// before it checkpoints its sessions and truncates the log.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 1024;
+
+/// Construction-time configuration for a [`Service`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards (`1..=`[`MAX_SHARDS`]). The session-name →
+    /// shard map is a stable hash, so a durable data directory must be
+    /// reopened with the shard count it was created with.
+    pub shards: usize,
+    /// Global resident-session budget, distributed evenly: each shard
+    /// admits at most `ceil(max_sessions / shards)` resident sessions.
+    /// Memory-only services refuse creates beyond the cap; durable
+    /// services evict the least-recently-used session to disk instead.
+    pub max_sessions: usize,
+    /// Root of the durable state (one `shard-<i>/` subdirectory per
+    /// shard). `None` runs memory-only: no WAL, no checkpoints, no
+    /// eviction.
+    pub data_dir: Option<PathBuf>,
+    /// Per-shard compaction threshold (clamped to ≥ 1).
+    pub checkpoint_every: u64,
 }
 
-impl Session {
-    fn new(n: usize, policy: MedianPolicy) -> Self {
-        Session {
-            profile: Mutex::new(DynamicProfile::new(n, policy)),
-            snap: RwLock::new(None),
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            shards: DEFAULT_SHARDS,
+            max_sessions: 1024,
+            data_dir: None,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
         }
-    }
-
-    /// Republishes the snapshot after an edit (called with the edit
-    /// mutex held, so publications are ordered with the edits).
-    fn publish(&self, dp: &DynamicProfile) {
-        let fresh = dp.snapshot().ok().map(Arc::new);
-        *self.snap.write().expect("snapshot lock") = fresh;
-    }
-
-    /// The published read view, if any voter is live.
-    fn read_view(&self) -> Option<Arc<DynamicSnapshot>> {
-        self.snap.read().expect("snapshot lock").clone()
     }
 }
 
 /// The shared, thread-safe handler state; see the [module docs](self).
 pub struct Service {
-    sessions: RwLock<HashMap<String, Arc<Session>>>,
-    max_sessions: usize,
+    shards: Vec<Shard>,
 }
 
-fn agg_error(e: &AggregateError) -> Response {
-    let code = match e {
-        AggregateError::NoInputs => ErrorCode::NoVoters,
-        AggregateError::DomainMismatch { .. } => ErrorCode::DomainMismatch,
-        AggregateError::InvalidK { .. } => ErrorCode::InvalidK,
-        AggregateError::UnknownVoter { .. } => ErrorCode::UnknownVoter,
-        AggregateError::TooManyVoters { .. } => ErrorCode::TooManyVoters,
-        _ => ErrorCode::BadRequest,
-    };
-    Response::Error {
-        code,
-        message: e.to_string(),
-    }
-}
+/// A connection's one-slot session cache: name, the owning shard's
+/// lifecycle epoch at fill time, and the resolved session. A hit is
+/// honored only while the epoch is unchanged, so a cached entry can
+/// never outlive an eviction, fault-in, create or drop of any session
+/// on that shard.
+pub(crate) type SessionCache = Option<(String, u64, Arc<Session>)>;
 
 fn metrics_error(e: &MetricsError) -> Response {
     let code = match e {
@@ -92,34 +103,78 @@ fn metrics_error(e: &MetricsError) -> Response {
     }
 }
 
-fn error(code: ErrorCode, message: impl Into<String>) -> Response {
-    Response::Error {
-        code,
-        message: message.into(),
-    }
-}
-
 impl Service {
-    /// An empty registry holding at most `max_sessions` sessions.
+    /// An empty memory-only registry holding at most `max_sessions`
+    /// sessions across [`DEFAULT_SHARDS`] shards.
     pub fn new(max_sessions: usize) -> Self {
-        Service {
-            sessions: RwLock::new(HashMap::new()),
+        Service::with_config(ServiceConfig {
             max_sessions,
+            ..ServiceConfig::default()
+        })
+        .expect("memory-only service construction is infallible")
+    }
+
+    /// Builds a service from `cfg`, recovering durable state from
+    /// `cfg.data_dir` when set: checkpoints load, each shard's WAL
+    /// valid prefix replays, corruption is truncated at the first
+    /// fault, and the logs restart compacted — every edit acknowledged
+    /// by the prior process is visible, and nothing past a fault is.
+    ///
+    /// # Errors
+    /// Invalid configuration (shard count out of `1..=`[`MAX_SHARDS`],
+    /// zero `max_sessions`, reopening a data directory with a
+    /// different shard count) and real I/O failures. Corrupt durable
+    /// *records* are never errors — they are typed, logged and
+    /// truncated.
+    pub fn with_config(cfg: ServiceConfig) -> io::Result<Self> {
+        if cfg.shards == 0 || cfg.shards > MAX_SHARDS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("shard count must be 1..={MAX_SHARDS}, got {}", cfg.shards),
+            ));
         }
+        if cfg.max_sessions == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "max_sessions must be at least 1",
+            ));
+        }
+        let cap = cfg.max_sessions.div_ceil(cfg.shards);
+        let mut shards = Vec::with_capacity(cfg.shards);
+        match &cfg.data_dir {
+            None => {
+                for _ in 0..cfg.shards {
+                    shards.push(Shard::new(cap, cfg.max_sessions));
+                }
+            }
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                check_meta(dir, cfg.shards)?;
+                for i in 0..cfg.shards {
+                    shards.push(Shard::open(
+                        cap,
+                        cfg.max_sessions,
+                        dir.join(format!("shard-{i}")),
+                        cfg.checkpoint_every,
+                    )?);
+                }
+            }
+        }
+        Ok(Service { shards })
     }
 
-    /// Number of live sessions.
+    /// Number of resident sessions across all shards.
     pub fn sessions(&self) -> usize {
-        self.sessions.read().expect("session lock").len()
+        self.shards.iter().map(Shard::resident).sum()
     }
 
-    fn get(&self, name: &str) -> Result<Arc<Session>, Response> {
-        self.sessions
-            .read()
-            .expect("session lock")
-            .get(name)
-            .cloned()
-            .ok_or_else(|| error(ErrorCode::UnknownSession, format!("no session named {name:?}")))
+    /// One stats row per shard.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards.iter().map(Shard::stats).collect()
+    }
+
+    fn shard_for(&self, name: &str) -> &Shard {
+        &self.shards[shard_index(name, self.shards.len())]
     }
 
     /// Handles one request to completion. Total: every outcome is a
@@ -133,9 +188,9 @@ impl Service {
     /// Handles a batch of requests in order, answering each with its
     /// own typed [`Response`] — one sub-reply per sub-request, a
     /// failure mid-batch never aborts the ops after it. The session
-    /// lookup is amortized across consecutive ops on the same session
-    /// (the common case for pipelined edit streams), so a batch of K
-    /// edits pays one registry read, not K.
+    /// lookup is amortized across consecutive reads of the same
+    /// session (the common case for pipelined streams), so a batch of
+    /// K reads pays one registry resolve, not K.
     ///
     /// [`Request::Shutdown`] is **not** a batch operation: inside a
     /// batch it answers a typed [`ErrorCode::BadRequest`] error and
@@ -155,13 +210,16 @@ impl Service {
             .collect()
     }
 
-    /// One request against a one-slot session cache. The cache maps a
-    /// session name to its resolved [`Session`] and is invalidated by
-    /// the lifecycle ops (create/drop), so a cached hit always serves
-    /// exactly what an uncached registry read would.
-    fn handle_cached(&self, req: Request, cache: &mut Option<(String, Arc<Session>)>) -> Response {
+    /// One request against a one-slot session cache (reads and
+    /// pairwise metrics only — edits and lifecycle ops always resolve
+    /// under the shard mutex, because the durable path must observe
+    /// evictions). Hits are epoch-validated; see [`SessionCache`].
+    fn handle_cached(&self, req: Request, cache: &mut SessionCache) -> Response {
         match req {
             Request::Ping => Response::Pong,
+            Request::Stats => Response::Stats {
+                shards: self.stats(),
+            },
             Request::Shutdown => Response::ShutdownAck,
             Request::CreateSession { name, n, policy } => {
                 *cache = None;
@@ -169,24 +227,21 @@ impl Service {
             }
             Request::DropSession { name } => {
                 *cache = None;
-                self.drop_session(&name)
+                self.shard_for(&name).drop_session(&name)
             }
-            Request::PushVoter { session, ranking } => self.edit(&session, cache, |dp| {
-                dp.push_voter(ranking)
-                    .map(|id| Response::VoterPushed { voter: id.raw() })
-            }),
-            Request::RemoveVoter { session, voter } => self.edit(&session, cache, |dp| {
-                dp.remove_voter(VoterId::from_raw(voter))
-                    .map(|_| Response::VoterRemoved)
-            }),
+            Request::PushVoter { session, ranking } => self
+                .shard_for(&session)
+                .edit(&session, Edit::Push { ranking }),
+            Request::RemoveVoter { session, voter } => self
+                .shard_for(&session)
+                .edit(&session, Edit::Remove { voter }),
             Request::ReplaceVoter {
                 session,
                 voter,
                 ranking,
-            } => self.edit(&session, cache, |dp| {
-                dp.replace_voter(VoterId::from_raw(voter), ranking)
-                    .map(|_| Response::VoterReplaced)
-            }),
+            } => self
+                .shard_for(&session)
+                .edit(&session, Edit::Replace { voter, ranking }),
             Request::MedianOrder { session } => {
                 self.read(&session, cache, |snap| Ok(Response::Ranking {
                     order: snap.median_order(),
@@ -211,19 +266,20 @@ impl Service {
     }
 
     /// Resolves a session through the one-slot cache, filling it on
-    /// miss.
-    fn resolve(
-        &self,
-        name: &str,
-        cache: &mut Option<(String, Arc<Session>)>,
-    ) -> Result<Arc<Session>, Response> {
-        if let Some((cached, session)) = cache {
-            if cached == name {
+    /// miss or on a stale epoch. The epoch is sampled **before** the
+    /// registry resolve, so a lifecycle change racing the fill leaves
+    /// the cached entry already-stale rather than wrongly fresh.
+    fn resolve(&self, name: &str, cache: &mut SessionCache) -> Result<Arc<Session>, Response> {
+        let shard = self.shard_for(name);
+        if let Some((cached, epoch, session)) = cache {
+            if cached == name && *epoch == shard.epoch() {
+                shard.touch(session);
                 return Ok(Arc::clone(session));
             }
         }
-        let session = self.get(name)?;
-        *cache = Some((name.to_owned(), Arc::clone(&session)));
+        let epoch = shard.epoch();
+        let session = shard.resolve(name)?;
+        *cache = Some((name.to_owned(), epoch, Arc::clone(&session)));
         Ok(session)
     }
 
@@ -240,55 +296,7 @@ impl Service {
                 format!("domain of {n} elements exceeds {MAX_ELEMENTS}"),
             );
         }
-        let policy = match policy {
-            WirePolicy::Lower => MedianPolicy::Lower,
-            WirePolicy::Upper => MedianPolicy::Upper,
-        };
-        let mut sessions = self.sessions.write().expect("session lock");
-        if sessions.contains_key(name) {
-            return error(
-                ErrorCode::SessionExists,
-                format!("session {name:?} already exists"),
-            );
-        }
-        if sessions.len() >= self.max_sessions {
-            return error(
-                ErrorCode::BadRequest,
-                format!("server is at its {}-session capacity", self.max_sessions),
-            );
-        }
-        sessions.insert(name.to_owned(), Arc::new(Session::new(n, policy)));
-        Response::SessionCreated
-    }
-
-    fn drop_session(&self, name: &str) -> Response {
-        match self.sessions.write().expect("session lock").remove(name) {
-            Some(_) => Response::SessionDropped,
-            None => error(ErrorCode::UnknownSession, format!("no session named {name:?}")),
-        }
-    }
-
-    /// Runs one edit under the session's edit mutex and republishes
-    /// the snapshot on success; failed edits leave both the engine and
-    /// the published view untouched (the engine's own guarantee).
-    fn edit(
-        &self,
-        name: &str,
-        cache: &mut Option<(String, Arc<Session>)>,
-        op: impl FnOnce(&mut DynamicProfile) -> Result<Response, AggregateError>,
-    ) -> Response {
-        let session = match self.resolve(name, cache) {
-            Ok(s) => s,
-            Err(resp) => return resp,
-        };
-        let mut dp = session.profile.lock().expect("edit lock");
-        match op(&mut dp) {
-            Ok(resp) => {
-                session.publish(&dp);
-                resp
-            }
-            Err(e) => agg_error(&e),
-        }
+        self.shard_for(name).create(name, n, policy)
     }
 
     /// Serves one read from the published snapshot — the edit mutex is
@@ -296,7 +304,7 @@ impl Service {
     fn read(
         &self,
         name: &str,
-        cache: &mut Option<(String, Arc<Session>)>,
+        cache: &mut SessionCache,
         op: impl FnOnce(&DynamicSnapshot) -> Result<Response, AggregateError>,
     ) -> Response {
         let session = match self.resolve(name, cache) {
@@ -318,7 +326,7 @@ impl Service {
     fn pair_metric(
         &self,
         name: &str,
-        cache: &mut Option<(String, Arc<Session>)>,
+        cache: &mut SessionCache,
         metric: MetricKind,
         voter_a: u64,
         voter_b: u64,
@@ -356,9 +364,45 @@ impl Service {
     }
 }
 
+/// Refuses to reopen a data directory with a different shard count
+/// than it was created with (the name→shard hash would scatter the
+/// durable records); records the count on first open.
+fn check_meta(dir: &std::path::Path, shards: usize) -> io::Result<()> {
+    let meta = dir.join("meta");
+    match std::fs::read_to_string(&meta) {
+        Ok(text) => {
+            let recorded: usize = text
+                .trim()
+                .strip_prefix("shards=")
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("unreadable shard meta file {}", meta.display()),
+                    )
+                })?;
+            if recorded != shards {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "data dir was created with {recorded} shards but was opened with {shards}"
+                    ),
+                ));
+            }
+            Ok(())
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => {
+            crate::wal::write_atomic(&meta, format!("shards={shards}\n").as_bytes())
+        }
+        Err(e) => Err(e),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bucketrank_aggregate::dynamic::DynamicProfile;
+    use bucketrank_aggregate::MedianPolicy;
 
     fn keys(k: &[i64]) -> BucketOrder {
         BucketOrder::from_keys(k)
@@ -548,7 +592,14 @@ mod tests {
 
     #[test]
     fn session_capacity_is_enforced() {
-        let svc = Service::new(1);
+        // One shard so the global budget is exact; memory-only, so the
+        // cap refuses (durable services would evict instead).
+        let svc = Service::with_config(ServiceConfig {
+            shards: 1,
+            max_sessions: 1,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
         assert_eq!(
             svc.handle(Request::CreateSession {
                 name: "a".into(),
@@ -568,6 +619,100 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn invalid_configs_are_refused() {
+        for cfg in [
+            ServiceConfig {
+                shards: 0,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                shards: MAX_SHARDS + 1,
+                ..ServiceConfig::default()
+            },
+            ServiceConfig {
+                max_sessions: 0,
+                ..ServiceConfig::default()
+            },
+        ] {
+            assert!(Service::with_config(cfg).is_err());
+        }
+    }
+
+    #[test]
+    fn stats_report_one_row_per_shard() {
+        let svc = with_session(3);
+        let rows = match svc.handle(Request::Stats) {
+            Response::Stats { shards } => shards,
+            other => panic!("expected stats, got {other:?}"),
+        };
+        assert_eq!(rows.len(), DEFAULT_SHARDS);
+        assert_eq!(rows.iter().map(|r| r.sessions).sum::<u64>(), 1);
+        // Memory-only: no durability activity at all.
+        assert!(rows.iter().all(|r| r.wal_records == 0
+            && r.wal_bytes == 0
+            && r.checkpoints == 0
+            && r.evictions == 0
+            && r.recoveries == 0));
+    }
+
+    /// End-to-end durability smoke at the service layer: acknowledged
+    /// edits survive a drop-and-reopen (no checkpoint ever fires —
+    /// recovery is pure WAL replay), and reopening with a different
+    /// shard count is refused.
+    #[test]
+    fn durable_sessions_survive_reopen() {
+        let dir = std::env::temp_dir().join(format!("brsvc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = || ServiceConfig {
+            shards: 2,
+            max_sessions: 8,
+            data_dir: Some(dir.clone()),
+            checkpoint_every: 1_000_000,
+        };
+        let expected;
+        {
+            let svc = Service::with_config(cfg()).unwrap();
+            assert_eq!(
+                svc.handle(Request::CreateSession {
+                    name: "s".into(),
+                    n: 3,
+                    policy: WirePolicy::Lower,
+                }),
+                Response::SessionCreated
+            );
+            for r in [keys(&[1, 2, 3]), keys(&[3, 2, 1]), keys(&[2, 1, 3])] {
+                assert!(matches!(
+                    svc.handle(Request::PushVoter {
+                        session: "s".into(),
+                        ranking: r,
+                    }),
+                    Response::VoterPushed { .. }
+                ));
+            }
+            expected = svc.handle(Request::MedianOrder { session: "s".into() });
+            assert!(matches!(expected, Response::Ranking { .. }));
+        }
+        {
+            let svc = Service::with_config(cfg()).unwrap();
+            assert_eq!(svc.handle(Request::MedianOrder { session: "s".into() }), expected);
+            // Voter ids continue from the recovered next_id.
+            assert!(matches!(
+                svc.handle(Request::PushVoter {
+                    session: "s".into(),
+                    ranking: keys(&[1, 1, 2]),
+                }),
+                Response::VoterPushed { voter: 3 }
+            ));
+            assert!(Service::with_config(ServiceConfig {
+                shards: 3,
+                ..cfg()
+            })
+            .is_err());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -66,6 +66,19 @@ echo "==> protocol v2 pipelining conformance (256 cases per property)"
 # order, at every tested depth.
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_pipeline
 
+echo "==> crash-recovery differential suite (128 cases per property)"
+# Random edit scripts against a durable server, hard-dropped at random
+# edit boundaries and torn mid-record WAL offsets, restarted from
+# --data-dir: replies must be byte-identical to an in-process mirror
+# holding exactly the acknowledged prefix. (WAL-record fuzzing runs at
+# 256 cases inside the proto_fuzz suite above.)
+BUCKETRANK_PT_CASES=128 cargo test -q --offline -p bucketrank --test server_recovery
+
+echo "==> session LRU + per-shard counter aggregation suite"
+# The LRU property (cap never exceeded, exact-LRU victims, fault-back
+# state identity) plus the concurrent counter regression test.
+cargo test -q --offline -p bucketrank --test service_lru
+
 # The soak (thousands of mostly-idle connections against the readiness
 # loop, bounded-thread and clean-drain assertions) is ignored by
 # default; opt in with BUCKETRANK_CI_HEAVY=1. Size it with
@@ -73,8 +86,10 @@ BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_pipe
 if [ "${BUCKETRANK_CI_HEAVY:-0}" = "1" ]; then
   echo "==> readiness-loop soak (heavy lane, BUCKETRANK_SOAK_CONNS=${BUCKETRANK_SOAK_CONNS:-5000})"
   cargo test -q --release --offline -p bucketrank --test server_soak -- --ignored
+  echo "==> crash-at-torn-offset matrix (heavy lane: every byte offset of every WAL)"
+  cargo test -q --release --offline -p bucketrank --test server_recovery -- --ignored
 else
-  echo "==> readiness-loop soak: skipped (set BUCKETRANK_CI_HEAVY=1 to run)"
+  echo "==> readiness-loop soak + torn-offset matrix: skipped (set BUCKETRANK_CI_HEAVY=1 to run)"
 fi
 
 echo "==> bench_batch_prepared smoke gate"
