@@ -257,6 +257,9 @@ impl Shard {
         checkpoint_every: u64,
     ) -> io::Result<Shard> {
         fs::create_dir_all(&dir)?;
+        // Make the shard directory's own entry durable; the files
+        // inside sync their entries as they are created/renamed.
+        wal::sync_dir(&dir)?;
         // A tmp file is a checkpoint whose rename never happened —
         // dead by construction.
         let mut ckpts: Vec<(u64, PathBuf)> = Vec::new();
@@ -330,9 +333,26 @@ impl Shard {
         // without applying anything further — at the first record that
         // is torn, corrupt, or inconsistent with the rebuilt state.
         let wal_path = dir.join("wal.log");
+        let wal_len = fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
         let scan = wal::scan_file(&wal_path)?;
-        let mut replay_fault: Option<WalError> = scan.corruption;
-        'replay: for rec in scan.records {
+        // A dropped session's checkpoint file is deleted the moment its
+        // Drop record is acknowledged, so the log can hold edit records
+        // for a session with no surviving anchor (compact, edit, drop:
+        // the edits are in the log, the checkpoint is gone). The Drop
+        // record that follows them proves their effects are
+        // unobservable — map each name to its last drop seq so replay
+        // skips those records instead of faulting and discarding every
+        // acknowledged record after them.
+        let mut drop_horizon: HashMap<String, u64> = HashMap::new();
+        for rec in &scan.records {
+            if let WalOp::Drop { name } = &rec.op {
+                drop_horizon.insert(name.clone(), rec.seq);
+            }
+        }
+        let total_records = scan.records.len();
+        let mut fault_at: Option<usize> = None;
+        let mut replay_fault: Option<WalError> = None;
+        'replay: for (idx, rec) in scan.records.into_iter().enumerate() {
             seq = seq.max(rec.seq);
             let name = rec.op.session().to_owned();
             match rec.op {
@@ -340,6 +360,7 @@ impl Shard {
                     Some(r) if rec.seq <= r.last_seq => {}
                     Some(_) => {
                         replay_fault = Some(WalError::DuplicateCreate { seq: rec.seq, name });
+                        fault_at = Some(idx);
                         break 'replay;
                     }
                     None => {
@@ -366,7 +387,15 @@ impl Shard {
                 }
                 op => {
                     let Some(r) = sessions.get_mut(&name) else {
+                        if drop_horizon.get(&name).is_some_and(|&d| rec.seq < d) {
+                            // The session these edits built was dropped
+                            // later in this same log (which is why its
+                            // checkpoint anchor is gone): every effect
+                            // is unobservable, skipping is exact.
+                            continue;
+                        }
                         replay_fault = Some(WalError::UnknownSession { seq: rec.seq, name });
+                        fault_at = Some(idx);
                         break 'replay;
                     };
                     if rec.seq <= r.last_seq {
@@ -417,17 +446,41 @@ impl Shard {
                         Ok(()) => r.last_seq = rec.seq,
                         Err(e) => {
                             replay_fault = Some(e);
+                            fault_at = Some(idx);
                             break 'replay;
                         }
                     }
                 }
             }
         }
-        // Surface the fault for operators without failing startup; the
-        // valid prefix stands and the compaction below discards the
-        // corrupt suffix permanently.
+        if replay_fault.is_none() {
+            replay_fault = scan.corruption;
+        }
+        // Surface the fault for operators without failing startup: the
+        // valid prefix stands, and the compaction below resets the log.
+        // A torn tail is the expected residue of a crash mid-append (the
+        // partial record was never acknowledged, nothing is lost); any
+        // other fault discards a suffix that may hold acknowledged
+        // records, so the whole log is preserved for post-mortem before
+        // compaction truncates it.
         if let Some(fault) = &replay_fault {
-            eprintln!("bucketrank-server: WAL recovery truncated at a fault: {fault}");
+            let unapplied = fault_at.map_or(0, |i| total_records - i);
+            let tail_bytes = wal_len.saturating_sub(scan.valid_len);
+            let benign_tear = matches!(fault, WalError::TornTail { .. }) && unapplied == 0;
+            let preserved = if benign_tear {
+                None
+            } else {
+                wal::preserve_corrupt(&wal_path)
+            };
+            let kept = match &preserved {
+                Some(p) => format!("; log preserved at {}", p.display()),
+                None if benign_tear => String::new(),
+                None => "; log could NOT be preserved".to_owned(),
+            };
+            eprintln!(
+                "bucketrank-server: WAL recovery truncated at a fault: {fault} \
+                 ({unapplied} decoded records and {tail_bytes} trailing bytes discarded{kept})"
+            );
         }
 
         let shard = Shard {
@@ -487,6 +540,23 @@ impl Shard {
         }
         shard.counters.recoveries.store(recovered, Ordering::Relaxed);
         Ok(shard)
+    }
+
+    /// The capacity rejection. The budget is enforced per shard — the
+    /// global `max_sessions` is split `ceil(max_sessions / shards)`
+    /// ways by the stable name hash — so the message quotes both the
+    /// shard's share and the configured budget rather than implying a
+    /// single global counter.
+    fn capacity_message(&self) -> String {
+        if self.cap == self.global_cap {
+            format!("server is at its {}-session capacity", self.global_cap)
+        } else {
+            format!(
+                "session shard is at its {}-session share of the {}-session budget \
+                 (the budget is split per shard by the session-name hash)",
+                self.cap, self.global_cap
+            )
+        }
     }
 
     /// The lifecycle epoch; cached `Arc<Session>`s are valid while it
@@ -554,16 +624,10 @@ impl Shard {
                         return io_response("eviction checkpoint failed", &e);
                     }
                 } else {
-                    return error(
-                        ErrorCode::BadRequest,
-                        format!("server is at its {}-session capacity", self.global_cap),
-                    );
+                    return error(ErrorCode::BadRequest, self.capacity_message());
                 }
             } else {
-                return error(
-                    ErrorCode::BadRequest,
-                    format!("server is at its {}-session capacity", self.global_cap),
-                );
+                return error(ErrorCode::BadRequest, self.capacity_message());
             }
         }
         let mut last_seq = 0;
@@ -623,8 +687,19 @@ impl Shard {
                 Slot::Evicted { ckpt } => Some(*ckpt),
             };
             if let (Some(ck), Some(dur)) = (ckpt, st.dur.as_ref()) {
-                // Best effort: a survivor is superseded by the Drop
-                // record until compaction's orphan sweep removes it.
+                // Safe to delete eagerly: the synced Drop record above
+                // both supersedes the checkpoint (a crash before this
+                // delete replays the checkpoint, then drops it) and
+                // anchors any pre-drop edit records still in the log
+                // (replay skips edits that precede a later Drop, so
+                // losing the checkpoint cannot fault the recovery of
+                // sessions logged after this one). Deleting here — not
+                // in compaction's orphan sweep — also closes the window
+                // where a crash between WAL truncation and the sweep
+                // would resurrect the dropped session from its
+                // leftover checkpoint. Best effort regardless: a
+                // survivor is superseded by the Drop record until the
+                // sweep removes it.
                 let _ = fs::remove_file(ckpt_file(&dur.dir, ck.id));
             }
         }

@@ -15,7 +15,12 @@
 //! 802.3, the zlib polynomial) covers the body only. One record is
 //! appended — and the file flushed — per **acknowledged** edit, before
 //! the reply is sent, so the recovery invariant is *acknowledged ⇒
-//! replayed*. Failed edits write nothing.
+//! replayed*. Failed edits write nothing. The claim covers **system**
+//! crashes, not just process kills: record appends `fdatasync` the log
+//! before the reply, and every create/rename on the durability path
+//! (log creation, checkpoint renames, the shard meta file) syncs its
+//! parent directory, so neither file contents nor the directory
+//! entries naming them can be lost to power failure once acknowledged.
 //!
 //! Ops mirror the canonical edit set of the service:
 //!
@@ -479,13 +484,16 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Opens (creating if absent) the WAL at `path` for appending.
+    /// Opens (creating if absent) the WAL at `path` for appending. The
+    /// parent directory is synced so a just-created log's directory
+    /// entry is durable before any record is acknowledged against it.
     ///
     /// # Errors
     /// Any I/O failure.
     pub fn open(path: &Path) -> io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         let bytes = file.metadata()?.len();
+        sync_dir(path)?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -633,9 +641,28 @@ impl Checkpoint {
     }
 }
 
+/// Syncs the directory containing `path`. Fsyncing a file persists its
+/// contents, not the directory entry naming it: after a rename or a
+/// file creation the entry itself must be synced, or an OS crash or
+/// power loss can forget the file existed even though its data was
+/// durable. Every rename/create on the durability path goes through
+/// this, which is what extends the "acknowledged ⇒ on disk" guarantee
+/// from process crashes to system crashes.
+///
+/// # Errors
+/// Any I/O failure.
+pub(crate) fn sync_dir(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => File::open(parent)?.sync_all(),
+        _ => File::open(".")?.sync_all(),
+    }
+}
+
 /// Writes `bytes` to `path` atomically: tmp file in the same
-/// directory, data sync, rename over the target. A crash at any point
-/// leaves either the old file or the new one, never a torn mix.
+/// directory, data sync, rename over the target, directory sync. A
+/// crash at any point — including an OS crash after the rename —
+/// leaves either the old file or the new one, never a torn mix and
+/// never a forgotten rename.
 ///
 /// # Errors
 /// Any I/O failure.
@@ -646,7 +673,35 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         f.write_all(bytes)?;
         f.sync_data()?;
     }
-    fs::rename(&tmp, path)
+    fs::rename(&tmp, path)?;
+    sync_dir(path)
+}
+
+/// Sets a faulted WAL aside as `<name>.corrupt-<secs>-<k>` in the same
+/// directory so the discarded suffix stays available for post-mortem
+/// (recovery would otherwise truncate it permanently); the caller
+/// reopens a fresh, empty log afterwards. Best effort: returns the
+/// preserved path, or `None` when the rename failed — recovery
+/// proceeds either way.
+pub fn preserve_corrupt(path: &Path) -> Option<PathBuf> {
+    let name = path.file_name()?.to_str()?;
+    let parent = path.parent()?;
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    for k in 0..16u32 {
+        let dst = parent.join(format!("{name}.corrupt-{secs}-{k}"));
+        if dst.exists() {
+            continue;
+        }
+        if fs::rename(path, &dst).is_ok() {
+            let _ = sync_dir(path);
+            return Some(dst);
+        }
+        return None;
+    }
+    None
 }
 
 #[cfg(test)]

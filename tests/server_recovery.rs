@@ -513,6 +513,173 @@ fn corrupt_wal_record_truncates_recovery_at_the_fault() {
     });
 }
 
+/// The reviewer-found drop-anchor regression: after a compaction, edit
+/// a session, drop it (which deletes its checkpoint — the only anchor
+/// the pre-drop edit record had), then create and edit a *different*
+/// session and crash. Replay must skip the unanchorable pre-drop edit
+/// (its later Drop record proves it unobservable) instead of faulting
+/// and discarding the second session's acknowledged records.
+#[test]
+fn drop_after_compaction_edit_does_not_fault_later_sessions() {
+    let tmp = TempDir::new("drop-anchor");
+    let cfg = || ServiceConfig {
+        shards: 1,
+        max_sessions: 64,
+        data_dir: Some(tmp.0.clone()),
+        checkpoint_every: 5,
+    };
+    let keys = |k: &[i64]| BucketOrder::from_keys(k);
+    let t_ranking = keys(&[2, 1, 3]);
+    {
+        let svc = Service::with_config(cfg()).expect("open");
+        assert_eq!(
+            svc.handle(Request::CreateSession {
+                name: "s".into(),
+                n: 3,
+                policy: WirePolicy::Lower,
+            }),
+            Response::SessionCreated
+        );
+        // Records 2..=5: the 4th push makes since_compact hit 5, so the
+        // shard compacts — checkpoint for "s" current, WAL empty.
+        for _ in 0..4 {
+            assert!(matches!(
+                svc.handle(Request::PushVoter {
+                    session: "s".into(),
+                    ranking: keys(&[1, 2, 3]),
+                }),
+                Response::VoterPushed { .. }
+            ));
+        }
+        // Post-compaction: edit "s" (in the WAL, anchored only by the
+        // checkpoint), drop "s" (checkpoint deleted), then create and
+        // edit "t" — all acknowledged, none compacted.
+        assert!(matches!(
+            svc.handle(Request::PushVoter {
+                session: "s".into(),
+                ranking: keys(&[3, 2, 1]),
+            }),
+            Response::VoterPushed { .. }
+        ));
+        assert_eq!(
+            svc.handle(Request::DropSession { name: "s".into() }),
+            Response::SessionDropped
+        );
+        assert_eq!(
+            svc.handle(Request::CreateSession {
+                name: "t".into(),
+                n: 3,
+                policy: WirePolicy::Lower,
+            }),
+            Response::SessionCreated
+        );
+        assert_eq!(
+            svc.handle(Request::PushVoter {
+                session: "t".into(),
+                ranking: t_ranking.clone(),
+            }),
+            Response::VoterPushed { voter: 0 }
+        );
+        // Hard drop: no checkpoint fires for "t" before the crash.
+    }
+    let svc = Service::with_config(cfg()).expect("recovery must survive the dropped anchor");
+    // "t" and its acknowledged edit survived the crash.
+    assert_eq!(
+        svc.handle(Request::MedianOrder { session: "t".into() }),
+        Response::Ranking {
+            order: t_ranking.clone()
+        }
+    );
+    // Voter ids continue exactly where the pre-crash process stopped.
+    assert_eq!(
+        svc.handle(Request::PushVoter {
+            session: "t".into(),
+            ranking: t_ranking,
+        }),
+        Response::VoterPushed { voter: 1 }
+    );
+    // The dropped session stayed dropped (no resurrection from any
+    // leftover checkpoint or skipped record).
+    assert!(matches!(
+        svc.handle(Request::MedianOrder { session: "s".into() }),
+        Response::Error {
+            code: ErrorCode::UnknownSession,
+            ..
+        }
+    ));
+}
+
+/// Files named `wal.log.corrupt-*` in a shard directory.
+fn preserved_logs(shard_dir: &Path) -> Vec<PathBuf> {
+    std::fs::read_dir(shard_dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|s| s.to_str())
+                        .is_some_and(|s| s.starts_with("wal.log.corrupt-"))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// A mid-log corruption (here a CRC flip) discards everything after
+/// the fault, so recovery must set the log aside as
+/// `wal.log.corrupt-*` for post-mortem before compaction truncates it;
+/// a pure torn tail — the normal residue of a crash mid-append — must
+/// *not* litter the directory with preserved copies.
+#[test]
+fn corrupt_wal_suffix_is_preserved_for_post_mortem() {
+    let keys = |k: &[i64]| BucketOrder::from_keys(k);
+    let script: Vec<EditOp> = vec![
+        EditOp::Push(keys(&[1, 2, 3])),
+        EditOp::Push(keys(&[3, 2, 1])),
+        EditOp::Push(keys(&[2, 1, 3])),
+    ];
+    let name = "torn";
+
+    // CRC flip in record 1: records 2.. are silently unreachable, so
+    // the log must be preserved.
+    let tmp = TempDir::new("preserve");
+    let acked = run_durable(&tmp.0, name, 3, &script);
+    let shard_dir = tmp.0.join("shard-0");
+    let wal_path = shard_dir.join("wal.log");
+    let mut wal = std::fs::read(&wal_path).expect("read wal");
+    let bounds = record_bounds(&wal);
+    wal[bounds[1] + 4] ^= 1; // CRC byte of record 1: guaranteed BadCrc
+    std::fs::write(&wal_path, &wal).expect("corrupt wal");
+    let mirror = mirror_of_prefix(&acked, 1, 3);
+    assert_recovers_prefix(&tmp.0, name, 3, mirror.as_ref());
+    let kept = preserved_logs(&shard_dir);
+    assert_eq!(
+        kept.len(),
+        1,
+        "a mid-log corruption must preserve the log: {kept:?}"
+    );
+    // The preserved copy holds the full pre-corruption byte stream.
+    assert_eq!(std::fs::read(&kept[0]).expect("read preserved"), wal);
+
+    // Torn tail: same script, truncate strictly inside the last
+    // record. Recovery keeps the prefix and preserves nothing.
+    let tmp = TempDir::new("tear-clean");
+    let acked = run_durable(&tmp.0, name, 3, &script);
+    let shard_dir = tmp.0.join("shard-0");
+    let wal_path = shard_dir.join("wal.log");
+    let wal = std::fs::read(&wal_path).expect("read wal");
+    let bounds = record_bounds(&wal);
+    let last = bounds.len() - 2;
+    std::fs::write(&wal_path, &wal[..bounds[last] + 3]).expect("tear wal");
+    let mirror = mirror_of_prefix(&acked, last, 3);
+    assert_recovers_prefix(&tmp.0, name, 3, mirror.as_ref());
+    assert!(
+        preserved_logs(&shard_dir).is_empty(),
+        "a plain torn tail must not be preserved"
+    );
+}
+
 /// The CI heavy lane's exhaustive matrix: for a handful of fixed
 /// scripts, every byte offset of the WAL is used as a truncation
 /// point. `truncate at offset t` keeps exactly the records that fit
