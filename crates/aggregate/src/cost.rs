@@ -5,7 +5,9 @@ use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId, Pos};
 use bucketrank_metrics::batch::BatchMetric;
-use bucketrank_metrics::{footrule, hausdorff, kendall, prepared, MetricsError, PreparedRanking};
+use bucketrank_metrics::{
+    footrule, hausdorff, kendall, prepared, MetricsError, PairArena, PreparedRanking,
+};
 
 /// Which of the paper's four partial-ranking metrics to aggregate under.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -116,6 +118,22 @@ pub fn distance_x2_prepared(
     Ok(scale * bm.prepared(a, b)?)
 }
 
+/// [`distance_x2_prepared`] against a caller-held [`PairArena`]: the
+/// arena-pooled entry the scoring loops use — one arena serves every
+/// pair of a sweep instead of bouncing through thread-local scratch.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn distance_x2_prepared_in(
+    metric: AggMetric,
+    arena: &mut PairArena,
+    a: &PreparedRanking<'_>,
+    b: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let (bm, scale) = metric.batch_metric();
+    Ok(scale * bm.prepared_in(arena, a, b)?)
+}
+
 /// The aggregation objective `2·Σ_i d(candidate, σ_i)` under `metric`.
 ///
 /// The candidate is prepared once and scored against prepared input
@@ -149,9 +167,11 @@ pub fn total_cost_x2_prepared(
     if inputs.is_empty() {
         return Err(AggregateError::NoInputs);
     }
+    // One arena for the whole candidate-vs-profile sweep.
+    let mut arena = PairArena::new();
     let mut total = 0u64;
     for s in inputs {
-        total += distance_x2_prepared(metric, candidate, s)?;
+        total += distance_x2_prepared_in(metric, &mut arena, candidate, s)?;
     }
     Ok(total)
 }
@@ -265,6 +285,13 @@ mod tests {
                 distance_x2_prepared(metric, &pc, &pin[0]).unwrap(),
                 distance_x2(metric, &cand, &inputs[0]).unwrap(),
                 "{} pair",
+                metric.name()
+            );
+            let mut arena = PairArena::new();
+            assert_eq!(
+                distance_x2_prepared_in(metric, &mut arena, &pc, &pin[0]).unwrap(),
+                distance_x2(metric, &cand, &inputs[0]).unwrap(),
+                "{} pair (arena)",
                 metric.name()
             );
         }

@@ -33,8 +33,10 @@
 //! each pair it orders `(a` ahead of `b)`, `+1` to `strict(a, b)` and
 //! `+2` to `w2(a, b)`; for each pair it ties, `+1` to both `w2(a, b)`
 //! and `w2(b, a)`. Pushing applies that signed pass with `+1`, removal
-//! with `−1` on the stored ranking — the same bucket-suffix sweep as
-//! the batch build, so the maintained matrices stay **byte-identical**
+//! with `−1` on the stored ranking — the same branchless comparison
+//! kernel as the batch build (strict wins are `bucket(b) > bucket(a)`
+//! over the contiguous bucket-index map, ties the equality lane), so
+//! the maintained matrices stay **byte-identical**
 //! to `ProfileTally::build` over the live voters (enforced by
 //! `tests/dynamic_vs_rebuild.rs` at every step of random edit scripts).
 //! The invariant `w2(a, b) = m + strict(a, b) − strict(b, a)` holds
@@ -157,60 +159,47 @@ impl DirtyRows {
     }
 }
 
-/// Applies one voter's contribution to the tally matrices with sign
-/// `+1` (`add`) or `−1`: the same bucket-suffix sweep as the batch
-/// build, extended to maintain `w2` alongside `strict`. Subtraction
-/// cannot underflow when retracting a stored contribution: every cell
-/// is a sum over live voters' contributions.
-fn apply_voter(
-    strict: &mut [u32],
-    w2: &mut [u32],
-    n: usize,
-    by_rank: &mut Vec<ElementId>,
-    voter: &BucketOrder,
-    add: bool,
-) {
-    by_rank.clear();
-    for bucket in voter.buckets() {
-        by_rank.extend_from_slice(bucket);
+/// One signed row pass of [`apply_voter`]: for every `b` in the run,
+/// `strict(a, b)` moves by 1 when the voter ranks `b` strictly later
+/// than `a` (`bb > ba`) and `w2(a, b)` by `2·win + tie` — the ×2
+/// weight gains 2 per strict win and 1 per tie, the `p = ½` penalty.
+/// Branchless compare-and-add over zipped slices, the same comparison
+/// formulation as the batch build's kernel, so the maintained matrices
+/// stay **byte-identical** to a fresh [`ProfileTally::build`].
+#[inline]
+fn apply_run(strict: &mut [u32], w2: &mut [u32], bof: &[u32], ba: u32, add: bool) {
+    if add {
+        for ((s, w), &bb) in strict.iter_mut().zip(w2.iter_mut()).zip(bof) {
+            let win = u32::from(bb > ba);
+            *s += win;
+            *w += 2 * win + u32::from(bb == ba);
+        }
+    } else {
+        for ((s, w), &bb) in strict.iter_mut().zip(w2.iter_mut()).zip(bof) {
+            let win = u32::from(bb > ba);
+            *s -= win;
+            *w -= 2 * win + u32::from(bb == ba);
+        }
     }
-    let mut start = 0usize;
-    for bucket in voter.buckets() {
-        let end = start + bucket.len();
-        for &a in bucket {
-            let base = a as usize * n;
-            if add {
-                for &b in &by_rank[end..] {
-                    strict[base + b as usize] += 1;
-                }
-                for &b in &by_rank[end..] {
-                    w2[base + b as usize] += 2;
-                }
-            } else {
-                for &b in &by_rank[end..] {
-                    strict[base + b as usize] -= 1;
-                }
-                for &b in &by_rank[end..] {
-                    w2[base + b as usize] -= 2;
-                }
-            }
-        }
-        // Within-bucket ties contribute 1 to the ×2 weight in both
-        // directions (the p = ½ penalty).
-        for (i, &a) in bucket.iter().enumerate() {
-            for &b in &bucket[i + 1..] {
-                let ab = a as usize * n + b as usize;
-                let ba = b as usize * n + a as usize;
-                if add {
-                    w2[ab] += 1;
-                    w2[ba] += 1;
-                } else {
-                    w2[ab] -= 1;
-                    w2[ba] -= 1;
-                }
-            }
-        }
-        start = end;
+}
+
+/// Applies one voter's contribution to the tally matrices with sign
+/// `+1` (`add`) or `−1`: the same branchless comparison kernel as the
+/// batch build, extended to maintain `w2` alongside `strict`. Each row
+/// is split at the diagonal so the self-pair is never touched (an
+/// element ties itself, which must not count), with the two halves
+/// walked as contiguous zipped slices — no flattened `by_rank` scratch
+/// and no double walk over `voter.buckets()`. Subtraction cannot
+/// underflow when retracting a stored contribution: every cell is a
+/// sum over live voters' contributions.
+fn apply_voter(strict: &mut [u32], w2: &mut [u32], n: usize, voter: &BucketOrder, add: bool) {
+    let bof = voter.bucket_indices();
+    for a in 0..n {
+        let ba = bof[a];
+        let (s_lo, s_rest) = strict[a * n..(a + 1) * n].split_at_mut(a);
+        let (w_lo, w_rest) = w2[a * n..(a + 1) * n].split_at_mut(a);
+        apply_run(s_lo, w_lo, &bof[..a], ba, add);
+        apply_run(&mut s_rest[1..], &mut w_rest[1..], &bof[a + 1..], ba, add);
     }
 }
 
@@ -312,7 +301,6 @@ pub struct DynamicProfile {
     /// Per-element count of stored positions strictly below `med`.
     lt: Vec<u32>,
     dirty: DirtyRows,
-    by_rank: Vec<ElementId>,
 }
 
 impl DynamicProfile {
@@ -335,7 +323,6 @@ impl DynamicProfile {
             med: vec![0; n],
             lt: vec![0; n],
             dirty: DirtyRows::new(n),
-            by_rank: Vec::with_capacity(n),
         }
     }
 
@@ -493,7 +480,7 @@ impl DynamicProfile {
         }
         {
             let (strict, w2) = self.tally.parts_mut();
-            apply_voter(strict, w2, n, &mut self.by_rank, &ranking, true);
+            apply_voter(strict, w2, n, &ranking, true);
         }
         self.tally.set_voters(m + 1);
         let k = self.target_rank(m + 1);
@@ -531,7 +518,7 @@ impl DynamicProfile {
         let m = self.tally.voters();
         {
             let (strict, w2) = self.tally.parts_mut();
-            apply_voter(strict, w2, n, &mut self.by_rank, &ranking, false);
+            apply_voter(strict, w2, n, &ranking, false);
         }
         self.tally.set_voters(m - 1);
         let k = if m > 1 { self.target_rank(m - 1) } else { 0 };
@@ -581,8 +568,8 @@ impl DynamicProfile {
         let m = self.tally.voters();
         {
             let (strict, w2) = self.tally.parts_mut();
-            apply_voter(strict, w2, n, &mut self.by_rank, &old, false);
-            apply_voter(strict, w2, n, &mut self.by_rank, &ranking, true);
+            apply_voter(strict, w2, n, &old, false);
+            apply_voter(strict, w2, n, &ranking, true);
         }
         let k_rm = if m > 1 { self.target_rank(m - 1) } else { 0 };
         let k_ins = self.target_rank(m);

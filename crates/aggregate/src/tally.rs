@@ -35,18 +35,54 @@
 //!
 //! # Build
 //!
-//! The build is one cache-friendly pass per voter over the voter's
-//! rank-sorted domain: for each bucket, every member gains one strict
-//! win over the contiguous suffix of later-bucket elements — sequential
-//! reads, row-local writes, no per-pair method calls. The parallel path
-//! ([`ProfileTally::build_parallel`]) splits voters into contiguous
-//! chunks, accumulates one partial tally per scoped thread, and merges
-//! — the same dependency-free `std::thread::scope` design as
-//! [`metrics::batch`](bucketrank_metrics::batch).
+//! The build streams voters through a tiled, branchless comparison
+//! kernel. A voter's contiguous bucket-index map `bof` (element →
+//! bucket index, [`BucketOrder::bucket_indices`]) turns every strict
+//! preference into a comparison — the voter strictly prefers `a` over
+//! `b` exactly when `bof[b] > bof[a]` — so each matrix row is one
+//! `zip` pass of compare-and-add over two slices: sequential reads,
+//! sequential writes, no data-dependent branches, no bounds checks,
+//! and the compiler autovectorizes the inner loop.
+//!
+//! Voters are split into chunks of at most [`CHUNK_VOTERS`] and each
+//! chunk accumulates into a `u16` partial matrix — half the write
+//! bandwidth of the final `u32` cells on the dominant pass, and safe
+//! from overflow by the chunk bound (see [`CHUNK_VOTERS`]). Rows are
+//! blocked into [`TILE_ROWS`]-row slabs with the voter loop *inside*
+//! the tile loop, so the slab being written stays cache-resident
+//! while a whole chunk streams past. The last partial is widened to
+//! `u32` and the ×2 weight matrix derived in one fused sweep over the
+//! pair triangles — the `w2` derivation costs no extra pass.
+//!
+//! The parallel path ([`ProfileTally::build_parallel`]) splits voters
+//! across scoped threads (clamped to the machine's available
+//! parallelism), each running the same chunked kernel into a private
+//! partial, then merges. DESIGN.md §3.3b documents the
+//! microarchitecture; `tests/tally_conformance.rs` proves the tiled,
+//! narrow-cell build bit-identical to the naive `prefers()` reference,
+//! including chunk-promotion boundaries.
 
 use crate::error::check_inputs;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId};
+
+/// Rows per accumulation tile: the write slab kept cache-hot while a
+/// chunk's voters stream past it. `TILE_ROWS × n` `u16` cells is 16 KB
+/// at `n = 512` — L1-resident alongside one voter's 4·n-byte
+/// bucket-index row on any contemporary core, and still comfortably
+/// L2-resident for domains an order of magnitude wider.
+pub const TILE_ROWS: usize = 16;
+
+/// Most voters accumulated into one `u16` chunk partial.
+///
+/// **Overflow proof for the narrow cells:** a voter increments
+/// `partial[a·n + b]` at most once (the kernel adds
+/// `(bof[b] > bof[a]) as u16`, which is 0 or 1, exactly once per
+/// `(a, b)` per voter), so after a chunk of `c ≤ CHUNK_VOTERS =
+/// u16::MAX` voters every cell is at most `c ≤ u16::MAX`. Partials are
+/// promoted to the `u32` accumulator once per chunk, never read back,
+/// so no wider value ever lands in a `u16` cell.
+pub const CHUNK_VOTERS: usize = u16::MAX as usize;
 
 /// The pairwise-preference tally of a profile; see the [module
 /// docs](self).
@@ -63,25 +99,106 @@ pub struct ProfileTally {
     w2: Vec<u32>,
 }
 
-/// Accumulate one voter into a strict-count matrix: every element of a
-/// bucket beats the contiguous run of later-bucket elements in
-/// `by_rank`. Row-local writes, sequential suffix reads.
-fn accumulate_voter(strict: &mut [u32], n: usize, by_rank: &mut Vec<ElementId>, voter: &BucketOrder) {
-    by_rank.clear();
-    for bucket in voter.buckets() {
-        by_rank.extend_from_slice(bucket);
-    }
-    let mut start = 0usize;
-    for bucket in voter.buckets() {
-        let end = start + bucket.len();
-        for &a in bucket {
-            let row = &mut strict[a as usize * n..a as usize * n + n];
-            for &b in &by_rank[end..] {
-                row[b as usize] += 1;
+/// Accumulates one chunk of voters into a `u16` strict-count partial.
+///
+/// Branchless comparison kernel: `strict(a, b)` gains one exactly when
+/// the voter puts `b` in a strictly later bucket than `a`, so row `a`
+/// is a single zip of the row slab against the voter's contiguous
+/// bucket-index map — the compare-and-add has no data-dependent
+/// control flow and the `zip` elides every bounds check, so it
+/// autovectorizes. The diagonal needs no special case: `bof[a] >
+/// bof[a]` is false, so the cell stays zero.
+///
+/// Tiling: `a`-rows are blocked in [`TILE_ROWS`]-row slabs and the
+/// voter loop runs *inside* the tile loop, so one `TILE_ROWS × n`
+/// `u16` slab absorbs every voter's writes while cache-hot; cold write
+/// traffic per chunk is one matrix, not one matrix per voter.
+///
+/// Overflow: `chunk.len() ≤ CHUNK_VOTERS` and each voter adds at most
+/// one per cell — see the proof on [`CHUNK_VOTERS`].
+fn accumulate_chunk(partial: &mut [u16], n: usize, chunk: &[BucketOrder]) {
+    debug_assert!(chunk.len() <= CHUNK_VOTERS);
+    let mut row0 = 0usize;
+    while row0 < n {
+        let row1 = (row0 + TILE_ROWS).min(n);
+        for voter in chunk {
+            let bof = voter.bucket_indices();
+            for a in row0..row1 {
+                let ba = bof[a];
+                let row = &mut partial[a * n..(a + 1) * n];
+                for (cell, &bb) in row.iter_mut().zip(bof) {
+                    *cell += u16::from(bb > ba);
+                }
             }
         }
-        start = end;
+        row0 = row1;
     }
+}
+
+/// Widens one `u16` chunk partial into the `u32` accumulator — the
+/// promotion path: narrow cells exist only within a chunk and are
+/// summed here exactly, so chunked accumulation is bit-identical to a
+/// single wide pass.
+fn widen_into(acc: &mut [u32], partial: &[u16]) {
+    for (cell, &p) in acc.iter_mut().zip(partial) {
+        *cell += u32::from(p);
+    }
+}
+
+/// Folds the final partial into `strict` and derives the ×2 weights in
+/// the same sweep: each unordered pair's two strict cells are
+/// finalized together and both `w2` triangles written from them
+/// (`w2(a, b) = m + s(a, b) − s(b, a)`), so the `O(n²)` `w2`
+/// derivation is fused into the merge instead of costing a separate
+/// pass over both matrices. Generic over the partial's cell width: the
+/// sequential path feeds the last `u16` chunk, the parallel path the
+/// last worker's `u32` partial.
+fn merge_last_and_derive<C: Copy + Into<u32>>(
+    strict: &mut [u32],
+    w2: &mut [u32],
+    last: &[C],
+    n: usize,
+    m: usize,
+) {
+    debug_assert_eq!(last.len(), n * n);
+    let m32 = m as u32;
+    for a in 0..n {
+        for b in a + 1..n {
+            let ab = a * n + b;
+            let ba = b * n + a;
+            let sab = strict[ab] + last[ab].into();
+            let sba = strict[ba] + last[ba].into();
+            strict[ab] = sab;
+            strict[ba] = sba;
+            w2[ab] = m32 + sab - sba;
+            w2[ba] = m32 + sba - sab;
+        }
+    }
+}
+
+/// The sequential build pass: chunk the voters, accumulate each chunk
+/// in a reused `u16` partial, promote every chunk but the last into
+/// `strict`, and fold the last chunk into the fused `w2` sweep.
+fn accumulate_seq(
+    strict: &mut [u32],
+    w2: &mut [u32],
+    n: usize,
+    inputs: &[BucketOrder],
+    chunk_voters: usize,
+) {
+    let m = inputs.len();
+    let nchunks = m.div_ceil(chunk_voters);
+    let mut partial = vec![0u16; n * n];
+    for (i, chunk) in inputs.chunks(chunk_voters).enumerate() {
+        if i > 0 {
+            partial.fill(0);
+        }
+        accumulate_chunk(&mut partial, n, chunk);
+        if i + 1 < nchunks {
+            widen_into(strict, &partial);
+        }
+    }
+    merge_last_and_derive(strict, w2, &partial, n, m);
 }
 
 impl ProfileTally {
@@ -99,10 +216,19 @@ impl ProfileTally {
     }
 
     /// Builds the tally with up to `threads` scoped worker threads:
-    /// voters are split into contiguous chunks, each thread accumulates
-    /// a private partial tally, and the partials are summed.
+    /// voters are split into contiguous chunks, each thread runs the
+    /// chunked `u16` kernel into a private partial, and the partials
+    /// are merged (the last one fused with the `w2` derivation).
     /// `threads ≤ 1` (or a small profile) falls back to the sequential
     /// pass.
+    ///
+    /// `threads` is clamped to
+    /// [`std::thread::available_parallelism`] before chunking — asking
+    /// for more workers than the machine has cores used to *slow the
+    /// build down* (the oversubscribed partials thrash one core and the
+    /// merge pays for every extra matrix). Benchmarks that need
+    /// fixed-width scaling rows regardless of the host use
+    /// [`ProfileTally::build_parallel_unclamped`].
     ///
     /// # Errors
     /// [`AggregateError::NoInputs`] /
@@ -111,6 +237,23 @@ impl ProfileTally {
     /// # Panics
     /// As [`ProfileTally::build`].
     pub fn build_parallel(inputs: &[BucketOrder], threads: usize) -> Result<Self, AggregateError> {
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::build_parallel_unclamped(inputs, threads.min(avail))
+    }
+
+    /// [`ProfileTally::build_parallel`] without the
+    /// available-parallelism clamp: spawns exactly `min(threads, m)`
+    /// workers even on a narrower machine. This exists for benchmarks
+    /// that measure fixed thread-width scaling rows; library callers
+    /// want the clamped entry point.
+    ///
+    /// # Errors
+    /// # Panics
+    /// As [`ProfileTally::build_parallel`].
+    pub fn build_parallel_unclamped(
+        inputs: &[BucketOrder],
+        threads: usize,
+    ) -> Result<Self, AggregateError> {
         let n = check_inputs(inputs)?;
         let m = inputs.len();
         assert!(
@@ -118,26 +261,26 @@ impl ProfileTally {
             "profile too large for u32 tally cells ({m} voters)"
         );
         let mut strict = vec![0u32; n * n];
-        let threads = threads.min(m);
+        let mut w2 = vec![0u32; n * n];
+        let threads = threads.clamp(1, m);
         if threads <= 1 || m < 4 {
-            let mut by_rank = Vec::with_capacity(n);
-            for voter in inputs {
-                accumulate_voter(&mut strict, n, &mut by_rank, voter);
-            }
+            accumulate_seq(&mut strict, &mut w2, n, inputs, CHUNK_VOTERS);
         } else {
-            let chunk = m.div_ceil(threads);
+            let per = m.div_ceil(threads);
             let mut partials: Vec<Vec<u32>> = Vec::with_capacity(threads);
             std::thread::scope(|scope| {
                 let handles: Vec<_> = inputs
-                    .chunks(chunk)
+                    .chunks(per)
                     .map(|voters| {
                         scope.spawn(move || {
-                            let mut partial = vec![0u32; n * n];
-                            let mut by_rank = Vec::with_capacity(n);
-                            for voter in voters {
-                                accumulate_voter(&mut partial, n, &mut by_rank, voter);
+                            let mut acc = vec![0u32; n * n];
+                            let mut partial = vec![0u16; n * n];
+                            for chunk in voters.chunks(CHUNK_VOTERS) {
+                                partial.fill(0);
+                                accumulate_chunk(&mut partial, n, chunk);
+                                widen_into(&mut acc, &partial);
                             }
-                            partial
+                            acc
                         })
                     })
                     .collect();
@@ -145,24 +288,48 @@ impl ProfileTally {
                     partials.push(h.join().expect("tally worker panicked"));
                 }
             });
-            for partial in partials {
-                for (cell, add) in strict.iter_mut().zip(partial) {
+            // Sum all but the last worker's partial into `strict`, then
+            // fold the last one into the fused w2-derivation sweep.
+            let last = partials.pop().expect("at least one tally worker");
+            for partial in &partials {
+                for (cell, &add) in strict.iter_mut().zip(partial) {
                     *cell += add;
                 }
             }
+            merge_last_and_derive(&mut strict, &mut w2, &last, n, m);
         }
-        // Derive the ×2 weights in one pass over the upper triangle:
-        // w2(a, b) = 2·s(a, b) + ties = m + s(a, b) − s(b, a).
+        Ok(ProfileTally { n, m, strict, w2 })
+    }
+
+    /// Sequential build with an explicit voter-chunk size — the
+    /// conformance hook behind the chunk-boundary differential lane in
+    /// `tests/tally_conformance.rs` (any `chunk_voters` must reproduce
+    /// [`ProfileTally::build`] bit-for-bit). `chunk_voters` is clamped
+    /// to `1..=CHUNK_VOTERS`; library callers want
+    /// [`ProfileTally::build`].
+    ///
+    /// # Errors
+    /// # Panics
+    /// As [`ProfileTally::build`].
+    pub fn build_with_chunk(
+        inputs: &[BucketOrder],
+        chunk_voters: usize,
+    ) -> Result<Self, AggregateError> {
+        let n = check_inputs(inputs)?;
+        let m = inputs.len();
+        assert!(
+            m <= (u32::MAX / 2) as usize,
+            "profile too large for u32 tally cells ({m} voters)"
+        );
+        let mut strict = vec![0u32; n * n];
         let mut w2 = vec![0u32; n * n];
-        let m32 = m as u32;
-        for a in 0..n {
-            for b in a + 1..n {
-                let sab = strict[a * n + b];
-                let sba = strict[b * n + a];
-                w2[a * n + b] = m32 + sab - sba;
-                w2[b * n + a] = m32 + sba - sab;
-            }
-        }
+        accumulate_seq(
+            &mut strict,
+            &mut w2,
+            n,
+            inputs,
+            chunk_voters.clamp(1, CHUNK_VOTERS),
+        );
         Ok(ProfileTally { n, m, strict, w2 })
     }
 
@@ -481,6 +648,18 @@ mod tests {
                 ProfileTally::build_parallel(&inputs, threads).unwrap(),
                 seq,
                 "threads = {threads}"
+            );
+            assert_eq!(
+                ProfileTally::build_parallel_unclamped(&inputs, threads).unwrap(),
+                seq,
+                "unclamped threads = {threads}"
+            );
+        }
+        for chunk in [1usize, 2, 3, 5, 13, 1000] {
+            assert_eq!(
+                ProfileTally::build_with_chunk(&inputs, chunk).unwrap(),
+                seq,
+                "chunk = {chunk}"
             );
         }
     }

@@ -22,16 +22,26 @@
 //!   replacement. It is reported as a scaling trajectory, separate from
 //!   the aggregator regression check.
 //!
+//! Build rows also report **effective bytes/s** — cells touched × cell
+//! width ÷ time — next to the ns figures, and the report carries a
+//! `roofline` section with the machine's measured memcpy bandwidth so
+//! the distance to memory-bound is a number in the trajectory file
+//! (see `bucketrank_bench::roofline` for the byte-counting convention).
+//!
 //! Run with `cargo run --release -p bucketrank-bench --bin
 //! bench_aggregate_tally`. Results go to the perf trajectory file
 //! `BENCH_aggregate.json` (override with `BUCKETRANK_BENCH_OUT`);
 //! `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass on shrunken
-//! shapes.
+//! shapes. Two hard gates run at the 256×512 acceptance shape in both
+//! modes: the single-thread tiled build must hold ≥4× over the naive
+//! scan (always), and the 8-thread build must hold ≥1.5× over
+//! sequential (SKIPped below 8 cores, where threads cannot scale).
 
 use bucketrank_aggregate::cost::{total_cost_x2, AggMetric};
 use bucketrank_aggregate::local::local_kemenize_with_tally;
 use bucketrank_aggregate::tally::ProfileTally;
 use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
+use bucketrank_bench::roofline::memcpy_bandwidth;
 use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::{BucketOrder, ElementId};
 use bucketrank_workloads::random::random_few_valued;
@@ -134,6 +144,19 @@ fn naive_local_kemenize(candidate: &BucketOrder, inputs: &[BucketOrder]) -> Buck
     BucketOrder::from_permutation(&perm).expect("permutation preserved")
 }
 
+/// Effective bytes one tiled tally build touches: the accumulate pass
+/// writes `m·n²` `u16` partial cells, then the fused merge+derive sweep
+/// touches the `n²` `u32` `strict` and `w2` matrices once each.
+fn tiled_build_bytes(m: usize, n: usize) -> f64 {
+    (m * n * n * 2 + n * n * 8) as f64
+}
+
+/// Effective bytes the naive per-pair scan touches: one conditional
+/// read-modify-write of an `n²` `u32` matrix per voter.
+fn naive_build_bytes(m: usize, n: usize) -> f64 {
+    (m * n * n * 4) as f64
+}
+
 fn random_full(rng: &mut Pcg32, n: usize) -> BucketOrder {
     let mut ids: Vec<ElementId> = (0..n as ElementId).collect();
     for i in (1..n).rev() {
@@ -155,13 +178,17 @@ fn main() {
     };
     // The parallel build is measured at fixed widths 2/4/8 at every
     // shape (not just whatever this box has), so the trajectory file
-    // records a scaling curve that is comparable across machines.
+    // records a scaling curve that is comparable across machines. The
+    // rows use the unclamped entry: the public `build_parallel` clamps
+    // to `available_parallelism`, which would silently collapse the
+    // curve on small boxes.
     let par_widths: [usize; 3] = [2, 4, 8];
 
     let s = Sampler::default();
     let mut all: Vec<Measurement> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
     let mut par_scaling: Vec<(String, f64)> = Vec::new();
+    let mut bandwidths: Vec<(String, f64)> = Vec::new();
 
     for &(m, n) in shapes {
         let mut rng = Pcg32::seed_from_u64(2004);
@@ -182,10 +209,25 @@ fn main() {
             .iter()
             .map(|&t| {
                 s.bench(&format!("tally/build/par{t}/{m}x{n}"), || {
-                    ProfileTally::build_parallel(&profile, t).unwrap()
+                    ProfileTally::build_parallel_unclamped(&profile, t).unwrap()
                 })
             })
             .collect();
+
+        bandwidths.push((
+            build_naive.name.clone(),
+            naive_build_bytes(m, n) / (build_naive.min_ns * 1e-9),
+        ));
+        bandwidths.push((
+            build_seq.name.clone(),
+            tiled_build_bytes(m, n) / (build_seq.min_ns * 1e-9),
+        ));
+        for meas in &build_par {
+            bandwidths.push((
+                meas.name.clone(),
+                tiled_build_bytes(m, n) / (meas.min_ns * 1e-9),
+            ));
+        }
 
         let mc4_naive = s.bench(&format!("mc4/naive/{m}x{n}"), || {
             naive_mc4_matrix(&profile, n)
@@ -243,12 +285,22 @@ fn main() {
         ]);
     }
 
+    let roofline = memcpy_bandwidth();
+    println!(
+        "roofline: memcpy {:.2} GiB/s ({} MiB buffer, best of {})",
+        roofline.memcpy_bytes_per_sec / f64::from(1u32 << 30),
+        roofline.buffer_bytes >> 20,
+        roofline.reps
+    );
+
     BenchReport::new("bench_aggregate_tally")
         .shapes(shapes)
         .field_bool("fast", fast)
         .measurements(&all)
         .ratios("tally_speedups", &speedups)
         .ratios("tally_par_scaling", &par_scaling)
+        .bandwidths("effective_bandwidth", &bandwidths)
+        .field_raw("roofline", roofline.json())
         .write(&out_path("BENCH_aggregate.json"));
 
     // The smoke gate doubles as a regression check: no rewired
@@ -272,12 +324,45 @@ fn main() {
         kemeny.join(", ")
     );
 
-    // Hard parallel-scaling gate at the acceptance shape: the 8-thread
-    // tally build must beat the sequential build by ≥1.5× at 256×512.
-    // It runs in both modes (the fast grid omits the shape, so the
-    // profile is built here), but only on hardware with at least 8
-    // cores — oversubscribed threads cannot scale, so fewer cores
-    // SKIPs the gate rather than failing it.
+    // Hard gates at the acceptance shape (256×512). Both run in both
+    // modes — the fast grid omits the shape, so the profile is built
+    // here — with best-of-3 `Instant` timings to keep them quick.
+    let (gm, gn) = (256usize, 512usize);
+    let mut rng = Pcg32::seed_from_u64(2004);
+    let profile: Vec<BucketOrder> = (0..gm)
+        .map(|_| random_few_valued(&mut rng, gn, 8))
+        .collect();
+
+    // Gate 1 (always): the single-thread tiled build must hold ≥4× over
+    // the naive per-pair scan. This is the anti-regression floor on the
+    // kernel itself — it does not depend on core count, so it never
+    // SKIPs.
+    let mut naive_s = f64::INFINITY;
+    let mut seq_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(naive_weights(&profile));
+        naive_s = naive_s.min(t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(ProfileTally::build(&profile).unwrap());
+        seq_s = seq_s.min(t0.elapsed().as_secs_f64());
+    }
+    let seq_ratio = naive_s / seq_s;
+    let verdict = if seq_ratio >= 4.0 { "PASS" } else { "FAIL" };
+    println!(
+        "seq gate (256x512, seq >= 4x naive): naive {:.2}ms vs seq {:.2}ms = {seq_ratio:.2}x [{verdict}]",
+        naive_s * 1e3,
+        seq_s * 1e3
+    );
+    if seq_ratio < 4.0 {
+        std::process::exit(1);
+    }
+
+    // Gate 2: the 8-thread tally build must beat the sequential build
+    // by ≥1.5×, but only on hardware with at least 8 cores —
+    // oversubscribed threads cannot scale, so fewer cores SKIPs the
+    // gate rather than failing it. (Unclamped entry for the same
+    // reason as the scaling rows.)
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -285,19 +370,10 @@ fn main() {
         println!("par8 gate (256x512, par8 >= 1.5x seq): SKIP ({cores} cores < 8)");
         return;
     }
-    let (gm, gn) = (256usize, 512usize);
-    let mut rng = Pcg32::seed_from_u64(2004);
-    let profile: Vec<BucketOrder> = (0..gm)
-        .map(|_| random_few_valued(&mut rng, gn, 8))
-        .collect();
-    let mut seq_s = f64::INFINITY;
     let mut par_s = f64::INFINITY;
     for _ in 0..3 {
         let t0 = std::time::Instant::now();
-        std::hint::black_box(ProfileTally::build(&profile).unwrap());
-        seq_s = seq_s.min(t0.elapsed().as_secs_f64());
-        let t0 = std::time::Instant::now();
-        std::hint::black_box(ProfileTally::build_parallel(&profile, 8).unwrap());
+        std::hint::black_box(ProfileTally::build_parallel_unclamped(&profile, 8).unwrap());
         par_s = par_s.min(t0.elapsed().as_secs_f64());
     }
     let ratio = seq_s / par_s;

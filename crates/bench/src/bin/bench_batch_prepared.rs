@@ -2,21 +2,53 @@
 //! full pairwise `DistanceMatrix` workload, sequential and parallel —
 //! the measurement backing the `PreparedRanking` layer.
 //!
+//! Matrix rows also report **effective bytes/s** — the irreducible
+//! per-pair traffic (both rankings' 4-byte-per-element prepared maps
+//! read once) ÷ time — and the report carries a `roofline` section
+//! with the machine's measured memcpy bandwidth (see
+//! `bucketrank_bench::roofline` for the byte-counting convention).
+//!
 //! Run with `cargo run --release -p bucketrank-bench --bin
 //! bench_batch_prepared`. Results are appended to the perf trajectory
 //! file `BENCH_metrics.json` (override with `BUCKETRANK_BENCH_OUT`);
 //! `BUCKETRANK_BENCH_M` / `BUCKETRANK_BENCH_N` override the workload
-//! shape, and `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass.
+//! shape, and `BUCKETRANK_BENCH_FAST=1` runs the smoke-gate pass. A
+//! hard gate runs in both modes: the dispatched `Kprof` matrix (the
+//! counting lane on this bucketed workload) must hold ≥1.5×
+//! single-thread over the forced sort-lane baseline.
 
 use bucketrank_bench::report::{env_usize, fast_mode, out_path, BenchReport};
+use bucketrank_bench::roofline::memcpy_bandwidth;
 use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::batch::{
     pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_parallel_with,
-    pairwise_matrix_with, BatchMetric,
+    pairwise_matrix_with, prepare_all, BatchMetric,
 };
+use bucketrank_metrics::prepared::pair_counts_fenwick_in;
+use bucketrank_metrics::PairArena;
 use bucketrank_workloads::random::random_few_valued;
 use bucketrank_workloads::rng::{Pcg32, SeedableRng};
+
+/// The `Kprof` matrix with the pair-statistics lane pinned to the
+/// Fenwick sort kernel — the pre-dispatcher baseline the gate measures
+/// against. Mirrors `pairwise_matrix` shape-for-shape: prepared views,
+/// one arena, one dense upper-triangle sweep.
+fn kprof_matrix_fenwick(profile: &[BucketOrder]) -> Vec<u64> {
+    let prepared = prepare_all(profile).unwrap();
+    let mut arena = PairArena::new();
+    let m = prepared.len();
+    let mut out = vec![0u64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let c = pair_counts_fenwick_in(&mut arena, &prepared[i], &prepared[j]).unwrap();
+            let d = 2 * c.discordant + c.tied_exactly_one();
+            out[i * m + j] = d;
+            out[j * m + i] = d;
+        }
+    }
+    out
+}
 
 fn main() {
     let fast = fast_mode();
@@ -37,6 +69,12 @@ fn main() {
     let s = Sampler::default();
     let mut all: Vec<Measurement> = Vec::new();
     let mut speedups: Vec<(String, f64)> = Vec::new();
+    let mut bandwidths: Vec<(String, f64)> = Vec::new();
+    // Irreducible traffic of one full matrix: every unordered pair must
+    // read both rankings' 4-byte-per-element prepared maps at least
+    // once. Effective bytes/s on this floor is comparable across
+    // metrics and lanes.
+    let matrix_bytes = (m * (m - 1) / 2 * 2 * n * 4) as f64;
 
     for metric in BatchMetric::ALL {
         group(&format!("batch/{} ({m} rankings × {n} elements)", metric.name()));
@@ -64,8 +102,19 @@ fn main() {
         );
         speedups.push((format!("batch/{}/seq", metric.name()), seq_speedup));
         speedups.push((format!("batch/{}/par{threads}", metric.name()), par_speedup));
+        for meas in [&prepared_seq, &prepared_par] {
+            bandwidths.push((meas.name.clone(), matrix_bytes / (meas.min_ns * 1e-9)));
+        }
         all.extend([direct_seq, prepared_seq, direct_par, prepared_par]);
     }
+
+    let roofline = memcpy_bandwidth();
+    println!(
+        "roofline: memcpy {:.2} GiB/s ({} MiB buffer, best of {})",
+        roofline.memcpy_bytes_per_sec / f64::from(1u32 << 30),
+        roofline.buffer_bytes >> 20,
+        roofline.reps
+    );
 
     BenchReport::new("bench_batch_prepared")
         .field_usize("m", m)
@@ -74,6 +123,8 @@ fn main() {
         .field_bool("fast", fast)
         .measurements(&all)
         .ratios("prepared_speedups", &speedups)
+        .bandwidths("effective_bandwidth", &bandwidths)
+        .field_raw("roofline", roofline.json())
         .write(&out_path("BENCH_metrics.json"));
 
     // The smoke gate doubles as a regression check: the prepared path
@@ -86,4 +137,30 @@ fn main() {
         "worst prepared speedup: {:.2}x ({})",
         worst.1, worst.0
     );
+
+    // Hard lane gate: the dispatched Kprof matrix (counting lane on
+    // this ≤8-bucket workload) must hold ≥1.5× single-thread over the
+    // forced sort-lane baseline — the prepared kernel as it shipped
+    // before the dispatcher. Best-of-3 `Instant` timings; runs in both
+    // modes on the same profile as the rows above.
+    let mut fenwick_s = f64::INFINITY;
+    let mut table_s = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(kprof_matrix_fenwick(&profile));
+        fenwick_s = fenwick_s.min(t0.elapsed().as_secs_f64());
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(pairwise_matrix(&profile, BatchMetric::KProfX2).unwrap());
+        table_s = table_s.min(t0.elapsed().as_secs_f64());
+    }
+    let ratio = fenwick_s / table_s;
+    let verdict = if ratio >= 1.5 { "PASS" } else { "FAIL" };
+    println!(
+        "kprof lane gate ({m}x{n}, dispatched >= 1.5x sort lane): sort {:.2}ms vs dispatched {:.2}ms = {ratio:.2}x [{verdict}]",
+        fenwick_s * 1e3,
+        table_s * 1e3
+    );
+    if ratio < 1.5 {
+        std::process::exit(1);
+    }
 }

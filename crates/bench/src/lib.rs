@@ -8,6 +8,7 @@
 #![forbid(unsafe_code)]
 
 pub mod report;
+pub mod roofline;
 pub mod table;
 pub mod timing;
 

@@ -126,6 +126,25 @@ impl BenchReport {
         self.array(name, &items)
     }
 
+    /// Adds a named `{"name": …, "bytes_per_sec": …, "gib_per_sec": …}`
+    /// array: effective memory traffic per second (cells touched ×
+    /// cell width ÷ time), comparable against the report's `roofline`
+    /// section (see [`crate::roofline`] for the byte-counting
+    /// convention).
+    #[must_use]
+    pub fn bandwidths(self, name: &str, items: &[(String, f64)]) -> Self {
+        let rendered: Vec<String> = items
+            .iter()
+            .map(|(n, b)| {
+                format!(
+                    "{{\"name\":\"{n}\",\"bytes_per_sec\":{b:.0},\"gib_per_sec\":{:.3}}}",
+                    b / f64::from(1u32 << 30)
+                )
+            })
+            .collect();
+        self.array(name, &rendered)
+    }
+
     /// Renders the report as a JSON object.
     #[must_use]
     pub fn render(&self) -> String {

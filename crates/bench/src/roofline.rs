@@ -1,0 +1,95 @@
+//! Measured memory-bandwidth reference for the `roofline` sections of
+//! the `BENCH_*.json` trajectory files.
+//!
+//! The kernel benchmarks report *effective bytes per second* — cells
+//! touched × cell width ÷ time — so "memory bandwidth" is a number in
+//! the report, not a slogan. That number only means something next to
+//! what the machine can actually stream, so each report also records a
+//! measured memcpy probe from this module: a large out-of-cache copy,
+//! best of several repetitions.
+//!
+//! Convention: bandwidth figures count bytes **single-sided** (a copied
+//! byte counts once, even though it is one read plus one write of DRAM
+//! traffic), matching how the kernels count their touched cells. A
+//! kernel whose effective rate approaches the memcpy figure is
+//! bandwidth-bound; headroom below it is compute or latency.
+
+use crate::report::fast_mode;
+use std::time::Instant;
+
+/// One measured memcpy probe; render with [`RooflineProbe::json`].
+#[derive(Debug, Clone, Copy)]
+pub struct RooflineProbe {
+    /// Best-case copied bytes per second (single-sided count).
+    pub memcpy_bytes_per_sec: f64,
+    /// Size of each of the two buffers.
+    pub buffer_bytes: usize,
+    /// Repetitions taken (the best is reported).
+    pub reps: usize,
+}
+
+impl RooflineProbe {
+    /// The probe as one JSON object for a report's `roofline` section.
+    #[must_use]
+    pub fn json(&self) -> String {
+        format!(
+            "{{\"memcpy_bytes_per_sec\":{:.0},\"memcpy_gib_per_sec\":{:.3},\"buffer_bytes\":{},\"reps\":{}}}",
+            self.memcpy_bytes_per_sec,
+            self.memcpy_bytes_per_sec / f64::from(1u32 << 30),
+            self.buffer_bytes,
+            self.reps
+        )
+    }
+}
+
+/// Measures streaming copy bandwidth: `dst.copy_from_slice(&src)` over
+/// buffers sized well past any last-level cache, best of several reps.
+/// Fast mode shrinks the buffers so the smoke gate stays quick (the
+/// number is then closer to an in-cache figure — the committed
+/// baselines use the full probe).
+#[must_use]
+pub fn memcpy_bandwidth() -> RooflineProbe {
+    let buffer_bytes: usize = if fast_mode() { 8 << 20 } else { 64 << 20 };
+    let reps = 5;
+    let src = vec![1u8; buffer_bytes];
+    let mut dst = vec![0u8; buffer_bytes];
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&mut dst);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    RooflineProbe {
+        memcpy_bytes_per_sec: buffer_bytes as f64 / best,
+        buffer_bytes,
+        reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_positive_and_renders() {
+        // Keep the test cheap: probe a small buffer directly.
+        let src = vec![1u8; 1 << 16];
+        let mut dst = vec![0u8; 1 << 16];
+        let t = Instant::now();
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&mut dst);
+        assert!(t.elapsed().as_secs_f64() >= 0.0);
+
+        let p = RooflineProbe {
+            memcpy_bytes_per_sec: 12.5e9,
+            buffer_bytes: 64 << 20,
+            reps: 5,
+        };
+        let j = p.json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"memcpy_bytes_per_sec\":12500000000"), "{j}");
+        assert!(j.contains("\"buffer_bytes\":67108864"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

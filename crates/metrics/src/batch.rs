@@ -7,12 +7,15 @@
 //! double loop repeats every per-ranking setup `m−1` times; instead,
 //! this module prepares each ranking **once** ([`prepare_all`]) and
 //! evaluates every pair against the prepared views — the per-pair work
-//! drops to the irreducible kernel (segment sorts + a Fenwick pass, or a
-//! position-vector scan). A cache-friendly single-threaded path and a
-//! [`std::thread::scope`]d parallel path that splits the flattened pair
-//! list into contiguous chunks are provided; the kernels are pure
-//! functions of immutable prepared state (per-thread scratch only), so
-//! this parallelizes embarrassingly.
+//! drops to the irreducible kernel (the bucket contingency-table sweep
+//! or segment sorts + a Fenwick pass, or a position-vector scan). Every
+//! matrix holds **one** [`PairArena`] per worker (one allocation set
+//! per thread per matrix, not per pair) and threads it through the
+//! `*_prepared_in` kernels. A cache-friendly single-threaded path and
+//! a [`std::thread::scope`]d parallel path that splits the flattened
+//! pair list into contiguous chunks are provided; the kernels are pure
+//! functions of immutable prepared state (arena scratch only), so this
+//! parallelizes embarrassingly.
 //!
 //! The batch entry points take a [`BatchMetric`] naming one of the
 //! paper's metrics on its canonical integer scale. Custom distance
@@ -22,7 +25,8 @@
 
 use crate::error::check_same_domain;
 use crate::prepared::{
-    fhaus_prepared, fprof_x2_prepared, kavg_x2_prepared, khaus_prepared, kprof_x2_prepared,
+    fhaus_prepared, fhaus_prepared_in, fprof_x2_prepared, kavg_x2_prepared, kavg_x2_prepared_in,
+    khaus_prepared, khaus_prepared_in, kprof_x2_prepared, kprof_x2_prepared_in, PairArena,
     PreparedRanking,
 };
 use crate::MetricsError;
@@ -82,7 +86,7 @@ impl BatchMetric {
         }
     }
 
-    /// The prepared kernel for this metric.
+    /// The prepared kernel for this metric (thread-local arena).
     ///
     /// # Errors
     /// [`MetricsError::DomainMismatch`] on differing domains.
@@ -97,6 +101,27 @@ impl BatchMetric {
             BatchMetric::KAvgX2 => kavg_x2_prepared(a, b),
             BatchMetric::KHaus => khaus_prepared(a, b),
             BatchMetric::FHaus => fhaus_prepared(a, b),
+        }
+    }
+
+    /// The prepared kernel for this metric against a caller-held
+    /// [`PairArena`] — what the matrix loops use, one arena per worker.
+    /// (`fprof_x2` needs no scratch; the arena is simply unused.)
+    ///
+    /// # Errors
+    /// [`MetricsError::DomainMismatch`] on differing domains.
+    pub fn prepared_in(
+        self,
+        arena: &mut PairArena,
+        a: &PreparedRanking<'_>,
+        b: &PreparedRanking<'_>,
+    ) -> Result<u64, MetricsError> {
+        match self {
+            BatchMetric::KProfX2 => kprof_x2_prepared_in(arena, a, b),
+            BatchMetric::FProfX2 => fprof_x2_prepared(a, b),
+            BatchMetric::KAvgX2 => kavg_x2_prepared_in(arena, a, b),
+            BatchMetric::KHaus => khaus_prepared_in(arena, a, b),
+            BatchMetric::FHaus => fhaus_prepared_in(arena, a, b),
         }
     }
 }
@@ -191,9 +216,10 @@ pub fn pairwise_matrix_prepared(
 ) -> Result<DistanceMatrix, MetricsError> {
     let m = prepared.len();
     let mut values = vec![0u64; m * m];
+    let mut arena = PairArena::new();
     for i in 0..m {
         for j in i + 1..m {
-            let v = metric.prepared(&prepared[i], &prepared[j])?;
+            let v = metric.prepared_in(&mut arena, &prepared[i], &prepared[j])?;
             values[i * m + j] = v;
             values[j * m + i] = v;
         }
@@ -209,8 +235,8 @@ pub fn pairwise_matrix_prepared(
 ///
 /// The flattened pair list is partitioned into contiguous chunks, one
 /// per thread, which balances well because every pair costs roughly the
-/// same `O(n log n)`. Each worker uses its own thread-local kernel
-/// scratch, so workers never contend.
+/// same. Each worker owns a private [`PairArena`] for the whole
+/// matrix, so workers never contend and never allocate per pair.
 ///
 /// # Errors
 /// As [`pairwise_matrix`]. The first error encountered (by pair order)
@@ -252,9 +278,10 @@ pub fn pairwise_matrix_prepared_parallel(
             let prepared = &prepared;
             let start = t * chunk;
             scope.spawn(move || {
+                let mut arena = PairArena::new();
                 for (off, slot) in res_chunk.iter_mut().enumerate() {
                     let (i, j) = pairs[start + off];
-                    *slot = metric.prepared(&prepared[i], &prepared[j]);
+                    *slot = metric.prepared_in(&mut arena, &prepared[i], &prepared[j]);
                 }
             });
         }

@@ -65,4 +65,4 @@ pub mod topk;
 
 pub use error::MetricsError;
 pub use pairs::PairCounts;
-pub use prepared::PreparedRanking;
+pub use prepared::{PairArena, PreparedRanking};

@@ -23,10 +23,30 @@
 //! The `*_prepared` kernels consume two `&PreparedRanking`s and skip all
 //! per-call setup. Domain agreement is validated in `O(1)` per pair (the
 //! sizes were computed at preparation) and reported as
-//! [`MetricsError::DomainMismatch`] — never a panic. Per-pair scratch
-//! buffers (the τ-bucket run array, the Fenwick tree, the witness rank
-//! arrays) live in a thread-local workspace, so steady-state evaluation
-//! allocates nothing.
+//! [`MetricsError::DomainMismatch`] — never a panic.
+//!
+//! # Arena
+//!
+//! Per-pair working memory (the τ-bucket run array, the Fenwick tree,
+//! the contingency table, the witness rank arrays) lives in a
+//! [`PairArena`]: batch drivers allocate **one** arena per worker
+//! thread per matrix and thread it through the `*_prepared_in`
+//! kernels, so a whole `m×m` matrix reuses the same few buffers. The
+//! suffix-less convenience kernels (`kprof_x2_prepared`, …) fall back
+//! to a thread-local arena, so one-off calls stay allocation-free in
+//! steady state too.
+//!
+//! # Pair-statistics lanes
+//!
+//! The pair-counts engine picks between two exact lanes on bucket
+//! structure: a **counting lane** ([`pair_counts_table_in`]) that
+//! builds the `kσ × kτ` bucket contingency table in `O(n)` and reads
+//! every statistic off it in `O(kσ·kτ)` — the winner whenever ties
+//! compress the rankings into few buckets — and the **sort lane**
+//! ([`pair_counts_fenwick_in`]), per-σ-bucket sorts plus a Fenwick
+//! inversion count, which handles full rankings (`kσ·kτ = n²` would
+//! blow the table up). Both lanes are public and the conformance suite
+//! holds them bit-identical to each other and to the direct algorithm.
 //!
 //! Every kernel returns **exactly** the same integer as its direct
 //! counterpart; `tests/prepared_vs_direct.rs` enforces this
@@ -150,17 +170,35 @@ pub fn check_prepared_domain(
     Ok(())
 }
 
-/// Reusable per-thread scratch: cleared-and-refilled buffers so the
-/// kernels allocate nothing in steady state.
-#[derive(Default)]
-struct Scratch {
-    /// τ-bucket of each element, laid out in σ-rank order.
+/// A reusable kernel workspace: cleared-and-refilled buffers so the
+/// prepared kernels allocate nothing in steady state. One arena serves
+/// any number of pairs and any mix of kernels — batch drivers hold one
+/// per worker thread per matrix ([`crate::batch`]) and pass it to the
+/// `*_prepared_in` kernels; the suffix-less kernels fall back to a
+/// thread-local arena for one-off calls.
+#[derive(Debug, Default)]
+pub struct PairArena {
+    /// τ-bucket of each element, laid out in σ-rank order (sort lane).
     tb: Vec<u32>,
     fenwick: Option<Fenwick>,
+    /// The `kσ × kτ` bucket contingency table, row-major (counting
+    /// lane).
+    table: Vec<u32>,
+    /// Per-τ-bucket totals over the σ-rows already swept (counting
+    /// lane).
+    above: Vec<u64>,
     /// Witness element order and the two rank arrays for `fhaus`.
     ord: Vec<u32>,
     rank_a: Vec<u32>,
     rank_b: Vec<u32>,
+}
+
+impl PairArena {
+    /// An empty arena. Buffers grow on first use and are reused by
+    /// every later call, whatever the domain sizes.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 fn ensure_fenwick(slot: &mut Option<Fenwick>, n: usize) -> &mut Fenwick {
@@ -172,26 +210,72 @@ fn ensure_fenwick(slot: &mut Option<Fenwick>, n: usize) -> &mut Fenwick {
 }
 
 thread_local! {
-    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+    static ARENA: RefCell<PairArena> = RefCell::new(PairArena::default());
 }
 
-fn with_scratch<T>(f: impl FnOnce(&mut Scratch) -> T) -> T {
-    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+fn with_arena<T>(f: impl FnOnce(&mut PairArena) -> T) -> T {
+    ARENA.with(|s| f(&mut s.borrow_mut()))
 }
 
-/// The pair-statistics engine over prepared inputs. Identical output to
+/// Assembles the five statistics from the two lane-computed quantities
+/// plus the prepared per-ranking tie counts.
+fn finish_counts(
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+    total: u64,
+    discordant: u64,
+    tied_both: u64,
+) -> PairCounts {
+    let tied_left_only = s.tied_pairs - tied_both;
+    let tied_right_only = t.tied_pairs - tied_both;
+    let concordant = total - discordant - tied_both - tied_left_only - tied_right_only;
+    PairCounts {
+        concordant,
+        discordant,
+        tied_both,
+        tied_left_only,
+        tied_right_only,
+    }
+}
+
+/// Counting-lane admission bound: the contingency table is used when
+/// its `kσ·kτ` cells number at most this many per element. At the
+/// bound the lane's `O(n + kσ·kτ)` sweep is a small constant number of
+/// sequential passes — still well under the sort lane's per-element
+/// `log` factor — while the table memory stays `O(n)`.
+const TABLE_CELLS_PER_ELEMENT: usize = 4;
+
+/// The dispatching pair-statistics engine: counting lane when the
+/// bucket structure is coarse enough, sort lane otherwise.
+fn pair_counts_into(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> PairCounts {
+    if s.num_buckets() * t.num_buckets() <= TABLE_CELLS_PER_ELEMENT * s.len() {
+        pair_counts_table(arena, s, t)
+    } else {
+        pair_counts_fenwick(arena, s, t)
+    }
+}
+
+/// The sort lane. Identical output to
 /// [`pairs::pair_counts`](crate::pairs::pair_counts), but the global
 /// `(σ-bucket, τ-bucket)` sort is replaced by per-σ-bucket sorts of the
 /// precomputed τ-bucket map (the σ grouping is already known), and the
 /// within-ranking tie counts come straight off the prepared state.
-fn pair_counts_into(scratch: &mut Scratch, s: &PreparedRanking<'_>, t: &PreparedRanking<'_>) -> PairCounts {
+fn pair_counts_fenwick(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> PairCounts {
     let n = s.len();
     if n < 2 {
         return PairCounts::default();
     }
     let total = (n as u64) * (n as u64 - 1) / 2;
 
-    let Scratch { tb, fenwick, .. } = scratch;
+    let PairArena { tb, fenwick, .. } = arena;
     tb.clear();
     tb.extend(s.by_rank.iter().map(|&e| t.bucket_of[e as usize]));
 
@@ -224,20 +308,69 @@ fn pair_counts_into(scratch: &mut Scratch, s: &PreparedRanking<'_>, t: &Prepared
         fw.add(x as usize, 1);
     }
 
-    let tied_left_only = s.tied_pairs - tied_both;
-    let tied_right_only = t.tied_pairs - tied_both;
-    let concordant = total - discordant - tied_both - tied_left_only - tied_right_only;
-    PairCounts {
-        concordant,
-        discordant,
-        tied_both,
-        tied_left_only,
-        tied_right_only,
+    finish_counts(s, t, total, discordant, tied_both)
+}
+
+/// The counting lane: build the `kσ × kτ` contingency table
+/// `C[i][j] = |σ-bucket i ∩ τ-bucket j|` in one `O(n)` pass, then read
+/// every statistic off the table in `O(kσ·kτ)`. Tied-both pairs live
+/// inside single cells (`Σ C(C−1)/2`); a pair is discordant exactly
+/// when the element in the strictly later σ-bucket sits in a strictly
+/// earlier τ-bucket, so sweeping σ-rows top to bottom with a running
+/// per-column `above[j] = Σ_{i′<i} C[i′][j]` and a right-to-left
+/// suffix scalar accumulates `Σ_{i,j} C[i][j] · Σ_{i′<i, j′>j}
+/// C[i′][j′]` — no sorting and no per-element `log` factor.
+fn pair_counts_table(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> PairCounts {
+    let n = s.len();
+    if n < 2 {
+        return PairCounts::default();
     }
+    let total = (n as u64) * (n as u64 - 1) / 2;
+    let kt = t.num_buckets();
+
+    let PairArena { table, above, .. } = arena;
+    table.clear();
+    table.resize(s.num_buckets() * kt, 0);
+    for (i, w) in s.bucket_starts.windows(2).enumerate() {
+        let row = &mut table[i * kt..(i + 1) * kt];
+        for &e in &s.by_rank[w[0] as usize..w[1] as usize] {
+            row[t.bucket_of[e as usize] as usize] += 1;
+        }
+    }
+
+    above.clear();
+    above.resize(kt, 0);
+    let mut discordant = 0u64;
+    let mut tied_both = 0u64;
+    for row in table.chunks_exact(kt) {
+        // `suffix` holds Σ_{j′>j} above[j′] as j walks right to left;
+        // `above` is only folded in after the row is consumed, so it
+        // covers exactly the strictly earlier σ-buckets.
+        let mut suffix = 0u64;
+        for j in (0..kt).rev() {
+            let c = u64::from(row[j]);
+            discordant += c * suffix;
+            // Empty cells are common (the table is usually sparse), so
+            // the pairs-within-a-cell count must not underflow at c = 0.
+            tied_both += c * c.saturating_sub(1) / 2;
+            suffix += above[j];
+        }
+        for (al, &c) in above.iter_mut().zip(row) {
+            *al += u64::from(c);
+        }
+    }
+
+    finish_counts(s, t, total, discordant, tied_both)
 }
 
 /// The five pair statistics over prepared inputs; equals
 /// [`pairs::pair_counts`](crate::pairs::pair_counts) exactly.
+/// Dispatches between the counting and sort lanes; see the [module
+/// docs](self).
 ///
 /// # Errors
 /// [`MetricsError::DomainMismatch`] on differing domains.
@@ -245,8 +378,52 @@ pub fn pair_counts_prepared(
     s: &PreparedRanking<'_>,
     t: &PreparedRanking<'_>,
 ) -> Result<PairCounts, MetricsError> {
+    with_arena(|a| pair_counts_prepared_in(a, s, t))
+}
+
+/// [`pair_counts_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn pair_counts_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<PairCounts, MetricsError> {
     check_prepared_domain(s, t)?;
-    Ok(with_scratch(|scr| pair_counts_into(scr, s, t)))
+    Ok(pair_counts_into(arena, s, t))
+}
+
+/// The sort lane, forced — always applicable, never builds the table.
+/// This is the pre-dispatch kernel: the bench gate measures the
+/// counting lane's win against it and the conformance suite holds the
+/// two lanes bit-identical.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn pair_counts_fenwick_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<PairCounts, MetricsError> {
+    check_prepared_domain(s, t)?;
+    Ok(pair_counts_fenwick(arena, s, t))
+}
+
+/// The counting lane, forced. Allocates (and reuses) `kσ·kτ` table
+/// cells in the arena — callers forcing this lane on fine-bucketed
+/// pairs pay that memory; the dispatcher only picks it under the
+/// `O(n)` admission bound.
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn pair_counts_table_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<PairCounts, MetricsError> {
+    check_prepared_domain(s, t)?;
+    Ok(pair_counts_table(arena, s, t))
 }
 
 /// Prepared `2·Kprof`; equals [`kendall::kprof_x2`](crate::kendall::kprof_x2)
@@ -258,7 +435,19 @@ pub fn kprof_x2_prepared(
     s: &PreparedRanking<'_>,
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
-    let c = pair_counts_prepared(s, t)?;
+    with_arena(|a| kprof_x2_prepared_in(a, s, t))
+}
+
+/// [`kprof_x2_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kprof_x2_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared_in(arena, s, t)?;
     Ok(2 * c.discordant + c.tied_exactly_one())
 }
 
@@ -271,7 +460,19 @@ pub fn kavg_x2_prepared(
     s: &PreparedRanking<'_>,
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
-    let c = pair_counts_prepared(s, t)?;
+    with_arena(|a| kavg_x2_prepared_in(a, s, t))
+}
+
+/// [`kavg_x2_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn kavg_x2_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared_in(arena, s, t)?;
     Ok(2 * c.discordant + c.tied_exactly_one() + c.tied_both)
 }
 
@@ -302,7 +503,19 @@ pub fn khaus_prepared(
     s: &PreparedRanking<'_>,
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
-    let c = pair_counts_prepared(s, t)?;
+    with_arena(|a| khaus_prepared_in(a, s, t))
+}
+
+/// [`khaus_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn khaus_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    let c = pair_counts_prepared_in(arena, s, t)?;
     Ok(c.discordant + c.tied_left_only.max(c.tied_right_only))
 }
 
@@ -316,6 +529,18 @@ pub fn khaus_x2_prepared(
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
     Ok(2 * khaus_prepared(s, t)?)
+}
+
+/// [`khaus_x2_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn khaus_x2_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    Ok(2 * khaus_prepared_in(arena, s, t)?)
 }
 
 /// Fill `rank` with the position of each element in the Theorem 5
@@ -365,11 +590,23 @@ pub fn fhaus_prepared(
     s: &PreparedRanking<'_>,
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
+    with_arena(|a| fhaus_prepared_in(a, s, t))
+}
+
+/// [`fhaus_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fhaus_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
     check_prepared_domain(s, t)?;
-    Ok(with_scratch(|scr| {
-        let Scratch {
+    Ok({
+        let PairArena {
             ord, rank_a, rank_b, ..
-        } = scr;
+        } = arena;
         // F(σ1, τ1): σ ties broken by τᴿ, τ ties broken by σ.
         witness_ranks(ord, rank_a, s, t, true);
         witness_ranks(ord, rank_b, t, s, false);
@@ -387,7 +624,7 @@ pub fn fhaus_prepared(
             .map(|(x, y)| u64::from(x.abs_diff(*y)))
             .sum();
         f1.max(f2)
-    }))
+    })
 }
 
 /// Prepared `2·FHaus`, on the common `_x2` integer scale used by the
@@ -400,6 +637,18 @@ pub fn fhaus_x2_prepared(
     t: &PreparedRanking<'_>,
 ) -> Result<u64, MetricsError> {
     Ok(2 * fhaus_prepared(s, t)?)
+}
+
+/// [`fhaus_x2_prepared`] against a caller-held [`PairArena`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] on differing domains.
+pub fn fhaus_x2_prepared_in(
+    arena: &mut PairArena,
+    s: &PreparedRanking<'_>,
+    t: &PreparedRanking<'_>,
+) -> Result<u64, MetricsError> {
+    Ok(2 * fhaus_prepared_in(arena, s, t)?)
 }
 
 #[cfg(test)]
@@ -504,6 +753,51 @@ mod tests {
         assert_eq!(khaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
         assert_eq!(fhaus_prepared(&pa, &pb).unwrap_err(), expected);
         assert_eq!(fhaus_x2_prepared(&pa, &pb).unwrap_err(), expected);
+    }
+
+    #[test]
+    fn counting_and_sort_lanes_agree_exhaustively_n4() {
+        let orders = all_bucket_orders(4);
+        let prepared: Vec<PreparedRanking<'_>> =
+            orders.iter().map(PreparedRanking::new).collect();
+        let mut arena = PairArena::new();
+        for pa in &prepared {
+            for pb in &prepared {
+                let dispatched = pair_counts_prepared_in(&mut arena, pa, pb).unwrap();
+                let table = pair_counts_table_in(&mut arena, pa, pb).unwrap();
+                let fenwick = pair_counts_fenwick_in(&mut arena, pa, pb).unwrap();
+                assert_eq!(table, fenwick, "{:?} {:?}", pa.order(), pb.order());
+                assert_eq!(dispatched, table);
+            }
+        }
+    }
+
+    #[test]
+    fn arena_kernels_match_thread_local_wrappers() {
+        let a = BucketOrder::from_keys(&[1, 1, 2, 3, 2, 1]);
+        let b = BucketOrder::from_keys(&[3, 1, 2, 2, 1, 1]);
+        let (pa, pb) = (PreparedRanking::new(&a), PreparedRanking::new(&b));
+        let mut arena = PairArena::new();
+        assert_eq!(
+            pair_counts_prepared_in(&mut arena, &pa, &pb).unwrap(),
+            pair_counts_prepared(&pa, &pb).unwrap()
+        );
+        assert_eq!(
+            kprof_x2_prepared_in(&mut arena, &pa, &pb).unwrap(),
+            kprof_x2_prepared(&pa, &pb).unwrap()
+        );
+        assert_eq!(
+            kavg_x2_prepared_in(&mut arena, &pa, &pb).unwrap(),
+            kavg_x2_prepared(&pa, &pb).unwrap()
+        );
+        assert_eq!(
+            khaus_x2_prepared_in(&mut arena, &pa, &pb).unwrap(),
+            khaus_x2_prepared(&pa, &pb).unwrap()
+        );
+        assert_eq!(
+            fhaus_x2_prepared_in(&mut arena, &pa, &pb).unwrap(),
+            fhaus_x2_prepared(&pa, &pb).unwrap()
+        );
     }
 
     #[test]

@@ -94,9 +94,12 @@ fi
 
 echo "==> bench_batch_prepared smoke gate"
 # Fast pass proves the prepared batch engine runs end to end and writes
-# its JSON report. The smoke numbers land in target/ so they never
-# clobber a committed full-size baseline; if no baseline exists yet,
-# the smoke report seeds one.
+# its JSON report (with effective-bytes/s rows and a measured memcpy
+# roofline). The smoke numbers land in target/ so they never clobber a
+# committed full-size baseline; if no baseline exists yet, the smoke
+# report seeds one. The pass ends with the lane gate: the dispatched
+# Kprof matrix (counting lane) must hold ≥ 1.5× single-thread over the
+# forced Fenwick sort lane, exiting nonzero otherwise.
 smoke_out="target/BENCH_metrics.smoke.json"
 BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$smoke_out" \
   cargo run --release --offline -p bucketrank-bench --bin bench_batch_prepared
@@ -108,9 +111,13 @@ fi
 echo "==> bench_aggregate_tally smoke gate"
 # Same pattern for the aggregation tally engine: the fast pass proves
 # the tally-vs-direct bench runs end to end (its worst-aggregator line
-# is the regression canary) and seeds the aggregate baseline if absent.
-# The pass ends with the parallel-build gate: par8 ≥ 1.5× seq at
-# 256×512, asserted only on machines with ≥ 8 cores (SKIP otherwise).
+# is the regression canary, and it reports bytes/s + roofline like the
+# batch bench) and seeds the aggregate baseline if absent. The pass
+# ends with two hard gates at 256×512: the single-thread tiled build
+# must hold ≥ 4× over the naive scan (always asserted — the
+# anti-regression floor on the kernel, never below the seed's ratio),
+# and par8 ≥ 1.5× seq, asserted only on machines with ≥ 8 cores (SKIP
+# otherwise).
 agg_smoke_out="target/BENCH_aggregate.smoke.json"
 BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$agg_smoke_out" \
   cargo run --release --offline -p bucketrank-bench --bin bench_aggregate_tally

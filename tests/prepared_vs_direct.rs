@@ -4,13 +4,20 @@
 //! exact — on random same-domain pairs with heavy degenerate coverage
 //! (full rankings, single-bucket rankings, singleton domains), and must
 //! report mismatched domains as a [`MetricsError`], never a panic.
+//!
+//! The pair-statistics dispatcher gets its own lane: the counting
+//! (contingency-table) and Fenwick sort lanes are held bit-identical on
+//! every generated pair, and one [`PairArena`] is reused across pairs
+//! of shrinking and growing sizes to prove the pooled scratch carries
+//! no state between calls.
 
 use bucketrank::metrics::batch::{
     pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_with, prepare_all, BatchMetric,
 };
 use bucketrank::metrics::prepared::{
     fhaus_prepared, fhaus_x2_prepared, fprof_x2_prepared, kavg_x2_prepared, khaus_prepared,
-    khaus_x2_prepared, kprof_x2_prepared, pair_counts_prepared, PreparedRanking,
+    khaus_x2_prepared, kprof_x2_prepared, pair_counts_fenwick_in, pair_counts_prepared,
+    pair_counts_prepared_in, pair_counts_table_in, PairArena, PreparedRanking,
 };
 use bucketrank::metrics::{footrule, hausdorff, kendall, pairs, MetricsError};
 use bucketrank::BucketOrder;
@@ -125,6 +132,64 @@ fn batch_matrix_equals_direct_double_loop_sequential_and_parallel() {
             }
         },
     );
+}
+
+#[test]
+fn counting_and_sort_lanes_agree_on_degenerate_heavy_pairs() {
+    // Both forced lanes and the dispatcher, against the direct
+    // reference, on the degenerate-weighted pair stream. One arena
+    // serves the whole run — reuse across pairs (and across lanes)
+    // must never leak state. (`RefCell` because the runner takes `Fn`.)
+    let arena = std::cell::RefCell::new(PairArena::new());
+    check(
+        "counting_and_sort_lanes_agree_on_degenerate_heavy_pairs",
+        gen::order_pair_with_degenerates(12, 4),
+        |(a, b)| {
+            let arena = &mut *arena.borrow_mut();
+            let expected = pairs::pair_counts(a, b).unwrap();
+            let pa = PreparedRanking::new(a);
+            let pb = PreparedRanking::new(b);
+            assert_eq!(
+                pair_counts_table_in(arena, &pa, &pb).unwrap(),
+                expected,
+                "table lane: {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                pair_counts_fenwick_in(arena, &pa, &pb).unwrap(),
+                expected,
+                "fenwick lane: {a:?} vs {b:?}"
+            );
+            assert_eq!(
+                pair_counts_prepared_in(arena, &pa, &pb).unwrap(),
+                expected,
+                "dispatcher: {a:?} vs {b:?}"
+            );
+        },
+    );
+}
+
+#[test]
+fn arena_reuse_across_shrinking_and_growing_sizes() {
+    // Pin the stale-scratch hazard directly: the same arena answers a
+    // large fine-bucketed pair (sort lane, big Fenwick), then a small
+    // coarse pair (counting lane, table smaller than the previous
+    // buffers), then a large pair again. Each answer must match the
+    // direct kernel computed fresh.
+    let big_a = BucketOrder::from_permutation(&[7, 2, 9, 0, 4, 6, 1, 8, 3, 5]).unwrap();
+    let big_b = BucketOrder::from_permutation(&[3, 8, 0, 5, 9, 1, 7, 2, 6, 4]).unwrap();
+    let small_a = BucketOrder::from_keys(&[1, 2, 1]);
+    let small_b = BucketOrder::from_keys(&[2, 1, 1]);
+    let mut arena = PairArena::new();
+    for _ in 0..3 {
+        for (a, b) in [(&big_a, &big_b), (&small_a, &small_b), (&big_b, &big_a)] {
+            let expected = pairs::pair_counts(a, b).unwrap();
+            let pa = PreparedRanking::new(a);
+            let pb = PreparedRanking::new(b);
+            assert_eq!(pair_counts_prepared_in(&mut arena, &pa, &pb).unwrap(), expected);
+            assert_eq!(pair_counts_table_in(&mut arena, &pa, &pb).unwrap(), expected);
+            assert_eq!(pair_counts_fenwick_in(&mut arena, &pa, &pb).unwrap(), expected);
+        }
+    }
 }
 
 #[test]

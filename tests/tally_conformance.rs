@@ -8,11 +8,18 @@
 //! is pinned to the sequential one, and the rewired aggregators
 //! (majority digraph, local Kemenization) are pinned to in-test copies
 //! of their pre-tally reference implementations.
+//!
+//! The tiled kernel gets its own differential lanes: domains straddling
+//! the `TILE_ROWS` slab boundary, chunked builds at adversarial chunk
+//! sizes pinned to the single-chunk build, and a deterministic
+//! `u16`→`u32` promotion check at profiles straddling `CHUNK_VOTERS`
+//! (= `u16::MAX`) voters, where the narrow partial cells hit their
+//! ceiling exactly.
 
 use bucketrank::aggregate::condorcet::MajorityGraph;
 use bucketrank::aggregate::cost::{self, AggMetric};
 use bucketrank::aggregate::local::{local_kemenize, local_kemenize_with_tally};
-use bucketrank::aggregate::tally::ProfileTally;
+use bucketrank::aggregate::tally::{ProfileTally, CHUNK_VOTERS, TILE_ROWS};
 use bucketrank::aggregate::AggregateError;
 use bucketrank::metrics::kendall;
 use bucketrank::{BucketOrder, ElementId};
@@ -135,6 +142,93 @@ fn adjacent_swap_deltas_match_cost_differences() {
             }
         },
     );
+}
+
+#[test]
+fn tiled_build_matches_naive_across_tile_boundary() {
+    // Domains straddling the TILE_ROWS slab boundary: the last tile is
+    // partial (n not a multiple of TILE_ROWS), or the profile is a
+    // single tile exactly. Degenerate voters (all-tied, singleton
+    // buckets, unanimous full) ride along via the generator. The
+    // reference is the naive per-pair scan — every strict and w2 cell
+    // must match bit for bit.
+    check(
+        "tiled_build_matches_naive_across_tile_boundary",
+        gen::profile_with_degenerates(1..=5, TILE_ROWS + 3, 4),
+        |profile| {
+            let t = ProfileTally::build(profile).unwrap();
+            let n = profile[0].len() as ElementId;
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let strict = naive_strict(profile, a, b);
+                    let ties = naive_ties(profile, a, b);
+                    assert_eq!(t.strict_count(a, b), strict, "strict({a},{b})");
+                    assert_eq!(t.weight_x2(a, b), 2 * strict + ties, "w2({a},{b})");
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn chunked_builds_match_single_chunk_build() {
+    // Adversarial chunk sizes: 1 (every voter its own u16 partial,
+    // maximal widen traffic), sizes that leave a remainder chunk, and
+    // sizes larger than the profile (single-chunk fast path). All must
+    // be bit-identical to the default build.
+    check(
+        "chunked_builds_match_single_chunk_build",
+        gen::profile_with_degenerates(1..=9, 8, 3),
+        |profile| {
+            let reference = ProfileTally::build(profile).unwrap();
+            for chunk in [1usize, 2, 3, 5, profile.len(), profile.len() + 7] {
+                let chunked = ProfileTally::build_with_chunk(profile, chunk).unwrap();
+                assert_eq!(chunked, reference, "chunk = {chunk}");
+            }
+        },
+    );
+}
+
+#[test]
+fn promotion_boundary_is_exact_at_chunk_voters() {
+    // Profiles straddling CHUNK_VOTERS (= u16::MAX) voters, where the
+    // u16 partial cells hit their ceiling exactly and the build rolls
+    // into a second chunk. Voters cycle through a small pool, so every
+    // expected count is analytic: full cycles × the pool's count plus
+    // the partial prefix's. The unanimous pool entry drives cells to
+    // the exact u16::MAX maximum at m = CHUNK_VOTERS.
+    let pool = [
+        BucketOrder::from_permutation(&[0, 1, 2, 3]).unwrap(),
+        BucketOrder::from_keys(&[1, 1, 2, 2]),
+        BucketOrder::from_permutation(&[0, 1, 2, 3]).unwrap(),
+    ];
+    for m in [CHUNK_VOTERS - 1, CHUNK_VOTERS, CHUNK_VOTERS + 1, CHUNK_VOTERS + 2] {
+        let profile: Vec<BucketOrder> = (0..m).map(|i| pool[i % pool.len()].clone()).collect();
+        let t = ProfileTally::build(&profile).unwrap();
+        let par = ProfileTally::build_parallel_unclamped(&profile, 3).unwrap();
+        assert_eq!(par, t, "parallel promotion at m = {m}");
+        let (cycles, rem) = (m / pool.len(), m % pool.len());
+        for a in 0..4 {
+            for b in 0..4 {
+                if a == b {
+                    continue;
+                }
+                let strict = cycles as u32 * naive_strict(&pool, a, b)
+                    + naive_strict(&pool[..rem], a, b);
+                let ties =
+                    cycles as u32 * naive_ties(&pool, a, b) + naive_ties(&pool[..rem], a, b);
+                assert_eq!(t.strict_count(a, b), strict, "strict({a},{b}) at m = {m}");
+                assert_eq!(t.weight_x2(a, b), 2 * strict + ties, "w2({a},{b}) at m = {m}");
+            }
+        }
+        // Sanity on the ceiling itself: with the unanimous-majority
+        // pool, element 0 beats element 3 in every voter, so the
+        // single-chunk case peaks at exactly u16::MAX.
+        assert_eq!(t.strict_count(0, 3), m as u32);
+    }
 }
 
 #[test]
