@@ -4,9 +4,9 @@ use crate::error::check_inputs;
 use crate::tally::ProfileTally;
 use crate::AggregateError;
 use bucketrank_core::{BucketOrder, ElementId, Pos};
-use bucketrank_metrics::batch::BatchMetric;
+use bucketrank_metrics::batch::{BatchMetric, WeightedMetric};
 use bucketrank_metrics::{
-    footrule, hausdorff, kendall, prepared, MetricsError, PairArena, PreparedRanking,
+    footrule, hausdorff, kendall, prepared, MetricsError, PairArena, PreparedRanking, Weights,
 };
 
 /// Which of the paper's four partial-ranking metrics to aggregate under.
@@ -176,6 +176,58 @@ pub fn total_cost_x2_prepared(
     Ok(total)
 }
 
+/// The weighted aggregation objective `Σ_i d_w(candidate, σ_i)` under
+/// `metric`'s canonical scale (`weighted_footrule_x2` is doubled,
+/// `top_diff` unscaled; see [`bucketrank_metrics::weighted`]).
+///
+/// Weight structure decides the evaluation path — the weighted
+/// analogue of the tally-expressibility rule:
+///
+/// * **Uniform weights `w ≡ c`** make the weighted footrule exactly
+///   `c ×` the unweighted `Fprof` (cumulative masses are `W(p) = c·p`),
+///   so the objective collapses onto the existing prepared `Fprof`
+///   sweep scaled once at the end.
+/// * Anything else (and `top_diff`, which has no unweighted
+///   counterpart in the paper's family) takes the direct path: the
+///   candidate's score vector is computed **once**, then each voter
+///   costs one score-vector build plus an `O(n)` zip.
+///
+/// # Errors
+/// [`AggregateError::NoInputs`] / [`AggregateError::DomainMismatch`]
+/// (also raised when `w` does not cover the shared domain).
+pub fn weighted_total_cost(
+    metric: WeightedMetric,
+    candidate: &BucketOrder,
+    inputs: &[BucketOrder],
+    w: &Weights,
+) -> Result<u64, AggregateError> {
+    let n = check_inputs(inputs)?;
+    if candidate.len() != n {
+        return Err(AggregateError::DomainMismatch {
+            expected: n,
+            found: candidate.len(),
+        });
+    }
+    if metric == WeightedMetric::WeightedFootruleX2 {
+        if let Some(c) = w.is_uniform() {
+            if w.len() == n {
+                return Ok(c * total_cost_x2(AggMetric::FProf, candidate, inputs)?);
+            }
+        }
+    }
+    let cand_scores = metric.element_scores(candidate, w)?;
+    let mut total = 0u64;
+    for s in inputs {
+        let scores = metric.element_scores(s, w)?;
+        total += cand_scores
+            .iter()
+            .zip(&scores)
+            .map(|(&x, &y)| x.abs_diff(y))
+            .sum::<u64>();
+    }
+    Ok(total)
+}
+
 /// The `L1` objective `2·Σ_i L1(f, σ_i)` for a raw score vector `f`
 /// against the inputs' position vectors (half-units). This is the
 /// quantity Lemma 8 says the median minimizes.
@@ -293,6 +345,73 @@ mod tests {
                 distance_x2(metric, &cand, &inputs[0]).unwrap(),
                 "{} pair (arena)",
                 metric.name()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_total_cost_matches_per_voter_kernels() {
+        use bucketrank_metrics::weighted;
+        let inputs: Vec<BucketOrder> = vec![
+            BucketOrder::from_keys(&[1, 2, 3, 4, 1]),
+            BucketOrder::from_keys(&[4, 3, 2, 1, 1]),
+            BucketOrder::from_keys(&[2, 2, 2, 1, 3]),
+        ];
+        let cand = BucketOrder::from_keys(&[1, 1, 2, 3, 2]);
+        for w in [
+            Weights::uniform(5),
+            Weights::from_units(vec![3; 5]).unwrap(),
+            Weights::from_units(vec![16, 8, 4, 2, 1]).unwrap(),
+            Weights::from_units(vec![1, 1, 0, 0, 0]).unwrap(),
+        ] {
+            for metric in WeightedMetric::ALL {
+                let direct: u64 = inputs
+                    .iter()
+                    .map(|s| metric.naive(&cand, s, &w).unwrap())
+                    .sum();
+                assert_eq!(
+                    weighted_total_cost(metric, &cand, &inputs, &w).unwrap(),
+                    direct,
+                    "{} under {:?}",
+                    metric.name(),
+                    w.units()
+                );
+            }
+            // The uniform fast path is the identity c·Fprof.
+            if let Some(c) = w.is_uniform() {
+                assert_eq!(
+                    weighted_total_cost(
+                        WeightedMetric::WeightedFootruleX2,
+                        &cand,
+                        &inputs,
+                        &w
+                    )
+                    .unwrap(),
+                    c * total_cost_x2(AggMetric::FProf, &cand, &inputs).unwrap()
+                );
+            }
+            let _ = weighted::top_diff(&cand, &inputs[0], &w).unwrap();
+        }
+    }
+
+    #[test]
+    fn weighted_total_cost_rejects_bad_shapes() {
+        let inputs = vec![BucketOrder::trivial(3)];
+        let cand = BucketOrder::trivial(3);
+        for metric in WeightedMetric::ALL {
+            assert_eq!(
+                weighted_total_cost(metric, &cand, &[], &Weights::uniform(3)),
+                Err(AggregateError::NoInputs)
+            );
+            assert_eq!(
+                weighted_total_cost(metric, &BucketOrder::trivial(4), &inputs, &Weights::uniform(3)),
+                Err(AggregateError::DomainMismatch { expected: 3, found: 4 })
+            );
+            // A weights/domain length gap maps onto DomainMismatch —
+            // including under the uniform fast path.
+            assert_eq!(
+                weighted_total_cost(metric, &cand, &inputs, &Weights::uniform(5)),
+                Err(AggregateError::DomainMismatch { expected: 3, found: 5 })
             );
         }
     }

@@ -134,6 +134,14 @@ impl From<MetricsError> for AggregateError {
                 found: right,
             },
             MetricsError::NotFullRanking => AggregateError::NotFullRanking,
+            // A weight vector that does not cover the shared domain is
+            // the same shape fault as a mismatched input ranking.
+            MetricsError::WeightsLengthMismatch { weights, domain } => {
+                AggregateError::DomainMismatch {
+                    expected: domain,
+                    found: weights,
+                }
+            }
             other => unreachable!("unexpected metrics error in aggregation: {other}"),
         }
     }

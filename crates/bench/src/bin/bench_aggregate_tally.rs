@@ -293,15 +293,16 @@ fn main() {
         roofline.reps
     );
 
-    BenchReport::new("bench_aggregate_tally")
+    // The report is held until the hard gates below have run, so the
+    // gate outcomes (including a SKIP) land in the trajectory file.
+    let report = BenchReport::new("bench_aggregate_tally")
         .shapes(shapes)
         .field_bool("fast", fast)
         .measurements(&all)
         .ratios("tally_speedups", &speedups)
         .ratios("tally_par_scaling", &par_scaling)
         .bandwidths("effective_bandwidth", &bandwidths)
-        .field_raw("roofline", roofline.json())
-        .write(&out_path("BENCH_aggregate.json"));
+        .field_raw("roofline", roofline.json());
 
     // The smoke gate doubles as a regression check: no rewired
     // aggregator stage (build / MC4 / local Kemenization) may lose to
@@ -348,42 +349,54 @@ fn main() {
         seq_s = seq_s.min(t0.elapsed().as_secs_f64());
     }
     let seq_ratio = naive_s / seq_s;
-    let verdict = if seq_ratio >= 4.0 { "PASS" } else { "FAIL" };
+    let seq_pass = seq_ratio >= 4.0;
+    let verdict = if seq_pass { "PASS" } else { "FAIL" };
     println!(
         "seq gate (256x512, seq >= 4x naive): naive {:.2}ms vs seq {:.2}ms = {seq_ratio:.2}x [{verdict}]",
         naive_s * 1e3,
         seq_s * 1e3
     );
-    if seq_ratio < 4.0 {
-        std::process::exit(1);
-    }
 
     // Gate 2: the 8-thread tally build must beat the sequential build
     // by ≥1.5×, but only on hardware with at least 8 cores —
     // oversubscribed threads cannot scale, so fewer cores SKIPs the
     // gate rather than failing it. (Unclamped entry for the same
-    // reason as the scaling rows.)
+    // reason as the scaling rows.) A SKIP is still *recorded* in the
+    // trajectory file — an omitted row reads as "never measured",
+    // which is a different claim than "measured on a small box".
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
-    if cores < 8 {
+    let (par8_gate, par8_pass) = if cores < 8 {
         println!("par8 gate (256x512, par8 >= 1.5x seq): SKIP ({cores} cores < 8)");
-        return;
-    }
-    let mut par_s = f64::INFINITY;
-    for _ in 0..3 {
-        let t0 = std::time::Instant::now();
-        std::hint::black_box(ProfileTally::build_parallel_unclamped(&profile, 8).unwrap());
-        par_s = par_s.min(t0.elapsed().as_secs_f64());
-    }
-    let ratio = seq_s / par_s;
-    let verdict = if ratio >= 1.5 { "PASS" } else { "FAIL" };
-    println!(
-        "par8 gate (256x512, par8 >= 1.5x seq): seq {:.2}ms vs par8 {:.2}ms = {ratio:.2}x [{verdict}]",
-        seq_s * 1e3,
-        par_s * 1e3
-    );
-    if ratio < 1.5 {
+        (format!("{{\"skipped\": true, \"cores\": {cores}}}"), true)
+    } else {
+        let mut par_s = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(ProfileTally::build_parallel_unclamped(&profile, 8).unwrap());
+            par_s = par_s.min(t0.elapsed().as_secs_f64());
+        }
+        let ratio = seq_s / par_s;
+        let pass = ratio >= 1.5;
+        let verdict = if pass { "PASS" } else { "FAIL" };
+        println!(
+            "par8 gate (256x512, par8 >= 1.5x seq): seq {:.2}ms vs par8 {:.2}ms = {ratio:.2}x [{verdict}]",
+            seq_s * 1e3,
+            par_s * 1e3
+        );
+        (
+            format!("{{\"skipped\": false, \"cores\": {cores}, \"ratio\": {ratio:.3}}}"),
+            pass,
+        )
+    };
+
+    report
+        .field_raw("seq_gate", format!("{{\"ratio\": {seq_ratio:.3}}}"))
+        .field_raw("par8_gate", par8_gate)
+        .write(&out_path("BENCH_aggregate.json"));
+
+    if !seq_pass || !par8_pass {
         std::process::exit(1);
     }
 }

@@ -23,10 +23,11 @@ use bucketrank_bench::timing::{group, Measurement, Sampler};
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::batch::{
     pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_parallel_with,
-    pairwise_matrix_with, prepare_all, BatchMetric,
+    pairwise_matrix_with, prepare_all, weighted_pairwise_matrix,
+    weighted_pairwise_matrix_parallel, BatchMetric, WeightedMetric,
 };
 use bucketrank_metrics::prepared::pair_counts_fenwick_in;
-use bucketrank_metrics::PairArena;
+use bucketrank_metrics::{PairArena, Weights};
 use bucketrank_workloads::random::random_few_valued;
 use bucketrank_workloads::rng::{Pcg32, SeedableRng};
 
@@ -108,6 +109,40 @@ fn main() {
         all.extend([direct_seq, prepared_seq, direct_par, prepared_par]);
     }
 
+    // Weighted family rows: the naive per-pair kernels (which rebuild
+    // per-ranking score vectors for every pair) against the prepared
+    // matrix drivers, under a top-heavy linear weight profile.
+    let weights = Weights::from_units((0..n).map(|p| (n - p) as u64).collect()).unwrap();
+    let mut weighted_speedups: Vec<(String, f64)> = Vec::new();
+    for metric in WeightedMetric::ALL {
+        group(&format!(
+            "batch/{} ({m} rankings × {n} elements, linear weights)",
+            metric.name()
+        ));
+        let naive_seq = s.bench(&format!("batch/{}/naive/seq/{m}x{n}", metric.name()), || {
+            pairwise_matrix_with(&profile, |a, b| metric.naive(a, b, &weights)).unwrap()
+        });
+        let prepared_seq = s.bench(
+            &format!("batch/{}/prepared/seq/{m}x{n}", metric.name()),
+            || weighted_pairwise_matrix(&profile, metric, &weights).unwrap(),
+        );
+        let prepared_par = s.bench(
+            &format!("batch/{}/prepared/par{threads}/{m}x{n}", metric.name()),
+            || weighted_pairwise_matrix_parallel(&profile, metric, &weights, threads).unwrap(),
+        );
+        let seq_speedup = naive_seq.min_ns / prepared_seq.min_ns;
+        let par_speedup = naive_seq.min_ns / prepared_par.min_ns;
+        println!(
+            "  prepared speedup: {seq_speedup:.2}x sequential, {par_speedup:.2}x parallel ({threads} threads)"
+        );
+        weighted_speedups.push((format!("batch/{}/seq", metric.name()), seq_speedup));
+        weighted_speedups.push((format!("batch/{}/par{threads}", metric.name()), par_speedup));
+        for meas in [&prepared_seq, &prepared_par] {
+            bandwidths.push((meas.name.clone(), matrix_bytes / (meas.min_ns * 1e-9)));
+        }
+        all.extend([naive_seq, prepared_seq, prepared_par]);
+    }
+
     let roofline = memcpy_bandwidth();
     println!(
         "roofline: memcpy {:.2} GiB/s ({} MiB buffer, best of {})",
@@ -123,6 +158,7 @@ fn main() {
         .field_bool("fast", fast)
         .measurements(&all)
         .ratios("prepared_speedups", &speedups)
+        .ratios("weighted_speedups", &weighted_speedups)
         .bandwidths("effective_bandwidth", &bandwidths)
         .field_raw("roofline", roofline.json())
         .write(&out_path("BENCH_metrics.json"));
@@ -161,6 +197,24 @@ fn main() {
         table_s * 1e3
     );
     if ratio < 1.5 {
+        std::process::exit(1);
+    }
+
+    // Weighted family gate: the prepared weighted matrix (sequential)
+    // must not lose to the naive per-pair path on the same workload —
+    // the precomputed cumulative-mass scores have to pay for
+    // themselves.
+    let worst_weighted = weighted_speedups
+        .iter()
+        .filter(|(name, _)| name.ends_with("/seq"))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+        .expect("nonempty");
+    let verdict = if worst_weighted.1 >= 1.0 { "PASS" } else { "FAIL" };
+    println!(
+        "weighted lane gate ({m}x{n}, prepared >= 1x naive): worst {:.2}x ({}) [{verdict}]",
+        worst_weighted.1, worst_weighted.0
+    );
+    if worst_weighted.1 < 1.0 {
         std::process::exit(1);
     }
 }

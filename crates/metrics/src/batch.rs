@@ -29,6 +29,7 @@ use crate::prepared::{
     khaus_prepared, khaus_prepared_in, kprof_x2_prepared, kprof_x2_prepared_in, PairArena,
     PreparedRanking,
 };
+use crate::weighted::{self, Weights};
 use crate::MetricsError;
 use crate::{footrule, hausdorff, kendall};
 use bucketrank_core::BucketOrder;
@@ -122,6 +123,79 @@ impl BatchMetric {
             BatchMetric::KAvgX2 => kavg_x2_prepared_in(arena, a, b),
             BatchMetric::KHaus => khaus_prepared_in(arena, a, b),
             BatchMetric::FHaus => fhaus_prepared_in(arena, a, b),
+        }
+    }
+}
+
+/// The weighted pairwise metrics the batch engine can evaluate
+/// ([`crate::weighted`]), each parameterized by a [`Weights`] vector
+/// carried alongside the profile. Kept separate from [`BatchMetric`]
+/// (which stays `Copy` and weight-free) — the weighted matrix builders
+/// take the weights once per matrix and precompute every ranking's
+/// score vector a single time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WeightedMetric {
+    /// `2·`weighted footrule ([`weighted::weighted_footrule_x2`]).
+    WeightedFootruleX2,
+    /// Top-difference distance ([`weighted::top_diff`]), unscaled.
+    TopDiff,
+}
+
+impl WeightedMetric {
+    /// Both weighted metrics, in a fixed order (useful for sweeps).
+    pub const ALL: [WeightedMetric; 2] =
+        [WeightedMetric::WeightedFootruleX2, WeightedMetric::TopDiff];
+
+    /// A short stable name (bench/report labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            WeightedMetric::WeightedFootruleX2 => "weighted_footrule_x2",
+            WeightedMetric::TopDiff => "top_diff",
+        }
+    }
+
+    /// The naive reference implementation (recomputes both score
+    /// vectors per call).
+    ///
+    /// # Errors
+    /// Whatever the underlying metric returns.
+    pub fn naive(self, a: &BucketOrder, b: &BucketOrder, w: &Weights) -> Result<u64, MetricsError> {
+        match self {
+            WeightedMetric::WeightedFootruleX2 => weighted::weighted_footrule_x2(a, b, w),
+            WeightedMetric::TopDiff => weighted::top_diff(a, b, w),
+        }
+    }
+
+    /// The prepared kernel against a caller-held [`PairArena`].
+    ///
+    /// # Errors
+    /// [`MetricsError::DomainMismatch`] /
+    /// [`MetricsError::WeightsLengthMismatch`].
+    pub fn prepared_in(
+        self,
+        arena: &mut PairArena,
+        a: &PreparedRanking<'_>,
+        b: &PreparedRanking<'_>,
+        w: &Weights,
+    ) -> Result<u64, MetricsError> {
+        match self {
+            WeightedMetric::WeightedFootruleX2 => {
+                weighted::weighted_footrule_x2_prepared_in(arena, a, b, w)
+            }
+            WeightedMetric::TopDiff => weighted::top_diff_prepared_in(arena, a, b, w),
+        }
+    }
+
+    /// The per-element score vector whose pairwise `L1` gaps are this
+    /// metric — the matrix builders compute it **once per ranking** and
+    /// reduce every pair to a zip.
+    ///
+    /// # Errors
+    /// [`MetricsError::WeightsLengthMismatch`].
+    pub fn element_scores(self, o: &BucketOrder, w: &Weights) -> Result<Vec<u64>, MetricsError> {
+        match self {
+            WeightedMetric::WeightedFootruleX2 => weighted::weighted_positions_x2(o, w),
+            WeightedMetric::TopDiff => weighted::top_mass(o, w),
         }
     }
 }
@@ -375,6 +449,95 @@ where
     Ok(DistanceMatrix { m, values })
 }
 
+/// Per-ranking score vectors for a weighted matrix, after validating
+/// the shared domain and the weights' length once.
+fn weighted_scores_all(
+    orders: &[BucketOrder],
+    metric: WeightedMetric,
+    w: &Weights,
+) -> Result<Vec<Vec<u64>>, MetricsError> {
+    for pair in orders.windows(2) {
+        check_same_domain(&pair[0], &pair[1])?;
+    }
+    orders.iter().map(|o| metric.element_scores(o, w)).collect()
+}
+
+fn l1_gap(a: &[u64], b: &[u64]) -> u64 {
+    a.iter().zip(b).map(|(&x, &y)| x.abs_diff(y)).sum()
+}
+
+/// Computes the weighted pairwise matrix single-threaded: each
+/// ranking's score vector is computed **once**, then all `m(m−1)/2`
+/// pairs are plain `L1` zips — the weighted analogue of
+/// [`pairwise_matrix`].
+///
+/// # Errors
+/// [`MetricsError::DomainMismatch`] /
+/// [`MetricsError::WeightsLengthMismatch`].
+pub fn weighted_pairwise_matrix(
+    orders: &[BucketOrder],
+    metric: WeightedMetric,
+    w: &Weights,
+) -> Result<DistanceMatrix, MetricsError> {
+    let scores = weighted_scores_all(orders, metric, w)?;
+    let m = orders.len();
+    let mut values = vec![0u64; m * m];
+    for i in 0..m {
+        for j in i + 1..m {
+            let v = l1_gap(&scores[i], &scores[j]);
+            values[i * m + j] = v;
+            values[j * m + i] = v;
+        }
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
+/// [`weighted_pairwise_matrix`] with `threads` scoped worker threads
+/// over the same chunked pair-list partitioning as
+/// [`pairwise_matrix_parallel`]. Score vectors are computed once up
+/// front on the calling thread; the workers only read them.
+///
+/// # Errors
+/// As [`weighted_pairwise_matrix`].
+pub fn weighted_pairwise_matrix_parallel(
+    orders: &[BucketOrder],
+    metric: WeightedMetric,
+    w: &Weights,
+    threads: usize,
+) -> Result<DistanceMatrix, MetricsError> {
+    let m = orders.len();
+    if threads <= 1 || m < 4 {
+        return weighted_pairwise_matrix(orders, metric, w);
+    }
+    let scores = weighted_scores_all(orders, metric, w)?;
+    let pairs: Vec<(usize, usize)> = (0..m)
+        .flat_map(|i| (i + 1..m).map(move |j| (i, j)))
+        .collect();
+    let mut results = vec![0u64; pairs.len()];
+
+    std::thread::scope(|scope| {
+        let chunk = pairs.len().div_ceil(threads);
+        for (t, res_chunk) in results.chunks_mut(chunk).enumerate() {
+            let pairs = &pairs;
+            let scores = &scores;
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (off, slot) in res_chunk.iter_mut().enumerate() {
+                    let (i, j) = pairs[start + off];
+                    *slot = l1_gap(&scores[i], &scores[j]);
+                }
+            });
+        }
+    });
+
+    let mut values = vec![0u64; m * m];
+    for ((i, j), v) in pairs.into_iter().zip(results) {
+        values[i * m + j] = v;
+        values[j * m + i] = v;
+    }
+    Ok(DistanceMatrix { m, values })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -445,6 +608,46 @@ mod tests {
         assert_eq!(total, direct[medoid]);
         assert_eq!(total, *direct.iter().min().unwrap());
         assert!(mx.total() > 0);
+    }
+
+    #[test]
+    fn weighted_matrix_matches_naive_and_prepared_paths() {
+        let p = profile();
+        let w = Weights::from_units((1..=12u64).rev().collect()).unwrap();
+        for metric in WeightedMetric::ALL {
+            let naive = pairwise_matrix_with(&p, |a, b| metric.naive(a, b, &w)).unwrap();
+            let mx = weighted_pairwise_matrix(&p, metric, &w).unwrap();
+            assert_eq!(naive, mx, "{} sequential", metric.name());
+            for threads in [1usize, 2, 3, 8] {
+                let par = weighted_pairwise_matrix_parallel(&p, metric, &w, threads).unwrap();
+                assert_eq!(naive, par, "{} threads = {threads}", metric.name());
+            }
+            // The arena kernel agrees with the matrix entries too.
+            let prepared = prepare_all(&p).unwrap();
+            let mut arena = PairArena::new();
+            assert_eq!(
+                metric
+                    .prepared_in(&mut arena, &prepared[0], &prepared[1], &w)
+                    .unwrap(),
+                mx.get(0, 1),
+                "{} arena kernel",
+                metric.name()
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_matrix_rejects_bad_shapes() {
+        let p = profile();
+        let short = Weights::uniform(3);
+        for metric in WeightedMetric::ALL {
+            assert!(matches!(
+                weighted_pairwise_matrix(&p, metric, &short),
+                Err(MetricsError::WeightsLengthMismatch { weights: 3, domain: 12 })
+            ));
+            let mixed = vec![BucketOrder::trivial(3), BucketOrder::trivial(4)];
+            assert!(weighted_pairwise_matrix_parallel(&mixed, metric, &short, 4).is_err());
+        }
     }
 
     #[test]

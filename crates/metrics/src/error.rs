@@ -22,6 +22,20 @@ pub enum MetricsError {
     NotTopK,
     /// The location parameter `ℓ` of `F^(ℓ)` must exceed `k`.
     InvalidLocationParameter,
+    /// A weight entry was rejected: negative, non-finite, non-integral,
+    /// over [`crate::weighted::MAX_WEIGHT`], or pushing the running
+    /// total past the overflow-safety bound.
+    InvalidWeight {
+        /// Index of the offending entry in the weight vector.
+        index: usize,
+    },
+    /// The weight vector's length does not match the rankings' domain.
+    WeightsLengthMismatch {
+        /// Length of the weight vector.
+        weights: usize,
+        /// Domain size of the rankings.
+        domain: usize,
+    },
 }
 
 impl fmt::Display for MetricsError {
@@ -40,6 +54,13 @@ impl fmt::Display for MetricsError {
             MetricsError::InvalidLocationParameter => {
                 write!(f, "location parameter ℓ must be greater than k")
             }
+            MetricsError::InvalidWeight { index } => {
+                write!(f, "invalid weight at index {index}")
+            }
+            MetricsError::WeightsLengthMismatch { weights, domain } => write!(
+                f,
+                "weight vector length {weights} does not match domain size {domain}"
+            ),
         }
     }
 }

@@ -62,7 +62,9 @@ pub mod prepared;
 pub mod profile;
 pub mod related;
 pub mod topk;
+pub mod weighted;
 
 pub use error::MetricsError;
 pub use pairs::PairCounts;
 pub use prepared::{PairArena, PreparedRanking};
+pub use weighted::Weights;

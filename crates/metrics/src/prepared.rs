@@ -191,6 +191,10 @@ pub struct PairArena {
     ord: Vec<u32>,
     rank_a: Vec<u32>,
     rank_b: Vec<u32>,
+    /// Per-bucket weighted score tables (weighted kernels, one per
+    /// side; see [`crate::weighted`]).
+    pub(crate) wbucket_a: Vec<u64>,
+    pub(crate) wbucket_b: Vec<u64>,
 }
 
 impl PairArena {
@@ -213,7 +217,7 @@ thread_local! {
     static ARENA: RefCell<PairArena> = RefCell::new(PairArena::default());
 }
 
-fn with_arena<T>(f: impl FnOnce(&mut PairArena) -> T) -> T {
+pub(crate) fn with_arena<T>(f: impl FnOnce(&mut PairArena) -> T) -> T {
     ARENA.with(|s| f(&mut s.borrow_mut()))
 }
 

@@ -338,6 +338,59 @@ impl Client {
         }
     }
 
+    /// Weighted footrule (×2 scale) between two stored voter rankings
+    /// under a per-position weight vector (integer units, index `p`
+    /// weighting 1-based rank `p + 1`).
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::UnknownVoter`] /
+    /// [`ErrorCode::DomainMismatch`] (wrong-length weights) /
+    /// [`ErrorCode::BadRequest`] (invalid weight values), or a
+    /// transport failure.
+    pub fn weighted_dist_x2(
+        &mut self,
+        session: &str,
+        voter_a: u64,
+        voter_b: u64,
+        weights: &[u64],
+    ) -> Result<u64, ClientError> {
+        let req = Request::WeightedDist {
+            session: session.to_owned(),
+            voter_a,
+            voter_b,
+            weights: weights.to_vec(),
+        };
+        match self.expect(&req)? {
+            Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Top-difference distance between two stored voter rankings under
+    /// a per-position weight vector, as on
+    /// [`weighted_dist_x2`](Client::weighted_dist_x2).
+    ///
+    /// # Errors
+    /// As on [`weighted_dist_x2`](Client::weighted_dist_x2).
+    pub fn top_diff(
+        &mut self,
+        session: &str,
+        voter_a: u64,
+        voter_b: u64,
+        weights: &[u64],
+    ) -> Result<u64, ClientError> {
+        let req = Request::TopDiff {
+            session: session.to_owned(),
+            voter_a,
+            voter_b,
+            weights: weights.to_vec(),
+        };
+        match self.expect(&req)? {
+            Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
     /// Per-shard service counters (sessions, WAL bytes, checkpoints,
     /// evictions, recoveries), one row per shard.
     ///

@@ -124,6 +124,11 @@ pub enum ProtoError {
         /// The declared element count.
         len: usize,
     },
+    /// A weight vector declared more entries than [`MAX_ELEMENTS`].
+    WeightsTooLarge {
+        /// The declared entry count.
+        len: usize,
+    },
     /// A field carried a value outside its enumeration (metric code,
     /// median policy, error code).
     BadValue {
@@ -161,6 +166,9 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::RankingTooLarge { len } => {
                 write!(f, "ranking of {len} elements exceeds {MAX_ELEMENTS}")
+            }
+            ProtoError::WeightsTooLarge { len } => {
+                write!(f, "weight vector of {len} entries exceeds {MAX_ELEMENTS}")
             }
             ProtoError::BadValue { what } => write!(f, "out-of-range value for {what}"),
             ProtoError::EmptyBatch => write!(f, "batch frame with zero sub-requests"),
@@ -319,6 +327,34 @@ pub enum Request {
         /// Second stored voter.
         voter_b: u64,
     },
+    /// Weighted footrule (×2) between two **stored** voter rankings
+    /// under a per-position weight vector carried in the frame,
+    /// evaluated with the prepared weighted kernel.
+    WeightedDist {
+        /// Session name.
+        session: String,
+        /// First stored voter.
+        voter_a: u64,
+        /// Second stored voter.
+        voter_b: u64,
+        /// Per-position weights in integer units, `weights[p]` for
+        /// 1-based rank `p + 1`; validated server-side by
+        /// [`bucketrank_metrics::weighted::Weights::from_units`].
+        weights: Vec<u64>,
+    },
+    /// Top-difference distance between two **stored** voter rankings
+    /// under a per-position weight vector carried in the frame.
+    TopDiff {
+        /// Session name.
+        session: String,
+        /// First stored voter.
+        voter_a: u64,
+        /// Second stored voter.
+        voter_b: u64,
+        /// Per-position weights, as on
+        /// [`WeightedDist`](Request::WeightedDist).
+        weights: Vec<u64>,
+    },
     /// Read the per-shard durability and occupancy counters; answered
     /// with [`Response::Stats`].
     Stats,
@@ -467,6 +503,8 @@ const OP_KEMENY: u8 = 0x09;
 const OP_PAIR: u8 = 0x0a;
 const OP_SHUTDOWN: u8 = 0x0b;
 const OP_STATS: u8 = 0x0c;
+const OP_WEIGHTED: u8 = 0x0d;
+const OP_TOPDIFF: u8 = 0x0e;
 
 // v2 opcodes: one request kind (a batch of v1 sub-requests) and its
 // one reply kind (the matching sub-replies, in order).
@@ -520,6 +558,13 @@ pub(crate) fn put_text(out: &mut Vec<u8>, s: &str) {
     let len = bytes.len().min(u16::MAX as usize);
     put_u16(out, len as u16);
     out.extend_from_slice(&bytes[..len]);
+}
+
+pub(crate) fn put_weights(out: &mut Vec<u8>, units: &[u64]) {
+    put_u32(out, units.len() as u32);
+    for &w in units {
+        put_u64(out, w);
+    }
 }
 
 pub(crate) fn put_ranking(out: &mut Vec<u8>, r: &BucketOrder) {
@@ -582,6 +627,20 @@ impl<'a> Cursor<'a> {
             .map_err(|_| ProtoError::BadUtf8)
     }
 
+    pub(crate) fn weights(&mut self) -> Result<Vec<u64>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMENTS {
+            return Err(ProtoError::WeightsTooLarge { len: n });
+        }
+        // Bound the reservation by what the body can actually hold.
+        let have = (self.buf.len() - self.at) / 8;
+        let mut units = Vec::with_capacity(n.min(have));
+        for _ in 0..n {
+            units.push(self.u64()?);
+        }
+        Ok(units)
+    }
+
     pub(crate) fn ranking(&mut self) -> Result<BucketOrder, ProtoError> {
         let n = self.u32()? as usize;
         if n > MAX_ELEMENTS {
@@ -639,6 +698,13 @@ impl Request {
             | Request::MedianOrder { session }
             | Request::TopK { session, .. }
             | Request::PairMetric { session, .. } => (session, None),
+            Request::WeightedDist { session, weights, .. }
+            | Request::TopDiff { session, weights, .. } => {
+                if weights.len() > MAX_ELEMENTS {
+                    return Err(ProtoError::WeightsTooLarge { len: weights.len() });
+                }
+                (session, None)
+            }
         };
         if name.len() > MAX_NAME {
             return Err(ProtoError::NameTooLong { len: name.len() });
@@ -720,6 +786,32 @@ impl Request {
                 put_u64(&mut out, *voter_b);
                 out
             }
+            Request::WeightedDist {
+                session,
+                voter_a,
+                voter_b,
+                weights,
+            } => {
+                let mut out = header(OP_WEIGHTED);
+                put_name(&mut out, session);
+                put_u64(&mut out, *voter_a);
+                put_u64(&mut out, *voter_b);
+                put_weights(&mut out, weights);
+                out
+            }
+            Request::TopDiff {
+                session,
+                voter_a,
+                voter_b,
+                weights,
+            } => {
+                let mut out = header(OP_TOPDIFF);
+                put_name(&mut out, session);
+                put_u64(&mut out, *voter_a);
+                put_u64(&mut out, *voter_b);
+                put_weights(&mut out, weights);
+                out
+            }
             Request::Stats => header(OP_STATS),
             Request::Shutdown => header(OP_SHUTDOWN),
         }
@@ -782,6 +874,30 @@ impl Request {
                     metric,
                     voter_a,
                     voter_b,
+                }
+            }
+            OP_WEIGHTED => {
+                let session = c.name()?;
+                let voter_a = c.u64()?;
+                let voter_b = c.u64()?;
+                let weights = c.weights()?;
+                Request::WeightedDist {
+                    session,
+                    voter_a,
+                    voter_b,
+                    weights,
+                }
+            }
+            OP_TOPDIFF => {
+                let session = c.name()?;
+                let voter_a = c.u64()?;
+                let voter_b = c.u64()?;
+                let weights = c.weights()?;
+                Request::TopDiff {
+                    session,
+                    voter_a,
+                    voter_b,
+                    weights,
                 }
             }
             OP_STATS => Request::Stats,
@@ -1266,6 +1382,18 @@ mod tests {
                 voter_a: 0,
                 voter_b: 1,
             },
+            Request::WeightedDist {
+                session: "s".into(),
+                voter_a: 0,
+                voter_b: 1,
+                weights: vec![4, 3, 2, 1],
+            },
+            Request::TopDiff {
+                session: "s".into(),
+                voter_a: 2,
+                voter_b: 5,
+                weights: vec![1, 1, 0, 0],
+            },
             Request::Stats,
             Request::Shutdown,
         ]
@@ -1397,6 +1525,29 @@ mod tests {
         assert_eq!(
             Request::decode(&body),
             Err(ProtoError::RankingTooLarge { len: u32::MAX as usize })
+        );
+        // Same for an oversized weight-count claim.
+        for op in [OP_WEIGHTED, OP_TOPDIFF] {
+            let mut body = header(op);
+            put_name(&mut body, "s");
+            put_u64(&mut body, 0);
+            put_u64(&mut body, 1);
+            put_u32(&mut body, u32::MAX);
+            assert_eq!(
+                Request::decode(&body),
+                Err(ProtoError::WeightsTooLarge { len: u32::MAX as usize })
+            );
+        }
+        // validate() mirrors the decoder's weight-count bound.
+        let req = Request::TopDiff {
+            session: "s".into(),
+            voter_a: 0,
+            voter_b: 1,
+            weights: vec![0; MAX_ELEMENTS + 1],
+        };
+        assert_eq!(
+            req.validate(),
+            Err(ProtoError::WeightsTooLarge { len: MAX_ELEMENTS + 1 })
         );
     }
 

@@ -37,7 +37,8 @@ use bucketrank_core::BucketOrder;
 use bucketrank_metrics::prepared::{
     fhaus_x2_prepared, fprof_x2_prepared, khaus_x2_prepared, kprof_x2_prepared, PreparedRanking,
 };
-use bucketrank_metrics::MetricsError;
+use bucketrank_metrics::weighted::{top_diff_prepared, weighted_footrule_x2_prepared};
+use bucketrank_metrics::{MetricsError, Weights};
 use std::io;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -94,7 +95,9 @@ pub(crate) type SessionCache = Option<(String, u64, Arc<Session>)>;
 
 fn metrics_error(e: &MetricsError) -> Response {
     let code = match e {
-        MetricsError::DomainMismatch { .. } => ErrorCode::DomainMismatch,
+        MetricsError::DomainMismatch { .. } | MetricsError::WeightsLengthMismatch { .. } => {
+            ErrorCode::DomainMismatch
+        }
         _ => ErrorCode::BadRequest,
     };
     Response::Error {
@@ -262,6 +265,18 @@ impl Service {
                 voter_a,
                 voter_b,
             } => self.pair_metric(&session, cache, metric, voter_a, voter_b),
+            Request::WeightedDist {
+                session,
+                voter_a,
+                voter_b,
+                weights,
+            } => self.weighted_pair(&session, cache, voter_a, voter_b, weights, false),
+            Request::TopDiff {
+                session,
+                voter_a,
+                voter_b,
+                weights,
+            } => self.weighted_pair(&session, cache, voter_a, voter_b, weights, true),
         }
     }
 
@@ -323,6 +338,25 @@ impl Service {
         }
     }
 
+    /// Clones two stored voter rankings under the edit mutex (O(n)),
+    /// so the prepared kernels can run outside it.
+    fn fetch_pair(
+        &self,
+        name: &str,
+        cache: &mut SessionCache,
+        voter_a: u64,
+        voter_b: u64,
+    ) -> Result<(BucketOrder, BucketOrder), Response> {
+        let session = self.resolve(name, cache)?;
+        let dp = session.profile.lock().expect("edit lock");
+        let fetch = |raw: u64| -> Result<BucketOrder, Response> {
+            dp.get_voter(VoterId::from_raw(raw)).cloned().ok_or_else(|| {
+                agg_error(&AggregateError::UnknownVoter { id: raw })
+            })
+        };
+        Ok((fetch(voter_a)?, fetch(voter_b)?))
+    }
+
     fn pair_metric(
         &self,
         name: &str,
@@ -331,23 +365,9 @@ impl Service {
         voter_a: u64,
         voter_b: u64,
     ) -> Response {
-        let session = match self.resolve(name, cache) {
-            Ok(s) => s,
+        let (a, b) = match self.fetch_pair(name, cache, voter_a, voter_b) {
+            Ok(pair) => pair,
             Err(resp) => return resp,
-        };
-        // Clone the two stored rankings under the edit mutex (O(n)),
-        // then evaluate the prepared kernels outside it.
-        let (a, b): (BucketOrder, BucketOrder) = {
-            let dp = session.profile.lock().expect("edit lock");
-            let fetch = |raw: u64| -> Result<BucketOrder, Response> {
-                dp.get_voter(VoterId::from_raw(raw)).cloned().ok_or_else(|| {
-                    agg_error(&AggregateError::UnknownVoter { id: raw })
-                })
-            };
-            match (fetch(voter_a), fetch(voter_b)) {
-                (Ok(a), Ok(b)) => (a, b),
-                (Err(resp), _) | (_, Err(resp)) => return resp,
-            }
         };
         let pa = PreparedRanking::new(&a);
         let pb = PreparedRanking::new(&b);
@@ -356,6 +376,40 @@ impl Service {
             MetricKind::FprofX2 => fprof_x2_prepared(&pa, &pb),
             MetricKind::KhausX2 => khaus_x2_prepared(&pa, &pb),
             MetricKind::FhausX2 => fhaus_x2_prepared(&pa, &pb),
+        };
+        match value {
+            Ok(value) => Response::CostX2 { value },
+            Err(e) => metrics_error(&e),
+        }
+    }
+
+    /// The two weighted kernels share one handler: the weight vector
+    /// travels in the frame and is validated here by
+    /// [`Weights::from_units`], so a negative-free but overflowing or
+    /// wrong-length vector is a typed error, never a panic.
+    fn weighted_pair(
+        &self,
+        name: &str,
+        cache: &mut SessionCache,
+        voter_a: u64,
+        voter_b: u64,
+        weights: Vec<u64>,
+        top: bool,
+    ) -> Response {
+        let (a, b) = match self.fetch_pair(name, cache, voter_a, voter_b) {
+            Ok(pair) => pair,
+            Err(resp) => return resp,
+        };
+        let w = match Weights::from_units(weights) {
+            Ok(w) => w,
+            Err(e) => return metrics_error(&e),
+        };
+        let pa = PreparedRanking::new(&a);
+        let pb = PreparedRanking::new(&b);
+        let value = if top {
+            top_diff_prepared(&pa, &pb, &w)
+        } else {
+            weighted_footrule_x2_prepared(&pa, &pb, &w)
         };
         match value {
             Ok(value) => Response::CostX2 { value },
@@ -491,6 +545,31 @@ mod tests {
             );
         }
 
+        // Weighted kernels with the weight vector carried in the frame.
+        let w = Weights::from_units(vec![7, 3, 1, 1]).unwrap();
+        assert_eq!(
+            svc.handle(Request::WeightedDist {
+                session: "s".into(),
+                voter_a: v0,
+                voter_b: v1,
+                weights: w.units().to_vec(),
+            }),
+            Response::CostX2 {
+                value: weighted_footrule_x2_prepared(&pa, &pb, &w).unwrap()
+            }
+        );
+        assert_eq!(
+            svc.handle(Request::TopDiff {
+                session: "s".into(),
+                voter_a: v0,
+                voter_b: v1,
+                weights: w.units().to_vec(),
+            }),
+            Response::CostX2 {
+                value: top_diff_prepared(&pa, &pb, &w).unwrap()
+            }
+        );
+
         assert_eq!(
             svc.handle(Request::RemoveVoter {
                 session: "s".into(),
@@ -582,6 +661,35 @@ mod tests {
                 k: 99,
             })),
             ErrorCode::InvalidK
+        );
+        // Weighted requests: unknown voter, wrong-length weights,
+        // overflowing weights — all typed, session stays serving.
+        assert_eq!(
+            err_code(svc.handle(Request::WeightedDist {
+                session: "s".into(),
+                voter_a: v,
+                voter_b: v + 100,
+                weights: vec![1, 1, 1],
+            })),
+            ErrorCode::UnknownVoter
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::TopDiff {
+                session: "s".into(),
+                voter_a: v,
+                voter_b: v,
+                weights: vec![1, 1], // two weights, three elements
+            })),
+            ErrorCode::DomainMismatch
+        );
+        assert_eq!(
+            err_code(svc.handle(Request::WeightedDist {
+                session: "s".into(),
+                voter_a: v,
+                voter_b: v,
+                weights: vec![u64::MAX, 1, 1],
+            })),
+            ErrorCode::BadRequest
         );
         // The failed edits left the session serving.
         assert!(matches!(

@@ -505,6 +505,85 @@ impl Gen for OrderPairWithDegeneratesGen {
     }
 }
 
+/// Per-position weight vectors (integer units, index `p` weighting
+/// 1-based rank `p + 1`) with heavy weight on the degenerate classes
+/// weighted metric kernels must get right: **uniform** (every position
+/// the same), **geometric decay** (halving weights with a zero tail),
+/// **top-k step** (a constant on the first `k` positions, zero after)
+/// and a **single-position spike**. The rest of the stream is generic
+/// small weights, zeros included.
+///
+/// Shrinking **preserves the class shape**: halving every nonzero
+/// entry at once keeps uniform vectors uniform, steps steps, spikes
+/// spikes and decays nonincreasing; zeroing the last nonzero entry
+/// (proposed only when it cannot break a uniform vector or empty a
+/// spike) shortens a step or decay tail. A counterexample found on a
+/// spike therefore shrinks to the smallest-valued spike that still
+/// fails instead of drifting into a generic vector.
+pub fn weights_with_degenerates(n: usize) -> WeightsWithDegeneratesGen {
+    assert!(n >= 1);
+    WeightsWithDegeneratesGen { n }
+}
+
+/// See [`weights_with_degenerates`].
+pub struct WeightsWithDegeneratesGen {
+    n: usize,
+}
+
+impl Gen for WeightsWithDegeneratesGen {
+    type Value = Vec<u64>;
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        let n = self.n;
+        match rng.gen_range(0..8u32) {
+            // Uniform: the class where the weighted kernels must
+            // collapse to scaled unweighted ones.
+            0 | 1 => vec![u64::from(rng.gen_range(1..=16u32)); n],
+            // Geometric decay: halving weights, zero once the base
+            // runs out of bits.
+            2 | 3 => {
+                let base: u64 = 1 << rng.gen_range(0..20u32);
+                (0..n).map(|p| base >> p.min(63)).collect()
+            }
+            // Top-k step: a constant on the first k positions.
+            4 | 5 => {
+                let k = rng.gen_range(1..=n as u32) as usize;
+                let c = u64::from(rng.gen_range(1..=4u32));
+                (0..n).map(|p| if p < k { c } else { 0 }).collect()
+            }
+            // Single-position spike: all the mass on one rank.
+            6 => {
+                let mut w = vec![0u64; n];
+                w[rng.gen_range(0..n as u32) as usize] = 1 << rng.gen_range(0..20u32);
+                w
+            }
+            _ => (0..n).map(|_| u64::from(rng.gen_range(0..=16u32))).collect(),
+        }
+    }
+
+    fn shrink(&self, w: &Self::Value) -> Vec<Self::Value> {
+        let mut out = Vec::new();
+        // Halving every nonzero entry at once preserves every class
+        // shape.
+        if w.iter().any(|&x| x > 1) {
+            out.push(w.iter().map(|&x| if x > 1 { x / 2 } else { x }).collect());
+        }
+        // Zeroing the last nonzero entry shortens a step or decay
+        // tail. Skipped when the entries are all equal (it would break
+        // a uniform vector) or only one is nonzero (it would empty a
+        // spike).
+        let nonzero = w.iter().filter(|&&x| x != 0).count();
+        let all_equal = w.windows(2).all(|p| p[0] == p[1]);
+        if nonzero >= 2 && !all_equal {
+            let last = w.iter().rposition(|&x| x != 0).expect("nonzero >= 2");
+            let mut z = w.clone();
+            z[last] = 0;
+            out.push(z);
+        }
+        out
+    }
+}
+
 /// A multi-voter profile: `m` bucket orders (with `m` drawn from
 /// `voters`) over one shared `n`-element domain, with heavy weight on
 /// the degenerate profiles tally-style aggregation code must get
@@ -1136,6 +1215,66 @@ mod tests {
     }
 
     #[test]
+    fn weights_gen_hits_every_class() {
+        let g = weights_with_degenerates(8);
+        let mut rng = Pcg32::seed_from_u64(9);
+        let (mut uniform, mut decay, mut step, mut spike, mut generic) = (0, 0, 0, 0, 0);
+        for _ in 0..400 {
+            let w = g.generate(&mut rng);
+            assert_eq!(w.len(), 8);
+            let nonzero = w.iter().filter(|&&x| x != 0).count();
+            let nonincreasing = w.windows(2).all(|p| p[0] >= p[1]);
+            if w.windows(2).all(|p| p[0] == p[1]) {
+                uniform += 1;
+            } else if nonzero == 1 {
+                spike += 1;
+            } else if nonincreasing && w.iter().filter(|&&x| x != 0).all(|&x| x == w[0]) {
+                step += 1;
+            } else if nonincreasing {
+                decay += 1;
+            } else {
+                generic += 1;
+            }
+        }
+        assert!(
+            uniform > 0 && decay > 0 && step > 0 && spike > 0 && generic > 0,
+            "classes: {uniform} {decay} {step} {spike} {generic}"
+        );
+    }
+
+    #[test]
+    fn weights_shrinks_preserve_class() {
+        let g = weights_with_degenerates(5);
+        // Uniform stays uniform (no zero-last candidate).
+        for s in g.shrink(&vec![8, 8, 8, 8, 8]) {
+            assert!(s.windows(2).all(|p| p[0] == p[1]), "uniform left its class: {s:?}");
+        }
+        // A spike stays a spike — its single nonzero entry only halves.
+        for s in g.shrink(&vec![0, 0, 16, 0, 0]) {
+            assert_eq!(s.iter().filter(|&&x| x != 0).count(), 1, "spike emptied: {s:?}");
+            assert_ne!(s[2], 0);
+        }
+        // A step stays a step: constant prefix, zero tail.
+        for s in g.shrink(&vec![4, 4, 4, 0, 0]) {
+            let k = s.iter().filter(|&&x| x != 0).count();
+            assert!(s[..k].iter().all(|&x| x == s[0]) && s[k..].iter().all(|&x| x == 0));
+        }
+        // Nonincreasing (decay) vectors stay nonincreasing.
+        for s in g.shrink(&vec![16, 8, 4, 2, 1]) {
+            assert!(s.windows(2).all(|p| p[0] >= p[1]), "decay left its class: {s:?}");
+        }
+        // Every chain terminates: halving and zeroing strictly reduce.
+        let mut cur = vec![1 << 19, 1 << 18, 7, 0, 3];
+        let mut steps = 0;
+        while let Some(next) = g.shrink(&cur).into_iter().next() {
+            assert!(next.iter().sum::<u64>() < cur.iter().sum::<u64>());
+            cur = next;
+            steps += 1;
+            assert!(steps < 200, "shrink chain did not terminate");
+        }
+    }
+
+    #[test]
     fn profile_gen_hits_every_class_on_shared_domains() {
         let g = profile_with_degenerates(2..=5, 7, 3);
         let mut rng = Pcg32::seed_from_u64(7);
@@ -1328,6 +1467,12 @@ mod tests {
     #[should_panic]
     fn degenerate_pair_rejects_empty_domain() {
         let _ = order_pair_with_degenerates(0, 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn weights_gen_rejects_empty_domain() {
+        weights_with_degenerates(0);
     }
 
     #[test]

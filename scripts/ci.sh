@@ -45,6 +45,17 @@ cargo test -q --workspace --offline
 echo "==> prepared-kernel conformance suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test prepared_vs_direct
 
+echo "==> weighted metric family suite (256 cases per property)"
+# The weighted-footrule / top-difference property suite: unit-weight
+# collapse to fprof_x2 (bit-exact), Theorem-7-style bounds, metric
+# axioms and monotonicity under degenerate weight classes, the F^(l)
+# oracle on top-k embeddings, typed rejection, and the loopback
+# byte-parity differential for the WeightedDist/TopDiff opcodes.
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test weighted_equivalence
+
+echo "==> topk vs top-difference differential (256 cases per property)"
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test topk_vs_topdiff
+
 echo "==> tally conformance suite (256 cases per property)"
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test tally_conformance
 
@@ -97,9 +108,11 @@ echo "==> bench_batch_prepared smoke gate"
 # its JSON report (with effective-bytes/s rows and a measured memcpy
 # roofline). The smoke numbers land in target/ so they never clobber a
 # committed full-size baseline; if no baseline exists yet, the smoke
-# report seeds one. The pass ends with the lane gate: the dispatched
+# report seeds one. The pass ends with two lane gates: the dispatched
 # Kprof matrix (counting lane) must hold ≥ 1.5× single-thread over the
-# forced Fenwick sort lane, exiting nonzero otherwise.
+# forced Fenwick sort lane, and the prepared weighted matrix must hold
+# ≥ 1× over the naive per-pair weighted kernels, exiting nonzero
+# otherwise.
 smoke_out="target/BENCH_metrics.smoke.json"
 BUCKETRANK_BENCH_FAST=1 BUCKETRANK_BENCH_OUT="$smoke_out" \
   cargo run --release --offline -p bucketrank-bench --bin bench_batch_prepared

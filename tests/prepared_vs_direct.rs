@@ -12,12 +12,17 @@
 //! no state between calls.
 
 use bucketrank::metrics::batch::{
-    pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_with, prepare_all, BatchMetric,
+    pairwise_matrix, pairwise_matrix_parallel, pairwise_matrix_with, prepare_all,
+    weighted_pairwise_matrix, weighted_pairwise_matrix_parallel, BatchMetric, WeightedMetric,
 };
 use bucketrank::metrics::prepared::{
     fhaus_prepared, fhaus_x2_prepared, fprof_x2_prepared, kavg_x2_prepared, khaus_prepared,
     khaus_x2_prepared, kprof_x2_prepared, pair_counts_fenwick_in, pair_counts_prepared,
     pair_counts_prepared_in, pair_counts_table_in, PairArena, PreparedRanking,
+};
+use bucketrank::metrics::weighted::{
+    top_diff_prepared, top_diff_prepared_in, weighted_footrule_x2_prepared,
+    weighted_footrule_x2_prepared_in, Weights,
 };
 use bucketrank::metrics::{footrule, hausdorff, kendall, pairs, MetricsError};
 use bucketrank::BucketOrder;
@@ -189,6 +194,111 @@ fn arena_reuse_across_shrinking_and_growing_sizes() {
             assert_eq!(pair_counts_table_in(&mut arena, &pa, &pb).unwrap(), expected);
             assert_eq!(pair_counts_fenwick_in(&mut arena, &pa, &pb).unwrap(), expected);
         }
+    }
+}
+
+#[test]
+fn weighted_prepared_equals_naive_on_degenerate_heavy_pairs() {
+    // The weighted lane: both prepared weighted kernels against their
+    // naive references, under every degenerate weight class, with one
+    // arena shared across the whole run (stale weighted scratch must
+    // never leak between calls, same hazard as the pair-counts lanes).
+    let arena = std::cell::RefCell::new(PairArena::new());
+    check(
+        "weighted_prepared_equals_naive_on_degenerate_heavy_pairs",
+        gen::pair(
+            gen::order_pair_with_degenerates(12, 4),
+            gen::weights_with_degenerates(12),
+        ),
+        |((a, b), units)| {
+            // Independent shrinking can desync the two sides; mismatch
+            // handling has its own test below.
+            if units.len() != a.len() {
+                return;
+            }
+            let w = Weights::from_units(units.clone()).unwrap();
+            let arena = &mut *arena.borrow_mut();
+            let pa = PreparedRanking::new(a);
+            let pb = PreparedRanking::new(b);
+            assert_eq!(
+                weighted_footrule_x2_prepared_in(arena, &pa, &pb, &w).unwrap(),
+                WeightedMetric::WeightedFootruleX2.naive(a, b, &w).unwrap(),
+                "weighted footrule: {a:?} vs {b:?} under {units:?}"
+            );
+            assert_eq!(
+                top_diff_prepared_in(arena, &pa, &pb, &w).unwrap(),
+                WeightedMetric::TopDiff.naive(a, b, &w).unwrap(),
+                "top diff: {a:?} vs {b:?} under {units:?}"
+            );
+        },
+    );
+}
+
+#[test]
+fn weighted_matrix_equals_naive_double_loop_sequential_and_parallel() {
+    check(
+        "weighted_matrix_equals_naive_double_loop_sequential_and_parallel",
+        gen::pair(
+            gen::vec_of(gen::bucket_order(9, 3), 2..=7),
+            gen::weights_with_degenerates(9),
+        ),
+        |(profile, units)| {
+            if units.len() != profile[0].len() {
+                return;
+            }
+            let w = Weights::from_units(units.clone()).unwrap();
+            for metric in WeightedMetric::ALL {
+                let naive =
+                    pairwise_matrix_with(profile, |a, b| metric.naive(a, b, &w)).unwrap();
+                let seq = weighted_pairwise_matrix(profile, metric, &w).unwrap();
+                assert_eq!(naive, seq, "{} sequential", metric.name());
+                for threads in [2usize, 3, 8] {
+                    let par =
+                        weighted_pairwise_matrix_parallel(profile, metric, &w, threads).unwrap();
+                    assert_eq!(naive, par, "{} threads = {threads}", metric.name());
+                }
+            }
+        },
+    );
+}
+
+#[test]
+fn weighted_entry_points_reject_bad_shapes_not_panic() {
+    let a = BucketOrder::from_keys(&[1, 2, 2]);
+    let b = BucketOrder::from_keys(&[2, 1, 1, 2, 3]);
+    let pa = PreparedRanking::new(&a);
+    let pb = PreparedRanking::new(&b);
+    let w3 = Weights::uniform(3);
+    let w5 = Weights::uniform(5);
+    // Mismatched domains, with matching weights on the left side.
+    let expected = MetricsError::DomainMismatch { left: 3, right: 5 };
+    assert_eq!(weighted_footrule_x2_prepared(&pa, &pb, &w3).unwrap_err(), expected);
+    assert_eq!(top_diff_prepared(&pa, &pb, &w3).unwrap_err(), expected);
+    // Wrong-length weights against a same-domain pair, from every entry
+    // point: naive, prepared, and both matrix drivers.
+    let wrong = MetricsError::WeightsLengthMismatch { weights: 5, domain: 3 };
+    for metric in WeightedMetric::ALL {
+        assert_eq!(metric.naive(&a, &a, &w5).unwrap_err(), wrong);
+    }
+    assert_eq!(weighted_footrule_x2_prepared(&pa, &pa, &w5).unwrap_err(), wrong);
+    assert_eq!(top_diff_prepared(&pa, &pa, &w5).unwrap_err(), wrong);
+    let profile = vec![a.clone(), a.clone()];
+    for metric in WeightedMetric::ALL {
+        assert_eq!(
+            weighted_pairwise_matrix(&profile, metric, &w5).unwrap_err(),
+            wrong
+        );
+        assert_eq!(
+            weighted_pairwise_matrix_parallel(&profile, metric, &w5, 4).unwrap_err(),
+            wrong
+        );
+    }
+    // Mixed-domain profiles are rejected up front, as in the unweighted
+    // batch path.
+    let mixed = vec![a.clone(), b.clone()];
+    for metric in WeightedMetric::ALL {
+        assert!(weighted_pairwise_matrix(&mixed, metric, &w3).is_err());
+        assert!(weighted_pairwise_matrix_parallel(&mixed, metric, &w3, 4).is_err());
     }
 }
 

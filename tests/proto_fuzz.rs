@@ -29,7 +29,7 @@ fn bodies() -> impl Gen<Value = Vec<u8>> {
                 body[1] = 0x20; // OP_BATCH
             } else {
                 body[0] = 1; // PROTO_VERSION
-                body[1] = rng.gen_range(0x01..=0x0cu32) as u8; // opcodes + one invalid
+                body[1] = rng.gen_range(0x01..=0x0fu32) as u8; // opcodes + one invalid
             }
         }
         body
@@ -92,8 +92,20 @@ fn sample_requests() -> impl Gen<Value = Vec<Request>> {
                 ranking,
             },
             Request::TopK {
-                session: name,
+                session: name.clone(),
                 k: rng.gen_range(0..=64u32),
+            },
+            Request::WeightedDist {
+                session: name.clone(),
+                voter_a: rng.gen_range(0..u64::MAX),
+                voter_b: rng.gen_range(0..u64::MAX),
+                weights: (0..n).map(|_| rng.gen_range(0..=16u32) as u64).collect(),
+            },
+            Request::TopDiff {
+                session: name,
+                voter_a: rng.gen_range(0..u64::MAX),
+                voter_b: rng.gen_range(0..u64::MAX),
+                weights: (0..n).map(|_| rng.gen_range(0..=16u32) as u64).collect(),
             },
             Request::Shutdown,
         ]

@@ -1,0 +1,191 @@
+//! Differential suite relating the paper's top-`k` machinery
+//! (`metrics::topk`, active-domain constructions from Fagin et al.) to
+//! the new top-difference kernel (`metrics::weighted::top_diff`,
+//! arXiv 2403.15198) on shared inputs.
+//!
+//! The load-bearing identity: embed two top-`K` lists over a fixed
+//! `n`-element domain as bucket orders and weight the top-difference
+//! with the `K`-step vector (`w_p = 1` for `p ≤ K`, else `0`). Then
+//!
+//! ```text
+//! fprof_x2 = 2·top_diff + (n − K − 1)·z
+//! ```
+//!
+//! where `z` counts the elements appearing in **exactly one** of the
+//! two top sets: element-wise, a both-lists element contributes
+//! `2·|Δrank|` to each side, while a one-list element contributes its
+//! full displacement to the footrule but only the `K`-window part to
+//! the step-weighted top difference — the gap is exactly `n − K − 1`
+//! per such element. At `K = n` the step vector is uniform, `z = 0`,
+//! and the two metrics agree exactly (factor 2).
+//!
+//! The suite pins where they agree (full-domain unions, `K = n`), the
+//! identity itself on random top-`K` pairs, and a divergence witness
+//! showing the active-domain `topk` kernels and the fixed-domain
+//! top-difference measure genuinely different things once unranked
+//! tail elements exist.
+
+use bucketrank::metrics::topk::{
+    active_domain, as_bucket_orders, fprof_x2_topk, kprof_x2_topk, TopKList,
+};
+use bucketrank::metrics::weighted::{top_diff, weighted_footrule_x2, Weights};
+use bucketrank::metrics::footrule;
+use bucketrank::{BucketOrder, ElementId};
+use bucketrank_testkit::prelude::*;
+
+/// The `K`-step weight vector over an `n`-element domain.
+fn step_weights(n: usize, k: usize) -> Weights {
+    Weights::from_units((0..n).map(|p| u64::from(p < k)).collect()).unwrap()
+}
+
+/// Two random ordered `k`-subsets of `0..n`, as raw element lists.
+fn topk_pairs() -> impl Gen<Value = (usize, usize, Vec<ElementId>, Vec<ElementId>)> {
+    gen::from_fn(|rng| {
+        let n = rng.gen_range(2..=10u32) as usize;
+        let k = rng.gen_range(1..=n as u32) as usize;
+        let mut draw = || {
+            let mut elems: Vec<ElementId> = (0..n as ElementId).collect();
+            for i in 0..k {
+                let j = i + rng.gen_range(0..(n - i) as u32) as usize;
+                elems.swap(i, j);
+            }
+            elems.truncate(k);
+            elems
+        };
+        (n, k, draw(), draw())
+    })
+}
+
+/// `z`: the number of elements in exactly one of the two top sets.
+fn exactly_one(a: &[ElementId], b: &[ElementId]) -> u64 {
+    let one_sided = |x: &[ElementId], y: &[ElementId]| {
+        x.iter().filter(|e| !y.contains(e)).count() as u64
+    };
+    one_sided(a, b) + one_sided(b, a)
+}
+
+#[test]
+fn step_weighted_top_diff_accounts_for_fprof_up_to_the_tail_term() {
+    check(
+        "step_weighted_top_diff_accounts_for_fprof_up_to_the_tail_term",
+        topk_pairs(),
+        |(n, k, ea, eb)| {
+            let (n, k) = (*n, *k);
+            let sa = BucketOrder::top_k(n, ea).expect("valid top-k");
+            let sb = BucketOrder::top_k(n, eb).expect("valid top-k");
+            let w = step_weights(n, k);
+            let top = top_diff(&sa, &sb, &w).unwrap();
+            let fprof = footrule::fprof_x2(&sa, &sb).unwrap();
+            let z = exactly_one(ea, eb);
+            assert_eq!(
+                fprof,
+                2 * top + (n as u64 - k as u64).saturating_sub(1) * z,
+                "identity violated at n = {n}, k = {k}: {ea:?} vs {eb:?} \
+                 (top = {top}, fprof_x2 = {fprof}, z = {z})"
+            );
+            // The step-weighted footrule sees only the K-window too,
+            // and on these embeddings it is never above the unweighted
+            // profile footrule.
+            assert!(weighted_footrule_x2(&sa, &sb, &w).unwrap() <= fprof);
+        },
+    );
+}
+
+#[test]
+fn full_k_collapses_to_exact_agreement() {
+    // K = n: the step vector is uniform, z = 0, and both lanes of the
+    // identity collapse — fprof_x2 = 2·top_diff, bit-exact.
+    check(
+        "full_k_collapses_to_exact_agreement",
+        gen::full_pair(8),
+        |(a, b)| {
+            let w = step_weights(a.len(), a.len());
+            assert_eq!(
+                footrule::fprof_x2(a, b).unwrap(),
+                2 * top_diff(a, b, &w).unwrap()
+            );
+        },
+    );
+}
+
+#[test]
+fn active_domain_kernels_agree_when_the_union_covers_the_domain() {
+    // When the two top sets jointly cover all n elements, the
+    // active-domain embedding and the fixed-domain embedding are the
+    // same construction up to element relabeling, and both footrule
+    // kernels are label-invariant sums — so `metrics::topk` agrees
+    // with the fixed-domain path, and the identity ties it to
+    // `top_diff`.
+    check(
+        "active_domain_kernels_agree_when_the_union_covers_the_domain",
+        topk_pairs(),
+        |(n, k, ea, eb)| {
+            let (n, k) = (*n, *k);
+            let la = TopKList::new(ea.clone()).unwrap();
+            let lb = TopKList::new(eb.clone()).unwrap();
+            if active_domain(&la, &lb).len() != n {
+                return; // covered by the divergence witness below
+            }
+            let sa = BucketOrder::top_k(n, ea).unwrap();
+            let sb = BucketOrder::top_k(n, eb).unwrap();
+            let fixed = footrule::fprof_x2(&sa, &sb).unwrap();
+            assert_eq!(fprof_x2_topk(&la, &lb).unwrap(), fixed);
+            let top = top_diff(&sa, &sb, &step_weights(n, k)).unwrap();
+            assert_eq!(
+                fixed,
+                2 * top + (n as u64 - k as u64).saturating_sub(1) * exactly_one(ea, eb)
+            );
+            // Sanity: the active-domain embedding really is the same
+            // shape (same sorted position multiset).
+            let (ta, tb) = as_bucket_orders(&la, &lb);
+            assert_eq!(ta.len(), n);
+            assert_eq!(
+                kprof_x2_topk(&la, &lb).unwrap(),
+                bucketrank::metrics::kendall::kprof_x2(&sa, &sb).unwrap()
+            );
+            assert_eq!(tb.len(), n);
+        },
+    );
+}
+
+#[test]
+fn unranked_tail_elements_are_where_the_two_families_diverge() {
+    // The pinned witness: disjoint top-1 lists over n = 5. The
+    // active-domain kernel sees a 2-element universe (each list's
+    // element, then the other's), while the fixed-domain embedding
+    // keeps all five — three of them unranked by *both* lists.
+    let la = TopKList::new(vec![0]).unwrap();
+    let lb = TopKList::new(vec![4]).unwrap();
+    assert_eq!(active_domain(&la, &lb).len(), 2);
+
+    let sa = BucketOrder::top_k(5, &[0]).unwrap();
+    let sb = BucketOrder::top_k(5, &[4]).unwrap();
+
+    // Active domain: both elements swap between rank 1 and the
+    // (single-slot) bottom bucket — fprof_x2 = 2·|1 − 2|·2 = 4.
+    let active = fprof_x2_topk(&la, &lb).unwrap();
+    assert_eq!(active, 4);
+
+    // Fixed domain: each list's element travels from rank 1 to the
+    // bottom bucket spanning ranks 2..=5 (half-unit gap 5 each way).
+    let fixed = footrule::fprof_x2(&sa, &sb).unwrap();
+    assert_eq!(fixed, 10);
+    assert_ne!(active, fixed, "tail elements must change the footrule");
+
+    // The step-weighted top difference ignores everything below the
+    // cut: each displaced element contributes exactly its K-window
+    // mass (1 each), and the identity reconciles the gap through z.
+    let top = top_diff(&sa, &sb, &step_weights(5, 1)).unwrap();
+    assert_eq!(top, 2);
+    let z = exactly_one(&[0], &[4]);
+    assert_eq!(z, 2);
+    assert_eq!(fixed, 2 * top + (5 - 1 - 1) * z);
+
+    // And with *uniform* weights the top difference does see the tail:
+    // each displaced element now pays |ΔA| = 3 (ceiling-average rank 1
+    // vs 4), strictly more than its step-weighted charge of 1, inside
+    // the unit-weight sandwich top ≤ fprof_x2 ≤ 2·top + n.
+    let uniform_top = top_diff(&sa, &sb, &Weights::uniform(5)).unwrap();
+    assert_eq!(uniform_top, 6);
+    assert!(uniform_top <= fixed && fixed <= 2 * uniform_top + 5);
+}
