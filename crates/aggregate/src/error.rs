@@ -64,6 +64,40 @@ pub enum AggregateError {
         /// The offending id.
         id: u64,
     },
+    /// A [`crate::minmax::WindowRule`]'s prefix window lies outside
+    /// `1..=n`.
+    InvalidConstraintWindow {
+        /// Index of the offending rule.
+        index: usize,
+        /// The window given.
+        window: usize,
+        /// The domain size the labels describe.
+        domain_size: usize,
+    },
+    /// A [`crate::minmax::WindowRule`] has `min > max` or a `max`
+    /// exceeding its own window.
+    InvalidConstraintBounds {
+        /// Index of the offending rule.
+        index: usize,
+        /// The rule's `min`.
+        min: usize,
+        /// The rule's `max`.
+        max: usize,
+        /// The rule's window.
+        window: usize,
+    },
+    /// A [`crate::minmax::WindowRule`] references a class label no
+    /// candidate carries.
+    UnknownClass {
+        /// Index of the offending rule.
+        index: usize,
+        /// The class label the rule names.
+        class: u32,
+    },
+    /// A well-formed rule set that no permutation can satisfy (caps and
+    /// floors collide). Raised by the constrained solvers and by
+    /// [`crate::minmax::ClassConstraints::repair`].
+    InfeasibleConstraints,
 }
 
 impl fmt::Display for AggregateError {
@@ -99,6 +133,30 @@ impl fmt::Display for AggregateError {
             }
             AggregateError::InvalidVoterId { id } => {
                 write!(f, "voter id {id} is invalid for restore (duplicate or ≥ next_id)")
+            }
+            AggregateError::InvalidConstraintWindow {
+                index,
+                window,
+                domain_size,
+            } => write!(
+                f,
+                "constraint {index}: window {window} outside 1..={domain_size}"
+            ),
+            AggregateError::InvalidConstraintBounds {
+                index,
+                min,
+                max,
+                window,
+            } => write!(
+                f,
+                "constraint {index}: bounds min {min}, max {max} invalid for window {window}"
+            ),
+            AggregateError::UnknownClass { index, class } => write!(
+                f,
+                "constraint {index} references class {class}, which no candidate carries"
+            ),
+            AggregateError::InfeasibleConstraints => {
+                write!(f, "no permutation satisfies the class constraints")
             }
         }
     }
@@ -181,6 +239,27 @@ mod tests {
         assert!(AggregateError::TooManyVoters { limit: 4 }
             .to_string()
             .contains('4'));
+        assert!(AggregateError::InvalidConstraintWindow {
+            index: 2,
+            window: 9,
+            domain_size: 5
+        }
+        .to_string()
+        .contains("window 9"));
+        assert!(AggregateError::InvalidConstraintBounds {
+            index: 0,
+            min: 3,
+            max: 1,
+            window: 4
+        }
+        .to_string()
+        .contains("min 3"));
+        assert!(AggregateError::UnknownClass { index: 1, class: 7 }
+            .to_string()
+            .contains("class 7"));
+        assert!(AggregateError::InfeasibleConstraints
+            .to_string()
+            .contains("no permutation"));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub mod kwiksort;
 pub mod local;
 pub mod markov;
 pub mod median;
+pub mod minmax;
 pub mod schulze;
 pub mod tally;
 pub mod topk;
@@ -77,4 +78,5 @@ pub mod strong;
 pub use dynamic::{DynamicProfile, DynamicSnapshot, VoterId};
 pub use error::AggregateError;
 pub use median::MedianPolicy;
+pub use minmax::{ClassConstraints, MinMaxObjective, WindowRule};
 pub use tally::ProfileTally;

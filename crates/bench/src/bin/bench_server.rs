@@ -9,7 +9,10 @@
 //!   mutex;
 //! * **read_heavy**: 5% edits, 95% reads (median order, top-k, Kemeny
 //!   cost, pairwise prepared metrics) — the query-fanout regime the
-//!   snapshot-publish read path exists for.
+//!   snapshot-publish read path exists for;
+//! * **million_user_day**: thousands of sessions with Zipf-skewed
+//!   popularity, 10% edits / 90% reads — the wide-session-table
+//!   regime, recording p99 and throughput per core.
 //!
 //! Each client works its own session so the mixes measure service
 //! throughput rather than single-mutex contention. Per-request wall
@@ -43,7 +46,7 @@
 
 use bucketrank_bench::report::{fast_mode, out_path, BenchReport};
 use bucketrank_server::{Client, MetricKind, Request, Server, ServerConfig, WirePolicy};
-use bucketrank_workloads::random::random_few_valued;
+use bucketrank_workloads::random::{random_few_valued, ZipfSampler};
 use bucketrank_workloads::rng::{Pcg32, Rng, SeedableRng};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
@@ -149,6 +152,116 @@ fn run_mix(
         latencies.extend(h.join().expect("client thread"));
     }
     (start.elapsed().as_secs_f64(), latencies)
+}
+
+/// The **million_user_day** mix: a session table thousands of entries
+/// deep with Zipf-skewed popularity — a small head of hot sessions
+/// takes most of the traffic while the long tail sits cold. Each
+/// client draws a session per request from its own [`ZipfSampler`]
+/// (10% edits as push+remove pairs, 90% reads). Setup pre-creates and
+/// seeds every session and teardown drops them, both partitioned
+/// across the client pool and excluded from the timed window.
+///
+/// Returns `(elapsed_seconds, latencies_ns, setup_teardown_requests)`;
+/// timed request count is `latencies.len()`.
+fn run_million_user_day(
+    addr: SocketAddr,
+    clients: usize,
+    per_client: usize,
+    sessions: usize,
+    n: usize,
+) -> (f64, Vec<u64>, u64) {
+    let setup: Vec<_> = (0..clients)
+        .map(|ci| {
+            std::thread::spawn(move || -> u64 {
+                let mut rng = Pcg32::seed_from_u64(0xda7 + ci as u64);
+                let mut c = Client::connect(addr).expect("connect");
+                let mut count = 0u64;
+                let mut idx = ci;
+                while idx < sessions {
+                    let session = format!("mud-{idx}");
+                    c.create_session(&session, n, WirePolicy::Lower)
+                        .expect("create");
+                    for _ in 0..2 {
+                        let r = random_few_valued(&mut rng, n, 4);
+                        c.push_voter(&session, &r).expect("seed push");
+                    }
+                    count += 3;
+                    idx += clients;
+                }
+                count
+            })
+        })
+        .collect();
+    let mut untimed = 0u64;
+    for h in setup {
+        untimed += h.join().expect("setup thread");
+    }
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|ci| {
+            std::thread::spawn(move || -> Vec<u64> {
+                let mut rng = Pcg32::seed_from_u64(0x10ad + ci as u64);
+                let zipf = ZipfSampler::new(sessions, 1.1);
+                let mut c = Client::connect(addr).expect("connect");
+                let candidate = random_few_valued(&mut rng, n, 4);
+                let mut latencies = Vec::with_capacity(per_client);
+                for i in 0..per_client {
+                    let session = format!("mud-{}", zipf.sample(&mut rng));
+                    if rng.gen_range(0..100) < 10 {
+                        let r = random_few_valued(&mut rng, n, 4);
+                        let t0 = Instant::now();
+                        let v = c.push_voter(&session, &r).expect("push");
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                        let t0 = Instant::now();
+                        c.remove_voter(&session, v).expect("remove");
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    } else {
+                        let t0 = Instant::now();
+                        match i % 3 {
+                            0 => {
+                                c.median_order(&session).expect("median");
+                            }
+                            1 => {
+                                c.top_k(&session, 1 + i % n).expect("top_k");
+                            }
+                            _ => {
+                                c.kemeny_cost_x2(&session, &candidate).expect("kemeny");
+                            }
+                        }
+                        latencies.push(t0.elapsed().as_nanos() as u64);
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies = Vec::with_capacity(clients * per_client);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let teardown: Vec<_> = (0..clients)
+        .map(|ci| {
+            std::thread::spawn(move || -> u64 {
+                let mut c = Client::connect(addr).expect("connect");
+                let mut count = 0u64;
+                let mut idx = ci;
+                while idx < sessions {
+                    c.drop_session(&format!("mud-{idx}")).expect("drop");
+                    count += 1;
+                    idx += clients;
+                }
+                count
+            })
+        })
+        .collect();
+    for h in teardown {
+        untimed += h.join().expect("teardown thread");
+    }
+    (elapsed, latencies, untimed)
 }
 
 /// Builds the i-th request of the read-heavy mix — the same op
@@ -277,6 +390,7 @@ fn main() {
     // more ops are needed for a stable elapsed time.
     let per_client_pipelined = if fast { per_client } else { per_client * 4 };
     let idle_conns = if fast { 64 } else { 512 };
+    let mud_sessions = if fast { 256 } else { 4096 };
 
     let server = Server::bind(
         "127.0.0.1:0",
@@ -284,6 +398,9 @@ fn main() {
             workers: clients.max(2),
             // Room for the idle-flood mix on top of the working clients.
             max_connections: idle_conns + 64,
+            // Room for the million-user-day session table; doubled so
+            // an uneven shard hash can't trip the per-shard cap.
+            max_sessions: mud_sessions * 2,
             ..ServerConfig::default()
         },
     )
@@ -316,6 +433,34 @@ fn main() {
             read_heavy_rps = rps;
         }
     }
+
+    // Million-user-day slice (ROADMAP item 1): Zipf-skewed traffic over
+    // a session table thousands of entries deep — most sessions cold,
+    // a hot head taking the bulk of the requests. Recorded, not gated:
+    // the number to watch is throughput per core as the table grows.
+    let mud_per_client = if fast { per_client } else { per_client / 2 };
+    let (elapsed, mut latencies, mud_untimed) =
+        run_million_user_day(addr, clients, mud_per_client, mud_sessions, n);
+    let mud_timed = latencies.len() as u64;
+    let mud_requests = mud_untimed + mud_timed;
+    let rps = mud_timed as f64 / elapsed;
+    let cores = std::thread::available_parallelism()
+        .map(|c| c.get())
+        .unwrap_or(1);
+    let rps_per_core = rps / cores as f64;
+    let p50_us = percentile_ns(&mut latencies, 50.0) as f64 / 1e3;
+    let p99_us = percentile_ns(&mut latencies, 99.0) as f64 / 1e3;
+    println!(
+        "  million_user_day: {rps:.0} req/s over {mud_timed} requests across \
+         {mud_sessions} sessions (p50 {p50_us:.1}µs, p99 {p99_us:.1}µs, \
+         {rps_per_core:.0} req/s/core on {cores} cores)"
+    );
+    mix_rows.push(format!(
+        "{{\"name\":\"million_user_day\",\"edit_pct\":10,\"clients\":{clients},\
+         \"sessions\":{mud_sessions},\"requests\":{mud_timed},\"elapsed_s\":{elapsed:.4},\
+         \"throughput_rps\":{rps:.1},\"throughput_rps_per_core\":{rps_per_core:.1},\
+         \"cores\":{cores},\"p50_us\":{p50_us:.2},\"p99_us\":{p99_us:.2}}}"
+    ));
 
     // Sharding gate: the same read-heavy mix against a single-shard
     // server bound in the same run. On a noisy (especially one-core)
@@ -429,6 +574,7 @@ fn main() {
     assert!(
         stats.requests
             >= smoke_requests
+                + mud_requests
                 + 2 * (clients * per_client) as u64
                 + 3 * (clients * per_client_pipelined) as u64,
         "drained stats undercount: {stats:?}"

@@ -13,7 +13,8 @@
 
 use crate::proto::{
     decode_batch_reply, encode_batch, read_frame, validate_batch, write_frame, ErrorCode,
-    FrameError, MetricKind, ProtoError, Request, Response, WirePolicy, DEFAULT_MAX_FRAME,
+    FrameError, MetricKind, ProtoError, Request, Response, WirePolicy, WireRule,
+    DEFAULT_MAX_FRAME,
 };
 use bucketrank_core::BucketOrder;
 use std::collections::VecDeque;
@@ -91,6 +92,7 @@ fn resp_kind(resp: &Response) -> &'static str {
         Response::VoterReplaced => "VoterReplaced",
         Response::Ranking { .. } => "Ranking",
         Response::CostX2 { .. } => "CostX2",
+        Response::RankingCost { .. } => "RankingCost",
         Response::Busy => "Busy",
         Response::Error { .. } => "Error",
         Response::Stats { .. } => "Stats",
@@ -387,6 +389,35 @@ impl Client {
         };
         match self.expect(&req)? {
             Response::CostX2 { value } => Ok(value),
+            other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
+        }
+    }
+
+    /// Minmax aggregation over the session's live voters: the full
+    /// ranking minimizing the maximum per-voter `Kprof ×2` distance,
+    /// plus that maximum. Empty `labels` and `rules` means
+    /// unconstrained; otherwise `labels` must cover the session's
+    /// domain and the rules constrain per-class counts inside prefix
+    /// windows.
+    ///
+    /// # Errors
+    /// [`ClientError::Server`] with [`ErrorCode::NoVoters`] /
+    /// [`ErrorCode::DomainMismatch`] (wrong-length labels) /
+    /// [`ErrorCode::BadRequest`] (malformed or infeasible rules), or a
+    /// transport failure.
+    pub fn minmax_agg(
+        &mut self,
+        session: &str,
+        labels: &[u32],
+        rules: &[WireRule],
+    ) -> Result<(BucketOrder, u64), ClientError> {
+        let req = Request::MinMaxAgg {
+            session: session.to_owned(),
+            labels: labels.to_vec(),
+            rules: rules.to_vec(),
+        };
+        match self.expect(&req)? {
+            Response::RankingCost { order, cost_x2 } => Ok((order, cost_x2)),
             other => Err(ClientError::Unexpected { got: resp_kind(&other) }),
         }
     }

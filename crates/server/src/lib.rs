@@ -70,7 +70,8 @@ pub mod wal;
 pub use client::{Client, ClientError, Pipeline, PipelineReply};
 pub use proto::{
     ErrorCode, FrameError, MetricKind, ProtoError, Request, Response, ShardStats, WirePolicy,
-    WireRequest, DEFAULT_MAX_FRAME, MAX_BATCH, MAX_SHARDS, PROTO_VERSION, PROTO_VERSION_2,
+    WireRequest, WireRule, DEFAULT_MAX_FRAME, MAX_BATCH, MAX_RULES, MAX_SHARDS, PROTO_VERSION,
+    PROTO_VERSION_2,
 };
 pub use server::{Server, ServerConfig, ServerStats};
 pub use service::{Service, ServiceConfig, DEFAULT_CHECKPOINT_EVERY, DEFAULT_SHARDS};

@@ -78,6 +78,11 @@ pub const MAX_ELEMENTS: usize = 1 << 20;
 /// before allocating.
 pub const MAX_SHARDS: usize = 1024;
 
+/// Upper bound on the number of class-constraint rules a
+/// [`Request::MinMaxAgg`] may carry; bounded before allocation like
+/// every other count on the wire.
+pub const MAX_RULES: usize = 4096;
+
 /// A typed wire-protocol failure. Fatal for the connection that
 /// produced it, harmless for the server.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +134,18 @@ pub enum ProtoError {
         /// The declared entry count.
         len: usize,
     },
+    /// A class-label vector declared more entries than
+    /// [`MAX_ELEMENTS`].
+    LabelsTooLarge {
+        /// The declared entry count.
+        len: usize,
+    },
+    /// A constraint-rule vector declared more entries than
+    /// [`MAX_RULES`].
+    RulesTooLarge {
+        /// The declared entry count.
+        len: usize,
+    },
     /// A field carried a value outside its enumeration (metric code,
     /// median policy, error code).
     BadValue {
@@ -169,6 +186,12 @@ impl std::fmt::Display for ProtoError {
             }
             ProtoError::WeightsTooLarge { len } => {
                 write!(f, "weight vector of {len} entries exceeds {MAX_ELEMENTS}")
+            }
+            ProtoError::LabelsTooLarge { len } => {
+                write!(f, "label vector of {len} entries exceeds {MAX_ELEMENTS}")
+            }
+            ProtoError::RulesTooLarge { len } => {
+                write!(f, "rule vector of {len} entries exceeds {MAX_RULES}")
             }
             ProtoError::BadValue { what } => write!(f, "out-of-range value for {what}"),
             ProtoError::EmptyBatch => write!(f, "batch frame with zero sub-requests"),
@@ -222,6 +245,25 @@ impl MetricKind {
             _ => Err(ProtoError::BadValue { what: "metric kind" }),
         }
     }
+}
+
+/// One class-constraint rule on the wire (mirrors
+/// [`bucketrank_aggregate::minmax::WindowRule`] without a dependency
+/// edge in the encoding layer): among the first `window` positions of
+/// the aggregate, candidates labeled `class` must number `min..=max`.
+/// Semantic validation (window bounds, class existence, feasibility)
+/// happens server-side in the aggregation layer and comes back as a
+/// typed [`Response::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireRule {
+    /// Prefix length the rule applies to.
+    pub window: u32,
+    /// The class label the rule counts.
+    pub class: u32,
+    /// Minimum occurrences of `class` within the window.
+    pub min: u32,
+    /// Maximum occurrences of `class` within the window.
+    pub max: u32,
 }
 
 /// Median policy on the wire (mirrors
@@ -355,6 +397,22 @@ pub enum Request {
         /// [`WeightedDist`](Request::WeightedDist).
         weights: Vec<u64>,
     },
+    /// Minmax aggregation over the session's live voters: the full
+    /// ranking minimizing the **maximum** per-voter `Kprof ×2`
+    /// distance, optionally under class constraints (candidate labels
+    /// plus prefix-window rules). Runs the deterministic heuristic
+    /// pipeline (`bucketrank_aggregate::minmax::minmax_aggregate` at
+    /// its fixed wire seed); answered with [`Response::RankingCost`].
+    MinMaxAgg {
+        /// Session name.
+        session: String,
+        /// Per-candidate class labels (`labels[e]` for element `e`);
+        /// empty means unconstrained, otherwise the length must equal
+        /// the session's domain size.
+        labels: Vec<u32>,
+        /// Prefix-window rules over the labels.
+        rules: Vec<WireRule>,
+    },
     /// Read the per-shard durability and occupancy counters; answered
     /// with [`Response::Stats`].
     Stats,
@@ -469,6 +527,14 @@ pub enum Response {
         /// The cost value.
         value: u64,
     },
+    /// A ranking plus its objective value, as answered to
+    /// [`Request::MinMaxAgg`].
+    RankingCost {
+        /// The aggregated ranking.
+        order: BucketOrder,
+        /// Its objective value (maximum per-voter `Kprof ×2`).
+        cost_x2: u64,
+    },
     /// The request was rejected for backpressure: the job queue or the
     /// connection table is full. Retry later.
     Busy,
@@ -505,6 +571,7 @@ const OP_SHUTDOWN: u8 = 0x0b;
 const OP_STATS: u8 = 0x0c;
 const OP_WEIGHTED: u8 = 0x0d;
 const OP_TOPDIFF: u8 = 0x0e;
+const OP_MINMAX: u8 = 0x0f;
 
 // v2 opcodes: one request kind (a batch of v1 sub-requests) and its
 // one reply kind (the matching sub-replies, in order).
@@ -523,6 +590,7 @@ const OP_BUSY: u8 = 0x89;
 const OP_ERROR: u8 = 0x8a;
 const OP_SHUTDOWN_ACK: u8 = 0x8b;
 const OP_STATS_REPLY: u8 = 0x8c;
+const OP_RANKING_COST: u8 = 0x8d;
 
 // ---------------------------------------------------------------------
 // Primitive encoding.
@@ -564,6 +632,23 @@ pub(crate) fn put_weights(out: &mut Vec<u8>, units: &[u64]) {
     put_u32(out, units.len() as u32);
     for &w in units {
         put_u64(out, w);
+    }
+}
+
+pub(crate) fn put_labels(out: &mut Vec<u8>, labels: &[u32]) {
+    put_u32(out, labels.len() as u32);
+    for &l in labels {
+        put_u32(out, l);
+    }
+}
+
+pub(crate) fn put_rules(out: &mut Vec<u8>, rules: &[WireRule]) {
+    put_u32(out, rules.len() as u32);
+    for r in rules {
+        put_u32(out, r.window);
+        put_u32(out, r.class);
+        put_u32(out, r.min);
+        put_u32(out, r.max);
     }
 }
 
@@ -641,6 +726,40 @@ impl<'a> Cursor<'a> {
         Ok(units)
     }
 
+    pub(crate) fn labels(&mut self) -> Result<Vec<u32>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_ELEMENTS {
+            return Err(ProtoError::LabelsTooLarge { len: n });
+        }
+        // Bound the reservation by what the body can actually hold.
+        let have = (self.buf.len() - self.at) / 4;
+        let mut labels = Vec::with_capacity(n.min(have));
+        for _ in 0..n {
+            labels.push(self.u32()?);
+        }
+        Ok(labels)
+    }
+
+    pub(crate) fn rules(&mut self) -> Result<Vec<WireRule>, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_RULES {
+            return Err(ProtoError::RulesTooLarge { len: n });
+        }
+        // Bound the reservation by what the body can actually hold:
+        // each rule is 4 × 4 bytes.
+        let have = (self.buf.len() - self.at) / 16;
+        let mut rules = Vec::with_capacity(n.min(have));
+        for _ in 0..n {
+            rules.push(WireRule {
+                window: self.u32()?,
+                class: self.u32()?,
+                min: self.u32()?,
+                max: self.u32()?,
+            });
+        }
+        Ok(rules)
+    }
+
     pub(crate) fn ranking(&mut self) -> Result<BucketOrder, ProtoError> {
         let n = self.u32()? as usize;
         if n > MAX_ELEMENTS {
@@ -702,6 +821,19 @@ impl Request {
             | Request::TopDiff { session, weights, .. } => {
                 if weights.len() > MAX_ELEMENTS {
                     return Err(ProtoError::WeightsTooLarge { len: weights.len() });
+                }
+                (session, None)
+            }
+            Request::MinMaxAgg {
+                session,
+                labels,
+                rules,
+            } => {
+                if labels.len() > MAX_ELEMENTS {
+                    return Err(ProtoError::LabelsTooLarge { len: labels.len() });
+                }
+                if rules.len() > MAX_RULES {
+                    return Err(ProtoError::RulesTooLarge { len: rules.len() });
                 }
                 (session, None)
             }
@@ -812,6 +944,17 @@ impl Request {
                 put_weights(&mut out, weights);
                 out
             }
+            Request::MinMaxAgg {
+                session,
+                labels,
+                rules,
+            } => {
+                let mut out = header(OP_MINMAX);
+                put_name(&mut out, session);
+                put_labels(&mut out, labels);
+                put_rules(&mut out, rules);
+                out
+            }
             Request::Stats => header(OP_STATS),
             Request::Shutdown => header(OP_SHUTDOWN),
         }
@@ -900,6 +1043,16 @@ impl Request {
                     weights,
                 }
             }
+            OP_MINMAX => {
+                let session = c.name()?;
+                let labels = c.labels()?;
+                let rules = c.rules()?;
+                Request::MinMaxAgg {
+                    session,
+                    labels,
+                    rules,
+                }
+            }
             OP_STATS => Request::Stats,
             OP_SHUTDOWN => Request::Shutdown,
             other => return Err(ProtoError::UnknownOpcode { opcode: other }),
@@ -931,6 +1084,12 @@ impl Response {
             Response::CostX2 { value } => {
                 let mut out = header(OP_COST);
                 put_u64(&mut out, *value);
+                out
+            }
+            Response::RankingCost { order, cost_x2 } => {
+                let mut out = header(OP_RANKING_COST);
+                put_ranking(&mut out, order);
+                put_u64(&mut out, *cost_x2);
                 out
             }
             Response::Busy => header(OP_BUSY),
@@ -979,6 +1138,11 @@ impl Response {
             OP_REPLACED => Response::VoterReplaced,
             OP_RANKING => Response::Ranking { order: c.ranking()? },
             OP_COST => Response::CostX2 { value: c.u64()? },
+            OP_RANKING_COST => {
+                let order = c.ranking()?;
+                let cost_x2 = c.u64()?;
+                Response::RankingCost { order, cost_x2 }
+            }
             OP_BUSY => Response::Busy,
             OP_ERROR => {
                 let code = ErrorCode::from_code(c.u8()?)?;
@@ -1394,6 +1558,29 @@ mod tests {
                 voter_b: 5,
                 weights: vec![1, 1, 0, 0],
             },
+            Request::MinMaxAgg {
+                session: "s".into(),
+                labels: vec![],
+                rules: vec![],
+            },
+            Request::MinMaxAgg {
+                session: "s".into(),
+                labels: vec![0, 1, 1, 0],
+                rules: vec![
+                    WireRule {
+                        window: 2,
+                        class: 0,
+                        min: 1,
+                        max: 2,
+                    },
+                    WireRule {
+                        window: 4,
+                        class: 1,
+                        min: 0,
+                        max: 2,
+                    },
+                ],
+            },
             Request::Stats,
             Request::Shutdown,
         ]
@@ -1411,6 +1598,10 @@ mod tests {
                 order: BucketOrder::from_keys(&[3, 1, 1]),
             },
             Response::CostX2 { value: 12345 },
+            Response::RankingCost {
+                order: BucketOrder::from_keys(&[2, 1, 3]),
+                cost_x2: 42,
+            },
             Response::Busy,
             Response::Error {
                 code: ErrorCode::UnknownVoter,
@@ -1538,6 +1729,22 @@ mod tests {
                 Err(ProtoError::WeightsTooLarge { len: u32::MAX as usize })
             );
         }
+        // Same for oversized label- and rule-count claims.
+        let mut body = header(OP_MINMAX);
+        put_name(&mut body, "s");
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::LabelsTooLarge { len: u32::MAX as usize })
+        );
+        let mut body = header(OP_MINMAX);
+        put_name(&mut body, "s");
+        put_u32(&mut body, 0);
+        put_u32(&mut body, u32::MAX);
+        assert_eq!(
+            Request::decode(&body),
+            Err(ProtoError::RulesTooLarge { len: u32::MAX as usize })
+        );
         // validate() mirrors the decoder's weight-count bound.
         let req = Request::TopDiff {
             session: "s".into(),
@@ -1548,6 +1755,31 @@ mod tests {
         assert_eq!(
             req.validate(),
             Err(ProtoError::WeightsTooLarge { len: MAX_ELEMENTS + 1 })
+        );
+        // ... and the label-/rule-count bounds.
+        let req = Request::MinMaxAgg {
+            session: "s".into(),
+            labels: vec![0; MAX_ELEMENTS + 1],
+            rules: vec![],
+        };
+        assert_eq!(
+            req.validate(),
+            Err(ProtoError::LabelsTooLarge { len: MAX_ELEMENTS + 1 })
+        );
+        let rule = WireRule {
+            window: 1,
+            class: 0,
+            min: 0,
+            max: 1,
+        };
+        let req = Request::MinMaxAgg {
+            session: "s".into(),
+            labels: vec![],
+            rules: vec![rule; MAX_RULES + 1],
+        };
+        assert_eq!(
+            req.validate(),
+            Err(ProtoError::RulesTooLarge { len: MAX_RULES + 1 })
         );
     }
 

@@ -27,11 +27,12 @@
 //! process left behind.
 
 use crate::proto::{
-    ErrorCode, MetricKind, Request, Response, ShardStats, WirePolicy, MAX_ELEMENTS, MAX_NAME,
-    MAX_SHARDS,
+    ErrorCode, MetricKind, Request, Response, ShardStats, WirePolicy, WireRule, MAX_ELEMENTS,
+    MAX_NAME, MAX_SHARDS,
 };
 use crate::shard::{agg_error, error, shard_index, Edit, Session, Shard};
 use bucketrank_aggregate::dynamic::{DynamicSnapshot, VoterId};
+use bucketrank_aggregate::minmax::{self, ClassConstraints, WindowRule};
 use bucketrank_aggregate::AggregateError;
 use bucketrank_core::BucketOrder;
 use bucketrank_metrics::prepared::{
@@ -277,6 +278,11 @@ impl Service {
                 voter_b,
                 weights,
             } => self.weighted_pair(&session, cache, voter_a, voter_b, weights, true),
+            Request::MinMaxAgg {
+                session,
+                labels,
+                rules,
+            } => self.minmax_agg(&session, cache, labels, rules),
         }
     }
 
@@ -414,6 +420,60 @@ impl Service {
         match value {
             Ok(value) => Response::CostX2 { value },
             Err(e) => metrics_error(&e),
+        }
+    }
+
+    /// Minmax aggregation over the session's live voters. The stored
+    /// rankings are cloned under the edit mutex (O(m·n)) in ascending
+    /// voter-id order, then the deterministic heuristic pipeline runs
+    /// outside it at the fixed wire seed — the reply for a given voter
+    /// set, label vector and rule set is byte-reproducible across
+    /// processes. Constraint faults (bad window, unknown class,
+    /// infeasible rule set) come back typed through [`agg_error`].
+    fn minmax_agg(
+        &self,
+        name: &str,
+        cache: &mut SessionCache,
+        labels: Vec<u32>,
+        rules: Vec<WireRule>,
+    ) -> Response {
+        let session = match self.resolve(name, cache) {
+            Ok(s) => s,
+            Err(resp) => return resp,
+        };
+        let rankings: Vec<BucketOrder> = {
+            let dp = session.profile.lock().expect("edit lock");
+            dp.voter_ids()
+                .into_iter()
+                .filter_map(|id| dp.get_voter(id).cloned())
+                .collect()
+        };
+        if rankings.is_empty() {
+            return error(
+                ErrorCode::NoVoters,
+                format!("session {name:?} has no live voters"),
+            );
+        }
+        let cons = if labels.is_empty() && rules.is_empty() {
+            None
+        } else {
+            let rules = rules
+                .into_iter()
+                .map(|r| WindowRule {
+                    window: r.window,
+                    class: r.class,
+                    min: r.min,
+                    max: r.max,
+                })
+                .collect();
+            match ClassConstraints::new(labels, rules) {
+                Ok(c) => Some(c),
+                Err(e) => return agg_error(&e),
+            }
+        };
+        match minmax::minmax_aggregate(&rankings, cons.as_ref(), minmax::DEFAULT_SEED) {
+            Ok((order, cost_x2)) => Response::RankingCost { order, cost_x2 },
+            Err(e) => agg_error(&e),
         }
     }
 }

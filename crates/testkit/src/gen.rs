@@ -671,6 +671,119 @@ impl Gen for ProfileWithDegeneratesGen {
     }
 }
 
+/// A class-labeled profile: a [`profile_with_degenerates`] profile
+/// paired with per-candidate class labels (`labels[e]` for element
+/// `e`, always `labels.len() == domain size`), for property-testing
+/// class-constrained aggregation. Heavy weight on the degenerate
+/// labelings constraint code must get right: a **single class**
+/// covering every candidate (any prefix-window rule is then a pure
+/// cardinality check), **one candidate per class** (every rule pins
+/// individual candidates), and **sparse non-contiguous class ids**
+/// (classes a rule set may leave unconstrained, and a trap for code
+/// assuming labels are dense `0..k`).
+///
+/// Shrinking preserves the profile's voter classes exactly as
+/// [`profile_with_degenerates`] does **and** the labeling's class:
+/// voter drop leaves labels untouched, element removal coordinates
+/// across every voter *and* the label vector (single-class stays
+/// single-class, one-candidate-per-class stays distinct), bucket
+/// merges leave labels alone, and a relabel-to-dense move
+/// canonicalizes sparse ids without ever merging two classes.
+pub fn classed_profile_with_degenerates(
+    voters: RangeInclusive<usize>,
+    n: usize,
+    levels: u8,
+) -> ClassedProfileGen {
+    ClassedProfileGen {
+        profile: profile_with_degenerates(voters, n, levels),
+    }
+}
+
+/// See [`classed_profile_with_degenerates`].
+pub struct ClassedProfileGen {
+    profile: ProfileWithDegeneratesGen,
+}
+
+impl Gen for ClassedProfileGen {
+    type Value = (Vec<BucketOrder>, Vec<u32>);
+
+    fn generate(&self, rng: &mut Pcg32) -> Self::Value {
+        let profile = self.profile.generate(rng);
+        // The profile generator may pick a degenerate domain (e.g. the
+        // singleton class), so the label length follows the profile,
+        // not the requested `n`.
+        let n = profile[0].len();
+        let labels = match rng.gen_range(0..6u32) {
+            // Single class covering every candidate.
+            0 => vec![rng.gen_range(0..4u32); n],
+            // One candidate per class, in shuffled order.
+            1 => {
+                let mut l: Vec<u32> = (0..n as u32).collect();
+                for i in (1..n).rev() {
+                    let j = rng.gen_range(0..=i);
+                    l.swap(i, j);
+                }
+                l
+            }
+            // Sparse non-contiguous ids drawn from {2, 9, 16}.
+            2 => (0..n).map(|_| 7 * rng.gen_range(0..3u32) + 2).collect(),
+            // Generic: a few dense classes.
+            _ => {
+                let k = rng.gen_range(1..=4u32.min(n as u32));
+                (0..n).map(|_| rng.gen_range(0..k)).collect()
+            }
+        };
+        (profile, labels)
+    }
+
+    fn shrink(&self, v: &Self::Value) -> Vec<Self::Value> {
+        let (profile, labels) = v;
+        let mut out = Vec::new();
+        // Voter drop never touches the labeling.
+        if profile.len() > *self.profile.voters.start() {
+            for i in 0..profile.len() {
+                let mut smaller = profile.clone();
+                smaller.remove(i);
+                out.push((smaller, labels.clone()));
+            }
+        }
+        // Element removal drops the same element's label, so a
+        // single-class labeling stays single-class and a
+        // one-candidate-per-class labeling stays pairwise distinct.
+        let refs: Vec<&BucketOrder> = profile.iter().collect();
+        for (e, smaller) in all_removals_coordinated(&refs).into_iter().enumerate() {
+            let mut l = labels.clone();
+            l.remove(e);
+            out.push((smaller, l));
+        }
+        // Merges only on unconstrained voters, as on the unlabeled
+        // profile generator.
+        for (i, voter) in profile.iter().enumerate() {
+            if voter.is_full() {
+                continue;
+            }
+            for b in 0..voter.num_buckets().saturating_sub(1) {
+                let mut copy = profile.clone();
+                copy[i] = merge_adjacent(voter, b);
+                out.push((copy, labels.clone()));
+            }
+        }
+        // Relabel to dense 0..k: order-preserving on class ids, so no
+        // two classes ever merge and the class structure is unchanged.
+        let mut uniq = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let dense: Vec<u32> = labels
+            .iter()
+            .map(|l| uniq.binary_search(l).expect("label is in uniq") as u32)
+            .collect();
+        if dense != *labels {
+            out.push((profile.clone(), dense));
+        }
+        out
+    }
+}
+
 /// One step of a streaming-profile edit script; see
 /// [`edit_script_with_degenerates`]. The driver resolves the index of
 /// `Remove` / `Replace` against its current live-voter list as
@@ -1323,6 +1436,68 @@ mod tests {
                 assert!(s[1].is_full(), "full voter left its class");
             }
         }
+    }
+
+    #[test]
+    fn classed_profile_covers_degenerate_labelings() {
+        let g = classed_profile_with_degenerates(2..=5, 6, 3);
+        let mut rng = Pcg32::seed_from_u64(11);
+        let (mut single, mut per_candidate, mut sparse, mut generic) = (0, 0, 0, 0);
+        for _ in 0..400 {
+            let (profile, labels) = g.generate(&mut rng);
+            assert_eq!(labels.len(), profile[0].len(), "labels must cover the domain");
+            assert!(profile.iter().all(|v| v.len() == labels.len()));
+            let mut uniq = labels.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            if uniq.len() == 1 {
+                single += 1;
+            } else if uniq.len() == labels.len() {
+                per_candidate += 1;
+            } else if uniq.iter().any(|&c| c as usize >= labels.len()) {
+                sparse += 1;
+            } else {
+                generic += 1;
+            }
+        }
+        assert!(
+            single > 0 && per_candidate > 0 && sparse > 0 && generic > 0,
+            "classes: {single} {per_candidate} {sparse} {generic}"
+        );
+    }
+
+    #[test]
+    fn classed_profile_shrinks_preserve_label_classes() {
+        let g = classed_profile_with_degenerates(2..=6, 5, 3);
+        let profile = vec![
+            BucketOrder::trivial(5),
+            BucketOrder::from_keys(&[2, 1, 3, 1, 2]),
+        ];
+        // Single-class labeling: every shrink stays single-class, and
+        // labels always track the (possibly smaller) domain.
+        for (p, l) in g.shrink(&(profile.clone(), vec![3; 5])) {
+            assert_eq!(l.len(), p[0].len());
+            assert!(p.iter().all(|v| v.len() == l.len()));
+            let first = l[0];
+            assert!(l.iter().all(|&x| x == first), "single-class split: {l:?}");
+        }
+        // One-candidate-per-class: labels stay pairwise distinct.
+        for (p, l) in g.shrink(&(profile.clone(), vec![4, 0, 3, 1, 2])) {
+            assert_eq!(l.len(), p[0].len());
+            let mut uniq = l.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            assert_eq!(uniq.len(), l.len(), "classes merged: {l:?}");
+        }
+        // Sparse ids offer the dense relabeling, which keeps the same
+        // number of classes.
+        let sparse = vec![9u32, 2, 9, 16, 2];
+        let shrinks = g.shrink(&(profile, sparse.clone()));
+        let relabeled = shrinks
+            .iter()
+            .find(|(_, l)| l.len() == 5 && l.iter().max() < sparse.iter().max())
+            .expect("dense relabeling proposed");
+        assert_eq!(relabeled.1, vec![1, 0, 1, 2, 0]);
     }
 
     /// Simulates an edit script's live-voter count, reporting the

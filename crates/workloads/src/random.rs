@@ -82,6 +82,62 @@ pub fn random_zipf_valued<R: Rng + ?Sized>(
     BucketOrder::from_keys(&keys)
 }
 
+/// A precomputed Zipf sampler over indices `0..n`
+/// (`P(i) ∝ 1/(i+1)^s`): built once in O(n), sampled in O(log n) by
+/// binary search over the cumulative-weight table. Where
+/// [`random_zipf_valued`] linearly scans a handful of bucket levels
+/// per element, this is the shape for the server-bench hot loop —
+/// thousands of sessions, one skewed index draw per request.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cum: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds the cumulative table for `n` indices at exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "need at least one index");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cum.push(acc);
+        }
+        ZipfSampler { cum }
+    }
+
+    /// Number of indices the sampler draws from.
+    pub fn len(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Always `false` (construction requires `n > 0`); provided for
+    /// the conventional pairing with [`len`](ZipfSampler::len).
+    pub fn is_empty(&self) -> bool {
+        self.cum.is_empty()
+    }
+
+    /// One index in `0..n`, Zipf-distributed: index 0 most likely.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().expect("table is nonempty");
+        let x = rng.gen_range(0.0..total);
+        // First index whose cumulative weight exceeds the draw; the
+        // clamp guards the measure-zero x == total edge.
+        self.cum.partition_point(|&c| c <= x).min(self.cum.len() - 1)
+    }
+}
+
+/// A Zipf-distributed session name, `"u<index>"`: the server bench's
+/// skewed "which user's session does this request touch" draw for the
+/// million-user-day mix, where a small head of users produces most of
+/// the traffic.
+pub fn zipf_session_name<R: Rng + ?Sized>(sampler: &ZipfSampler, rng: &mut R) -> String {
+    format!("u{}", sampler.sample(rng))
+}
+
 /// A uniformly random *type* (composition of `n`): each of the `n − 1`
 /// gaps is independently a bucket boundary with probability `1/2`.
 pub fn random_type<R: Rng + ?Sized>(rng: &mut R, n: usize) -> TypeSeq {
@@ -231,6 +287,45 @@ mod tests {
             first > 2000 / 10,
             "first bucket has {first} of 2000 — not skewed"
         );
+    }
+
+    #[test]
+    fn zipf_sampler_matches_the_linear_scan_and_skews() {
+        let sampler = ZipfSampler::new(1000, 1.1);
+        assert_eq!(sampler.len(), 1000);
+        assert!(!sampler.is_empty());
+        // The binary search agrees with a by-hand linear scan of the
+        // same cumulative table on a sweep of draws.
+        let total = *sampler.cum.last().unwrap();
+        for k in 0..500 {
+            let x = total * (k as f64 + 0.5) / 500.0;
+            let linear = sampler
+                .cum
+                .iter()
+                .position(|&c| x < c)
+                .unwrap_or(sampler.cum.len() - 1);
+            let binary = sampler.cum.partition_point(|&c| c <= x).min(999);
+            assert_eq!(binary, linear, "draw {x}");
+        }
+        // Skew: the head index dominates any single tail index.
+        let mut r = rng();
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > 1000, "head index drew {} of 20000", counts[0]);
+        assert!(counts[0] > 20 * counts[500].max(1));
+        // Names are in range and deterministic under a fixed seed.
+        let a = zipf_session_name(&sampler, &mut Pcg32::seed_from_u64(3));
+        let b = zipf_session_name(&sampler, &mut Pcg32::seed_from_u64(3));
+        assert_eq!(a, b);
+        assert!(a.strip_prefix('u').unwrap().parse::<usize>().unwrap() < 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one index")]
+    fn zipf_sampler_rejects_empty() {
+        let _ = ZipfSampler::new(0, 1.0);
     }
 
     #[test]

@@ -77,6 +77,14 @@ echo "==> protocol v2 pipelining conformance (256 cases per property)"
 # order, at every tested depth.
 BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test server_pipeline
 
+echo "==> minmax conformance suite (256 cases per property)"
+# The minmax-objective differential suite: exact branch-and-bound vs
+# brute-force enumeration (with and without class constraints),
+# heuristic max-cost sandwiched between 1× and 2× exact, typed
+# rejection of malformed/infeasible constraints, and the MinMaxAgg
+# loopback byte-parity differential.
+BUCKETRANK_PT_CASES=256 cargo test -q --offline -p bucketrank --test minmax_conformance
+
 echo "==> crash-recovery differential suite (128 cases per property)"
 # Random edit scripts against a durable server, hard-dropped at random
 # edit boundaries and torn mid-record WAL offsets, restarted from
@@ -166,6 +174,15 @@ if [ ! -f BENCH_server.json ]; then
   cp "$srv_smoke_out" BENCH_server.json
   echo "seeded BENCH_server.json baseline from smoke run"
 fi
+
+echo "==> exp_minmax smoke gate"
+# Fast pass proves the minmax experiment runs end to end: the pinned
+# outlier regression (sum-opt max 30 vs minmax 16 on 9×identity +
+# 1×reversal at n=6) is hard-asserted, and the run exits nonzero
+# unless the tally-delta scorer holds ≥ 1× over the naive per-swap
+# rescan.
+BUCKETRANK_BENCH_FAST=1 \
+  cargo run --release --offline -p bucketrank-bench --bin exp_minmax
 
 echo "==> cargo clippy (best effort)"
 if cargo clippy --version >/dev/null 2>&1; then

@@ -1,0 +1,380 @@
+//! Differential conformance suite for minmax-objective aggregation
+//! (`aggregate::minmax`): the exact branch-and-bound optimum must
+//! match brute-force enumeration at small `n` — with and without class
+//! constraints — the heuristic pipeline's max-cost must dominate the
+//! exact optimum and stay within 2× of it on every generated case,
+//! malformed or infeasible constraints must be rejected typed, and the
+//! server's `MinMaxAgg` opcode must answer byte-identically to an
+//! in-process mirror running the same pipeline at the wire seed.
+//!
+//! Independence: brute force scores candidates with
+//! `metrics::kendall::kprof_x2` directly (never [`MinMaxObjective`])
+//! and checks constraints by counting labels in prefixes (never
+//! [`ClassConstraints::satisfied`]), so the oracle shares no code with
+//! the subsystem under test.
+
+use bucketrank::aggregate::minmax::{
+    self, ClassConstraints, MinMaxObjective, WindowRule,
+};
+use bucketrank::aggregate::AggregateError;
+use bucketrank::metrics::kendall;
+use bucketrank::server::proto::{ErrorCode, Request, Response, WirePolicy, WireRule};
+use bucketrank::server::{Client, Server, ServerConfig};
+use bucketrank::{BucketOrder, ElementId};
+use bucketrank_testkit::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The class-labeled degenerate-heavy stream shared by every property:
+/// small domains so brute force stays enumerable.
+fn cases() -> impl Gen<Value = (Vec<BucketOrder>, Vec<u32>)> {
+    gen::classed_profile_with_degenerates(1..=5, 5, 3)
+}
+
+/// All permutations of `0..n`.
+fn permutations(n: usize) -> Vec<Vec<ElementId>> {
+    fn go(
+        cur: &mut Vec<ElementId>,
+        rest: &mut Vec<ElementId>,
+        out: &mut Vec<Vec<ElementId>>,
+    ) {
+        if rest.is_empty() {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..rest.len() {
+            let e = rest.remove(i);
+            cur.push(e);
+            go(cur, rest, out);
+            cur.pop();
+            rest.insert(i, e);
+        }
+    }
+    let mut out = Vec::new();
+    let mut rest: Vec<ElementId> = (0..n as ElementId).collect();
+    go(&mut Vec::new(), &mut rest, &mut out);
+    out
+}
+
+/// Oracle objective: max over voters of `Kprof ×2` against the
+/// candidate, via the metrics crate's pairwise kernel.
+fn naive_max_cost_x2(profile: &[BucketOrder], candidate: &BucketOrder) -> u64 {
+    profile
+        .iter()
+        .map(|v| kendall::kprof_x2(candidate, v).expect("shared domain"))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Oracle constraint check: count each rule's class inside its prefix
+/// window of `perm` by hand.
+fn naive_satisfies(labels: &[u32], rules: &[WindowRule], perm: &[ElementId]) -> bool {
+    rules.iter().all(|r| {
+        let count = perm[..r.window as usize]
+            .iter()
+            .filter(|&&e| labels[e as usize] == r.class)
+            .count() as u32;
+        (r.min..=r.max).contains(&count)
+    })
+}
+
+/// A feasible but *binding* rule derived from the labels: pin element
+/// 0's class to the midpoint of its achievable count range inside a
+/// half-domain prefix. A single prefix rule with a target inside
+/// `[max(0, T+w-n), min(T, w)]` always admits a permutation, and a
+/// pinned `min == max` actually constrains the search.
+fn binding_rule(labels: &[u32]) -> WindowRule {
+    let n = labels.len() as u32;
+    let class = labels[0];
+    let total = labels.iter().filter(|&&l| l == class).count() as u32;
+    let window = n.div_ceil(2);
+    let lo = (total + window).saturating_sub(n);
+    let hi = total.min(window);
+    let target = (lo + hi) / 2;
+    WindowRule {
+        window,
+        class,
+        min: target,
+        max: target,
+    }
+}
+
+#[test]
+fn exact_matches_brute_force_unconstrained() {
+    check(
+        "exact_matches_brute_force_unconstrained",
+        cases(),
+        |(profile, _)| {
+            let n = profile[0].len();
+            let brute = permutations(n)
+                .into_iter()
+                .map(|p| {
+                    let o = BucketOrder::from_permutation(&p).unwrap();
+                    naive_max_cost_x2(profile, &o)
+                })
+                .min()
+                .unwrap();
+            let (order, cost, _) = minmax::minmax_optimal_bb(profile, None).unwrap();
+            assert_eq!(cost, brute, "exact optimum diverged from enumeration");
+            // The returned order realizes the reported cost.
+            assert_eq!(naive_max_cost_x2(profile, &order), cost);
+            // ... and the objective struct agrees with the oracle on it.
+            let obj = MinMaxObjective::build(profile).unwrap();
+            assert_eq!(obj.max_cost_x2(&order).unwrap(), cost);
+        },
+    );
+}
+
+#[test]
+fn exact_matches_brute_force_constrained() {
+    check(
+        "exact_matches_brute_force_constrained",
+        cases(),
+        |(profile, labels)| {
+            let n = profile[0].len();
+            let rules = vec![binding_rule(labels)];
+            let cons = ClassConstraints::new(labels.clone(), rules.clone()).unwrap();
+            assert!(cons.is_feasible(), "binding rules are feasible by construction");
+
+            let mut brute = None;
+            for p in permutations(n) {
+                let o = BucketOrder::from_permutation(&p).unwrap();
+                // The constraint checker agrees with the by-hand count
+                // on every permutation, satisfied or not.
+                let ok = naive_satisfies(labels, &rules, &p);
+                assert_eq!(cons.satisfied(&o).unwrap(), ok, "satisfied() diverged on {p:?}");
+                if ok {
+                    let c = naive_max_cost_x2(profile, &o);
+                    brute = Some(brute.map_or(c, |b: u64| b.min(c)));
+                }
+            }
+            let brute = brute.expect("feasible rule set admits a permutation");
+
+            let (order, cost, _) = minmax::minmax_optimal_bb(profile, Some(&cons)).unwrap();
+            assert_eq!(cost, brute, "constrained optimum diverged from enumeration");
+            assert_eq!(naive_max_cost_x2(profile, &order), cost);
+            assert!(cons.satisfied(&order).unwrap(), "exact output violates its constraints");
+        },
+    );
+}
+
+#[test]
+fn heuristic_dominates_exact_and_stays_within_2x() {
+    check(
+        "heuristic_dominates_exact_and_stays_within_2x",
+        cases(),
+        |(profile, labels)| {
+            // Unconstrained.
+            let (_, exact, _) = minmax::minmax_optimal_bb(profile, None).unwrap();
+            let (order, heur) =
+                minmax::minmax_aggregate(profile, None, minmax::DEFAULT_SEED).unwrap();
+            assert_eq!(naive_max_cost_x2(profile, &order), heur);
+            assert!(heur >= exact, "heuristic {heur} below the optimum {exact}");
+            assert!(heur <= 2 * exact, "heuristic {heur} beyond 2× optimum {exact}");
+
+            // Constrained by the same binding rule as the exact lane.
+            let cons =
+                ClassConstraints::new(labels.clone(), vec![binding_rule(labels)]).unwrap();
+            let (_, exact_c, _) = minmax::minmax_optimal_bb(profile, Some(&cons)).unwrap();
+            let (order_c, heur_c) =
+                minmax::minmax_aggregate(profile, Some(&cons), minmax::DEFAULT_SEED).unwrap();
+            assert!(cons.satisfied(&order_c).unwrap(), "heuristic output violates constraints");
+            assert_eq!(naive_max_cost_x2(profile, &order_c), heur_c);
+            assert!(heur_c >= exact_c);
+            assert!(heur_c <= 2 * exact_c, "constrained heuristic {heur_c} beyond 2× {exact_c}");
+        },
+    );
+}
+
+#[test]
+fn constraint_violations_are_rejected_typed() {
+    let profile = vec![
+        BucketOrder::from_keys(&[0, 1, 2, 3]),
+        BucketOrder::from_keys(&[1, 1, 2, 2]),
+    ];
+    let rule = |window, class, min, max| WindowRule { window, class, min, max };
+
+    // Labels not covering the domain: a shape fault, typed as the
+    // domain mismatch every aggregator uses.
+    let cons = ClassConstraints::new(vec![0, 0, 1], vec![rule(1, 0, 0, 1)]).unwrap();
+    for err in [
+        minmax::minmax_aggregate(&profile, Some(&cons), 0).unwrap_err(),
+        minmax::minmax_optimal_bb(&profile, Some(&cons)).unwrap_err(),
+    ] {
+        assert_eq!(err, AggregateError::DomainMismatch { expected: 4, found: 3 });
+    }
+
+    // Windows outside 1..=n.
+    for w in [0, 5] {
+        assert_eq!(
+            ClassConstraints::new(vec![0; 4], vec![rule(w, 0, 0, 1)]).unwrap_err(),
+            AggregateError::InvalidConstraintWindow { index: 0, window: w as usize, domain_size: 4 }
+        );
+    }
+
+    // min > max, and max beyond the window.
+    assert_eq!(
+        ClassConstraints::new(vec![0; 4], vec![rule(2, 0, 2, 1)]).unwrap_err(),
+        AggregateError::InvalidConstraintBounds { index: 0, min: 2, max: 1, window: 2 }
+    );
+    assert_eq!(
+        ClassConstraints::new(vec![0; 4], vec![rule(2, 0, 0, 3)]).unwrap_err(),
+        AggregateError::InvalidConstraintBounds { index: 0, min: 0, max: 3, window: 2 }
+    );
+
+    // A rule naming a class no candidate carries.
+    assert_eq!(
+        ClassConstraints::new(vec![0, 0, 1, 1], vec![rule(2, 0, 0, 1), rule(2, 9, 1, 1)])
+            .unwrap_err(),
+        AggregateError::UnknownClass { index: 1, class: 9 }
+    );
+
+    // Well-formed but unsatisfiable: every candidate is class 0, yet
+    // the first position must not be.
+    let cons = ClassConstraints::new(vec![0; 4], vec![rule(1, 0, 0, 0)]).unwrap();
+    assert!(!cons.is_feasible());
+    for err in [
+        minmax::minmax_aggregate(&profile, Some(&cons), 0).unwrap_err(),
+        minmax::minmax_optimal_bb(&profile, Some(&cons)).unwrap_err(),
+        cons.repair(&BucketOrder::from_permutation(&[0, 1, 2, 3]).unwrap())
+            .unwrap_err(),
+    ] {
+        assert_eq!(err, AggregateError::InfeasibleConstraints);
+    }
+}
+
+/// The service's error mapping, mirrored locally so error replies are
+/// byte-predictable (`service::agg_error` is the server side of this
+/// contract; constraint faults fall through to `BadRequest`).
+fn expected_agg_error(e: &AggregateError) -> Response {
+    let code = match e {
+        AggregateError::NoInputs => ErrorCode::NoVoters,
+        AggregateError::DomainMismatch { .. } => ErrorCode::DomainMismatch,
+        AggregateError::InvalidK { .. } => ErrorCode::InvalidK,
+        AggregateError::UnknownVoter { .. } => ErrorCode::UnknownVoter,
+        AggregateError::TooManyVoters { .. } => ErrorCode::TooManyVoters,
+        _ => ErrorCode::BadRequest,
+    };
+    Response::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+#[test]
+fn minmax_agg_replies_are_byte_identical_to_the_in_process_mirror() {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let case = AtomicUsize::new(0);
+
+    check(
+        "minmax_agg_replies_are_byte_identical_to_the_in_process_mirror",
+        cases(),
+        |(profile, labels)| {
+            let seq = case.fetch_add(1, Ordering::Relaxed);
+            let n = profile[0].len();
+            let session = format!("minmax-{seq}");
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .create_session(&session, n, WirePolicy::Lower)
+                .expect("create");
+            for r in profile {
+                client.push_voter(&session, r).expect("push");
+            }
+
+            let expect_bytes = |client: &mut Client, req: &Request, expected: &Response| {
+                let raw = client.call_raw(req).expect("transport");
+                assert_eq!(
+                    raw,
+                    expected.encode(),
+                    "reply to {req:?} diverged from the in-process mirror"
+                );
+            };
+
+            // Unconstrained: empty labels and rules on the wire.
+            let expected =
+                match minmax::minmax_aggregate(profile, None, minmax::DEFAULT_SEED) {
+                    Ok((order, cost_x2)) => Response::RankingCost { order, cost_x2 },
+                    Err(e) => expected_agg_error(&e),
+                };
+            expect_bytes(
+                &mut client,
+                &Request::MinMaxAgg {
+                    session: session.clone(),
+                    labels: vec![],
+                    rules: vec![],
+                },
+                &expected,
+            );
+
+            // Constrained by the binding rule, feasible by construction.
+            let rule = binding_rule(labels);
+            let cons = ClassConstraints::new(labels.clone(), vec![rule]).unwrap();
+            let expected =
+                match minmax::minmax_aggregate(profile, Some(&cons), minmax::DEFAULT_SEED) {
+                    Ok((order, cost_x2)) => Response::RankingCost { order, cost_x2 },
+                    Err(e) => expected_agg_error(&e),
+                };
+            expect_bytes(
+                &mut client,
+                &Request::MinMaxAgg {
+                    session: session.clone(),
+                    labels: labels.clone(),
+                    rules: vec![WireRule {
+                        window: rule.window,
+                        class: rule.class,
+                        min: rule.min,
+                        max: rule.max,
+                    }],
+                },
+                &expected,
+            );
+
+            // Infeasible rules come back as the typed constraint
+            // error, byte-for-byte: every candidate carries one class,
+            // yet the first position must not.
+            let all_one = vec![labels[0]; n];
+            let bad = WireRule {
+                window: 1,
+                class: labels[0],
+                min: 0,
+                max: 0,
+            };
+            let cons_bad = ClassConstraints::new(
+                all_one.clone(),
+                vec![WindowRule {
+                    window: 1,
+                    class: labels[0],
+                    min: 0,
+                    max: 0,
+                }],
+            )
+            .expect("well-formed rule, infeasible only");
+            let expected = expected_agg_error(
+                &minmax::minmax_aggregate(profile, Some(&cons_bad), minmax::DEFAULT_SEED)
+                    .expect_err("excluding the head of a single-class domain is infeasible"),
+            );
+            expect_bytes(
+                &mut client,
+                &Request::MinMaxAgg {
+                    session: session.clone(),
+                    labels: all_one,
+                    rules: vec![bad],
+                },
+                &expected,
+            );
+
+            client.drop_session(&session).expect("drop");
+        },
+    );
+
+    let stats = server.shutdown();
+    assert_eq!(stats.protocol_errors, 0, "{stats:?}");
+    assert!(stats.requests > 0);
+}

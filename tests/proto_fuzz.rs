@@ -7,7 +7,8 @@
 
 use bucketrank::server::proto::{
     decode_batch, decode_batch_reply, encode_batch, read_frame, write_frame, FrameError,
-    ProtoError, Request, Response, WirePolicy, WireRequest, DEFAULT_MAX_FRAME, MAX_BATCH,
+    ProtoError, Request, Response, WirePolicy, WireRequest, WireRule, DEFAULT_MAX_FRAME,
+    MAX_BATCH,
 };
 use bucketrank::server::{Client, ErrorCode, Server, ServerConfig};
 use bucketrank_testkit::prelude::*;
@@ -29,7 +30,7 @@ fn bodies() -> impl Gen<Value = Vec<u8>> {
                 body[1] = 0x20; // OP_BATCH
             } else {
                 body[0] = 1; // PROTO_VERSION
-                body[1] = rng.gen_range(0x01..=0x0fu32) as u8; // opcodes + one invalid
+                body[1] = rng.gen_range(0x01..=0x10u32) as u8; // opcodes + one invalid
             }
         }
         body
@@ -102,10 +103,22 @@ fn sample_requests() -> impl Gen<Value = Vec<Request>> {
                 weights: (0..n).map(|_| rng.gen_range(0..=16u32) as u64).collect(),
             },
             Request::TopDiff {
-                session: name,
+                session: name.clone(),
                 voter_a: rng.gen_range(0..u64::MAX),
                 voter_b: rng.gen_range(0..u64::MAX),
                 weights: (0..n).map(|_| rng.gen_range(0..=16u32) as u64).collect(),
+            },
+            Request::MinMaxAgg {
+                session: name,
+                labels: (0..n).map(|_| rng.gen_range(0..3u32)).collect(),
+                rules: (0..rng.gen_range(0..=3usize))
+                    .map(|_| WireRule {
+                        window: rng.gen_range(1..=n as u32),
+                        class: rng.gen_range(0..3u32),
+                        min: 0,
+                        max: rng.gen_range(0..=n as u32),
+                    })
+                    .collect(),
             },
             Request::Shutdown,
         ]

@@ -8,11 +8,12 @@
 //! graceful, fully-drained shutdown.
 
 use bucketrank::aggregate::dynamic::{DynamicProfile, VoterId};
+use bucketrank::aggregate::minmax::{self, ClassConstraints, WindowRule};
 use bucketrank::aggregate::{AggregateError, MedianPolicy};
 use bucketrank::metrics::prepared::{
     fhaus_x2_prepared, fprof_x2_prepared, khaus_x2_prepared, kprof_x2_prepared, PreparedRanking,
 };
-use bucketrank::server::proto::{ErrorCode, MetricKind, Request, Response, WirePolicy};
+use bucketrank::server::proto::{ErrorCode, MetricKind, Request, Response, WirePolicy, WireRule};
 use bucketrank::server::{Client, Server, ServerConfig};
 use bucketrank::BucketOrder;
 use bucketrank_testkit::gen::EditOp;
@@ -272,6 +273,66 @@ fn replies_are_byte_identical_to_the_in_process_mirror() {
                     },
                     &expected_pair,
                 );
+
+                // Minmax aggregation over the live voters, alternating
+                // unconstrained and class-constrained calls. The
+                // mirror's `live` list is in ascending-id order — the
+                // same order the service clones rankings in — and both
+                // sides run the pipeline at the fixed wire seed, so
+                // the replies are byte-predictable.
+                let rankings: Vec<BucketOrder> =
+                    live.iter().map(|(_, r)| r.clone()).collect();
+                let (labels, rules) = if step % 3 == 0 {
+                    (Vec::new(), Vec::new())
+                } else {
+                    (
+                        (0..n as u32).map(|e| e % 2).collect::<Vec<u32>>(),
+                        vec![WireRule {
+                            window: n as u32,
+                            class: 0,
+                            min: 0,
+                            max: n as u32,
+                        }],
+                    )
+                };
+                let expected_minmax = if rankings.is_empty() {
+                    expected_no_voters(&session)
+                } else {
+                    let cons = if labels.is_empty() {
+                        None
+                    } else {
+                        let wr = rules
+                            .iter()
+                            .map(|r| WindowRule {
+                                window: r.window,
+                                class: r.class,
+                                min: r.min,
+                                max: r.max,
+                            })
+                            .collect();
+                        Some(
+                            ClassConstraints::new(labels.clone(), wr)
+                                .expect("loopback rules are well-formed"),
+                        )
+                    };
+                    match minmax::minmax_aggregate(
+                        &rankings,
+                        cons.as_ref(),
+                        minmax::DEFAULT_SEED,
+                    ) {
+                        Ok((order, cost_x2)) => Response::RankingCost { order, cost_x2 },
+                        Err(e) => expected_agg_error(&e),
+                    }
+                };
+                expect_bytes(
+                    &mut client,
+                    &Request::MinMaxAgg {
+                        session: session.clone(),
+                        labels,
+                        rules,
+                    },
+                    &expected_minmax,
+                );
             }
 
             // A domain-mismatched push crosses the wire as the typed
@@ -285,6 +346,41 @@ fn replies_are_byte_identical_to_the_in_process_mirror() {
                 &Request::PushVoter {
                     session: session.clone(),
                     ranking: bad,
+                },
+                &expected,
+            );
+
+            // A malformed constraint crosses the wire as the typed
+            // error the constraint layer raises in process — unless
+            // the session drained first, in which case the service's
+            // empty-session check wins.
+            let expected = if live.is_empty() {
+                expected_no_voters(&session)
+            } else {
+                expected_agg_error(
+                    &ClassConstraints::new(
+                        vec![0u32; n],
+                        vec![WindowRule {
+                            window: 0,
+                            class: 0,
+                            min: 0,
+                            max: 0,
+                        }],
+                    )
+                    .expect_err("window 0 is malformed"),
+                )
+            };
+            expect_bytes(
+                &mut client,
+                &Request::MinMaxAgg {
+                    session: session.clone(),
+                    labels: vec![0; n],
+                    rules: vec![WireRule {
+                        window: 0,
+                        class: 0,
+                        min: 0,
+                        max: 0,
+                    }],
                 },
                 &expected,
             );
@@ -373,6 +469,29 @@ fn smoke_every_request_type_and_graceful_shutdown() {
     for metric in MetricKind::ALL {
         c.pair_metric_x2("smoke", metric, a, b).expect("pair metric");
     }
+    // Minmax aggregation, unconstrained and constrained, against the
+    // in-process pipeline at the same wire seed.
+    let (mm, mm_cost) = c.minmax_agg("smoke", &[], &[]).expect("minmax");
+    let expected = minmax::minmax_aggregate(
+        &[keys(&[4, 3, 2, 1]), keys(&[2, 2, 1, 1])],
+        None,
+        minmax::DEFAULT_SEED,
+    )
+    .unwrap();
+    assert_eq!((mm, mm_cost), expected);
+    let rule = WireRule {
+        window: 2,
+        class: 1,
+        min: 1,
+        max: 2,
+    };
+    let (mmc, _) = c
+        .minmax_agg("smoke", &[0, 0, 1, 1], &[rule])
+        .expect("constrained minmax");
+    // The constraint holds on the reply: at least one of elements 2, 3
+    // inside the top-2 prefix.
+    let perm = mmc.as_permutation().expect("constrained output is full");
+    assert!(perm[..2].iter().any(|&e| e == 2 || e == 3));
     c.remove_voter("smoke", b).expect("remove");
     c.drop_session("smoke").expect("drop");
 
